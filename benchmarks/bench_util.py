@@ -1,0 +1,16 @@
+"""Helpers shared by the benchmark modules."""
+
+from __future__ import annotations
+
+#: Rounds per grid point.  The paper uses 100; 20 keeps the full bench run
+#: fast while the 50 000-tag cases average away their noise.
+BENCH_ROUNDS = 20
+BENCH_SEED = 2010
+
+
+def show(title: str, rows) -> None:
+    """Print a rendered table (visible with ``pytest -s``)."""
+    from repro.experiments.report import render_table
+
+    print()
+    print(render_table(rows, title=title))

@@ -1,0 +1,29 @@
+"""Shared fixtures for the reproduction benchmarks.
+
+Each benchmark module regenerates one table or figure of the paper,
+prints it (run pytest with ``-s`` to see the tables), asserts its *shape*
+against the published numbers, and times the underlying computation via
+pytest-benchmark.
+
+The Monte-Carlo suite is session-scoped and memoized, so grid points shared
+between tables are simulated once.  ``--benchmark-only`` works: every test
+here uses the benchmark fixture.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from bench_util import BENCH_ROUNDS, BENCH_SEED  # noqa: E402
+
+from repro.experiments.runner import ExperimentSuite  # noqa: E402
+
+
+@pytest.fixture(scope="session")
+def suite() -> ExperimentSuite:
+    return ExperimentSuite(rounds=BENCH_ROUNDS, seed=BENCH_SEED)

@@ -1,0 +1,79 @@
+"""Ablation -- Table IV's instruction/transmission deltas, in joules.
+
+Converts the cost comparison into an energy budget per inventory: tag
+transmit energy (bits on air), tag compute energy (CRC vs complement),
+and reader receive energy (total airtime).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from bench_util import show
+from repro.bits.rng import make_rng
+from repro.core.crc_cd import CRCCDDetector
+from repro.core.ideal import IdealDetector
+from repro.core.qcd import QCDDetector
+from repro.core.timing import TimingModel
+from repro.protocols.fsa import FramedSlottedAloha
+from repro.sim.energy import inventory_energy
+from repro.sim.reader import Reader
+from repro.tags.population import TagPopulation
+
+N = 150
+
+
+def energy_for(detector, seed=41):
+    pop = TagPopulation(N, id_bits=64, rng=make_rng(seed))
+    timing = TimingModel()
+    result = Reader(detector, timing).run_inventory(
+        pop.tags, FramedSlottedAloha(90)
+    )
+    return inventory_energy(result.trace, detector, timing)
+
+
+@pytest.mark.benchmark(group="energy")
+def test_energy_budget_comparison(benchmark):
+    def compute():
+        return {
+            "CRC-CD": energy_for(CRCCDDetector(id_bits=64)),
+            "QCD-8": energy_for(QCDDetector(8)),
+            "ideal": energy_for(IdealDetector(64)),
+        }
+
+    results = benchmark.pedantic(compute, rounds=1, iterations=1)
+    rows = [
+        {
+            "scheme": name,
+            "tag tx (µJ)": f"{e.tag_transmit:.2f}",
+            "tag compute (µJ)": f"{e.tag_compute:.4f}",
+            "reader rx (µJ)": f"{e.reader_receive:,.0f}",
+            "total (µJ)": f"{e.total:,.0f}",
+        }
+        for name, e in results.items()
+    ]
+    show(f"Energy per inventory, n={N} (FSA)", rows)
+    crc, qcd = results["CRC-CD"], results["QCD-8"]
+    assert qcd.total < 0.55 * crc.total
+    assert qcd.tag_compute < 0.01 * crc.tag_compute  # the Table IV story
+    assert qcd.tag_transmit < crc.tag_transmit
+
+
+@pytest.mark.benchmark(group="energy")
+def test_strength_sweep_energy(benchmark):
+    def compute():
+        return {s: energy_for(QCDDetector(s), seed=43) for s in (4, 8, 16)}
+
+    results = benchmark.pedantic(compute, rounds=1, iterations=1)
+    show(
+        "Tag energy vs strength",
+        [
+            {
+                "strength": f"{s}-bit",
+                "tag total (µJ)": f"{e.tag_total:.2f}",
+                "system total (µJ)": f"{e.total:,.0f}",
+            }
+            for s, e in results.items()
+        ],
+    )
+    assert results[4].tag_total < results[8].tag_total < results[16].tag_total

@@ -1,0 +1,83 @@
+"""Extension bench -- sensor-field coverage verification (paper §VII).
+
+Multi-hop counterpart of the neighbor-discovery bench: a random sensor
+field verifies its connectivity by local discovery.  QCD framing halves
+the listener energy at identical latency; stopping at *connectivity*
+(instead of exhaustive link discovery) saves most of the slots.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from bench_util import show
+from repro.core.crc_cd import CRCCDDetector
+from repro.core.qcd import QCDDetector
+from repro.core.timing import TimingModel
+from repro.wireless.coverage import SensorField, run_field_discovery
+
+
+def field(seed=0):
+    return SensorField.random(40, 50.0, 50.0, 15.0, np.random.default_rng(seed))
+
+
+@pytest.mark.benchmark(group="coverage")
+def test_field_energy_comparison(benchmark):
+    def compute():
+        f = field(5)
+        out = {}
+        for name, det in (
+            ("CRC-CD", CRCCDDetector(id_bits=64)),
+            ("QCD-8", QCDDetector(8)),
+        ):
+            res = run_field_discovery(
+                f, det, TimingModel(), np.random.default_rng(9)
+            )
+            out[name] = res
+        return out
+
+    results = benchmark.pedantic(compute, rounds=1, iterations=1)
+    rows = [
+        {
+            "framing": name,
+            "slots": str(r.slots),
+            "links found": f"{r.discovered_fraction:.0%}",
+            "listen time (µs)": f"{r.listen_time:,.0f}",
+        }
+        for name, r in results.items()
+    ]
+    show("Sensor-field discovery (40 nodes, 15 m range)", rows)
+    assert results["QCD-8"].slots == results["CRC-CD"].slots
+    assert (
+        results["QCD-8"].listen_time < 0.6 * results["CRC-CD"].listen_time
+    )
+
+
+@pytest.mark.benchmark(group="coverage")
+def test_connectivity_stop_saves_slots(benchmark):
+    def compute():
+        f = field(7)
+        full = run_field_discovery(
+            f, QCDDetector(8), TimingModel(), np.random.default_rng(11)
+        )
+        early = run_field_discovery(
+            f,
+            QCDDetector(8),
+            TimingModel(),
+            np.random.default_rng(11),
+            until="connected",
+        )
+        return f, full, early
+
+    f, full, early = benchmark.pedantic(compute, rounds=1, iterations=1)
+    show(
+        "Stop criterion: connectivity vs exhaustive discovery",
+        [
+            {"criterion": "all links", "slots": str(full.slots)},
+            {"criterion": "connected", "slots": str(early.slots)},
+        ],
+    )
+    if f.is_connected():
+        assert early.connectivity_verified()
+        assert early.slots < full.slots

@@ -1,0 +1,60 @@
+"""Figure 5 -- QCD collision-detection accuracy by strength, cases I-IV.
+
+Paper: accuracy grows with strength; 8-bit is ~100%; 16-bit essentially
+exact; the tag count matters much less than the strength.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from bench_util import show
+from repro.analysis.accuracy import expected_accuracy_fsa
+from repro.experiments.config import CASES, STRENGTHS
+from repro.experiments.figures import fig5
+
+
+def test_fig5_regenerate(benchmark, suite):
+    rows = benchmark.pedantic(lambda: fig5(suite), rounds=1, iterations=1)
+    show("Figure 5: QCD detection accuracy (FSA)", rows)
+    assert len(rows) == 4
+
+
+@pytest.mark.parametrize("case", list(CASES))
+def test_fig5_accuracy_monotone_in_strength(benchmark, suite, case):
+    accs = benchmark.pedantic(
+        lambda: [suite.run(case, "fsa", f"qcd-{s}").accuracy for s in STRENGTHS],
+        rounds=1,
+        iterations=1,
+    )
+    assert accs[0] < accs[1] <= accs[2] <= 1.0
+
+
+def test_fig5_8bit_near_perfect(benchmark, suite):
+    """'setting the strength of QCD as 8-bits can achieve nearly 100%
+    accuracy'."""
+    accs = benchmark.pedantic(
+        lambda: [suite.run(c, "fsa", "qcd-8").accuracy for c in CASES],
+        rounds=1,
+        iterations=1,
+    )
+    assert all(a > 0.99 for a in accs)
+
+
+def test_fig5_16bit_essentially_exact(benchmark, suite):
+    accs = benchmark.pedantic(
+        lambda: [suite.run(c, "fsa", "qcd-16").accuracy for c in CASES],
+        rounds=1,
+        iterations=1,
+    )
+    assert all(a > 0.9999 for a in accs)
+
+
+def test_fig5_matches_analytic_model(benchmark, suite):
+    """The measured accuracy tracks the closed-form first-frame model."""
+    case = CASES["II"]
+    agg = benchmark.pedantic(
+        lambda: suite.run("II", "fsa", "qcd-4"), rounds=1, iterations=1
+    )
+    predicted = expected_accuracy_fsa(case.n_tags, case.frame_size, 4)
+    assert agg.accuracy == pytest.approx(predicted, abs=0.02)

@@ -1,0 +1,68 @@
+"""Figure 7 -- total transmission time (µs), CRC-CD vs QCD-8.
+
+Paper: panel (a) FSA, panel (b) BT, cases I-IV.  'QCD based FSAs spend
+less than half of the transmission time of CRC-CD based FSAs in all
+cases', and the absolute gap widens with the population.  Axis check:
+case II CRC-CD ≈ 2.2e5 µs (2270 slots x 96 bits x 1 µs).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from bench_util import show
+from repro.experiments.config import CASES
+from repro.experiments.figures import fig7
+
+
+def test_fig7_regenerate(benchmark, suite):
+    rows = benchmark.pedantic(lambda: fig7(suite), rounds=1, iterations=1)
+    show("Figure 7: transmission time (µs), CRC-CD vs QCD-8", rows)
+    assert len(rows) == 8
+
+
+@pytest.mark.parametrize("protocol", ["fsa", "bt"])
+@pytest.mark.parametrize("case", list(CASES))
+def test_fig7_qcd_less_than_half(benchmark, suite, protocol, case):
+    def compute():
+        crc = suite.run(case, protocol, "crc")
+        qcd = suite.run(case, protocol, "qcd-8")
+        return qcd.total_time / crc.total_time
+
+    ratio = benchmark.pedantic(compute, rounds=1, iterations=1)
+    assert ratio < 0.5
+
+
+def test_fig7_gap_widens_with_scale(benchmark, suite):
+    def compute():
+        gaps = []
+        for case in CASES:
+            crc = suite.run(case, "fsa", "crc")
+            qcd = suite.run(case, "fsa", "qcd-8")
+            gaps.append(crc.total_time - qcd.total_time)
+        return gaps
+
+    gaps = benchmark.pedantic(compute, rounds=1, iterations=1)
+    assert gaps == sorted(gaps)
+
+
+def test_fig7_case2_axis_value(benchmark, suite):
+    """The paper's y-axis puts case II CRC-CD around 2.2e5 µs."""
+    crc = benchmark.pedantic(
+        lambda: suite.run("II", "fsa", "crc"), rounds=1, iterations=1
+    )
+    assert crc.total_time == pytest.approx(2.2e5, rel=0.10)
+
+
+def test_fig7_bt_smaller_than_fsa_times(benchmark, suite):
+    """Figure 7(b)'s axes are ~2x smaller than 7(a)'s: BT uses fewer
+    slots than fixed-frame FSA at the paper's frame sizes."""
+
+    def compute():
+        return (
+            suite.run("III", "bt", "crc").total_time,
+            suite.run("III", "fsa", "crc").total_time,
+        )
+
+    bt_time, fsa_time = benchmark.pedantic(compute, rounds=1, iterations=1)
+    assert bt_time < fsa_time

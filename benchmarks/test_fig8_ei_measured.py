@@ -1,0 +1,85 @@
+"""Figure 8 -- measured EI of QCD over CRC-CD, by case and strength.
+
+Paper, panel (a) FSA at 8-bit strength: EI = 65 / 68 / 69 / 70 % for
+cases I-IV, all above the theoretical lower bound 41.98%; EI decreases
+with strength.  Panel (b) BT: EI stabilizes around ~68 / 60.23 / ~44 %
+for strengths 4 / 8 / 16 (the paper's "78%" for 4-bit is inconsistent
+with its own Table III; we reproduce ≈68%).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from bench_util import show
+from repro.analysis.ei import bt_ei_average, fsa_ei_lower_bound, measured_ei
+from repro.experiments.config import CASES, PAPER_FIG8_FSA, STRENGTHS
+from repro.experiments.figures import fig8
+
+
+def test_fig8_regenerate(benchmark, suite):
+    rows = benchmark.pedantic(lambda: fig8(suite), rounds=1, iterations=1)
+    show("Figure 8: measured EI of QCD over CRC-CD", rows)
+    assert len(rows) == 8
+
+
+@pytest.mark.parametrize("case", list(CASES))
+def test_fig8a_8bit_matches_paper(benchmark, suite, case):
+    def compute():
+        crc = suite.run(case, "fsa", "crc")
+        qcd = suite.run(case, "fsa", "qcd-8")
+        return measured_ei(crc.total_time, qcd.total_time)
+
+    ei = benchmark.pedantic(compute, rounds=1, iterations=1)
+    assert ei == pytest.approx(PAPER_FIG8_FSA[case], abs=0.03)
+    assert ei > fsa_ei_lower_bound(8) - 0.02  # above the Table II bound
+
+
+@pytest.mark.parametrize("protocol", ["fsa", "bt"])
+def test_fig8_ei_decreases_with_strength(benchmark, suite, protocol):
+    def compute():
+        crc = suite.run("III", protocol, "crc")
+        return [
+            measured_ei(
+                crc.total_time, suite.run("III", protocol, f"qcd-{s}").total_time
+            )
+            for s in STRENGTHS
+        ]
+
+    eis = benchmark.pedantic(compute, rounds=1, iterations=1)
+    assert eis[0] > eis[1] > eis[2]
+
+
+@pytest.mark.parametrize("strength", STRENGTHS)
+def test_fig8b_bt_stabilizes_near_theory(benchmark, suite, strength):
+    """Panel (b): BT's EI is stable across cases and sits at the Table III
+    average."""
+
+    def compute():
+        out = []
+        for case in CASES:
+            crc = suite.run(case, "bt", "crc")
+            qcd = suite.run(case, "bt", f"qcd-{strength}")
+            out.append(measured_ei(crc.total_time, qcd.total_time))
+        return out
+
+    eis = benchmark.pedantic(compute, rounds=1, iterations=1)
+    theory = bt_ei_average(strength)
+    for ei in eis:
+        assert ei == pytest.approx(theory, abs=0.03)
+    assert max(eis) - min(eis) < 0.03  # 'more stable' than FSA
+
+
+def test_fig8_fsa_ei_grows_with_scale(benchmark, suite):
+    """Panel (a): the 8-bit series rises from case I to case IV (65->70%)."""
+
+    def compute():
+        out = []
+        for case in CASES:
+            crc = suite.run(case, "fsa", "crc")
+            qcd = suite.run(case, "fsa", "qcd-8")
+            out.append(measured_ei(crc.total_time, qcd.total_time))
+        return out
+
+    eis = benchmark.pedantic(compute, rounds=1, iterations=1)
+    assert eis[0] < eis[-1]

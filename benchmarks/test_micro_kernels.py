@@ -1,0 +1,100 @@
+"""Micro-benchmarks of the substrate hot paths.
+
+Performance-regression tracking for the primitives everything else is
+built on: bit-vector algebra, CRC engines (the Table IV cost story in
+wall-clock form), preamble codec, and the line codes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bits.bitvec import BitVector
+from repro.bits.crc import CRC16_CCITT_FALSE, CRC32_IEEE, CrcEngine
+from repro.bits.linecode import FM0Codec
+from repro.bits.rng import make_rng
+from repro.core.preamble import PreambleCodec
+
+RNG = make_rng(99)
+A96 = BitVector.random(96, RNG.generator)
+B96 = BitVector.random(96, RNG.generator)
+ID64 = BitVector.random(64, RNG.generator)
+
+
+@pytest.mark.benchmark(group="micro-bitvec")
+def test_micro_or(benchmark):
+    out = benchmark(lambda: A96 | B96)
+    assert out.length == 96
+
+
+@pytest.mark.benchmark(group="micro-bitvec")
+def test_micro_complement(benchmark):
+    out = benchmark(lambda: ~A96)
+    assert out.length == 96
+
+
+@pytest.mark.benchmark(group="micro-bitvec")
+def test_micro_concat_slice(benchmark):
+    def op():
+        c = A96 + B96
+        return c[:96], c[96:]
+
+    left, right = benchmark(op)
+    assert left == A96 and right == B96
+
+
+@pytest.mark.benchmark(group="micro-crc")
+def test_micro_crc32_bitwise(benchmark):
+    engine = CrcEngine(CRC32_IEEE, "bitwise")
+    out = benchmark(engine.compute_bits, ID64)
+    assert out.length == 32
+
+
+@pytest.mark.benchmark(group="micro-crc")
+def test_micro_crc32_table(benchmark):
+    engine = CrcEngine(CRC32_IEEE, "table")
+    out = benchmark(engine.compute_bits, ID64)
+    assert out.length == 32
+
+
+@pytest.mark.benchmark(group="micro-crc")
+def test_micro_crc16_bitwise(benchmark):
+    engine = CrcEngine(CRC16_CCITT_FALSE, "bitwise")
+    out = benchmark(engine.compute_bits, ID64)
+    assert out.length == 16
+
+
+@pytest.mark.benchmark(group="micro-detect")
+def test_micro_qcd_roundtrip(benchmark):
+    codec = PreambleCodec(8)
+    rng = make_rng(7)
+
+    def op():
+        signal = codec.draw(rng).to_signal()
+        return codec.is_consistent(codec.decode(signal))
+
+    assert benchmark(op)
+
+
+@pytest.mark.benchmark(group="micro-detect")
+def test_micro_fm0_roundtrip(benchmark):
+    codec = FM0Codec()
+
+    def op():
+        return codec.decode(codec.encode(ID64))
+
+    assert benchmark(op) == ID64
+
+
+@pytest.mark.benchmark(group="micro-detect")
+def test_micro_check_cost_gap(benchmark):
+    """Wall-clock version of Table IV's instruction gap: one CRC-32 check
+    vs one complement check over the same inputs."""
+    engine = CrcEngine(CRC32_IEEE, "bitwise")
+    r = BitVector.random(8, RNG.generator)
+
+    def both():
+        engine.compute_bits(ID64)
+        return ~r
+
+    benchmark(both)

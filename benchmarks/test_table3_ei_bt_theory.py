@@ -1,0 +1,27 @@
+"""Table III -- average EI of QCD over CRC-CD on BT.
+
+Paper values: EI ≈ 0.6856 / 0.6023 / 0.4356 for strengths 4 / 8 / 16.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from bench_util import show
+from repro.analysis.ei import bt_ei_average
+from repro.experiments.config import PAPER_TABLE3
+from repro.experiments.tables import table3
+
+
+def test_table3_matches_paper(benchmark):
+    rows = benchmark(table3)
+    show("Table III: average EI on BT (theory)", rows)
+    for strength, expected in PAPER_TABLE3.items():
+        assert bt_ei_average(strength) == pytest.approx(expected, abs=5e-4)
+
+
+def test_table3_bt_gains_exceed_fsa(benchmark):
+    from repro.analysis.ei import fsa_ei_lower_bound
+
+    ei = benchmark(bt_ei_average, 8)
+    assert ei > fsa_ei_lower_bound(8)

@@ -1,0 +1,74 @@
+"""Table VII -- FSA slot distribution and throughput, cases I-IV.
+
+Paper (100-round averages):
+
+  case   #frames  idle    single  collided  throughput
+  50        6       39*      50      110*      0.25
+  500       7     1376      500      394       0.22
+  5000      8    15217     5000     3962       0.20
+  50000     8   164477    50000    39622       0.20
+
+(*) Case I's idle/collided columns appear swapped in the paper -- the
+fixed-frame process that reproduces cases II-IV to within a percent gives
+~116 idle / ~41 collided (see DESIGN.md "known paper inconsistencies").
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from bench_util import show
+from repro.experiments.config import CASES, PAPER_TABLE7
+from repro.experiments.tables import table7
+
+
+@pytest.fixture(scope="module")
+def rows(suite):
+    return table7(suite)
+
+
+def test_table7_regenerate(benchmark, suite, rows):
+    benchmark.pedantic(
+        lambda: suite.run("II", "fsa", "qcd-8"), rounds=1, iterations=1
+    )
+    show("Table VII: FSA simulation (ours vs paper)", rows)
+    assert len(rows) == 4
+
+
+@pytest.mark.parametrize("case", ["II", "III", "IV"])
+def test_table7_counts_match_paper(benchmark, suite, case):
+    agg = benchmark.pedantic(
+        lambda: suite.run(case, "fsa", "qcd-8"), rounds=1, iterations=1
+    )
+    paper = PAPER_TABLE7[case]
+    assert agg.single == paper["single"]
+    assert agg.idle == pytest.approx(paper["idle"], rel=0.10)
+    assert agg.collided == pytest.approx(paper["collided"], rel=0.10)
+    assert agg.throughput == pytest.approx(paper["throughput"], abs=0.02)
+    assert agg.frames == pytest.approx(paper["frames"], abs=1.0)
+
+
+def test_table7_case1_with_swap(benchmark, suite):
+    """Case I matches the paper once its idle/collided columns are read
+    swapped."""
+    agg = benchmark.pedantic(
+        lambda: suite.run("I", "fsa", "qcd-8"), rounds=1, iterations=1
+    )
+    paper = PAPER_TABLE7["I"]
+    assert agg.idle == pytest.approx(paper["collided"], rel=0.15)  # swapped
+    assert agg.collided == pytest.approx(paper["idle"], rel=0.15)  # swapped
+    assert agg.throughput == pytest.approx(paper["throughput"], abs=0.02)
+
+
+def test_table7_throughput_below_lemma1_bound(benchmark, suite):
+    """Section VI-C: measured throughput sits below the 0.37 optimum
+    because the frame sizes are not optimal (ℱ = 0.6·n)."""
+    import math
+
+    aggs = benchmark.pedantic(
+        lambda: [suite.run(c, "fsa", "qcd-8") for c in CASES],
+        rounds=1,
+        iterations=1,
+    )
+    for agg in aggs:
+        assert agg.throughput < 1 / math.e

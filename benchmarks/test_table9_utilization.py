@@ -1,0 +1,62 @@
+"""Table IX -- utilization rate of QCD by strength, cases I-IV (FSA).
+
+Paper:
+
+  case    4-bit    8-bit    16-bit
+  50      66.78%   50.13%   33.44%
+  500     63.80%   46.84%   30.58%
+  5000    62.33%   45.27%   29.26%
+  50000   61.15%   44.03%   28.24%
+
+UR falls with strength (longer preambles are overhead) and mildly with
+scale (bigger cases accumulate relatively more overhead slots).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from bench_util import show
+from repro.experiments.config import CASES, PAPER_TABLE9, STRENGTHS
+from repro.experiments.tables import table9
+
+
+def test_table9_regenerate(benchmark, suite):
+    rows = benchmark.pedantic(lambda: table9(suite), rounds=1, iterations=1)
+    show("Table IX: QCD utilization rate (ours vs paper)", rows)
+    assert len(rows) == 4
+
+
+@pytest.mark.parametrize("case", list(CASES))
+def test_table9_values_match_paper(benchmark, suite, case):
+    def compute():
+        return {
+            s: suite.run(case, "fsa", f"qcd-{s}").utilization
+            for s in STRENGTHS
+        }
+
+    urs = benchmark.pedantic(compute, rounds=1, iterations=1)
+    for strength in STRENGTHS:
+        assert urs[strength] == pytest.approx(
+            PAPER_TABLE9[case][strength], abs=0.05
+        )
+
+
+def test_table9_monotone_in_strength(benchmark, suite):
+    urs = benchmark.pedantic(
+        lambda: [suite.run("II", "fsa", f"qcd-{s}").utilization for s in STRENGTHS],
+        rounds=1,
+        iterations=1,
+    )
+    assert urs[0] > urs[1] > urs[2]
+
+
+def test_table9_16bit_below_50_percent(benchmark, suite):
+    """Section VI-C: 'if we employ 16-bit as the strength, the UR of QCD
+    dramatically drops to below 50% in all cases'."""
+    urs = benchmark.pedantic(
+        lambda: [suite.run(c, "fsa", "qcd-16").utilization for c in CASES],
+        rounds=1,
+        iterations=1,
+    )
+    assert all(ur < 0.50 for ur in urs)

@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Continuous monitoring of a churning shelf (asset-management scenario).
+
+A retail shelf holds ~100 tagged items; every monitoring round a few items
+are taken and restocked.  Memoryless protocols (BT) pay ~2.9 slots per tag
+every round; adaptive protocols (ABS/AQS) replay last round's schedule and
+pay ~1 slot per tag plus a little splitting where the shelf changed.  QCD
+composes on top, making whatever overhead slots remain 6x cheaper.
+
+Run:  python examples/continuous_monitoring.py [n_items] [churn_per_round]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import (
+    AdaptiveBinarySplitting,
+    AdaptiveQuerySplitting,
+    BinaryTree,
+    CRCCDDetector,
+    QCDDetector,
+    QueryTree,
+    Reader,
+    TagPopulation,
+)
+from repro.bits.rng import make_rng
+from repro.sim.monitoring import ContinuousMonitor
+from repro.experiments.report import render_table
+
+ROUNDS = 8
+
+
+def run(protocol_factory, detector, n, churn, seed=77):
+    monitor = ContinuousMonitor(
+        Reader(detector), protocol_factory(), rng=make_rng(seed)
+    )
+    pop = TagPopulation(n, id_bits=64, rng=make_rng(seed + 1))
+    return monitor.run(pop, rounds=ROUNDS, churn=churn)
+
+
+def main() -> int:
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 100
+    churn = int(sys.argv[2]) if len(sys.argv) > 2 else 5
+
+    print(
+        f"{n} items, {ROUNDS} monitoring rounds, {churn} items exchanged "
+        f"between rounds\n"
+    )
+
+    rows = []
+    for name, factory in (
+        ("Binary Tree", BinaryTree),
+        ("ABS (adaptive)", AdaptiveBinarySplitting),
+        ("Query Tree", QueryTree),
+        ("AQS (adaptive)", AdaptiveQuerySplitting),
+    ):
+        result = run(factory, QCDDetector(8), n, churn)
+        steady = result.steady_state()
+        rows.append(
+            {
+                "protocol": name,
+                "round-1 slots": str(result.rounds[0].slots),
+                "steady slots/round": f"{sum(r.slots for r in steady)/len(steady):.0f}",
+                "steady collisions/round": f"{sum(r.collided for r in steady)/len(steady):.0f}",
+                "steady µs/round": f"{sum(r.time for r in steady)/len(steady):,.0f}",
+            }
+        )
+    print(render_table(rows, title="Monitoring cost by protocol (QCD-8)"))
+
+    abs_qcd = run(AdaptiveBinarySplitting, QCDDetector(8), n, churn)
+    abs_crc = run(AdaptiveBinarySplitting, CRCCDDetector(id_bits=64), n, churn)
+    print(
+        f"\nABS total airtime over {ROUNDS} rounds: "
+        f"{abs_qcd.total_time:,.0f} µs with QCD vs "
+        f"{abs_crc.total_time:,.0f} µs with CRC-CD "
+        f"({1 - abs_qcd.total_time / abs_crc.total_time:.0%} saved)."
+    )
+    print(
+        "Adaptive scheduling removes the collisions; QCD removes the "
+        "airtime of classifying what remains."
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

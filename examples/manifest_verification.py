@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Manifest verification: which tags are missing? (no IDs transferred)
+
+A pallet leaves the warehouse with a known manifest.  At the dock door
+the reader must answer one question -- is anything missing? -- and it
+should not need to re-read 2000 IDs to do it.  Hash-scheduled presence
+slots classify every expected tag as present/missing from pure
+energy/no-energy observations; QCD framing makes each presence reply a
+16-bit preamble instead of a 96-bit ID+CRC.
+
+Run:  python examples/manifest_verification.py [manifest_size] [n_missing]
+"""
+
+from __future__ import annotations
+
+import sys
+
+import numpy as np
+
+from repro import CRCCDDetector, QCDDetector, TimingModel
+from repro.apps.missing_tags import detect_missing_tags, expected_rounds
+from repro.experiments.report import render_table
+from repro.sim.fast import fsa_fast
+
+
+def main() -> int:
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 2000
+    k = int(sys.argv[2]) if len(sys.argv) > 2 else 25
+
+    rng = np.random.default_rng(13)
+    manifest = list(range(n))
+    missing = set(rng.choice(n, size=k, replace=False).tolist())
+    present = [i for i in manifest if i not in missing]
+
+    print(f"Manifest of {n} tags, {k} secretly removed; predicted "
+          f"~{expected_rounds(n):.0f} verification rounds\n")
+
+    rows = []
+    results = {}
+    for name, det in (
+        ("QCD-8", QCDDetector(8)),
+        ("CRC-CD", CRCCDDetector(id_bits=64)),
+    ):
+        result = detect_missing_tags(
+            manifest, present, det, TimingModel(), np.random.default_rng(17)
+        )
+        assert result.missing_ids == frozenset(missing), "verification failed"
+        results[name] = result
+        rows.append(
+            {
+                "framing": name,
+                "rounds": str(result.rounds),
+                "slots": f"{result.slots:,}",
+                "airtime (µs)": f"{result.airtime:,.0f}",
+                "found": f"{result.missing_count}/{k} missing",
+            }
+        )
+    print(render_table(rows, title="Verification sweep"))
+
+    inventory = fsa_fast(
+        n, (n * 3) // 5, QCDDetector(8), TimingModel(), np.random.default_rng(19)
+    )
+    ver = results["QCD-8"]
+    print(
+        f"\nFor comparison, *reading* the same pallet with QCD-8 costs "
+        f"{inventory.total_time:,.0f} µs -- verification is "
+        f"{inventory.total_time / ver.airtime:.1f}x cheaper, and every one "
+        f"of the {k} missing tags was pinpointed by ID."
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Mobile tags: why fast identification matters (paper Section VI-D).
+
+Tags arrive at a dock door as a Poisson stream and dwell only briefly in
+the reader's field.  A tag that is not identified before it leaves is
+*lost* -- the concrete failure mode the identification-delay metric is a
+proxy for.  This example runs the same arrival process under CRC-CD and
+QCD and reports escape rates and sojourn delays.
+
+Run:  python examples/mobile_tags.py [n_tags] [dwell_mean_us]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import CRCCDDetector, QCDDetector, Reader, TagPopulation
+from repro.bits.rng import make_rng
+from repro.core.timing import TimingModel
+from repro.protocols.bt import BinaryTree
+from repro.sim.engine import MobileInventoryEngine
+from repro.tags.mobility import poisson_arrivals
+from repro.experiments.report import render_table
+
+
+def run(detector, n_tags: int, dwell_mean: float, seed: int):
+    pop = TagPopulation(n_tags, id_bits=64, rng=make_rng(seed))
+    schedule = poisson_arrivals(
+        pop.tags,
+        rate=1 / 40.0,  # one tag every 40 µs on average
+        dwell_mean=dwell_mean,
+        rng=make_rng(seed + 1),
+    )
+    engine = MobileInventoryEngine(Reader(detector, TimingModel()))
+    return engine.run(BinaryTree(), schedule)
+
+
+def main() -> int:
+    n_tags = int(sys.argv[1]) if len(sys.argv) > 1 else 150
+    dwell = float(sys.argv[2]) if len(sys.argv) > 2 else 2500.0
+
+    print(
+        f"{n_tags} tags arriving Poisson (1 per 40 µs), mean dwell "
+        f"{dwell:.0f} µs, binary-tree inventory\n"
+    )
+
+    rows = []
+    results = {}
+    for name, det in (("CRC-CD", CRCCDDetector(id_bits=64)), ("QCD-8", QCDDetector(8))):
+        agg_id = agg_esc = 0
+        delays = []
+        for seed in (11, 22, 33):
+            res = run(det, n_tags, dwell, seed)
+            agg_id += len(res.identified_ids)
+            agg_esc += len(res.escaped_ids)
+            if res.sojourn_delays.count:
+                delays.append(res.sojourn_delays.mean)
+        results[name] = (agg_id, agg_esc)
+        rows.append(
+            {
+                "scheme": name,
+                "identified": str(agg_id),
+                "escaped": str(agg_esc),
+                "escape rate": f"{agg_esc / (agg_id + agg_esc):.1%}",
+                "avg sojourn->read (µs)": f"{sum(delays)/len(delays):,.0f}",
+            }
+        )
+
+    print(render_table(rows, title="Mobile-tag inventory (3 seeds pooled)"))
+    crc_esc = results["CRC-CD"][1]
+    qcd_esc = results["QCD-8"][1]
+    print(
+        f"\nQCD loses {qcd_esc} tags where CRC-CD loses {crc_esc}: the "
+        "shorter idle/collided slots convert directly into tags read "
+        "before they walk away."
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

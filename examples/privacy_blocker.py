@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""Privacy on the Boolean-sum channel (paper Section II, refs [5][6][20]).
+
+Three demonstrations built on the same signal model as QCD:
+
+1. a *malicious tag* that answers every Query-Tree probe, starving the
+   reader and forging ghost reads;
+2. a *blocker tag* shielding a privacy zone (company prefix) while the
+   rest of the ID space stays readable;
+3. *backward-channel protection*: pseudo-ID mixing and randomized bit
+   encoding, scored with the entropy leakage metric.
+
+Run:  python examples/privacy_blocker.py
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import QCDDetector, Reader, TagPopulation
+from repro.bits.bitvec import BitVector
+from repro.bits.rng import make_rng
+from repro.protocols.qt import QueryTree
+from repro.security.backward import PseudoIdMixer, RandomizedBitEncoder
+from repro.security.blocker import BlockerTag, MaliciousTag
+from repro.security.entropy import bit_leakage, eavesdropper_entropy
+from repro.experiments.report import render_table
+
+
+def demo_malicious() -> None:
+    pop = TagPopulation(20, id_bits=12, rng=make_rng(1))
+    jammer = MaliciousTag(tag_id=0, id_bits=12, rng=make_rng(2))
+    proto = QueryTree(max_slots=20000)
+    result = Reader(QCDDetector(8)).run_inventory(
+        list(pop.tags) + [jammer], proto
+    )
+    genuine = sum(1 for t in pop if t.identified)
+    print("1. Malicious tag vs Query Tree")
+    print(f"   probes spent: {len(result.trace)}, genuine tags identified: "
+          f"{genuine}/20, ghost reads: {len(result.identified_ids)}")
+    print("   -> the reader is both starved and deceived.\n")
+
+
+def demo_blocker() -> None:
+    pop = TagPopulation(40, id_bits=12, rng=make_rng(3))
+    zone = BitVector.from_bitstring("1")
+    blocker = BlockerTag(
+        tag_id=0, id_bits=12, rng=make_rng(4), privacy_prefix=zone
+    )
+    Reader(QCDDetector(8)).run_inventory(
+        list(pop.tags) + [blocker], QueryTree(max_slots=20000)
+    )
+    inside = [t for t in pop if t.id_vector.bit(0) == 1]
+    outside = [t for t in pop if t.id_vector.bit(0) == 0]
+    print("2. Blocker tag shielding the '1...' zone")
+    print(f"   zone tags identified:     {sum(t.identified for t in inside)}"
+          f"/{len(inside)}  (protected)")
+    print(f"   non-zone tags identified: {sum(t.identified for t in outside)}"
+          f"/{len(outside)}  (unaffected)\n")
+
+
+def demo_backward() -> None:
+    rng = make_rng(5)
+    tag_id = BitVector.random(32, rng.generator)
+
+    mixer = PseudoIdMixer(rng.child())
+    pseudo = mixer.draw_pseudo(32)
+    mixed = mixer.mix(tag_id, pseudo)
+    reader_known = mixer.recover_known(mixed, pseudo)
+    eaves_known = mixer.eavesdrop(mixed)
+    recovered, rounds = mixer.recover_id(tag_id)
+    assert recovered == tag_id
+
+    encoder = RandomizedBitEncoder(expansion=4, rng=rng.child())
+    encoded_a = encoder.encode(tag_id)
+    encoded_b = encoder.encode(tag_id)
+    assert encoder.decode(encoded_a) == encoder.decode(encoded_b) == tag_id
+
+    rows = [
+        {
+            "party": "reader (knows pseudo-ID)",
+            "bits resolved": f"{bit_leakage(32, reader_known):.0%} after 1 mix"
+                             f" (full ID after {rounds} mixes)",
+            "residual entropy": f"{eavesdropper_entropy(tag_id, reader_known):.1f} bits",
+        },
+        {
+            "party": "eavesdropper",
+            "bits resolved": f"{bit_leakage(32, eaves_known):.0%}",
+            "residual entropy": f"{eavesdropper_entropy(tag_id, eaves_known, p_mask_one=0.5):.1f} bits",
+        },
+    ]
+    print("3. Backward-channel protection (32-bit ID)")
+    print(render_table(rows, title="   Pseudo-ID mixing: who learns what"))
+    print(f"   Randomized bit encoding: two replies for the same tag differ "
+          f"({encoded_a.to_int() != encoded_b.to_int()}), both decode "
+          f"correctly -- replies are unlinkable.\n")
+
+
+def main() -> int:
+    demo_malicious()
+    demo_blocker()
+    demo_backward()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Quickstart: inventory one tag population with QCD vs CRC-CD.
+
+Builds a 200-tag population, runs a framed-slotted-ALOHA inventory under
+both collision-detection schemes, and prints the paper's core comparison:
+slot mix, airtime, throughput, utilization, and the efficiency improvement.
+
+Run:  python examples/quickstart.py [n_tags] [frame_size]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import (
+    CRCCDDetector,
+    FramedSlottedAloha,
+    QCDDetector,
+    Reader,
+    TagPopulation,
+    TimingModel,
+    make_rng,
+)
+from repro.analysis.ei import measured_ei
+from repro.experiments.report import render_table
+
+
+def run_inventory(detector, n_tags: int, frame_size: int, seed: int = 42):
+    pop = TagPopulation(n_tags, id_bits=64, rng=make_rng(seed))
+    reader = Reader(detector, TimingModel(tau=1.0, id_bits=64, crc_bits=32))
+    result = reader.run_inventory(pop.tags, FramedSlottedAloha(frame_size))
+    assert result.complete, "every tag must be identified"
+    return result.stats
+
+
+def main() -> int:
+    n_tags = int(sys.argv[1]) if len(sys.argv) > 1 else 200
+    frame_size = int(sys.argv[2]) if len(sys.argv) > 2 else max(1, (n_tags * 3) // 5)
+
+    print(f"Inventorying {n_tags} tags, frame size {frame_size} "
+          f"(the paper's ℱ ≈ 0.6·n operating point)\n")
+
+    crc = run_inventory(CRCCDDetector(id_bits=64), n_tags, frame_size)
+    qcd = run_inventory(QCDDetector(strength=8), n_tags, frame_size)
+
+    rows = []
+    for name, stats in (("CRC-CD", crc), ("QCD-8", qcd)):
+        counts = stats.true_counts
+        rows.append(
+            {
+                "scheme": name,
+                "slots": str(counts.total),
+                "idle/single/collided": f"{counts.idle}/{counts.single}/{counts.collided}",
+                "throughput": f"{stats.throughput:.3f}",
+                "airtime (µs)": f"{stats.total_time:,.0f}",
+                "utilization": f"{stats.utilization:.1%}",
+                "avg delay (µs)": f"{stats.delay.mean:,.0f}",
+            }
+        )
+    print(render_table(rows, title="FSA inventory, CRC-CD vs QCD"))
+
+    ei = measured_ei(crc.total_time, qcd.total_time)
+    print(f"\nEfficiency improvement of QCD over CRC-CD: {ei:.1%}")
+    print("(paper Table II lower bound at 8-bit strength: 58.64%)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

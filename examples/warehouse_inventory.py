@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""Warehouse sweep: the paper's Table V deployment, end to end.
+
+Places 100 readers (3 m range) and a few thousand SGTIN-96 tags on a
+100 m × 100 m floor, colors the reader interference graph so no two
+interfering readers interrogate at once (the paper's "no reader-reader
+collision" assumption, made constructive), and sweeps the floor with both
+detection schemes, comparing the makespan.
+
+Also demonstrates what reproducing Table V literally reveals: a 10 × 10
+grid of 3 m readers covers only ~28 % of the floor, so the sweep reports
+coverage explicitly.
+
+Run:  python examples/warehouse_inventory.py [n_tags] [reader_range_m]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import CRCCDDetector, FramedSlottedAloha, QCDDetector, Reader
+from repro.core.timing import TimingModel
+from repro.bits.rng import make_rng
+from repro.sim.deployment import Deployment
+from repro.sim.multireader import run_multireader_inventory
+from repro.sim.scheduling import color_schedule, interference_graph
+from repro.experiments.report import render_table
+
+
+def sweep(n_tags: int, reader_range: float, detector_factory, seed: int = 7):
+    deployment = Deployment.table5(
+        n_tags, make_rng(seed), reader_range=reader_range
+    )
+    timing = TimingModel(id_bits=96)  # SGTIN-96 EPCs on the air
+    result = run_multireader_inventory(
+        deployment,
+        reader_factory=lambda rid: Reader(detector_factory(), timing),
+        protocol_factory=lambda rid: FramedSlottedAloha(16),
+    )
+    return deployment, result
+
+
+def main() -> int:
+    n_tags = int(sys.argv[1]) if len(sys.argv) > 1 else 2000
+    reader_range = float(sys.argv[2]) if len(sys.argv) > 2 else 3.0
+
+    dep, qcd = sweep(n_tags, reader_range, lambda: QCDDetector(8))
+    graph = interference_graph(dep)
+    rounds = color_schedule(dep)
+    print(
+        f"Deployment: {len(dep.readers)} readers (range {reader_range} m), "
+        f"{n_tags} tags on 100 m x 100 m"
+    )
+    print(
+        f"Interference graph: {graph.number_of_edges()} edges -> "
+        f"{len(rounds)} activation round(s)"
+    )
+    print(f"Coverage: {dep.coverage_fraction():.1%} of tags in range\n")
+
+    _, crc = sweep(n_tags, reader_range, lambda: CRCCDDetector(id_bits=96))
+
+    rows = [
+        {
+            "scheme": name,
+            "identified": f"{res.identified}/{res.covered} covered",
+            "slots": str(res.total_slots),
+            "makespan (µs)": f"{res.makespan:,.0f}",
+        }
+        for name, res in (("QCD-8", qcd), ("CRC-CD", crc))
+    ]
+    print(render_table(rows, title="Multi-reader sweep"))
+    speedup = crc.makespan / qcd.makespan
+    print(f"\nQCD sweeps the floor {speedup:.2f}x faster.")
+
+    if dep.overlap_pairs():
+        # Show what the schedule is for: fire all readers at once and
+        # watch the overlap tags get jammed (reader-reader collisions).
+        dep2, _ = sweep(n_tags, reader_range, lambda: QCDDetector(8))
+        for tag in dep2.population:
+            tag.reset_protocol_state()
+        unsched = run_multireader_inventory(
+            dep2,
+            reader_factory=lambda rid: Reader(
+                QCDDetector(8), TimingModel(id_bits=96)
+            ),
+            protocol_factory=lambda rid: FramedSlottedAloha(16),
+            scheduled=False,
+        )
+        print(
+            f"Without the activation schedule: {unsched.jammed} of "
+            f"{unsched.covered} covered tags are jammed by reader-reader "
+            f"collisions and never read."
+        )
+    if dep.coverage_fraction() < 0.99:
+        print(
+            "Note: with the paper's literal Table V geometry the reader "
+            "disks cover only part of the floor; pass a larger range "
+            "(e.g. 8) for full coverage -- the schedule then needs "
+            "multiple rounds."
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

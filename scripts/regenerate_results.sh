@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Regenerate every checked-in artifact under results/ from scratch.
+# Run from the repository root.  Takes a few minutes at 50 rounds.
+set -euo pipefail
+
+ROUNDS="${1:-50}"
+SEED="${2:-2010}"
+
+mkdir -p results
+
+echo "== paper tables & figures (${ROUNDS} rounds, seed ${SEED})"
+python -m repro.experiments all --rounds "${ROUNDS}" --seed "${SEED}" \
+    > "results/experiments_${ROUNDS}rounds.txt"
+
+echo "== extension studies"
+python -m repro.experiments extensions --seed "${SEED}" \
+    > results/extensions.txt
+
+echo "== full test suite"
+python -m pytest tests/ 2>&1 | tee results/test_output.txt | tail -1
+
+echo "== benchmarks"
+python -m pytest benchmarks/ --benchmark-only 2>&1 \
+    | tee results/bench_output.txt | tail -1
+
+echo "done; see results/"

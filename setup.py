@@ -1,0 +1,6 @@
+"""Legacy shim so `pip install -e .` works offline (no `wheel` package:
+PEP 660 editable builds need it; `setup.py develop` does not)."""
+
+from setuptools import setup
+
+setup()

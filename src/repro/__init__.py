@@ -1,0 +1,92 @@
+"""repro -- reproduction of *Revisiting Tag Collision Problem in RFID
+Systems* (Yang et al., ICPP 2010).
+
+The paper proposes **QCD (Quick Collision Detection)**: RFID tags prepend a
+collision preamble ``r ⊕ r̄`` (a random integer and its bitwise complement)
+to their replies, letting the reader classify idle / single / collided
+slots from a 16-bit signal instead of a 96-bit ID+CRC, cutting the
+identification time of standard anti-collision protocols by more than 40 %.
+
+Quick start
+-----------
+
+>>> from repro import (
+...     QCDDetector, CRCCDDetector, FramedSlottedAloha, Reader,
+...     TagPopulation, TimingModel, make_rng,
+... )
+>>> rng = make_rng(42)
+>>> tags = TagPopulation(50, id_bits=64, rng=rng)
+>>> reader = Reader(QCDDetector(strength=8), TimingModel())
+>>> result = reader.run_inventory(tags.tags, FramedSlottedAloha(frame_size=30))
+>>> result.stats.true_counts.single
+50
+
+Package layout
+--------------
+
+====================  ===================================================
+``repro.core``        QCD, CRC-CD, timing & cost models (the contribution)
+``repro.bits``        bit vectors, Boolean-sum channel, CRC engines, RNG
+``repro.tags``        EPC IDs, tag state, populations, mobility
+``repro.protocols``   FSA / DFSA / Q-adaptive / BT / QT / ABS / AQS
+``repro.sim``         reader, metrics, mobility engine, deployment, kernels
+``repro.analysis``    Lemmas 1-2, EI formulas, accuracy & cost models
+``repro.security``    blocker tags, backward-channel protection, entropy
+``repro.experiments`` table/figure regeneration harness + CLI
+====================  ===================================================
+"""
+
+from repro.bits import BitVector, Channel, CrcEngine, make_rng
+from repro.core import (
+    CRCCDDetector,
+    IdealDetector,
+    QCDDetector,
+    SlotType,
+    TimingModel,
+)
+from repro.protocols import (
+    AdaptiveBinarySplitting,
+    AdaptiveQuerySplitting,
+    BinaryTree,
+    DynamicFSA,
+    FramedSlottedAloha,
+    QAdaptive,
+    QueryTree,
+)
+from repro.sim import (
+    Deployment,
+    InventoryStats,
+    MobileInventoryEngine,
+    Reader,
+    run_multireader_inventory,
+)
+from repro.tags import Tag, TagPopulation
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BitVector",
+    "Channel",
+    "CrcEngine",
+    "make_rng",
+    "SlotType",
+    "QCDDetector",
+    "CRCCDDetector",
+    "IdealDetector",
+    "TimingModel",
+    "Tag",
+    "TagPopulation",
+    "FramedSlottedAloha",
+    "DynamicFSA",
+    "QAdaptive",
+    "BinaryTree",
+    "QueryTree",
+    "AdaptiveBinarySplitting",
+    "AdaptiveQuerySplitting",
+    "Reader",
+    "InventoryStats",
+    "MobileInventoryEngine",
+    "Deployment",
+    "run_multireader_inventory",
+    "__version__",
+]

@@ -1,0 +1,72 @@
+"""Closed-form models from the paper's Sections III and V.
+
+* :mod:`repro.analysis.fsa_theory` -- Lemma 1 (FSA throughput, optimal
+  frame size) and the binomial slot-occupancy model;
+* :mod:`repro.analysis.bt_theory`  -- Lemma 2 (BT slot counts, 2.885 n)
+  via the exact Capetanakis/Hush-Wood recursion;
+* :mod:`repro.analysis.ei`         -- the efficiency-improvement formulas
+  behind Tables II/III and Figure 8;
+* :mod:`repro.analysis.accuracy`   -- QCD detection-accuracy model
+  (Figure 5);
+* :mod:`repro.analysis.comparison` -- the CRC-CD vs QCD cost table
+  (Table IV).
+"""
+
+from repro.analysis.accuracy import (
+    expected_accuracy_fsa,
+    qcd_miss_probability,
+)
+from repro.analysis.cardinality import (
+    CardinalityEstimate,
+    estimate_cardinality,
+    zero_estimator,
+)
+from repro.analysis.bt_theory import (
+    BT_COLLIDED_PER_TAG,
+    BT_IDLE_PER_TAG,
+    BT_SLOTS_PER_TAG,
+    bt_average_throughput,
+    expected_bt_slots,
+)
+from repro.analysis.comparison import table4_rows
+from repro.analysis.delay import expected_delay_reduction, expected_mean_delay
+from repro.analysis.ei import (
+    bt_ei_average,
+    fsa_ei_lower_bound,
+    measured_ei,
+)
+from repro.analysis.fsa_theory import (
+    expected_throughput,
+    max_throughput,
+    optimal_frame_size,
+)
+from repro.analysis.optimal_frame import (
+    SlotCosts,
+    optimal_frame_size as time_optimal_frame_size,
+    time_per_identification,
+)
+
+__all__ = [
+    "expected_throughput",
+    "max_throughput",
+    "optimal_frame_size",
+    "expected_bt_slots",
+    "bt_average_throughput",
+    "BT_SLOTS_PER_TAG",
+    "BT_COLLIDED_PER_TAG",
+    "BT_IDLE_PER_TAG",
+    "fsa_ei_lower_bound",
+    "bt_ei_average",
+    "measured_ei",
+    "qcd_miss_probability",
+    "expected_accuracy_fsa",
+    "table4_rows",
+    "SlotCosts",
+    "time_optimal_frame_size",
+    "time_per_identification",
+    "CardinalityEstimate",
+    "estimate_cardinality",
+    "zero_estimator",
+    "expected_mean_delay",
+    "expected_delay_reduction",
+]

@@ -1,0 +1,139 @@
+"""Cardinality estimation without identification (paper refs [14]-[16]).
+
+Many applications only need to know *how many* tags are present (stock
+level monitoring, theft detection), which is far cheaper than reading
+every ID -- the reader runs short probing frames and infers n from the
+slot-type mix.  The paper cites this line of work (Kodialam & Nandagopal's
+USE/UPE, Qian et al.); we implement the classic **zero estimator**:
+
+    E[N0] = F·(1 − 1/F)^n  ⇒  n̂ = ln(N0/F) / ln(1 − 1/F)
+
+averaged over ``k`` probing frames, with the asymptotic variance that
+makes confidence intervals possible.
+
+**Where QCD matters:** estimation never transfers an ID, so *every* slot
+is an overhead slot -- exactly the slots QCD shrinks from 96 bits to
+2l bits.  The airtime of an estimate therefore drops by the full
+``l_prm/(l_id+l_crc)`` factor (≈ 6x at l = 8), a stronger speedup than
+identification itself enjoys.  Moreover the tags need not even send their
+preamble's ID phase, so the probing reply can be the bare preamble.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.detector import CollisionDetector, SlotType
+from repro.core.timing import TimingModel
+
+__all__ = [
+    "CardinalityEstimate",
+    "zero_estimator",
+    "estimate_cardinality",
+    "probing_airtime",
+]
+
+
+@dataclass(frozen=True)
+class CardinalityEstimate:
+    """An estimate with its probing cost."""
+
+    n_hat: float
+    frames: int
+    slots: int
+    airtime: float
+    stderr: float
+
+    @property
+    def relative_error_bound(self) -> float:
+        """~95% confidence half-width relative to the estimate."""
+        if self.n_hat <= 0:
+            return math.inf
+        return 1.96 * self.stderr / self.n_hat
+
+
+def zero_estimator(n0: int, frame_size: int) -> float:
+    """Invert E[N0] = F·(1−1/F)^n for one frame.
+
+    Returns ``inf`` when the frame had no idle slot (n >> F: the frame is
+    saturated and carries no information about n's magnitude).
+    """
+    if frame_size < 2:
+        raise ValueError("frame_size must be >= 2")
+    if not 0 <= n0 <= frame_size:
+        raise ValueError("n0 out of range")
+    if n0 == 0:
+        return math.inf
+    return math.log(n0 / frame_size) / math.log(1.0 - 1.0 / frame_size)
+
+
+def _zero_estimator_stderr(n: float, frame_size: int, k: int) -> float:
+    """Asymptotic std error of the k-frame averaged zero estimator.
+
+    Var[N0] for balls-in-bins ≈ F·e^{−ρ}(1 − (1+ρ)e^{−ρ}) with ρ = n/F;
+    the delta method divides by (dE[N0]/dn)² = e^{−2ρ} and k frames.
+    """
+    rho = n / frame_size
+    e = math.exp(-rho)
+    var_n0 = frame_size * e * (1.0 - (1.0 + rho) * e)
+    slope_sq = e * e
+    if slope_sq <= 0:
+        return math.inf
+    return math.sqrt(max(0.0, var_n0 / slope_sq) / k)
+
+
+def probing_airtime(
+    detector: CollisionDetector,
+    timing: TimingModel,
+    n0: int,
+    n1: int,
+    nc: int,
+) -> float:
+    """Airtime of a probing frame: estimation never runs the ID phase, so
+    every non-idle slot costs the *contention* window only."""
+    overhead = detector.contention_bits * timing.tau
+    return n0 * timing.slot_duration(detector, SlotType.IDLE) + (n1 + nc) * overhead
+
+
+def estimate_cardinality(
+    n_true: int,
+    frame_size: int,
+    frames: int,
+    detector: CollisionDetector,
+    timing: TimingModel,
+    rng: np.random.Generator,
+) -> CardinalityEstimate:
+    """Simulate ``frames`` probing frames and return the averaged zero
+    estimate with its cost under the given detection scheme."""
+    if n_true < 0 or frames < 1:
+        raise ValueError("need n_true >= 0 and frames >= 1")
+    estimates: list[float] = []
+    airtime = 0.0
+    slots = 0
+    for _ in range(frames):
+        occ = np.bincount(
+            rng.integers(0, frame_size, n_true), minlength=frame_size
+        )
+        n0 = int((occ == 0).sum())
+        n1 = int((occ == 1).sum())
+        nc = frame_size - n0 - n1
+        slots += frame_size
+        airtime += probing_airtime(detector, timing, n0, n1, nc)
+        estimates.append(zero_estimator(n0, frame_size))
+    finite = [e for e in estimates if math.isfinite(e)]
+    n_hat = sum(finite) / len(finite) if finite else math.inf
+    stderr = (
+        _zero_estimator_stderr(n_hat, frame_size, max(1, len(finite)))
+        if math.isfinite(n_hat)
+        else math.inf
+    )
+    return CardinalityEstimate(
+        n_hat=n_hat,
+        frames=frames,
+        slots=slots,
+        airtime=airtime,
+        stderr=stderr,
+    )

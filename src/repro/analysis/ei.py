@@ -1,0 +1,82 @@
+"""Efficiency-improvement (EI) formulas (paper Section V, Tables II/III).
+
+The paper charges airtime per slot (see
+:class:`repro.core.timing.TimingModel`) and defines
+
+    EI = (t_crc − t_qcd) / t_crc.
+
+**FSA (Section V-A).**  At the optimal operating point, identifying ``n``
+tags takes ``n/λ_max = 2.7·n`` slots: ``n`` singles plus ``1.7·n``
+idle-or-collided.  Hence::
+
+    t_crc = 2.7·n·τ·(l_id + l_crc)
+    t_qcd = n·τ·(l_prm + l_id) + 1.7·n·τ·l_prm
+    EI_FSA = 1 − [(l_prm + l_id) + 1.7·l_prm] / [2.7·(l_id + l_crc)]
+
+**BT (Section V-B).**  Lemma 2 gives ``2.885·n`` slots: ``n`` singles plus
+``1.885·n`` idle-or-collided, so::
+
+    EI_BT = 1 − [(l_prm + l_id) + 1.885·l_prm] / [2.885·(l_id + l_crc)]
+
+(The symbolic formulas printed in the paper are OCR-garbled; these
+re-derivations reproduce every numeric entry of Tables II and III exactly
+-- e.g. with l_id = 64, l_crc = 32: FSA EI ≥ 0.6698 / 0.5864 / 0.4198 and
+BT EI ≈ 0.6856 / 0.6023 / 0.4356 for strengths 4 / 8 / 16.)
+"""
+
+from __future__ import annotations
+
+from repro.analysis.bt_theory import BT_SLOTS_PER_TAG
+
+__all__ = [
+    "fsa_ei_lower_bound",
+    "bt_ei_average",
+    "measured_ei",
+    "preamble_bits",
+]
+
+
+def preamble_bits(strength: int) -> int:
+    """l_prm = 2·l (random integer + its complement)."""
+    if strength < 1:
+        raise ValueError("strength must be >= 1")
+    return 2 * strength
+
+
+def fsa_ei_lower_bound(
+    strength: int, id_bits: int = 64, crc_bits: int = 32
+) -> float:
+    """Minimum EI of QCD over CRC-CD on FSA (Table II).
+
+    "Minimum" because 2.7·n is FSA's *best case* slot total; any
+    sub-optimal frame sizing adds idle/collided slots, which QCD makes
+    cheap and CRC-CD charges in full, so the real EI is larger (compare
+    Figure 8(a)).
+    """
+    l_prm = preamble_bits(strength)
+    # The paper rounds n/λ_max = e·n to 2.7·n; we keep its constant so
+    # Table II is reproduced digit-for-digit.
+    slots_per_tag = 2.7
+    overhead = slots_per_tag - 1.0  # idle + collided slots per tag
+    t_crc = slots_per_tag * (id_bits + crc_bits)
+    t_qcd = (l_prm + id_bits) + overhead * l_prm
+    return 1.0 - t_qcd / t_crc
+
+
+def bt_ei_average(
+    strength: int, id_bits: int = 64, crc_bits: int = 32
+) -> float:
+    """Average EI of QCD over CRC-CD on BT (Table III)."""
+    l_prm = preamble_bits(strength)
+    slots_per_tag = BT_SLOTS_PER_TAG
+    overhead = slots_per_tag - 1.0
+    t_crc = slots_per_tag * (id_bits + crc_bits)
+    t_qcd = (l_prm + id_bits) + overhead * l_prm
+    return 1.0 - t_qcd / t_crc
+
+
+def measured_ei(t_baseline: float, t_scheme: float) -> float:
+    """EI from two measured inventory times (Figure 8)."""
+    if t_baseline <= 0:
+        raise ValueError("baseline time must be positive")
+    return (t_baseline - t_scheme) / t_baseline

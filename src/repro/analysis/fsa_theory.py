@@ -1,0 +1,62 @@
+"""FSA throughput theory (paper Section III-A, Lemma 1).
+
+With ``n`` tags choosing uniformly among ``F`` slots, slot occupancy is
+binomial and the expected single-slot count is
+``E[N1] = n·(1 − 1/F)^(n−1) ≈ n·e^(−n/F)``.  The throughput
+
+    λ = E[N1] / F ≈ (n/F)·e^(−n/F)
+
+is maximized at ``F = n`` with ``λ_max = 1/e ≈ 0.37`` -- Lemma 1, the
+number the paper leans on to argue that >63 % of FSA slots are idle or
+collided and thus worth making cheap to classify.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.protocols.estimators import expected_slot_counts
+
+__all__ = [
+    "expected_throughput",
+    "max_throughput",
+    "optimal_frame_size",
+    "expected_total_slots",
+]
+
+
+def expected_throughput(n: int, frame_size: int, exact: bool = True) -> float:
+    """E[λ] for one frame of ``frame_size`` slots and ``n`` tags.
+
+    ``exact=True`` uses the binomial model; ``False`` the paper's Poisson
+    approximation ``(n/F)·e^(−n/F)``.
+    """
+    if n < 0 or frame_size < 1:
+        raise ValueError("need n >= 0 and frame_size >= 1")
+    if n == 0:
+        return 0.0
+    if exact:
+        _, e1, _ = expected_slot_counts(n, frame_size)
+        return e1 / frame_size
+    return (n / frame_size) * math.exp(-n / frame_size)
+
+
+def max_throughput() -> float:
+    """Lemma 1: λ_max = 1/e ≈ 0.37 (at F = n)."""
+    return 1.0 / math.e
+
+
+def optimal_frame_size(n: int) -> int:
+    """The frame size maximizing Lemma 1's throughput: F = n."""
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    return n
+
+
+def expected_total_slots(n: int) -> float:
+    """Minimum expected slot total for identifying ``n`` tags with FSA at
+    the optimal operating point: ``n / λ_max = e·n ≈ 2.7·n``
+    (Section V-A's ``2.7 n``)."""
+    if n < 0:
+        raise ValueError("n must be >= 0")
+    return n * math.e

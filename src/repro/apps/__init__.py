@@ -1,0 +1,35 @@
+"""Application-level protocols built on the identification substrate.
+
+The paper motivates RFID with logistics, retail and asset management --
+applications that, beyond inventorying unknown tags, routinely ask
+*verification* questions against a known manifest.
+
+* :mod:`repro.apps.missing_tags` -- missing-tag detection: given the
+  expected ID list, find which tags are absent without reading a single
+  full ID, using hash-scheduled presence slots.  Like cardinality
+  estimation, every slot is an overhead slot, so QCD's short preambles
+  yield their full 6x airtime advantage.
+* :mod:`repro.apps.unknown_tags` -- the dual: detect (or certify the
+  absence of) *alien* tags that are present but not on the manifest,
+  from energy in slots the manifest predicts silent.
+"""
+
+from repro.apps.missing_tags import (
+    MissingTagResult,
+    detect_missing_tags,
+    expected_rounds,
+)
+from repro.apps.unknown_tags import (
+    UnknownTagResult,
+    detect_unknown_tags,
+    rounds_for_confidence,
+)
+
+__all__ = [
+    "detect_missing_tags",
+    "MissingTagResult",
+    "expected_rounds",
+    "detect_unknown_tags",
+    "UnknownTagResult",
+    "rounds_for_confidence",
+]

@@ -1,0 +1,129 @@
+"""Unknown-tag (alien) detection against a known manifest.
+
+The dual of :mod:`repro.apps.missing_tags`: everything on the pallet is
+supposed to be on the manifest -- is anything *extra* present (misplaced
+stock, counterfeit, a foreign pallet bleeding over)?
+
+Hash-scheduled presence slots answer this from pure energy observations
+too, just with the opposite inference: the reader precomputes which slots
+its expected tags occupy; an alien tag hashes into a slot uniformly, so
+with probability ``≈ e^{-load}`` it lands in a slot the reader expects to
+be **silent** -- any energy there is an alien, full stop.  Each fresh
+round re-rolls the hash, so an alien that hid under expected energy in
+one round is exposed geometrically fast:
+
+    P(alien still hidden after k rounds) = (1 − p0)^k,   p0 ≈ e^{-load}
+
+The reader either stops at first evidence (``mode="detect"``) or runs the
+rounds needed to *certify cleanliness* at a target confidence
+(``mode="certify"``).  As with all identification-free workloads, QCD's
+2l-bit presence replies realize their full airtime factor.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.detector import CollisionDetector, SlotType
+from repro.core.timing import TimingModel
+
+__all__ = ["UnknownTagResult", "detect_unknown_tags", "rounds_for_confidence"]
+
+
+@dataclass(frozen=True)
+class UnknownTagResult:
+    """Outcome of an alien-detection sweep."""
+
+    expected: int
+    aliens_present: int
+    alien_detected: bool
+    rounds: int
+    slots: int
+    airtime: float
+    #: Probability that a single alien would have evaded every round run
+    #: (the residual risk when nothing was detected).
+    evasion_probability: float
+
+    @property
+    def clean_confidence(self) -> float:
+        """Confidence that no alien is present, given none was detected."""
+        return 1.0 - self.evasion_probability
+
+
+def rounds_for_confidence(confidence: float, load: float = 1.0) -> int:
+    """Rounds needed so one alien evades with probability < 1 − confidence."""
+    if not 0.0 < confidence < 1.0:
+        raise ValueError("confidence must be in (0, 1)")
+    p0 = math.exp(-load)
+    return max(1, math.ceil(math.log(1.0 - confidence) / math.log(1.0 - p0)))
+
+
+def detect_unknown_tags(
+    expected_count: int,
+    alien_count: int,
+    detector: CollisionDetector,
+    timing: TimingModel,
+    rng: np.random.Generator,
+    load: float = 1.0,
+    mode: str = "detect",
+    confidence: float = 0.999,
+    max_rounds: int = 10_000,
+) -> UnknownTagResult:
+    """Run alien-detection rounds over a population.
+
+    Parameters
+    ----------
+    expected_count / alien_count:
+        Sizes of the manifest and of the aliens actually present (the
+        simulation needs only the counts: slot choices are uniform).
+    mode:
+        ``"detect"`` stops at the first alien evidence;
+        ``"certify"`` always runs :func:`rounds_for_confidence` rounds and
+        reports whether anything showed up.
+    """
+    if expected_count < 0 or alien_count < 0:
+        raise ValueError("counts must be non-negative")
+    if load <= 0:
+        raise ValueError("load must be positive")
+    if mode not in ("detect", "certify"):
+        raise ValueError("mode must be 'detect' or 'certify'")
+    frame = max(2, int(math.ceil(max(1, expected_count) / load)))
+    dur_idle = timing.slot_duration(detector, SlotType.IDLE)
+    reply_cost = detector.contention_bits * timing.tau
+    target_rounds = (
+        rounds_for_confidence(confidence, load) if mode == "certify" else max_rounds
+    )
+    detected = False
+    rounds = 0
+    slots = 0
+    airtime = 0.0
+    p0 = math.exp(-load)
+    while rounds < target_rounds:
+        rounds += 1
+        slots += frame
+        expected_slots = rng.integers(0, frame, expected_count)
+        occupancy = np.bincount(expected_slots, minlength=frame)
+        energy = occupancy > 0
+        if alien_count:
+            alien_slots = rng.integers(0, frame, alien_count)
+            exposed = ~energy[alien_slots]
+            np.logical_or.at(energy, alien_slots, True)
+            if exposed.any():
+                detected = True
+        airtime += float((~energy).sum()) * dur_idle
+        airtime += float(energy.sum()) * reply_cost
+        if detected and mode == "detect":
+            break
+    return UnknownTagResult(
+        expected=expected_count,
+        aliens_present=alien_count,
+        alien_detected=detected,
+        rounds=rounds,
+        slots=slots,
+        airtime=airtime,
+        evasion_probability=(1.0 - p0) ** rounds,
+    )

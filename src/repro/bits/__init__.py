@@ -1,0 +1,45 @@
+"""Bit-level substrate for the RFID simulation stack.
+
+This package provides the primitives the paper's signal model is built on:
+
+* :mod:`repro.bits.bitvec` -- fixed-length bit strings with the bitwise
+  Boolean-sum (OR) algebra used to model overlapping backscatter signals.
+* :mod:`repro.bits.crc` -- generic CRC engines (bitwise and table-driven)
+  with the standard parameter sets used by EPC Gen2 / ISO 18000-6.
+* :mod:`repro.bits.channel` -- the shared backscatter channel that
+  superposes concurrent tag transmissions.
+* :mod:`repro.bits.rng` -- deterministic, spawnable random streams so every
+  experiment is reproducible from a single seed.
+"""
+
+from repro.bits.bitvec import BitVector, pack_ints, unpack_ints
+from repro.bits.channel import Channel, ChannelStats
+from repro.bits.crc import (
+    CRC5_EPC,
+    CRC16_CCITT_FALSE,
+    CRC16_GEN2,
+    CRC32_IEEE,
+    CrcEngine,
+    CrcSpec,
+)
+from repro.bits.linecode import FM0Codec, LineCodeError, MillerCodec
+from repro.bits.rng import RngStream, make_rng
+
+__all__ = [
+    "BitVector",
+    "pack_ints",
+    "unpack_ints",
+    "Channel",
+    "ChannelStats",
+    "CrcSpec",
+    "CrcEngine",
+    "CRC5_EPC",
+    "CRC16_CCITT_FALSE",
+    "CRC16_GEN2",
+    "CRC32_IEEE",
+    "RngStream",
+    "make_rng",
+    "FM0Codec",
+    "MillerCodec",
+    "LineCodeError",
+]

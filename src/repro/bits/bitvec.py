@@ -1,0 +1,322 @@
+"""Fixed-length bit vectors with the Boolean-sum algebra of the paper.
+
+The paper models the superposition of concurrent RF transmissions as a
+bitwise Boolean sum (OR)::
+
+    (011001) v (010010) = (011011)
+
+:class:`BitVector` is the value type used throughout the simulator for tag
+IDs, CRC codes, collision preambles, and composed channel signals.  It is
+immutable, hashable, and implements the three operations the paper's
+formalism needs:
+
+* ``a | b`` -- bitwise Boolean sum (signal overlap), equal lengths required;
+* ``~a``    -- bitwise complement *within the vector length* (the paper's
+  collision function ``f(r) = r̄``);
+* ``a + b`` -- concatenation (the paper's ``⊕`` operator, e.g. the collision
+  preamble ``r ⊕ f(r)``).
+
+Bits are indexed MSB-first: ``v[0]`` is the most significant bit, matching
+transmission order on the air interface.
+
+The class is backed by a Python ``int`` plus a length.  For the simulator's
+hot paths (tens of thousands of concurrent draws), :func:`pack_ints` /
+:func:`unpack_ints` provide vectorized conversions to/from ``numpy`` arrays
+so batch algebra can run without per-bit Python loops.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+__all__ = ["BitVector", "pack_ints", "unpack_ints"]
+
+
+class BitVector:
+    """An immutable, fixed-length string of bits.
+
+    Parameters
+    ----------
+    value:
+        Non-negative integer holding the bit pattern.  Must fit in
+        ``length`` bits.
+    length:
+        Number of bits (> 0 unless the vector is empty).
+
+    Examples
+    --------
+    >>> a = BitVector(0b011001, 6)
+    >>> b = BitVector(0b010010, 6)
+    >>> (a | b).to_bitstring()
+    '011011'
+    >>> (~a).to_bitstring()
+    '100110'
+    >>> (a + b).length
+    12
+    """
+
+    __slots__ = ("_value", "_length")
+
+    def __init__(self, value: int, length: int) -> None:
+        if length < 0:
+            raise ValueError(f"length must be >= 0, got {length}")
+        if value < 0:
+            raise ValueError(f"value must be >= 0, got {value}")
+        if value >> length:
+            raise ValueError(
+                f"value {value:#x} does not fit in {length} bits"
+            )
+        self._value = value
+        self._length = length
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def zeros(cls, length: int) -> "BitVector":
+        """The all-zero vector of ``length`` bits."""
+        return cls(0, length)
+
+    @classmethod
+    def ones(cls, length: int) -> "BitVector":
+        """The all-one vector of ``length`` bits."""
+        return cls((1 << length) - 1, length)
+
+    @classmethod
+    def from_bits(cls, bits: Iterable[int]) -> "BitVector":
+        """Build from an MSB-first iterable of 0/1 values."""
+        value = 0
+        length = 0
+        for b in bits:
+            if b not in (0, 1):
+                raise ValueError(f"bits must be 0 or 1, got {b!r}")
+            value = (value << 1) | b
+            length += 1
+        return cls(value, length)
+
+    @classmethod
+    def from_bitstring(cls, s: str) -> "BitVector":
+        """Build from a string such as ``"011011"`` (MSB first)."""
+        if s and set(s) - {"0", "1"}:
+            raise ValueError(f"bitstring must contain only 0/1: {s!r}")
+        return cls(int(s, 2) if s else 0, len(s))
+
+    @classmethod
+    def from_bytes(cls, data: bytes, length: int | None = None) -> "BitVector":
+        """Build from big-endian bytes; ``length`` defaults to ``8*len(data)``."""
+        nbits = 8 * len(data) if length is None else length
+        value = int.from_bytes(data, "big")
+        if length is not None:
+            excess = 8 * len(data) - length
+            if excess < 0:
+                raise ValueError("length exceeds the provided data")
+            value >>= excess
+        return cls(value, nbits)
+
+    @classmethod
+    def random(cls, length: int, rng: np.random.Generator) -> "BitVector":
+        """A uniformly random vector of ``length`` bits."""
+        if length == 0:
+            return cls(0, 0)
+        # Draw 64 bits at a time to stay in numpy's native width.
+        value = 0
+        remaining = length
+        while remaining > 0:
+            chunk = min(remaining, 64)
+            value = (value << chunk) | int(
+                rng.integers(0, 1 << chunk, dtype=np.uint64)
+            )
+            remaining -= chunk
+        return cls(value, length)
+
+    # ------------------------------------------------------------------
+    # Core properties
+    # ------------------------------------------------------------------
+
+    @property
+    def value(self) -> int:
+        """The integer value of the bit pattern (MSB-first reading)."""
+        return self._value
+
+    @property
+    def length(self) -> int:
+        """Number of bits."""
+        return self._length
+
+    def __len__(self) -> int:
+        return self._length
+
+    def __bool__(self) -> bool:
+        """True iff any bit is set (an empty vector is falsy)."""
+        return self._value != 0
+
+    def is_zero(self) -> bool:
+        """True iff every bit is 0 -- the paper's idle-slot signal."""
+        return self._value == 0
+
+    def popcount(self) -> int:
+        """Number of set bits."""
+        return self._value.bit_count()
+
+    # ------------------------------------------------------------------
+    # Algebra
+    # ------------------------------------------------------------------
+
+    def _check_same_length(self, other: "BitVector", op: str) -> None:
+        if self._length != other._length:
+            raise ValueError(
+                f"{op} requires equal lengths: {self._length} != {other._length}"
+            )
+
+    def __or__(self, other: "BitVector") -> "BitVector":
+        """Bitwise Boolean sum -- the paper's signal-overlap operator ``∨``."""
+        if not isinstance(other, BitVector):
+            return NotImplemented
+        self._check_same_length(other, "Boolean sum")
+        return BitVector(self._value | other._value, self._length)
+
+    def __and__(self, other: "BitVector") -> "BitVector":
+        if not isinstance(other, BitVector):
+            return NotImplemented
+        self._check_same_length(other, "AND")
+        return BitVector(self._value & other._value, self._length)
+
+    def __xor__(self, other: "BitVector") -> "BitVector":
+        if not isinstance(other, BitVector):
+            return NotImplemented
+        self._check_same_length(other, "XOR")
+        return BitVector(self._value ^ other._value, self._length)
+
+    def __invert__(self) -> "BitVector":
+        """Bitwise complement within the vector length (``f(r) = r̄``)."""
+        return BitVector(self._value ^ ((1 << self._length) - 1), self._length)
+
+    def __add__(self, other: "BitVector") -> "BitVector":
+        """Concatenation -- the paper's ``⊕`` operator."""
+        if not isinstance(other, BitVector):
+            return NotImplemented
+        return BitVector(
+            (self._value << other._length) | other._value,
+            self._length + other._length,
+        )
+
+    @staticmethod
+    def superpose(signals: Sequence["BitVector"]) -> "BitVector":
+        """Boolean sum of one or more equal-length vectors.
+
+        Raises :class:`ValueError` on an empty sequence -- an idle slot has
+        *no* signal rather than a zero signal, and callers must model that
+        distinction explicitly (see :class:`repro.bits.channel.Channel`).
+        """
+        if not signals:
+            raise ValueError("superpose() requires at least one signal")
+        first = signals[0]
+        value = first._value
+        for s in signals[1:]:
+            if s._length != first._length:
+                raise ValueError(
+                    "superpose() requires equal lengths: "
+                    f"{first._length} != {s._length}"
+                )
+            value |= s._value
+        return BitVector(value, first._length)
+
+    # ------------------------------------------------------------------
+    # Indexing / slicing
+    # ------------------------------------------------------------------
+
+    def bit(self, k: int) -> int:
+        """The bit at MSB-first position ``k`` (0-based)."""
+        if not 0 <= k < self._length:
+            raise IndexError(f"bit index {k} out of range [0, {self._length})")
+        return (self._value >> (self._length - 1 - k)) & 1
+
+    def __getitem__(self, key: int | slice) -> "int | BitVector":
+        if isinstance(key, int):
+            if key < 0:
+                key += self._length
+            return self.bit(key)
+        start, stop, step = key.indices(self._length)
+        if step != 1:
+            raise ValueError("BitVector slicing requires step 1")
+        if stop <= start:
+            return BitVector(0, 0)
+        width = stop - start
+        shifted = self._value >> (self._length - stop)
+        return BitVector(shifted & ((1 << width) - 1), width)
+
+    def __iter__(self) -> Iterator[int]:
+        for k in range(self._length):
+            yield self.bit(k)
+
+    def startswith(self, prefix: "BitVector") -> bool:
+        """True iff this vector begins with ``prefix`` (MSB-first)."""
+        if prefix._length > self._length:
+            return False
+        return self[: prefix._length] == prefix
+
+    # ------------------------------------------------------------------
+    # Conversions
+    # ------------------------------------------------------------------
+
+    def to_int(self) -> int:
+        return self._value
+
+    def to_bits(self) -> list[int]:
+        """MSB-first list of 0/1 ints."""
+        return [self.bit(k) for k in range(self._length)]
+
+    def to_bitstring(self) -> str:
+        return format(self._value, f"0{self._length}b") if self._length else ""
+
+    def to_bytes(self) -> bytes:
+        """Big-endian bytes, left-aligned (MSB of the vector is the MSB of
+        byte 0); the final byte is zero-padded on the right."""
+        nbytes = (self._length + 7) // 8
+        pad = 8 * nbytes - self._length
+        return (self._value << pad).to_bytes(nbytes, "big")
+
+    # ------------------------------------------------------------------
+    # Equality / hashing / repr
+    # ------------------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, BitVector):
+            return NotImplemented
+        return self._value == other._value and self._length == other._length
+
+    def __hash__(self) -> int:
+        return hash((self._value, self._length))
+
+    def __repr__(self) -> str:
+        if self._length <= 32:
+            return f"BitVector('{self.to_bitstring()}')"
+        return f"BitVector(value={self._value:#x}, length={self._length})"
+
+
+def pack_ints(values: np.ndarray, length: int) -> list[BitVector]:
+    """Convert an array of non-negative ints into ``BitVector`` objects.
+
+    ``length`` must be <= 64.  Used to lift vectorized numpy draws (e.g. a
+    batch of random preamble integers) into the object layer.
+    """
+    if length > 64:
+        raise ValueError("pack_ints supports lengths up to 64 bits")
+    arr = np.asarray(values, dtype=np.uint64)
+    if length < 64 and np.any(arr >> np.uint64(length)):
+        raise ValueError(f"some values do not fit in {length} bits")
+    return [BitVector(int(v), length) for v in arr]
+
+
+def unpack_ints(vectors: Sequence[BitVector]) -> np.ndarray:
+    """Convert equal-length ``BitVector`` objects (<= 64 bits) to uint64."""
+    if vectors:
+        width = vectors[0].length
+        if width > 64:
+            raise ValueError("unpack_ints supports lengths up to 64 bits")
+        if any(v.length != width for v in vectors):
+            raise ValueError("unpack_ints requires equal-length vectors")
+    return np.array([v.value for v in vectors], dtype=np.uint64)

@@ -1,0 +1,140 @@
+"""The shared backscatter channel.
+
+The paper abstracts the physical layer as follows (Section IV-A): when
+``m`` tags transmit in the same slot, the reader receives the bitwise
+Boolean sum of their signals::
+
+    s = s_1 ∨ s_2 ∨ ... ∨ s_m,   |s| = |s_1| = ... = |s_m|
+
+:class:`Channel` implements exactly this model, distinguishing the *absence*
+of a transmission (idle slot -- the reader receives nothing) from an
+all-zero signal.  It also accounts for the airtime consumed, which is what
+the paper's timing model charges (``τ`` per bit).
+
+Two physical effects beyond the paper's noise-free, capture-free setting
+are available for robustness studies (both off by default):
+
+* **bit errors** -- each received bit flips independently with
+  ``bit_error_rate``;
+* **capture effect** -- in a collided slot, one tag may be so much
+  stronger than the rest that the reader decodes *its* signal cleanly
+  instead of the superposition.  ``P(capture | m transmitters) =
+  capture_probability · capture_falloff^(m−2)``: likeliest for pair
+  collisions, decaying as more interferers pile in (the standard
+  power-ratio intuition).  After a capture, :attr:`last_capture_index`
+  holds the index of the surviving transmitter so the reader can credit
+  the right tag.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.bits.bitvec import BitVector
+from repro.bits.rng import RngStream
+
+__all__ = ["Channel", "ChannelStats"]
+
+
+@dataclass
+class ChannelStats:
+    """Running totals of channel activity."""
+
+    slots: int = 0
+    transmissions: int = 0
+    bits_on_air: int = 0
+    flipped_bits: int = 0
+    captures: int = 0
+
+    def reset(self) -> None:
+        self.slots = 0
+        self.transmissions = 0
+        self.bits_on_air = 0
+        self.flipped_bits = 0
+        self.captures = 0
+
+
+@dataclass
+class Channel:
+    """A Boolean-sum backscatter channel.
+
+    Parameters
+    ----------
+    bit_error_rate:
+        Probability that each received bit is flipped independently
+        (0.0 = the paper's noiseless channel).
+    capture_probability:
+        Probability that a *pair* collision resolves to the stronger tag's
+        clean signal (0.0 = the paper's capture-free model).
+    capture_falloff:
+        Multiplicative decay of the capture probability per additional
+        interferer beyond two.
+    rng:
+        Random stream for bit flips / capture draws; required iff either
+        effect is enabled.
+    """
+
+    bit_error_rate: float = 0.0
+    capture_probability: float = 0.0
+    capture_falloff: float = 0.5
+    rng: RngStream | None = None
+    stats: ChannelStats = field(default_factory=ChannelStats)
+    #: Index (into the transmitted signal list) of the tag whose signal
+    #: survived a capture in the most recent slot, or ``None``.
+    last_capture_index: int | None = field(default=None, init=False)
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.bit_error_rate < 1.0:
+            raise ValueError("bit_error_rate must be in [0, 1)")
+        if not 0.0 <= self.capture_probability <= 1.0:
+            raise ValueError("capture_probability must be in [0, 1]")
+        if not 0.0 < self.capture_falloff <= 1.0:
+            raise ValueError("capture_falloff must be in (0, 1]")
+        needs_rng = self.bit_error_rate > 0.0 or self.capture_probability > 0.0
+        if needs_rng and self.rng is None:
+            raise ValueError(
+                "a rng is required when bit_error_rate or "
+                "capture_probability is > 0"
+            )
+
+    def transmit(self, signals: Sequence[BitVector]) -> BitVector | None:
+        """Superpose the signals of one slot.
+
+        Returns ``None`` for an idle slot (no transmitters).  All signals
+        must have equal length -- the slotted protocol guarantees tags are
+        bit-synchronous.  Check :attr:`last_capture_index` after the call
+        to learn whether (and whose) capture occurred.
+        """
+        self.stats.slots += 1
+        self.last_capture_index = None
+        if not signals:
+            return None
+        self.stats.transmissions += len(signals)
+        self.stats.bits_on_air += sum(s.length for s in signals)
+        if len(signals) >= 2 and self.capture_probability > 0.0:
+            p = self.capture_probability * self.capture_falloff ** (
+                len(signals) - 2
+            )
+            assert self.rng is not None
+            if float(self.rng.random()) < p:
+                idx = int(self.rng.integers(0, len(signals)))
+                self.last_capture_index = idx
+                self.stats.captures += 1
+                received = signals[idx]
+                if self.bit_error_rate > 0.0:
+                    received = self._corrupt(received)
+                return received
+        received = BitVector.superpose(signals)
+        if self.bit_error_rate > 0.0:
+            received = self._corrupt(received)
+        return received
+
+    def _corrupt(self, signal: BitVector) -> BitVector:
+        assert self.rng is not None
+        flips = self.rng.random(signal.length) < self.bit_error_rate
+        if not flips.any():
+            return signal
+        mask = BitVector.from_bits(int(f) for f in flips)
+        self.stats.flipped_bits += int(flips.sum())
+        return signal ^ mask

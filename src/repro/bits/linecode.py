@@ -1,0 +1,172 @@
+"""Backscatter line codes: FM0 and Miller (EPC Gen2 tag-to-reader PHY).
+
+The paper's Boolean-sum abstraction lives one layer above the line code;
+this module provides that layer so the simulator's signals can be taken
+all the way to baseband symbols when wanted (and so the Miller factor in
+:class:`repro.core.gen2_timing.Gen2TimingModel` is grounded in a real
+codec rather than a constant).
+
+**FM0 (bi-phase space):** the baseband level *always* inverts at a symbol
+boundary; a data-0 adds a mid-symbol inversion, a data-1 does not.  Each
+data bit becomes two half-symbol levels; decoding checks the boundary
+inversion, which gives FM0 its self-clocking and single-error visibility.
+
+**Miller (modulated subcarrier):** the level inverts mid-symbol for a
+data-1, and at the boundary *between two consecutive data-0s*; the
+baseband sequence is then multiplied onto ``m`` subcarrier cycles per
+symbol (m = 2, 4, 8).  We model the baseband rule exactly and subcarrier
+multiplication as half-symbol repetition.
+
+Both codecs detect line-rule violations -- a superposition of two
+misaligned transmissions generally breaks the inversion rules, which is
+the physical intuition behind "collided signals are garbage" that the
+paper's OR model abstracts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bits.bitvec import BitVector
+
+__all__ = ["FM0Codec", "MillerCodec", "LineCodeError"]
+
+
+class LineCodeError(ValueError):
+    """Raised when a waveform violates the line-code rules."""
+
+
+@dataclass(frozen=True)
+class FM0Codec:
+    """FM0 encoder/decoder over half-symbol levels.
+
+    The waveform is represented as a :class:`BitVector` of levels, two
+    per data bit (1 = high, 0 = low).  ``initial_level`` is the level
+    *before* the first symbol (Gen2 readers synchronize on a known
+    preamble, which fixes it).
+    """
+
+    initial_level: int = 1
+
+    def __post_init__(self) -> None:
+        if self.initial_level not in (0, 1):
+            raise ValueError("initial_level must be 0 or 1")
+
+    def encode(self, data: BitVector) -> BitVector:
+        levels: list[int] = []
+        level = self.initial_level
+        for bit in data:
+            level ^= 1  # boundary inversion, always
+            first = level
+            if bit == 0:
+                level ^= 1  # mid-symbol inversion for data-0
+            levels.append(first)
+            levels.append(level)
+        return BitVector.from_bits(levels)
+
+    def decode(self, waveform: BitVector) -> BitVector:
+        if waveform.length % 2:
+            raise LineCodeError("FM0 waveform must have even length")
+        bits: list[int] = []
+        prev = self.initial_level
+        for k in range(0, waveform.length, 2):
+            first, second = waveform.bit(k), waveform.bit(k + 1)
+            if first == prev:
+                raise LineCodeError(
+                    f"missing FM0 boundary inversion at symbol {k // 2}"
+                )
+            bits.append(0 if second != first else 1)
+            prev = second
+        return BitVector.from_bits(bits)
+
+    def is_valid(self, waveform: BitVector) -> bool:
+        try:
+            self.decode(waveform)
+            return True
+        except LineCodeError:
+            return False
+
+
+@dataclass(frozen=True)
+class MillerCodec:
+    """Miller baseband encoder/decoder with subcarrier factor ``m``.
+
+    ``m = 1`` yields plain Miller baseband (two half-symbols per bit);
+    ``m ∈ {2, 4, 8}`` repeats each half-symbol ``m`` times, modelling the
+    subcarrier cycles that slow the backlink by the Miller factor.
+    """
+
+    m: int = 1
+    initial_level: int = 1
+
+    def __post_init__(self) -> None:
+        if self.m not in (1, 2, 4, 8):
+            raise ValueError("m must be 1, 2, 4, or 8")
+        if self.initial_level not in (0, 1):
+            raise ValueError("initial_level must be 0 or 1")
+
+    @property
+    def halves_per_bit(self) -> int:
+        return 2 * self.m
+
+    def encode(self, data: BitVector) -> BitVector:
+        levels: list[int] = []
+        level = self.initial_level
+        prev_bit: int | None = None
+        for bit in data:
+            if bit == 0 and prev_bit == 0:
+                level ^= 1  # inversion between consecutive zeros
+            first = level
+            if bit == 1:
+                level ^= 1  # mid-symbol inversion for data-1
+            levels.extend([first] * self.m)
+            levels.extend([level] * self.m)
+            prev_bit = bit
+        return BitVector.from_bits(levels)
+
+    def decode(self, waveform: BitVector) -> BitVector:
+        hpb = self.halves_per_bit
+        if waveform.length % hpb:
+            raise LineCodeError(
+                f"Miller-{self.m} waveform length must be a multiple of {hpb}"
+            )
+        bits: list[int] = []
+        level = self.initial_level
+        prev_bit: int | None = None
+        for s in range(0, waveform.length, hpb):
+            halves = [waveform.bit(s + k) for k in range(hpb)]
+            first_half = halves[: self.m]
+            second_half = halves[self.m :]
+            if len(set(first_half)) != 1 or len(set(second_half)) != 1:
+                raise LineCodeError(f"subcarrier glitch in symbol {s // hpb}")
+            first, second = first_half[0], second_half[0]
+            expected_first = level
+            bit: int
+            if first == expected_first:
+                bit = 1 if second != first else 0
+                if bit == 0 and prev_bit == 0:
+                    raise LineCodeError(
+                        f"missing 0-0 boundary inversion at symbol {s // hpb}"
+                    )
+            else:
+                # Level flipped at the boundary: only legal between zeros.
+                if prev_bit != 0:
+                    raise LineCodeError(
+                        f"illegal boundary inversion at symbol {s // hpb}"
+                    )
+                bit = 1 if second != first else 0
+                if bit != 0:
+                    raise LineCodeError(
+                        f"boundary inversion before a one at symbol {s // hpb}"
+                    )
+            bits.append(bit)
+            level = second
+            prev_bit = bit
+        return BitVector.from_bits(bits)
+
+    def is_valid(self, waveform: BitVector) -> bool:
+        try:
+            self.decode(waveform)
+            return True
+        except LineCodeError:
+            return False

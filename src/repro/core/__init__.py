@@ -1,0 +1,60 @@
+"""The paper's primary contribution: collision-detection schemes.
+
+Public surface:
+
+* :class:`~repro.core.detector.SlotType`,
+  :class:`~repro.core.detector.CollisionDetector` -- the detector protocol
+  shared by all schemes;
+* :class:`~repro.core.qcd.QCDDetector` -- Quick Collision Detection
+  (collision preamble ``r ⊕ r̄``, Algorithm 1 of the paper);
+* :class:`~repro.core.crc_cd.CRCCDDetector` -- the CRC-CD baseline;
+* :class:`~repro.core.ideal.IdealDetector` -- a genie detector (perfect,
+  zero-overhead classification) used as an experimental control;
+* :class:`~repro.core.timing.TimingModel` -- per-slot airtime accounting
+  (Section V of the paper);
+* :mod:`~repro.core.cost` -- the computation/memory cost model behind
+  Table IV.
+"""
+
+from repro.core.collision_function import (
+    BitwiseComplement,
+    CollisionFunction,
+    IdentityFunction,
+    is_collision_function,
+)
+from repro.core.commands import Ack, Query, QueryAdjust, QueryRep, decode_command
+from repro.core.crc_cd import CRCCDDetector
+from repro.core.detector import CollisionDetector, SlotOutcome, SlotType
+from repro.core.gen2_timing import Gen2TimingModel
+from repro.core.ideal import IdealDetector
+from repro.core.phy import FM0ViolationDetector
+from repro.core.preamble import CollisionPreamble, PreambleCodec
+from repro.core.qcd import QCDDetector
+from repro.core.rn16 import RN16Detector
+from repro.core.select import SelectMask
+from repro.core.timing import TimingModel
+
+__all__ = [
+    "SlotType",
+    "SlotOutcome",
+    "CollisionDetector",
+    "CollisionFunction",
+    "BitwiseComplement",
+    "IdentityFunction",
+    "is_collision_function",
+    "CollisionPreamble",
+    "PreambleCodec",
+    "QCDDetector",
+    "CRCCDDetector",
+    "IdealDetector",
+    "FM0ViolationDetector",
+    "RN16Detector",
+    "SelectMask",
+    "TimingModel",
+    "Gen2TimingModel",
+    "Query",
+    "QueryRep",
+    "QueryAdjust",
+    "Ack",
+    "decode_command",
+]

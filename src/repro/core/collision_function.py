@@ -1,0 +1,112 @@
+"""Collision functions (paper Definition 1) and checkers.
+
+Definition 1 of the paper: given positive integers
+``R = {r_1, ..., r_m}`` (m >= 1; at least two distinct when m > 1),
+``f`` is a *collision function* iff
+
+    m > 1  <=>  f(r_1 ∨ ... ∨ r_m) != f(r_1) ∨ ... ∨ f(r_m)
+
+i.e. ``f`` fails to commute with the Boolean sum exactly when more than one
+distinct value participates.  Theorem 1 proves the bitwise complement
+``f(r) = r̄`` is a collision function; this module implements it, a
+deliberately *broken* alternative (the identity, which commutes with ∨ and
+therefore detects nothing), and an exhaustive checker used by the tests and
+by :func:`is_collision_function` to validate user-supplied candidates.
+"""
+
+from __future__ import annotations
+
+import itertools
+from abc import ABC, abstractmethod
+
+from repro.bits.bitvec import BitVector
+
+__all__ = [
+    "CollisionFunction",
+    "BitwiseComplement",
+    "IdentityFunction",
+    "is_collision_function",
+]
+
+
+class CollisionFunction(ABC):
+    """A candidate checking function ``f`` over l-bit integers."""
+
+    #: Name used in reports.
+    name: str = "abstract"
+
+    @abstractmethod
+    def apply(self, r: BitVector) -> BitVector:
+        """Compute ``f(r)``; must return a vector of the same length."""
+
+    def __call__(self, r: BitVector) -> BitVector:
+        out = self.apply(r)
+        if out.length != r.length:
+            raise ValueError(
+                f"{self.name}: f must preserve length "
+                f"({r.length} -> {out.length})"
+            )
+        return out
+
+
+class BitwiseComplement(CollisionFunction):
+    """The paper's collision function ``f(r) = r̄`` (Theorem 1).
+
+    One machine instruction, O(1) in the word width, no memory beyond the
+    operand -- the properties Table IV contrasts against CRC.
+    """
+
+    name = "bitwise-complement"
+
+    def apply(self, r: BitVector) -> BitVector:
+        return ~r
+
+
+class IdentityFunction(CollisionFunction):
+    """``f(r) = r`` -- *not* a collision function.
+
+    The identity commutes with the Boolean sum
+    (``∨ f(r_i) = ∨ r_i = f(∨ r_i)``), so the equality test in
+    Definition 1 always passes and no collision is ever detected.  Kept as a
+    negative control for the checker and the test suite.
+    """
+
+    name = "identity"
+
+    def apply(self, r: BitVector) -> BitVector:
+        return r
+
+
+def is_collision_function(
+    f: CollisionFunction, length: int, max_group: int = 3
+) -> bool:
+    """Exhaustively verify Definition 1 for all groups of distinct positive
+    l-bit integers up to size ``max_group``.
+
+    Complexity is O((2^l)^max_group); intended for small ``length`` (the
+    tests use l <= 5).  Returns False on the first counterexample.
+
+    Notes
+    -----
+    * m = 1 direction: ``f(r) == f(r)`` trivially, so a violation can only
+      come from the checker finding ``f(∨) != ∨f`` for a singleton, which is
+      impossible; we still check that ``f`` preserves length.
+    * m > 1 direction: every multiset with at least two *distinct* members
+      must make the equality fail.  (Groups where all members are equal are
+      excluded by Definition 1's premise.)
+    """
+    if length <= 0:
+        raise ValueError("length must be positive")
+    universe = [BitVector(v, length) for v in range(1, 1 << length)]
+    # m = 1: must classify as single (equality holds by construction).
+    for r in universe:
+        if f(r) != f(r):  # pragma: no cover - defensive
+            return False
+    for m in range(2, max_group + 1):
+        for group in itertools.combinations(universe, m):
+            combined = BitVector.superpose(group)
+            lhs = f(combined)
+            rhs = BitVector.superpose([f(r) for r in group])
+            if lhs == rhs:
+                return False
+    return True

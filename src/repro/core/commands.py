@@ -1,0 +1,190 @@
+"""Gen2 reader command codecs (Query / QueryRep / QueryAdjust / ACK).
+
+The paper treats reader commands as constant overhead "the same in both
+schemes".  We implement the actual Gen2 command formats so that overhead
+is grounded: the Query command carries the Q parameter and is protected by
+**CRC-5** (the consumer of :data:`repro.bits.crc.CRC5_EPC`), QueryAdjust
+carries the Q delta, ACK echoes the tag's 16-bit handle.  The bit lengths
+these codecs produce are exactly the constants
+:class:`repro.core.gen2_timing.Gen2TimingModel` charges.
+
+Field layouts (simplified to the collision-relevant parameters; session /
+select / target flags are carried but fixed by default):
+
+=============  ====================================================  ====
+command        fields                                                bits
+=============  ====================================================  ====
+Query          1000 ⊕ DR(1) M(2) TRext(1) Sel(2) Session(2) Target(1)
+               Q(4) ⊕ CRC-5                                           22
+QueryRep       00 ⊕ Session(2)                                         4
+QueryAdjust    1001 ⊕ Session(2) ⊕ UpDn(3)                             9
+ACK            01 ⊕ RN16(16)                                          18
+=============  ====================================================  ====
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bits.bitvec import BitVector
+from repro.bits.crc import CRC5_EPC, CrcEngine
+
+__all__ = ["Query", "QueryRep", "QueryAdjust", "Ack", "decode_command"]
+
+_CRC5 = CrcEngine(CRC5_EPC)
+
+
+@dataclass(frozen=True)
+class Query:
+    """The frame-opening command; carries Q and is CRC-5 protected."""
+
+    q: int
+    dr: int = 0  # divide ratio select: 0 = 8, 1 = 64/3
+    m: int = 0  # miller: 0=FM0, 1=M2, 2=M4, 3=M8
+    trext: int = 0
+    sel: int = 0
+    session: int = 0
+    target: int = 0
+
+    PREFIX = BitVector(0b1000, 4)
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.q <= 15:
+            raise ValueError("Q must be in [0, 15]")
+        for name, width in (
+            ("dr", 1),
+            ("m", 2),
+            ("trext", 1),
+            ("sel", 2),
+            ("session", 2),
+            ("target", 1),
+        ):
+            if not 0 <= getattr(self, name) < (1 << width):
+                raise ValueError(f"{name} out of range")
+
+    def body(self) -> BitVector:
+        return (
+            self.PREFIX
+            + BitVector(self.dr, 1)
+            + BitVector(self.m, 2)
+            + BitVector(self.trext, 1)
+            + BitVector(self.sel, 2)
+            + BitVector(self.session, 2)
+            + BitVector(self.target, 1)
+            + BitVector(self.q, 4)
+        )
+
+    def encode(self) -> BitVector:
+        body = self.body()
+        return body + _CRC5.compute_bits(body)
+
+    @classmethod
+    def decode(cls, frame: BitVector) -> "Query":
+        if frame.length != 22:
+            raise ValueError(f"Query frame is 22 bits, got {frame.length}")
+        body, crc = frame[:17], frame[17:]
+        if _CRC5.compute_bits(body) != crc:
+            raise ValueError("Query CRC-5 check failed")
+        if body[:4] != cls.PREFIX:
+            raise ValueError("not a Query frame")
+        pos = 4
+        fields = {}
+        for name, width in (
+            ("dr", 1),
+            ("m", 2),
+            ("trext", 1),
+            ("sel", 2),
+            ("session", 2),
+            ("target", 1),
+            ("q", 4),
+        ):
+            fields[name] = body[pos : pos + width].to_int()
+            pos += width
+        return cls(**fields)
+
+
+@dataclass(frozen=True)
+class QueryRep:
+    """Slot advance: decrement every tag's slot counter."""
+
+    session: int = 0
+
+    PREFIX = BitVector(0b00, 2)
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.session < 4:
+            raise ValueError("session out of range")
+
+    def encode(self) -> BitVector:
+        return self.PREFIX + BitVector(self.session, 2)
+
+    @classmethod
+    def decode(cls, frame: BitVector) -> "QueryRep":
+        if frame.length != 4 or frame[:2] != cls.PREFIX:
+            raise ValueError("not a QueryRep frame")
+        return cls(session=frame[2:].to_int())
+
+
+@dataclass(frozen=True)
+class QueryAdjust:
+    """Mid-round Q adjustment; tags redraw their slot counters."""
+
+    session: int = 0
+    updn: int = 0  # 0: unchanged, 0b110: Q+1, 0b011: Q-1
+
+    PREFIX = BitVector(0b1001, 4)
+    UP, DOWN, HOLD = 0b110, 0b011, 0b000
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.session < 4:
+            raise ValueError("session out of range")
+        if self.updn not in (self.UP, self.DOWN, self.HOLD):
+            raise ValueError("updn must be UP (110), DOWN (011) or HOLD (000)")
+
+    def encode(self) -> BitVector:
+        return self.PREFIX + BitVector(self.session, 2) + BitVector(self.updn, 3)
+
+    @classmethod
+    def decode(cls, frame: BitVector) -> "QueryAdjust":
+        if frame.length != 9 or frame[:4] != cls.PREFIX:
+            raise ValueError("not a QueryAdjust frame")
+        return cls(session=frame[4:6].to_int(), updn=frame[6:].to_int())
+
+
+@dataclass(frozen=True)
+class Ack:
+    """Acknowledge a single slot; echoes the tag's 16-bit random handle.
+
+    Under QCD the natural handle is the tag's preamble integer padded to
+    16 bits -- the reader already holds it from the contention phase.
+    """
+
+    rn16: int
+
+    PREFIX = BitVector(0b01, 2)
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.rn16 < (1 << 16):
+            raise ValueError("rn16 must be a 16-bit value")
+
+    def encode(self) -> BitVector:
+        return self.PREFIX + BitVector(self.rn16, 16)
+
+    @classmethod
+    def decode(cls, frame: BitVector) -> "Ack":
+        if frame.length != 18 or frame[:2] != cls.PREFIX:
+            raise ValueError("not an ACK frame")
+        return cls(rn16=frame[2:].to_int())
+
+
+def decode_command(frame: BitVector):
+    """Dispatch on the command prefix; returns the decoded dataclass."""
+    if frame.length >= 4 and frame[:4] == Query.PREFIX and frame.length == 22:
+        return Query.decode(frame)
+    if frame.length == 9 and frame[:4] == QueryAdjust.PREFIX:
+        return QueryAdjust.decode(frame)
+    if frame.length == 18 and frame[:2] == Ack.PREFIX:
+        return Ack.decode(frame)
+    if frame.length == 4 and frame[:2] == QueryRep.PREFIX:
+        return QueryRep.decode(frame)
+    raise ValueError(f"unrecognized command frame ({frame.length} bits)")

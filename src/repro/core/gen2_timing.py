@@ -1,0 +1,144 @@
+"""EPC Class-1 Gen-2 link-timing model ("practical issues", paper §VII).
+
+The paper's evaluation charges airtime as τ per transmitted bit and
+ignores inter-message gaps.  A real Gen2 link adds per-slot framing:
+
+* the reader's command (Query/QueryRep/QueryAdjust/ACK) travels on the
+  forward link at the reader data rate, derived from ``Tari`` (the
+  duration of a data-0 symbol, 6.25-25 µs);
+* the tag replies on the backlink at ``BLF = DR / TRcal`` with FM0 or
+  Miller-m encoding (one symbol per bit times the Miller factor), after a
+  turnaround gap ``T1``; the reader reacts after ``T2``;
+* an idle slot still costs a QueryRep plus the ``T1 + T3`` timeout in
+  which no reply arrives.
+
+:class:`Gen2TimingModel` maps both detection schemes onto this budget so
+the reproduction's orderings can be checked under realistic timing
+(see ``benchmarks/test_ablation_gen2_timing.py``):
+
+=========  =========================================================
+slot       cost
+=========  =========================================================
+idle       QueryRep + T1 + T3
+collided   QueryRep + T1 + reply(contention bits) + T2
+single     QueryRep + T1 + reply(contention bits) + T2
+           [+ ACK + T1 + reply(ID bits [+ CRC]) + T2 for two-phase]
+=========  =========================================================
+
+For CRC-CD the contention reply *is* ID+CRC; for QCD the contention reply
+is the 2l-bit preamble and a single slot appends the ACK'd ID reply.  The
+paper assumes reader commands are "the same in both QCD and CRC-CD based
+approaches" (Section VI-A), so by default a one-phase single slot is also
+charged its acknowledgment round-trip (``ack_one_phase=True``; a Gen2
+reader always closes out a successful read with an ACK/QueryRep
+handshake).  Set ``ack_one_phase=False`` to model a baseline that ends a
+single slot at the reply -- in that regime the forward-link ACK command
+(~150 µs at Tari 6.25) outweighs QCD's overhead-slot savings, a
+sensitivity the ablation benchmark quantifies.
+
+Defaults follow the Gen2 "fast" profile: Tari 6.25 µs, DR 64/3, TRcal
+33.3 µs (BLF 640 kHz), FM0.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.detector import CollisionDetector, SlotType
+from repro.core.timing import TimingModel
+
+__all__ = ["Gen2TimingModel"]
+
+#: Reader command lengths in bits (Gen2 spec, without frame-sync overhead).
+QUERY_BITS = 22
+QUERY_REP_BITS = 4
+ACK_BITS = 18
+
+
+@dataclass(frozen=True)
+class Gen2TimingModel(TimingModel):
+    """Slot durations under Gen2 link timing (all times in µs).
+
+    Inherits the logical parameters (``id_bits``, ``crc_bits``,
+    ``guard_id_phase``) from :class:`TimingModel`; ``tau`` is unused, the
+    rates below take over.
+
+    Parameters
+    ----------
+    tari:
+        Reader data-0 symbol time.  Data-1 is 1.5-2x Tari; we use the
+        midpoint 1.75 and charge the average symbol (equiprobable bits).
+    dr, trcal:
+        Divide ratio and TRcal; backlink frequency is ``dr / trcal`` MHz
+        when ``trcal`` is in µs.
+    miller:
+        Backscatter encoding factor: 1 = FM0, 2/4/8 = Miller subcarrier.
+    t1, t2, t3:
+        Turnaround times (reader->tag, tag->reader, idle timeout).
+    ack_one_phase:
+        Charge one-phase schemes (CRC-CD) the single-slot acknowledgment
+        round-trip too (the paper's same-commands assumption).
+    """
+
+    tari: float = 6.25
+    dr: float = 64.0 / 3.0
+    trcal: float = 33.33
+    miller: int = 1
+    t1: float = 12.0
+    t2: float = 8.0
+    t3: float = 5.0
+    ack_one_phase: bool = True
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.tari <= 0 or self.trcal <= 0 or self.dr <= 0:
+            raise ValueError("tari, trcal and dr must be positive")
+        if self.miller not in (1, 2, 4, 8):
+            raise ValueError("miller must be 1 (FM0), 2, 4, or 8")
+        if min(self.t1, self.t2, self.t3) < 0:
+            raise ValueError("turnaround times must be non-negative")
+
+    # ------------------------------------------------------------------
+
+    @property
+    def forward_bit_time(self) -> float:
+        """Average reader-symbol duration: (Tari + 1.75·Tari) / 2."""
+        return self.tari * (1.0 + 1.75) / 2.0
+
+    @property
+    def backlink_bit_time(self) -> float:
+        """Tag-symbol duration: miller / BLF with BLF = dr / trcal."""
+        return self.miller * self.trcal / self.dr
+
+    def reader_command_time(self, bits: int) -> float:
+        return bits * self.forward_bit_time
+
+    def tag_reply_time(self, bits: int) -> float:
+        return bits * self.backlink_bit_time
+
+    # ------------------------------------------------------------------
+
+    def slot_duration(
+        self, detector: CollisionDetector, detected: SlotType
+    ) -> float:
+        base = self.reader_command_time(QUERY_REP_BITS) + self.t1
+        if detected is SlotType.IDLE:
+            return base + self.t3
+        reply = self.tag_reply_time(detector.contention_bits)
+        total = base + reply + self.t2
+        if detected is SlotType.SINGLE:
+            if detector.needs_id_phase:
+                id_bits = self.id_bits + (
+                    self.crc_bits if self.guard_id_phase else 0
+                )
+                total += (
+                    self.reader_command_time(ACK_BITS)
+                    + self.t1
+                    + self.tag_reply_time(id_bits)
+                    + self.t2
+                )
+            elif self.ack_one_phase:
+                # The reader still closes the read with an acknowledgment
+                # command (no large reply follows -- the ID is in hand).
+                total += self.reader_command_time(ACK_BITS) + self.t1 + self.t2
+        return total

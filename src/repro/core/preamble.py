@@ -1,0 +1,100 @@
+"""The QCD collision preamble ``r ⊕ f(r)``.
+
+Each tag answering a slot first transmits a *collision preamble*: the
+concatenation of a random positive l-bit integer ``r`` (l is the *strength*
+of QCD) and its check code ``c = f(r)``.  With ``f`` the bitwise complement
+the preamble is ``2l`` bits (``l_prm = 2l``; the paper recommends l = 8,
+i.e. a 16-bit preamble).
+
+The reader receives the Boolean sum of all preambles in the slot and splits
+it back into ``(r, c)``; the slot is single iff ``c == f(r)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bits.bitvec import BitVector
+from repro.bits.rng import RngStream
+from repro.core.collision_function import BitwiseComplement, CollisionFunction
+
+__all__ = ["CollisionPreamble", "PreambleCodec"]
+
+
+@dataclass(frozen=True)
+class CollisionPreamble:
+    """A decoded preamble: the random-integer field and the check field."""
+
+    r: BitVector
+    c: BitVector
+
+    @property
+    def strength(self) -> int:
+        return self.r.length
+
+    def to_signal(self) -> BitVector:
+        """Wire format: ``r ⊕ c`` (concatenation, r first)."""
+        return self.r + self.c
+
+
+class PreambleCodec:
+    """Generates and parses collision preambles of a given strength.
+
+    Parameters
+    ----------
+    strength:
+        l, the bit length of the random integer.  The paper studies
+        l ∈ {4, 8, 16} and recommends 8.
+    function:
+        The collision function; defaults to the paper's bitwise complement.
+    """
+
+    def __init__(
+        self,
+        strength: int,
+        function: CollisionFunction | None = None,
+    ) -> None:
+        if strength < 1:
+            raise ValueError("strength must be >= 1")
+        self.strength = strength
+        self.function = function if function is not None else BitwiseComplement()
+
+    @property
+    def preamble_bits(self) -> int:
+        """l_prm = 2l."""
+        return 2 * self.strength
+
+    def draw(self, rng: RngStream) -> CollisionPreamble:
+        """Draw a fresh preamble for one tag transmission.
+
+        The random integer is *strictly positive* (paper Section IV-A), so
+        a lone preamble can never be the all-zero signal and an idle slot
+        remains unambiguous.
+        """
+        r_val = int(rng.integers(1, 1 << self.strength))
+        r = BitVector(r_val, self.strength)
+        return CollisionPreamble(r=r, c=self.function(r))
+
+    def encode(self, r: BitVector) -> BitVector:
+        """Wire format for a given random integer."""
+        if r.length != self.strength:
+            raise ValueError(
+                f"r has {r.length} bits, codec strength is {self.strength}"
+            )
+        if r.is_zero():
+            raise ValueError("the preamble integer must be positive")
+        return r + self.function(r)
+
+    def decode(self, signal: BitVector) -> CollisionPreamble:
+        """Split a received ``2l``-bit signal into ``(r, c)``."""
+        if signal.length != self.preamble_bits:
+            raise ValueError(
+                f"signal has {signal.length} bits, expected {self.preamble_bits}"
+            )
+        return CollisionPreamble(
+            r=signal[: self.strength], c=signal[self.strength :]
+        )
+
+    def is_consistent(self, preamble: CollisionPreamble) -> bool:
+        """The reader's check: ``c == f(r)`` (single slot iff True)."""
+        return preamble.c == self.function(preamble.r)

@@ -1,0 +1,73 @@
+"""The real Gen2 baseline: an RN16 contention word with no structure.
+
+EPC Gen2 tags answer a Query with a bare 16-bit random number (RN16).
+Unlike QCD's preamble, the RN16 carries **no checkable structure**: the
+superposition of two RN16s is just another 16-bit word, so the reader
+cannot classify single vs collided from the contention phase at all.  It
+ACKs whatever it heard; a collision only surfaces when the garbled EPC
+fails its CRC-16 in the second phase, after the full ID window was spent.
+
+This detector models that behaviour so QCD can be compared against the
+protocol it actually refines -- QCD *is* an RN16 whose second half is the
+complement of its first, which is exactly what buys the early collision
+verdict:
+
+=============  ==============  ===========================================
+scheme         contention      collision discovered
+=============  ==============  ===========================================
+RN16 (Gen2)    16 bits, blind  after ACK + ID + CRC (the whole single slot)
+QCD            16 bits, checked at the preamble -- collided slots end early
+=============  ==============  ===========================================
+
+Use with ``policy="crc_guard"`` and ``TimingModel(guard_id_phase=True)``:
+the guard CRC is what catches the garble, and every collided slot is
+charged the full ACK'd ID phase it really consumes.
+"""
+
+from __future__ import annotations
+
+from repro.bits.bitvec import BitVector
+from repro.bits.rng import RngStream
+from repro.core.detector import CollisionDetector, SlotOutcome, SlotType
+
+__all__ = ["RN16Detector"]
+
+
+class RN16Detector(CollisionDetector):
+    """Structure-free random-number contention (EPC Gen2 RN16).
+
+    Parameters
+    ----------
+    rn_bits:
+        Length of the random word (Gen2: 16).
+    """
+
+    needs_id_phase = True
+
+    def __init__(self, rn_bits: int = 16) -> None:
+        if rn_bits < 1:
+            raise ValueError("rn_bits must be >= 1")
+        self.rn_bits = rn_bits
+        self.name = f"RN{rn_bits}"
+
+    @property
+    def contention_bits(self) -> int:
+        return self.rn_bits
+
+    def contention_payload(self, tag_id: int, rng: RngStream) -> BitVector:
+        """A uniformly random, strictly positive word (zero would fake an
+        idle slot under OOK, as in QCD)."""
+        value = int(rng.integers(1, 1 << self.rn_bits))
+        return BitVector(value, self.rn_bits)
+
+    def classify(self, signal: BitVector | None) -> SlotOutcome:
+        """No structure, no verdict: any energy is presumed a single (the
+        reader will ACK and find out in the ID phase)."""
+        if signal is None or signal.is_zero():
+            return SlotOutcome(SlotType.IDLE)
+        return SlotOutcome(SlotType.SINGLE)
+
+    def miss_probability(self, m: int) -> float:
+        """Every contention-phase collision goes unnoticed (to be caught
+        by the guard CRC in the ID phase)."""
+        return 1.0 if m >= 2 else 0.0

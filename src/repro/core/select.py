@@ -1,0 +1,99 @@
+"""Gen2 SELECT masks: scoping an inventory to part of the ID space.
+
+Before issuing Queries, a Gen2 reader broadcasts SELECT commands that
+match a bit mask against tag memory; only matching tags participate in
+the following inventory round.  This is how real systems inventory "just
+vendor X's cases" or exclude already-read tags.
+
+:class:`SelectMask` matches a bit pattern at an arbitrary offset of the
+ID (for SGTIN-96 EPCs, `for_company` builds the mask straight from the
+GS1 partition layout), and composes with the reader via
+``Reader.run_inventory(..., select=mask)`` -- non-matching tags simply
+never contend, exactly as silenced tags behave on air.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.bits.bitvec import BitVector
+from repro.tags.epc import PARTITION_TABLE, Sgtin96
+from repro.tags.tag import Tag
+
+__all__ = ["SelectMask"]
+
+
+@dataclass(frozen=True)
+class SelectMask:
+    """A bit-pattern match at a fixed offset of the tag ID.
+
+    Attributes
+    ----------
+    offset:
+        MSB-first bit position where the pattern starts.
+    pattern:
+        The bits that must match there.
+    negate:
+        If True, select the *non*-matching tags (Gen2's inverse action).
+    """
+
+    offset: int
+    pattern: BitVector
+    negate: bool = False
+
+    def __post_init__(self) -> None:
+        if self.offset < 0:
+            raise ValueError("offset must be >= 0")
+        if self.pattern.length == 0:
+            raise ValueError("pattern must be non-empty")
+
+    @property
+    def end(self) -> int:
+        return self.offset + self.pattern.length
+
+    def matches(self, tag: Tag) -> bool:
+        """True iff the tag participates under this mask."""
+        if self.end > tag.id_bits:
+            matched = False
+        else:
+            matched = tag.id_vector[self.offset : self.end] == self.pattern
+        return matched != self.negate
+
+    def filter(self, tags: Iterable[Tag]) -> list[Tag]:
+        return [t for t in tags if self.matches(t)]
+
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def for_prefix(cls, prefix: BitVector, negate: bool = False) -> "SelectMask":
+        """Match an ID prefix (offset 0)."""
+        return cls(offset=0, pattern=prefix, negate=negate)
+
+    @classmethod
+    def for_company(
+        cls, partition: int, company_prefix: int, negate: bool = False
+    ) -> "SelectMask":
+        """Match every SGTIN-96 EPC of one GS1 company prefix.
+
+        The company field sits right after header(8) + filter(3) +
+        partition(3); its width comes from the partition table.
+        """
+        if partition not in PARTITION_TABLE:
+            raise ValueError(f"invalid partition {partition}")
+        company_bits, _ = PARTITION_TABLE[partition]
+        if not 0 <= company_prefix < (1 << company_bits):
+            raise ValueError("company_prefix out of range for partition")
+        # Match header+filter(any)+partition+company?  The filter bits
+        # vary per item, so anchor the pattern at the partition field.
+        offset = 8 + 3  # header + filter
+        pattern = BitVector(partition, 3) + BitVector(company_prefix, company_bits)
+        return cls(offset=offset, pattern=pattern, negate=negate)
+
+    @classmethod
+    def excluding(cls, tags: Sequence[Tag]) -> list["SelectMask"]:
+        """Masks that silence exactly the given tags (one per tag --
+        Gen2 readers chain SELECTs the same way)."""
+        return [
+            cls(offset=0, pattern=t.id_vector, negate=True) for t in tags
+        ]

@@ -1,0 +1,95 @@
+"""Per-slot airtime accounting (paper Section V).
+
+The paper charges identification time purely in transmitted bits, with
+``τ`` the time to transmit one bit (the evaluation uses τ = 1 µs and
+ignores synchronization and query broadcast, which are identical across
+schemes -- Section VI-A).  Slot durations:
+
+===========  =======================  ==============================
+scheme       idle / collided slot     single slot
+===========  =======================  ==============================
+CRC-CD       ``(l_id + l_crc)·τ``     ``(l_id + l_crc)·τ``
+QCD          ``l_prm·τ``              ``(l_prm + l_id)·τ``
+QCD+guard    ``l_prm·τ``              ``(l_prm + l_id + l_crc)·τ``
+ideal        ``l_id·τ``               ``l_id·τ``
+===========  =======================  ==============================
+
+CRC-CD slots are all full-length because the reader cannot know a slot's
+type before the whole ``id ⊕ crc(id)`` window has elapsed.  QCD slots are
+*variable length*: idle and collided slots end after the preamble; only an
+acknowledged single slot is extended by the ID phase.  The ``QCD+guard``
+row is our ``crc_guard`` policy (DESIGN.md §5), where the second-phase ID
+carries a CRC so that preamble misses are caught; it is off by default to
+match the paper's accounting.
+
+Durations are keyed by the *detected* slot type: a collision that QCD
+misses is charged as a single slot, because the reader really would run the
+ID phase.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.detector import CollisionDetector, SlotType
+
+__all__ = ["TimingModel"]
+
+
+@dataclass(frozen=True)
+class TimingModel:
+    """Airtime parameters.
+
+    Attributes
+    ----------
+    tau:
+        Time to transmit one bit (µs in the paper's figures).
+    id_bits:
+        l_id, the tag ID length (paper: 64).
+    crc_bits:
+        l_crc, the CRC length used by CRC-CD *and* by the optional
+        ``crc_guard`` ID phase (paper: 32).
+    guard_id_phase:
+        If True, two-phase schemes append a CRC to the second-phase ID
+        transmission (the ``crc_guard`` policy).
+    """
+
+    tau: float = 1.0
+    id_bits: int = 64
+    crc_bits: int = 32
+    guard_id_phase: bool = False
+
+    def __post_init__(self) -> None:
+        if self.tau <= 0:
+            raise ValueError("tau must be positive")
+        if self.id_bits < 1 or self.crc_bits < 0:
+            raise ValueError("invalid bit lengths")
+
+    def slot_duration(
+        self, detector: CollisionDetector, detected: SlotType
+    ) -> float:
+        """Airtime consumed by one slot, given the detector's verdict."""
+        contention = detector.contention_bits * self.tau
+        if not detector.needs_id_phase:
+            # One-phase scheme: every slot is a full contention window.
+            return contention
+        if detected is SlotType.SINGLE:
+            extra = self.id_bits + (self.crc_bits if self.guard_id_phase else 0)
+            return contention + extra * self.tau
+        return contention
+
+    def inventory_time(
+        self,
+        detector: CollisionDetector,
+        n_idle: int,
+        n_single: int,
+        n_collided: int,
+    ) -> float:
+        """Total airtime for an inventory with the given detected-slot
+        counts.  This is the closed-form the paper's Section V analysis and
+        Figure 7 use."""
+        return (
+            n_idle * self.slot_duration(detector, SlotType.IDLE)
+            + n_single * self.slot_duration(detector, SlotType.SINGLE)
+            + n_collided * self.slot_duration(detector, SlotType.COLLIDED)
+        )

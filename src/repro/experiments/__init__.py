@@ -1,0 +1,32 @@
+"""Experiment harness: regenerate every table and figure of the paper.
+
+* :mod:`repro.experiments.config` -- the simulation cases (Table VI) and
+  paper reference values;
+* :mod:`repro.experiments.runner` -- Monte-Carlo runners with result
+  memoization (the evaluation's tables and figures share runs);
+* :mod:`repro.experiments.tables` / :mod:`repro.experiments.figures` --
+  one generator per table/figure, returning row dicts / series;
+* :mod:`repro.experiments.report`  -- plain-text rendering;
+* :mod:`repro.experiments.cli`     -- ``python -m repro.experiments``.
+"""
+
+from repro.experiments.config import (
+    CASES,
+    CRC_BITS,
+    ID_BITS,
+    STRENGTHS,
+    TAU,
+    SimulationCase,
+)
+from repro.experiments.runner import AggregateStats, ExperimentSuite
+
+__all__ = [
+    "SimulationCase",
+    "CASES",
+    "STRENGTHS",
+    "ID_BITS",
+    "CRC_BITS",
+    "TAU",
+    "ExperimentSuite",
+    "AggregateStats",
+]

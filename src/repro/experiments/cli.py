@@ -1,0 +1,118 @@
+"""Command-line entry point: regenerate any table or figure.
+
+Usage::
+
+    python -m repro.experiments table7 --rounds 100 --seed 2010
+    python -m repro.experiments all --rounds 20
+    repro-experiments fig8
+
+Paper experiments: table2 table3 table4 table7 table8 table9 fig5 fig6
+fig7 fig8 (``all`` runs these).  Beyond-the-paper studies: gen2 energy
+estimators noise neighbor coverage missing (``extensions`` runs these;
+see also the asserted versions under ``benchmarks/``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Mapping, Sequence
+
+from repro.experiments import extensions, figures, tables
+from repro.experiments.config import DEFAULT_ROUNDS
+from repro.experiments.report import render_table
+from repro.experiments.runner import ExperimentSuite
+
+__all__ = ["main", "EXPERIMENTS", "EXTENSIONS"]
+
+#: experiment id -> (needs_suite, generator, title)
+EXPERIMENTS: dict[str, tuple[bool, Callable, str]] = {
+    "table2": (False, tables.table2, "Table II: minimum EI on FSA (theory)"),
+    "table3": (False, tables.table3, "Table III: average EI on BT (theory)"),
+    "table4": (False, tables.table4, "Table IV: CRC-CD vs QCD cost (measured)"),
+    "table7": (True, tables.table7, "Table VII: FSA simulation"),
+    "table8": (True, tables.table8, "Table VIII: BT simulation"),
+    "table9": (True, tables.table9, "Table IX: QCD utilization rate (FSA)"),
+    "fig5": (True, figures.fig5, "Figure 5: QCD detection accuracy (FSA)"),
+    "fig6": (True, figures.fig6, "Figure 6: identification delay (FSA)"),
+    "fig7": (True, figures.fig7, "Figure 7: transmission time"),
+    "fig8": (True, figures.fig8, "Figure 8: measured EI"),
+}
+
+#: beyond-the-paper study id -> (generator(seed=...), title)
+EXTENSIONS: dict[str, tuple[Callable, str]] = {
+    "gen2": (extensions.ext_gen2, "Extension: EI under Gen2 link timing"),
+    "energy": (extensions.ext_energy, "Extension: energy budget per inventory"),
+    "estimators": (
+        extensions.ext_estimators,
+        "Extension: DFSA estimator race (n=5000)",
+    ),
+    "noise": (extensions.ext_noise, "Extension: bit-error robustness sweep"),
+    "neighbor": (
+        extensions.ext_neighbor,
+        "Extension: neighbor discovery (paper §VII)",
+    ),
+    "coverage": (
+        extensions.ext_coverage,
+        "Extension: sensor-field coverage (paper §VII)",
+    ),
+    "missing": (
+        extensions.ext_missing,
+        "Extension: missing-tag verification",
+    ),
+}
+
+
+def run_experiment(
+    exp_id: str, suite: ExperimentSuite
+) -> Sequence[Mapping[str, str]]:
+    """Run one experiment and return its rows."""
+    if exp_id in EXPERIMENTS:
+        needs_suite, fn, _ = EXPERIMENTS[exp_id]
+        return fn(suite) if needs_suite else fn()
+    fn, _ = EXTENSIONS[exp_id]
+    return fn(seed=suite.seed)
+
+
+def _title(exp_id: str) -> str:
+    if exp_id in EXPERIMENTS:
+        return EXPERIMENTS[exp_id][2]
+    return EXTENSIONS[exp_id][1]
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate the paper's tables and figures, plus the "
+        "beyond-the-paper extension studies.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=[*EXPERIMENTS, *EXTENSIONS, "all", "extensions"],
+        help="experiment id, 'all' (paper) or 'extensions'",
+    )
+    parser.add_argument(
+        "--rounds",
+        type=int,
+        default=DEFAULT_ROUNDS,
+        help=f"Monte-Carlo rounds per grid point (default {DEFAULT_ROUNDS})",
+    )
+    parser.add_argument("--seed", type=int, default=2010, help="root seed")
+    args = parser.parse_args(argv)
+
+    suite = ExperimentSuite(rounds=args.rounds, seed=args.seed)
+    if args.experiment == "all":
+        ids = list(EXPERIMENTS)
+    elif args.experiment == "extensions":
+        ids = list(EXTENSIONS)
+    else:
+        ids = [args.experiment]
+    for exp_id in ids:
+        rows = run_experiment(exp_id, suite)
+        print(render_table(rows, title=_title(exp_id)))
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

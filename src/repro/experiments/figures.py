@@ -1,0 +1,89 @@
+"""Generators for the paper's figures (5, 6, 7, 8) as numeric series.
+
+We regenerate the *data* each figure plots (the repository is plot-library
+free); every function returns row dicts with the same series the paper
+draws, so shapes and crossovers can be checked numerically and rendered by
+any front end.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.ei import measured_ei
+from repro.experiments.config import CASES, PAPER_FIG8_FSA, STRENGTHS
+from repro.experiments.runner import ExperimentSuite
+
+__all__ = ["fig5", "fig6", "fig7", "fig8"]
+
+
+def fig5(suite: ExperimentSuite) -> list[dict[str, str]]:
+    """Figure 5: QCD collision-detection accuracy per strength per case
+    (FSA identification, Section VI-B)."""
+    rows = []
+    for name, case in CASES.items():
+        row: dict[str, str] = {"case": f"{case.n_tags}"}
+        for strength in STRENGTHS:
+            agg = suite.run(case, "fsa", f"qcd-{strength}")
+            row[f"{strength}-bit"] = f"{agg.accuracy:.6f}"
+        rows.append(row)
+    return rows
+
+
+def fig6(suite: ExperimentSuite) -> list[dict[str, str]]:
+    """Figure 6: average identification delay (and spread), CRC-CD vs
+    QCD-8, per case.  The paper reports >80 % delay reduction and a
+    tighter concentration for QCD."""
+    rows = []
+    for name, case in CASES.items():
+        crc = suite.run(case, "fsa", "crc")
+        qcd = suite.run(case, "fsa", "qcd-8")
+        reduction = 1.0 - qcd.delay_mean / crc.delay_mean
+        rows.append(
+            {
+                "case": f"{case.n_tags}",
+                "CRC-CD delay (µs)": f"{crc.delay_mean:,.0f} ± {crc.delay_std:,.0f}",
+                "QCD delay (µs)": f"{qcd.delay_mean:,.0f} ± {qcd.delay_std:,.0f}",
+                "reduction": f"{reduction:.1%}",
+            }
+        )
+    return rows
+
+
+def fig7(suite: ExperimentSuite) -> list[dict[str, str]]:
+    """Figure 7: total transmission time (µs), CRC-CD vs QCD-8, on FSA
+    (panel a) and BT (panel b), per case."""
+    rows = []
+    for protocol in ("fsa", "bt"):
+        for name, case in CASES.items():
+            crc = suite.run(case, protocol, "crc")
+            qcd = suite.run(case, protocol, "qcd-8")
+            rows.append(
+                {
+                    "panel": "7(a) FSA" if protocol == "fsa" else "7(b) BT",
+                    "case": f"{case.n_tags}",
+                    "CRC-CD time (µs)": f"{crc.total_time:,.0f}",
+                    "QCD time (µs)": f"{qcd.total_time:,.0f}",
+                    "ratio": f"{qcd.total_time / crc.total_time:.3f}",
+                }
+            )
+    return rows
+
+
+def fig8(suite: ExperimentSuite) -> list[dict[str, str]]:
+    """Figure 8: measured EI of QCD over CRC-CD per case per strength,
+    on FSA (panel a) and BT (panel b)."""
+    rows = []
+    for protocol in ("fsa", "bt"):
+        for name, case in CASES.items():
+            crc = suite.run(case, protocol, "crc")
+            row: dict[str, str] = {
+                "panel": "8(a) FSA" if protocol == "fsa" else "8(b) BT",
+                "case": f"{case.n_tags}",
+            }
+            for strength in STRENGTHS:
+                qcd = suite.run(case, protocol, f"qcd-{strength}")
+                ei = measured_ei(crc.total_time, qcd.total_time)
+                row[f"strength={strength}"] = f"{ei:.4f}"
+            if protocol == "fsa":
+                row["paper (8-bit)"] = f"{PAPER_FIG8_FSA[name]:.2f}"
+            rows.append(row)
+    return rows

@@ -1,0 +1,38 @@
+"""Plain-text rendering for experiment tables."""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+__all__ = ["render_table"]
+
+
+def render_table(
+    rows: Sequence[Mapping[str, str]], title: str | None = None
+) -> str:
+    """Render row dicts as an aligned ASCII table.
+
+    Column order follows the first row's key order (dicts preserve
+    insertion order); missing cells render empty.
+    """
+    if not rows:
+        return f"{title}\n(no rows)" if title else "(no rows)"
+    columns: list[str] = []
+    for row in rows:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+    widths = {
+        c: max(len(c), *(len(str(r.get(c, ""))) for r in rows)) for c in columns
+    }
+    sep = "-+-".join("-" * widths[c] for c in columns)
+    header = " | ".join(c.ljust(widths[c]) for c in columns)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.extend([header, sep])
+    for row in rows:
+        lines.append(
+            " | ".join(str(row.get(c, "")).ljust(widths[c]) for c in columns)
+        )
+    return "\n".join(lines)

@@ -1,0 +1,51 @@
+"""Anti-collision protocols (the slot-scheduling layer).
+
+Two families, per the paper's Section II/III:
+
+* Framed Slotted ALOHA: :class:`~repro.protocols.fsa.FramedSlottedAloha`
+  (fixed frame, the paper's Table VII policy),
+  :class:`~repro.protocols.dfsa.DynamicFSA` (Lee-style frame adaptation via
+  cardinality estimators) and
+  :class:`~repro.protocols.qadaptive.QAdaptive` (EPC Gen2 'Q' algorithm);
+* Tree protocols: :class:`~repro.protocols.bt.BinaryTree` (counter-based
+  splitting, Section III-B), :class:`~repro.protocols.qt.QueryTree`
+  (prefix probing), and the adaptive variants
+  :class:`~repro.protocols.abs_protocol.AdaptiveBinarySplitting` and
+  :class:`~repro.protocols.aqs.AdaptiveQuerySplitting` (Myung & Lee).
+
+All protocols implement :class:`~repro.protocols.base.AntiCollisionProtocol`
+and are detector-agnostic: they decide *who* transmits in each slot; the
+collision detector decides how the reader classifies the slot.
+"""
+
+from repro.protocols.abs_protocol import AdaptiveBinarySplitting
+from repro.protocols.aqs import AdaptiveQuerySplitting
+from repro.protocols.base import AntiCollisionProtocol
+from repro.protocols.bt import BinaryTree
+from repro.protocols.dfsa import DynamicFSA
+from repro.protocols.estimators import (
+    EomLeeEstimator,
+    LowerBoundEstimator,
+    MleEstimator,
+    SchouteEstimator,
+    VogtEstimator,
+)
+from repro.protocols.fsa import FramedSlottedAloha
+from repro.protocols.qadaptive import QAdaptive
+from repro.protocols.qt import QueryTree
+
+__all__ = [
+    "AntiCollisionProtocol",
+    "FramedSlottedAloha",
+    "DynamicFSA",
+    "QAdaptive",
+    "BinaryTree",
+    "QueryTree",
+    "AdaptiveBinarySplitting",
+    "AdaptiveQuerySplitting",
+    "LowerBoundEstimator",
+    "SchouteEstimator",
+    "VogtEstimator",
+    "EomLeeEstimator",
+    "MleEstimator",
+]

@@ -1,0 +1,118 @@
+"""Adaptive Query Splitting (Myung & Lee; paper Section II).
+
+AQS is to the Query Tree what ABS is to the Binary Tree: the reader
+remembers the outcome of the previous round.  The prefixes that produced
+*single* or *idle* slots last round form the starting queue of the next
+round, so an unchanged population is re-inventoried without a single
+collision, and a changed one only pays splitting cost where tags actually
+moved.  (A fresh round starts from the two one-bit prefixes as in plain
+QT.)
+
+Idle prefixes are retained because a tag that just *arrived* may land under
+one; dropping them would orphan arrivals.  To keep the queue from growing
+without bound after departures, *idle sibling pairs* are merged back into
+their parent between rounds (the parent is guaranteed idle too, so the
+merge loses nothing); a single-prefix is never merged, since combining it
+with its sibling would re-create the collision the previous round already
+paid to resolve.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Sequence
+
+from repro.bits.bitvec import BitVector
+from repro.core.detector import SlotType
+from repro.protocols.base import AntiCollisionProtocol
+from repro.tags.tag import Tag
+
+__all__ = ["AdaptiveQuerySplitting"]
+
+
+class AdaptiveQuerySplitting(AntiCollisionProtocol):
+    """Query tree with a warm-start candidate queue."""
+
+    framed = False
+
+    def __init__(self, max_slots: int | None = None) -> None:
+        super().__init__()
+        self.name = "AQS"
+        self.max_slots = max_slots
+        self._queue: deque[BitVector] = deque()
+        #: (prefix, was_idle) outcomes of this round, seeding the next.
+        self.candidate_queue: list[tuple[BitVector, bool]] = []
+        self.aborted = False
+
+    def start(self, tags: Sequence[Tag], fresh: bool = True) -> None:
+        AntiCollisionProtocol.start(self, tags)
+        self.frames_started = 1  # one continuous logical frame
+        self.aborted = False
+        if fresh or not self.candidate_queue:
+            self._queue = deque([BitVector(0, 1), BitVector(1, 1)])
+        else:
+            self._queue = deque(self._compact(self.candidate_queue))
+        self.candidate_queue = []
+
+    @staticmethod
+    def _compact(candidates: Sequence[tuple[BitVector, bool]]) -> list[BitVector]:
+        """Merge *idle* sibling pairs up to their parent, repeatedly.
+
+        Single-prefixes are kept verbatim: merging one with anything could
+        put two tags back under one probe.  Merging two idle siblings is
+        safe -- their parent covers the same (empty) region.
+        """
+        idle = {p.to_bitstring() for p, was_idle in candidates if was_idle}
+        keep = [p for p, was_idle in candidates if not was_idle]
+        changed = True
+        while changed:
+            changed = False
+            for s in sorted(idle, key=len, reverse=True):
+                if len(s) <= 1 or s not in idle:
+                    continue
+                sibling = s[:-1] + ("1" if s[-1] == "0" else "0")
+                if sibling in idle:
+                    idle.discard(s)
+                    idle.discard(sibling)
+                    idle.add(s[:-1])
+                    changed = True
+                    break
+        merged = keep + [BitVector.from_bitstring(s) for s in sorted(idle)]
+        merged.sort(key=lambda p: (p.length, p.to_bitstring()))
+        return merged
+
+    # ------------------------------------------------------------------
+
+    def responders(self) -> list[Tag]:
+        if not self._queue:
+            return []
+        prefix = self._queue[0]
+        return [t for t in self.active_tags() if t.responds_to_prefix(prefix)]
+
+    def feedback(self, effective: SlotType, responders: list[Tag]) -> None:
+        self._note_slot()
+        prefix = self._queue.popleft()
+        if effective is SlotType.COLLIDED:
+            id_bits = self._tags[0].id_bits if self._tags else 0
+            if prefix.length < id_bits:
+                self._queue.append(prefix + BitVector(0, 1))
+                self._queue.append(prefix + BitVector(1, 1))
+        else:
+            # Remember readable prefixes for the next round's warm start.
+            self.candidate_queue.append((prefix, effective is SlotType.IDLE))
+        if self.max_slots is not None and self.slots_elapsed >= self.max_slots:
+            self.aborted = True
+            self._queue.clear()
+
+    @property
+    def finished(self) -> bool:
+        if not self._queue:
+            return True
+        if not self.active_tags():
+            # Early exit: every tag identified.  The unprobed prefixes would
+            # all read idle; fold them into the candidates so the next
+            # round's warm start still covers their regions.
+            self.candidate_queue.extend((p, True) for p in self._queue)
+            self._queue.clear()
+            return True
+        return False

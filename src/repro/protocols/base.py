@@ -1,0 +1,110 @@
+"""The protocol interface shared by FSA- and tree-family algorithms.
+
+An anti-collision protocol is a slot scheduler: given feedback about each
+slot's (detected) type it decides which unidentified tags transmit next.
+The reader (:class:`repro.sim.reader.Reader`) drives the loop::
+
+    protocol.start(tags)
+    while not protocol.finished:
+        responders = protocol.responders()
+        ... compose signals, classify with the detector ...
+        protocol.feedback(effective_type, responders)
+
+``feedback`` receives the *effective* slot type -- normally the true one,
+but under the ``"lost"`` misdetection policy a missed collision is fed back
+as SINGLE, because that is what the tags experience (they hear an ACK and
+retire).  Protocols must therefore never assume a SINGLE slot had exactly
+one responder.
+
+Protocols also expose ``frames_started`` so the harness can report the
+paper's "# of frame" column; tree protocols count the whole identification
+as a sequence of slots and report the slot count there, matching the
+paper's Table VIII convention.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Sequence
+
+from repro.core.detector import SlotType
+from repro.tags.tag import Tag
+
+__all__ = ["AntiCollisionProtocol"]
+
+
+class AntiCollisionProtocol(ABC):
+    """Base class for slot-scheduling protocols."""
+
+    #: Human-readable protocol name.
+    name: str = "abstract"
+
+    #: Whether the protocol counts progress in frames (FSA family) or in
+    #: raw slots (tree family).
+    framed: bool = True
+
+    def __init__(self) -> None:
+        self._tags: list[Tag] = []
+        self.frames_started = 0
+        self.slots_elapsed = 0
+
+    # ------------------------------------------------------------------
+
+    @property
+    def tags(self) -> list[Tag]:
+        return self._tags
+
+    def active_tags(self) -> list[Tag]:
+        """Tags still contending (not identified / retired)."""
+        return [t for t in self._tags if not t.identified]
+
+    def start(self, tags: Sequence[Tag]) -> None:
+        """Begin an identification round over ``tags``.
+
+        Subclasses extend this to set up their initial schedule; they must
+        call ``super().start(tags)`` first.
+        """
+        self._tags = list(tags)
+        self.frames_started = 0
+        self.slots_elapsed = 0
+
+    def admit(self, tag: Tag) -> None:
+        """A tag entered the interrogation range mid-round (mobility).
+
+        Default: it joins the contention set and will be scheduled from the
+        next frame / splitting decision.  Subclasses refine this.
+        """
+        self._tags.append(tag)
+
+    def withdraw(self, tag: Tag) -> None:
+        """A tag left the range mid-round; it stops responding."""
+        if tag in self._tags:
+            self._tags.remove(tag)
+
+    # ------------------------------------------------------------------
+
+    @abstractmethod
+    def responders(self) -> list[Tag]:
+        """The tags that transmit in the next slot (may be empty)."""
+
+    @abstractmethod
+    def feedback(self, effective: SlotType, responders: list[Tag]) -> None:
+        """Deliver the reader's verdict for the slot just run.
+
+        ``responders`` is the same list :meth:`responders` returned, so
+        implementations need not recompute it.  Identified/retired marking
+        is the *reader's* job; the protocol only updates its schedule.
+        """
+
+    @property
+    @abstractmethod
+    def finished(self) -> bool:
+        """True when the protocol has no more slots to run."""
+
+    # ------------------------------------------------------------------
+
+    def _note_slot(self) -> None:
+        self.slots_elapsed += 1
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(name={self.name!r})"

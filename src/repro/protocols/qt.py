@@ -1,0 +1,94 @@
+"""The Query Tree protocol (Law, Lee & Siu; paper Section II).
+
+The reader keeps a queue of bit-string prefixes, initially the empty
+prefix.  Each slot it broadcasts the front prefix; tags whose ID starts
+with it respond.  On a collision the prefix is extended with 0 and with 1
+and both are enqueued, deterministically splitting the responders by their
+next ID bit.  The walk ends when the queue drains, so every tag is
+eventually identified -- QT is *memoryless* on the tag side and immune to
+the starvation problem of randomized protocols.
+
+The flip side (paper Section II): a *malicious* tag that answers every
+prefix drives the reader down an exponential walk of the full ID tree --
+see :mod:`repro.security.blocker` for that attack and the selective
+"blocker tag" privacy construction built on it.
+
+The queue is bounded in our implementation (``max_slots``) so adversarial
+populations terminate the simulation cleanly instead of hanging.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Sequence
+
+from repro.bits.bitvec import BitVector
+from repro.core.detector import SlotType
+from repro.protocols.base import AntiCollisionProtocol
+from repro.tags.tag import Tag
+
+__all__ = ["QueryTree"]
+
+
+class QueryTree(AntiCollisionProtocol):
+    """Prefix-probing deterministic tree walk.
+
+    Parameters
+    ----------
+    max_slots:
+        Safety bound on the number of probes (default: none).  When the
+        bound is hit -- which only happens under adversarial interference
+        -- the protocol reports itself finished and leaves the remaining
+        tags unidentified; the caller can inspect ``aborted``.
+    """
+
+    framed = False
+
+    def __init__(self, max_slots: int | None = None) -> None:
+        super().__init__()
+        self.name = "QT"
+        self.max_slots = max_slots
+        self._queue: deque[BitVector] = deque()
+        self._current: BitVector | None = None
+        self.aborted = False
+
+    def start(self, tags: Sequence[Tag]) -> None:
+        super().start(tags)
+        if tags and len({t.id_bits for t in tags}) > 1:
+            raise ValueError("QueryTree requires uniform ID length")
+        self._queue = deque([BitVector(0, 0)])
+        self._current = None
+        self.aborted = False
+        self.frames_started = 1  # one continuous logical frame
+
+    # ------------------------------------------------------------------
+
+    def responders(self) -> list[Tag]:
+        if not self._queue:
+            return []
+        self._current = self._queue[0]
+        return [
+            t
+            for t in self.active_tags()
+            if t.responds_to_prefix(self._current)
+        ]
+
+    def feedback(self, effective: SlotType, responders: list[Tag]) -> None:
+        self._note_slot()
+        prefix = self._queue.popleft()
+        if effective is SlotType.COLLIDED:
+            id_bits = self._tags[0].id_bits if self._tags else 0
+            if prefix.length >= id_bits:
+                # Prefix already spans the whole ID: only duplicate or
+                # adversarial tags can still collide here; drop the branch.
+                pass
+            else:
+                self._queue.append(prefix + BitVector(0, 1))
+                self._queue.append(prefix + BitVector(1, 1))
+        if self.max_slots is not None and self.slots_elapsed >= self.max_slots:
+            self.aborted = True
+            self._queue.clear()
+
+    @property
+    def finished(self) -> bool:
+        return not self._queue or not self.active_tags()

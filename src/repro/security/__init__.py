@@ -1,0 +1,27 @@
+"""Boolean-sum security extensions (paper Section II, related work).
+
+The same signal-overlap model QCD exploits underpins a line of RFID
+privacy work the paper surveys; we implement the three constructions it
+cites so the substrate is exercised beyond collision detection:
+
+* :mod:`repro.security.blocker` -- the malicious always-responder that
+  stalls Query-Tree readers, and Juels-Rivest-Szydlo *blocker tags* that
+  weaponize it to shield a privacy zone of IDs;
+* :mod:`repro.security.backward` -- randomized bit encoding (Lim et al.)
+  and pseudo-ID mixing (Choi & Roh) for backward-channel protection;
+* :mod:`repro.security.entropy` -- the entropy-based leakage metric used
+  to score those defenses.
+"""
+
+from repro.security.backward import PseudoIdMixer, RandomizedBitEncoder
+from repro.security.blocker import BlockerTag, MaliciousTag
+from repro.security.entropy import bit_leakage, eavesdropper_entropy
+
+__all__ = [
+    "MaliciousTag",
+    "BlockerTag",
+    "RandomizedBitEncoder",
+    "PseudoIdMixer",
+    "bit_leakage",
+    "eavesdropper_entropy",
+]

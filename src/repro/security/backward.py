@@ -1,0 +1,125 @@
+"""Backward-channel protection schemes (paper Section II, refs [5][6]).
+
+The forward channel (reader -> tags) is much stronger than the backward
+channel (tags -> reader), so a distant eavesdropper hears the reader's
+queries but not the tags' replies.  Two constructions exploit this
+asymmetry together with the Boolean-sum overlap model:
+
+* **Pseudo-ID mixing** (Choi & Roh): the reader generates a random
+  pseudo-ID and has its own trusted device transmit it *concurrently* with
+  the tag, so the air carries ``id ∨ pseudo``.  Knowing ``pseudo``, the
+  reader recovers every ID bit where the pseudo bit is 0; an eavesdropper
+  without it learns only those positions where the mix is 0 (both must be
+  0 there).
+* **Randomized bit encoding** (Lim, Li & Yeo): each ID bit is expanded to
+  a k-bit codeword chosen at random among the codewords of matching
+  parity; the reader checks parity per group, while an eavesdropper
+  watching one reply learns nothing deterministic and suffers the
+  "same-bit problem" only statistically.
+
+Leakage of both schemes is quantified in :mod:`repro.security.entropy`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bits.bitvec import BitVector
+from repro.bits.rng import RngStream
+
+__all__ = ["PseudoIdMixer", "RandomizedBitEncoder"]
+
+
+@dataclass
+class PseudoIdMixer:
+    """Pseudo-ID backward-channel protection.
+
+    The reader draws ``pseudo`` and observes ``mixed = id ∨ pseudo``.
+    Recovery: where ``pseudo`` has a 0, the mixed bit *is* the ID bit;
+    where ``pseudo`` has a 1, the mixed bit is 1 regardless, and the
+    reader must query again with a fresh pseudo-ID to pin those positions
+    down.  ``rounds_to_recover`` returns how many mixes a reader needs on
+    average to learn every bit (a geometric race on each position).
+    """
+
+    rng: RngStream
+
+    def draw_pseudo(self, length: int) -> BitVector:
+        return BitVector.random(length, self.rng.generator)
+
+    @staticmethod
+    def mix(tag_id: BitVector, pseudo: BitVector) -> BitVector:
+        """What the air carries: the Boolean sum of tag and pseudo."""
+        return tag_id | pseudo
+
+    @staticmethod
+    def recover_known(mixed: BitVector, pseudo: BitVector) -> dict[int, int]:
+        """Reader-side recovery: bit position -> value, for every position
+        whose pseudo bit is 0 (the others stay ambiguous this round)."""
+        out: dict[int, int] = {}
+        for k in range(mixed.length):
+            if pseudo.bit(k) == 0:
+                out[k] = mixed.bit(k)
+        return out
+
+    @staticmethod
+    def eavesdrop(mixed: BitVector) -> dict[int, int]:
+        """Eavesdropper inference without the pseudo-ID: a 0 in the mix
+        proves the ID bit is 0; a 1 is uninformative (could be either)."""
+        return {
+            k: 0 for k in range(mixed.length) if mixed.bit(k) == 0
+        }
+
+    def recover_id(self, tag_id: BitVector, max_rounds: int = 256) -> tuple[BitVector, int]:
+        """Run mixing rounds until every bit is pinned; returns the
+        recovered ID and the number of rounds used."""
+        known: dict[int, int] = {}
+        rounds = 0
+        while len(known) < tag_id.length:
+            if rounds >= max_rounds:
+                raise RuntimeError("pseudo-ID recovery did not converge")
+            pseudo = self.draw_pseudo(tag_id.length)
+            mixed = self.mix(tag_id, pseudo)
+            known.update(self.recover_known(mixed, pseudo))
+            rounds += 1
+        bits = [known[k] for k in range(tag_id.length)]
+        return BitVector.from_bits(bits), rounds
+
+
+@dataclass
+class RandomizedBitEncoder:
+    """Randomized bit encoding with k-bit parity codewords.
+
+    Each ID bit ``b`` becomes a uniformly random k-bit word of parity
+    ``b`` (k even would make parity-0 words include the zero word; any
+    k >= 2 works).  Decoding is the XOR-parity of each group -- robust to
+    which codeword was drawn, so the tag can re-randomize every reply.
+    """
+
+    expansion: int
+    rng: RngStream
+
+    def __post_init__(self) -> None:
+        if self.expansion < 2:
+            raise ValueError("expansion factor must be >= 2")
+
+    def encode(self, tag_id: BitVector) -> BitVector:
+        words = []
+        for bit in tag_id:
+            word = int(self.rng.integers(0, 1 << self.expansion))
+            if (word.bit_count() & 1) != bit:
+                word ^= 1  # flip the last bit to fix the parity
+            words.append(BitVector(word, self.expansion))
+        out = words[0]
+        for w in words[1:]:
+            out = out + w
+        return out
+
+    def decode(self, encoded: BitVector) -> BitVector:
+        if encoded.length % self.expansion:
+            raise ValueError("encoded length is not a codeword multiple")
+        bits = []
+        for i in range(0, encoded.length, self.expansion):
+            group = encoded[i : i + self.expansion]
+            bits.append(group.popcount() & 1)
+        return BitVector.from_bits(bits)

@@ -1,0 +1,75 @@
+"""Malicious and blocker tags (paper Section II).
+
+A Query-Tree reader walks the ID tree guided by collisions.  A *malicious*
+tag that answers **every** prefix makes every probe collide, so the reader
+descends the complete binary tree of depth l_id and "fails to identify any
+tag".  Juels, Rivest & Szydlo turned this into a privacy feature: a
+*blocker tag* answers only under a designated privacy-zone prefix, forcing
+the reader to enumerate that subtree (hiding which consumer items are
+present) while leaving the rest of the ID space readable.
+
+Both are ordinary :class:`~repro.tags.tag.Tag` objects overriding
+:meth:`~repro.tags.tag.Tag.responds_to_prefix`, so every protocol in
+:mod:`repro.protocols` can face them unchanged.  Use ``QueryTree`` with a
+``max_slots`` bound when simulating them -- that is precisely the
+starvation behaviour under test.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bits.bitvec import BitVector
+from repro.tags.tag import Tag
+
+__all__ = ["MaliciousTag", "BlockerTag"]
+
+
+@dataclass
+class MaliciousTag(Tag):
+    """Answers every Query-Tree probe: universal jamming.
+
+    Its "ID" is never legitimately readable; the reader sees a collision on
+    every prefix, including full-length ones.
+    """
+
+    def responds_to_prefix(self, prefix: BitVector) -> bool:
+        return True
+
+    def mark_identified(self, at_time: float) -> None:
+        """A jammer never retires: even when the reader believes it read an
+        ID (a phantom single slot), the device keeps answering."""
+
+    def __hash__(self) -> int:
+        return id(self)
+
+
+@dataclass
+class BlockerTag(Tag):
+    """Selective blocker: jams only prefixes inside the privacy zone.
+
+    Parameters
+    ----------
+    privacy_prefix:
+        The zone being shielded; the blocker answers any probe that is a
+        prefix of -- or extends -- this zone, simulating both subtree
+        branches simultaneously.
+    """
+
+    privacy_prefix: BitVector = BitVector(1, 1)
+
+    def responds_to_prefix(self, prefix: BitVector) -> bool:
+        zone = self.privacy_prefix
+        if prefix.length <= zone.length:
+            # Probe above/at the zone root: respond iff the zone lies
+            # under this probe.
+            return zone.startswith(prefix) if prefix.length else True
+        # Probe below the zone root: respond iff the probe is inside the
+        # zone (simulate every leaf of the protected subtree).
+        return prefix.startswith(zone)
+
+    def mark_identified(self, at_time: float) -> None:
+        """Blockers never retire (see :class:`MaliciousTag`)."""
+
+    def __hash__(self) -> int:
+        return id(self)

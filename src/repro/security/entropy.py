@@ -1,0 +1,79 @@
+"""Entropy-based privacy metric (paper Section II, ref [5]).
+
+Lim et al. score backward-channel defenses by the eavesdropper's residual
+uncertainty about the tag ID.  We implement that metric over the inference
+dictionaries produced by :mod:`repro.security.backward`:
+
+* each ID bit the eavesdropper has pinned contributes 0 bits of entropy;
+* each unknown bit contributes its conditional entropy (1 bit when the
+  posterior is uniform, less when observations skew it).
+
+``eavesdropper_entropy`` assumes the attacker's per-bit posterior is
+either resolved or uniform -- exact for pseudo-ID mixing, where a mixed 1
+leaves P(bit = 1) = P(1)·1 / (P(1) + P(0)·P(pseudo=1)) ... computable, so
+we expose the exact posterior variant too via ``posterior_one``.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.bits.bitvec import BitVector
+
+__all__ = ["bit_leakage", "eavesdropper_entropy", "posterior_one"]
+
+
+def bit_leakage(id_length: int, known_bits: dict[int, int]) -> float:
+    """Fraction of ID bits the eavesdropper has resolved."""
+    if id_length <= 0:
+        raise ValueError("id_length must be positive")
+    if any(not 0 <= k < id_length for k in known_bits):
+        raise ValueError("known bit index out of range")
+    return len(known_bits) / id_length
+
+
+def posterior_one(p_prior_one: float, p_mask_one: float) -> float:
+    """P(id bit = 1 | mixed bit = 1) for pseudo-ID mixing.
+
+    The mixed bit is 1 iff the ID bit is 1 or the pseudo bit is 1::
+
+        P(b=1 | mix=1) = p / (p + (1-p)·q)
+
+    with ``p`` the prior on the ID bit and ``q = P(pseudo=1)``.
+    """
+    if not 0.0 <= p_prior_one <= 1.0 or not 0.0 < p_mask_one <= 1.0:
+        raise ValueError("probabilities out of range")
+    denom = p_prior_one + (1.0 - p_prior_one) * p_mask_one
+    return p_prior_one / denom if denom else 0.0
+
+
+def _h(p: float) -> float:
+    """Binary entropy in bits."""
+    if p <= 0.0 or p >= 1.0:
+        return 0.0
+    return -(p * math.log2(p) + (1.0 - p) * math.log2(1.0 - p))
+
+
+def eavesdropper_entropy(
+    tag_id: BitVector,
+    known_bits: dict[int, int],
+    p_prior_one: float = 0.5,
+    p_mask_one: float | None = None,
+) -> float:
+    """Residual entropy (bits) about ``tag_id`` given the attacker's
+    resolved positions.
+
+    Unresolved positions contribute the binary entropy of the attacker's
+    posterior: the prior by default, or the mixed-bit posterior when
+    ``p_mask_one`` is given (pseudo-ID mixing, where an unresolved
+    position means the attacker observed a 1).
+    """
+    residual = 0.0
+    for k in range(tag_id.length):
+        if k in known_bits:
+            continue
+        if p_mask_one is None:
+            residual += _h(p_prior_one)
+        else:
+            residual += _h(posterior_one(p_prior_one, p_mask_one))
+    return residual

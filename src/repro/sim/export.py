@@ -1,0 +1,97 @@
+"""Trace and stats export utilities.
+
+Downstream analysis (plotting, regression dashboards) wants flat records,
+not object graphs.  This module converts traces and
+:class:`~repro.sim.metrics.InventoryStats` into plain dicts and writes
+CSV/JSON without any third-party dependency.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from dataclasses import asdict
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.sim.metrics import InventoryStats
+from repro.sim.trace import SlotRecord
+
+__all__ = [
+    "trace_to_rows",
+    "stats_to_dict",
+    "write_trace_csv",
+    "write_stats_json",
+]
+
+
+def trace_to_rows(trace: Sequence[SlotRecord]) -> list[dict[str, object]]:
+    """Flatten slot records; enum fields become their names."""
+    rows = []
+    for rec in trace:
+        row = asdict(rec)
+        row["true_type"] = rec.true_type.name
+        row["detected_type"] = rec.detected_type.name
+        rows.append(row)
+    return rows
+
+
+def stats_to_dict(stats: InventoryStats) -> dict[str, object]:
+    """Flatten an InventoryStats into JSON-ready primitives."""
+    return {
+        "n_tags": stats.n_tags,
+        "frames": stats.frames,
+        "idle": stats.true_counts.idle,
+        "single": stats.true_counts.single,
+        "collided": stats.true_counts.collided,
+        "detected_idle": stats.detected_counts.idle,
+        "detected_single": stats.detected_counts.single,
+        "detected_collided": stats.detected_counts.collided,
+        "throughput": stats.throughput,
+        "total_time": stats.total_time,
+        "accuracy": stats.accuracy,
+        "delay_mean": stats.delay.mean,
+        "delay_std": stats.delay.std,
+        "delay_median": stats.delay.median,
+        "utilization": stats.utilization,
+        "missed_collisions": stats.missed_collisions,
+        "false_collisions": stats.false_collisions,
+        "lost_tags": stats.lost_tags,
+        "captures": stats.captures,
+    }
+
+
+def write_trace_csv(trace: Sequence[SlotRecord], path: str | Path) -> Path:
+    """Write one CSV row per slot; returns the path written."""
+    path = Path(path)
+    rows = trace_to_rows(trace)
+    fields = list(rows[0]) if rows else [
+        "index",
+        "frame",
+        "n_responders",
+        "true_type",
+        "detected_type",
+        "duration",
+        "end_time",
+        "identified_tag",
+        "lost_tags",
+        "captured",
+    ]
+    with path.open("w", newline="") as fh:
+        writer = csv.DictWriter(fh, fieldnames=fields)
+        writer.writeheader()
+        writer.writerows(rows)
+    return path
+
+
+def write_stats_json(
+    stats: InventoryStats | Iterable[InventoryStats], path: str | Path
+) -> Path:
+    """Write one stats dict (or a list of them) as JSON."""
+    path = Path(path)
+    if isinstance(stats, InventoryStats):
+        payload: object = stats_to_dict(stats)
+    else:
+        payload = [stats_to_dict(s) for s in stats]
+    path.write_text(json.dumps(payload, indent=2, allow_nan=True))
+    return path

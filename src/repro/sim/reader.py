@@ -1,0 +1,284 @@
+"""The reader: one inventory = protocol × detector × channel × timing.
+
+:class:`Reader.run_inventory` drives the slot loop the whole reproduction
+rests on::
+
+    protocol.start(tags)
+    while not protocol.finished:
+        responders <- protocol
+        signal     <- channel.transmit([detector payload per responder])
+        verdict    <- detector.classify(signal)
+        time      += timing.slot_duration(detector, verdict)
+        ... apply misdetection policy, mark identifications ...
+        protocol.feedback(effective_type, responders)
+
+Misdetection policies (DESIGN.md §5) govern what happens when the detector
+calls a collided slot single:
+
+* ``"paper"``   -- the error is *counted* (it is exactly what Figure 5's
+  accuracy metric measures) but the identification process continues from
+  ground truth: the collided tags re-contend.  This matches the paper's
+  accounting, which evaluates accuracy separately from the time metrics.
+* ``"crc_guard"`` -- the second-phase ID transmission carries a CRC, so the
+  reader *notices* the garbled ID and treats the slot as collided; every
+  single slot pays ``l_crc·τ`` extra.  Pair with
+  ``TimingModel(guard_id_phase=True)``.
+* ``"lost"``    -- the reader ACKs garbage; the collided tags hear the ACK,
+  believe themselves identified and retire silently.  They are counted in
+  ``lost_tags`` and the inventory "completes" without them -- the failure
+  mode the accuracy experiment is implicitly about.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.bits.channel import Channel
+from repro.core.detector import CollisionDetector, SlotType
+from repro.core.ideal import IdealDetector
+from repro.core.timing import TimingModel
+from repro.protocols.base import AntiCollisionProtocol
+from repro.sim.metrics import InventoryStats
+from repro.sim.trace import SlotRecord
+from repro.tags.tag import Tag
+
+__all__ = ["Reader", "InventoryResult", "POLICIES"]
+
+POLICIES = ("paper", "crc_guard", "lost")
+
+
+@dataclass
+class InventoryResult:
+    """Outcome of one inventory run."""
+
+    trace: list[SlotRecord]
+    stats: InventoryStats
+    identified_ids: list[int]
+    lost_ids: list[int]
+
+    @property
+    def complete(self) -> bool:
+        """True iff no tag was lost to a misdetection."""
+        return not self.lost_ids
+
+
+class Reader:
+    """An RFID reader executing slotted inventories.
+
+    Parameters
+    ----------
+    detector:
+        The collision-detection scheme.
+    timing:
+        Airtime model; its ``id_bits`` must match the tag population.
+    channel:
+        Boolean-sum channel (a fresh noiseless one by default).
+    policy:
+        Misdetection policy, one of :data:`POLICIES`.
+    max_slots:
+        Hard safety bound on inventory length (default ``10^7``).
+    """
+
+    def __init__(
+        self,
+        detector: CollisionDetector,
+        timing: TimingModel | None = None,
+        channel: Channel | None = None,
+        policy: str = "paper",
+        max_slots: int = 10_000_000,
+    ) -> None:
+        if policy not in POLICIES:
+            raise ValueError(f"policy must be one of {POLICIES}, got {policy!r}")
+        self.detector = detector
+        self.timing = timing if timing is not None else TimingModel()
+        self.channel = channel if channel is not None else Channel()
+        self.policy = policy
+        self.max_slots = max_slots
+        if policy == "crc_guard" and not self.timing.guard_id_phase:
+            raise ValueError(
+                "crc_guard policy requires TimingModel(guard_id_phase=True)"
+            )
+
+    # ------------------------------------------------------------------
+
+    def run_inventory(
+        self,
+        tags: Sequence[Tag],
+        protocol: AntiCollisionProtocol,
+        start_time: float = 0.0,
+        select=None,
+    ) -> InventoryResult:
+        """Identify ``tags`` with ``protocol``; returns the full trace.
+
+        ``select`` is an optional :class:`repro.core.select.SelectMask`
+        (or anything with a ``filter(tags)`` method): non-matching tags
+        are silenced and take no part in the inventory, like tags that
+        failed a Gen2 SELECT.
+        """
+        if select is not None:
+            tags = select.filter(tags)
+        return self._run(tags, protocol, start_time, fresh=True)
+
+    def run_inventory_continue(
+        self,
+        tags: Sequence[Tag],
+        protocol: AntiCollisionProtocol,
+        start_time: float = 0.0,
+    ) -> InventoryResult:
+        """Run a *readable* round: the protocol keeps the schedule state it
+        learned in a previous round (ABS allocated-slot counters, AQS
+        candidate queue).  Only meaningful for protocols whose ``start``
+        accepts ``fresh=False``."""
+        return self._run(tags, protocol, start_time, fresh=False)
+
+    def _run(
+        self,
+        tags: Sequence[Tag],
+        protocol: AntiCollisionProtocol,
+        start_time: float,
+        fresh: bool,
+    ) -> InventoryResult:
+        detector = self.detector
+        detector.reset_instrumentation()
+        trace: list[SlotRecord] = []
+        identified: list[int] = []
+        lost: list[int] = []
+        time = start_time
+        if fresh:
+            protocol.start(tags)
+        else:
+            try:
+                protocol.start(tags, fresh=False)
+            except TypeError as exc:
+                raise ValueError(
+                    f"{protocol.name} does not support readable rounds "
+                    "(its start() takes no 'fresh' parameter); use "
+                    "run_inventory() instead"
+                ) from exc
+        index = 0
+        while not protocol.finished:
+            if index >= self.max_slots:
+                raise RuntimeError(
+                    f"inventory exceeded max_slots={self.max_slots} "
+                    f"({protocol.name} / {detector.name})"
+                )
+            responders = protocol.responders()
+            time, record = self._run_slot(
+                index, time, protocol, responders, identified, lost
+            )
+            trace.append(record)
+            protocol.feedback(record_effective(record, self.policy), responders)
+            index += 1
+        stats = InventoryStats.from_trace(
+            trace,
+            n_tags=len(tags),
+            frames=protocol.frames_started,
+            id_bits=self.timing.id_bits,
+            tau=self.timing.tau,
+        )
+        return InventoryResult(
+            trace=trace, stats=stats, identified_ids=identified, lost_ids=lost
+        )
+
+    # ------------------------------------------------------------------
+
+    def _run_slot(
+        self,
+        index: int,
+        time: float,
+        protocol: AntiCollisionProtocol,
+        responders: list[Tag],
+        identified: list[int],
+        lost: list[int],
+    ) -> tuple[float, SlotRecord]:
+        detector = self.detector
+        payloads = [
+            detector.contention_payload(t.tag_id, t.rng) for t in responders
+        ]
+        signal = self.channel.transmit(payloads)
+        if isinstance(detector, IdealDetector):
+            sole = responders[0].tag_id if len(responders) == 1 else None
+            detector.observe_transmitters(len(responders), sole)
+        outcome = detector.classify(signal)
+        true_type = _true_type(len(responders))
+        detected = outcome.slot_type
+        duration = self.timing.slot_duration(detector, detected)
+        time += duration
+        identified_tag: int | None = None
+        lost_count = 0
+        captured_idx = self.channel.last_capture_index
+        captured = (
+            captured_idx is not None
+            and true_type is SlotType.COLLIDED
+            and detected is SlotType.SINGLE
+        )
+        if captured:
+            # The channel resolved the collision to one tag's clean signal;
+            # the reader legitimately identifies that tag and the rest
+            # re-contend (they never heard their own ACK).
+            tag = responders[captured_idx]
+            tag.mark_identified(time)
+            identified.append(tag.tag_id)
+            identified_tag = tag.tag_id
+        elif detected is SlotType.SINGLE:
+            if true_type is SlotType.SINGLE:
+                tag = responders[0]
+                tag.mark_identified(time)
+                identified.append(tag.tag_id)
+                identified_tag = tag.tag_id
+            elif self.policy == "lost":
+                # The collided tags hear an ACK for the garbled ID and
+                # retire believing they were read.
+                for tag in responders:
+                    tag.identified = True
+                    tag.lost = True
+                    lost.append(tag.tag_id)
+                lost_count = len(responders)
+        record = SlotRecord(
+            index=index,
+            frame=max(1, protocol.frames_started),
+            n_responders=len(responders),
+            true_type=true_type,
+            detected_type=detected,
+            duration=duration,
+            end_time=time,
+            identified_tag=identified_tag,
+            lost_tags=lost_count,
+            captured=captured,
+        )
+        return time, record
+
+
+def _true_type(n_responders: int) -> SlotType:
+    if n_responders == 0:
+        return SlotType.IDLE
+    if n_responders == 1:
+        return SlotType.SINGLE
+    return SlotType.COLLIDED
+
+
+def record_effective(record: SlotRecord, policy: str) -> SlotType:
+    """The slot type the *tags* experience, per the misdetection policy.
+
+    Under ``"paper"`` and ``"crc_guard"`` the process follows ground truth
+    (the guard physically restores truth; the paper's accounting assumes
+    it); under ``"lost"`` a missed collision reads SINGLE to the tags.
+    """
+    if record.captured:
+        # The captured tag retired (the reader marked it identified); the
+        # remaining responders experienced an unresolved collision.
+        return SlotType.COLLIDED
+    # A noise-induced false collision (true single read as collided) makes
+    # the tag re-contend under every policy: the reader never ACKed it.
+    if (
+        record.true_type is SlotType.SINGLE
+        and record.detected_type is SlotType.COLLIDED
+    ):
+        return SlotType.COLLIDED
+    if policy == "lost" and (
+        record.true_type is SlotType.COLLIDED
+        and record.detected_type is SlotType.SINGLE
+    ):
+        return SlotType.SINGLE
+    return record.true_type

@@ -1,0 +1,25 @@
+"""Tag models: EPC identifiers, per-tag protocol state, populations.
+
+* :mod:`repro.tags.epc` -- SGTIN-96 EPC encoding/decoding (the identifier
+  structure behind the paper's "randomly selected 96-bit ID", Table V);
+* :mod:`repro.tags.tag` -- the per-tag automaton state shared by all
+  anti-collision protocols;
+* :mod:`repro.tags.population` -- generators for unique-ID populations;
+* :mod:`repro.tags.mobility` -- arrival/departure schedules for the mobile
+  tag scenario motivating the paper's identification-delay metric.
+"""
+
+from repro.tags.epc import Sgtin96, PARTITION_TABLE
+from repro.tags.mobility import MobilityEvent, MobilitySchedule, poisson_arrivals
+from repro.tags.population import TagPopulation
+from repro.tags.tag import Tag
+
+__all__ = [
+    "Tag",
+    "TagPopulation",
+    "Sgtin96",
+    "PARTITION_TABLE",
+    "MobilityEvent",
+    "MobilitySchedule",
+    "poisson_arrivals",
+]

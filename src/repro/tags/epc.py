@@ -1,0 +1,137 @@
+"""SGTIN-96 EPC encoding.
+
+The paper's deployment (Table V) gives every tag a "randomly selected
+96-bit ID"; the EPC Class-1 Gen-2 standard structures such IDs.  We
+implement the most common scheme, SGTIN-96 (Serialized GTIN):
+
+=========  ====  =============================================
+field      bits  meaning
+=========  ====  =============================================
+header        8  0x30 for SGTIN-96
+filter        3  object class (e.g. 1 = POS item)
+partition     3  split of the next 44 bits between company/item
+company    20-40 GS1 company prefix
+item       24-4  item reference (44 - company bits)
+serial       38  serial number
+=========  ====  =============================================
+
+The partition table is from the GS1 Tag Data Standard.  Structured IDs
+matter for the Query-Tree protocol and the privacy extensions, where ID
+*prefixes* carry meaning (company prefixes are what a blocker tag shields).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bits.bitvec import BitVector
+from repro.bits.rng import RngStream
+
+__all__ = ["Sgtin96", "PARTITION_TABLE", "SGTIN96_HEADER"]
+
+SGTIN96_HEADER = 0x30
+
+#: GS1 TDS partition table: partition value -> (company_bits, item_bits).
+PARTITION_TABLE: dict[int, tuple[int, int]] = {
+    0: (40, 4),
+    1: (37, 7),
+    2: (34, 10),
+    3: (30, 14),
+    4: (27, 17),
+    5: (24, 20),
+    6: (20, 24),
+}
+
+_SERIAL_BITS = 38
+_FILTER_BITS = 3
+_PARTITION_BITS = 3
+_HEADER_BITS = 8
+
+
+@dataclass(frozen=True)
+class Sgtin96:
+    """A decoded SGTIN-96 EPC."""
+
+    filter_value: int
+    partition: int
+    company_prefix: int
+    item_reference: int
+    serial: int
+
+    def __post_init__(self) -> None:
+        if self.partition not in PARTITION_TABLE:
+            raise ValueError(f"invalid partition {self.partition}")
+        company_bits, item_bits = PARTITION_TABLE[self.partition]
+        if not 0 <= self.filter_value < (1 << _FILTER_BITS):
+            raise ValueError("filter_value out of range")
+        if not 0 <= self.company_prefix < (1 << company_bits):
+            raise ValueError("company_prefix out of range for partition")
+        if not 0 <= self.item_reference < (1 << item_bits):
+            raise ValueError("item_reference out of range for partition")
+        if not 0 <= self.serial < (1 << _SERIAL_BITS):
+            raise ValueError("serial out of range")
+
+    @property
+    def company_bits(self) -> int:
+        return PARTITION_TABLE[self.partition][0]
+
+    @property
+    def item_bits(self) -> int:
+        return PARTITION_TABLE[self.partition][1]
+
+    def encode(self) -> BitVector:
+        """Pack into the 96-bit wire format."""
+        header = BitVector(SGTIN96_HEADER, _HEADER_BITS)
+        filt = BitVector(self.filter_value, _FILTER_BITS)
+        part = BitVector(self.partition, _PARTITION_BITS)
+        company = BitVector(self.company_prefix, self.company_bits)
+        item = BitVector(self.item_reference, self.item_bits)
+        serial = BitVector(self.serial, _SERIAL_BITS)
+        epc = header + filt + part + company + item + serial
+        assert epc.length == 96
+        return epc
+
+    @classmethod
+    def decode(cls, epc: BitVector) -> "Sgtin96":
+        """Unpack a 96-bit EPC; validates the header and partition."""
+        if epc.length != 96:
+            raise ValueError(f"SGTIN-96 requires 96 bits, got {epc.length}")
+        if epc[:_HEADER_BITS].to_int() != SGTIN96_HEADER:
+            raise ValueError(
+                f"not an SGTIN-96 header: {epc[:_HEADER_BITS].to_int():#x}"
+            )
+        pos = _HEADER_BITS
+        filt = epc[pos : pos + _FILTER_BITS].to_int()
+        pos += _FILTER_BITS
+        part = epc[pos : pos + _PARTITION_BITS].to_int()
+        pos += _PARTITION_BITS
+        if part not in PARTITION_TABLE:
+            raise ValueError(f"invalid partition {part}")
+        company_bits, item_bits = PARTITION_TABLE[part]
+        company = epc[pos : pos + company_bits].to_int()
+        pos += company_bits
+        item = epc[pos : pos + item_bits].to_int()
+        pos += item_bits
+        serial = epc[pos : pos + _SERIAL_BITS].to_int()
+        return cls(filt, part, company, item, serial)
+
+    @classmethod
+    def random(
+        cls,
+        rng: RngStream,
+        partition: int = 5,
+        company_prefix: int | None = None,
+        filter_value: int = 1,
+    ) -> "Sgtin96":
+        """Draw a random SGTIN-96, optionally pinned to one company prefix
+        (useful for populating one "owner" in privacy scenarios)."""
+        company_bits, item_bits = PARTITION_TABLE[partition]
+        if company_prefix is None:
+            company_prefix = int(rng.integers(0, 1 << company_bits))
+        return cls(
+            filter_value=filter_value,
+            partition=partition,
+            company_prefix=company_prefix,
+            item_reference=int(rng.integers(0, 1 << item_bits)),
+            serial=int(rng.integers(0, 1 << _SERIAL_BITS)),
+        )

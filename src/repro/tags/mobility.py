@@ -1,0 +1,101 @@
+"""Tag mobility: arrivals into and departures from a reader's range.
+
+Section VI-D motivates the identification-delay metric with mobile tags:
+"the tag may move out of the reader's range before it is identified ... if
+the identification is slow".  This module provides the event schedules the
+discrete-event engine consumes to study exactly that scenario (see
+``examples/mobile_tags.py``): tags arriving as a Poisson process, dwelling
+for a random time, and leaving -- identified or not.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from repro.bits.rng import RngStream
+from repro.tags.tag import Tag
+
+__all__ = ["MobilityEvent", "MobilitySchedule", "poisson_arrivals"]
+
+
+@dataclass(frozen=True, order=True)
+class MobilityEvent:
+    """A tag entering (``kind='arrive'``) or leaving (``kind='depart'``)
+    the interrogation range at ``time``."""
+
+    time: float
+    seq: int
+    kind: str = field(compare=False)
+    tag: Tag = field(compare=False)
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("arrive", "depart"):
+            raise ValueError(f"unknown event kind {self.kind!r}")
+        if self.time < 0:
+            raise ValueError("event time must be >= 0")
+
+
+class MobilitySchedule:
+    """A time-ordered sequence of arrival/departure events."""
+
+    def __init__(self, events: Iterable[MobilityEvent] = ()) -> None:
+        self._events: list[MobilityEvent] = sorted(events)
+
+    def add(self, event: MobilityEvent) -> None:
+        bisect.insort(self._events, event)
+
+    def events_until(self, time: float) -> list[MobilityEvent]:
+        """Pop and return all events with ``event.time <= time``."""
+        idx = bisect.bisect_right(self._events, time, key=lambda e: e.time)
+        due, self._events = self._events[:idx], self._events[idx:]
+        return due
+
+    def peek_next_time(self) -> float | None:
+        return self._events[0].time if self._events else None
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[MobilityEvent]:
+        return iter(self._events)
+
+
+def poisson_arrivals(
+    tags: list[Tag],
+    rate: float,
+    dwell_mean: float,
+    rng: RngStream,
+    start: float = 0.0,
+) -> MobilitySchedule:
+    """Schedule the given tags as Poisson arrivals with exponential dwell.
+
+    Parameters
+    ----------
+    tags:
+        The tags to schedule, in arrival order.
+    rate:
+        Arrival rate (tags per time unit).
+    dwell_mean:
+        Mean time a tag stays in range; its departure is scheduled whether
+        or not it gets identified (the simulator decides what that means).
+    rng:
+        Random stream for inter-arrival and dwell draws.
+    start:
+        Time of the first possible arrival.
+    """
+    if rate <= 0 or dwell_mean <= 0:
+        raise ValueError("rate and dwell_mean must be positive")
+    schedule = MobilitySchedule()
+    t = start
+    seq = 0
+    for tag in tags:
+        t += float(rng.exponential(1.0 / rate))
+        dwell = float(rng.exponential(dwell_mean))
+        schedule.add(MobilityEvent(time=t, seq=seq, kind="arrive", tag=tag))
+        schedule.add(
+            MobilityEvent(time=t + dwell, seq=seq + 1, kind="depart", tag=tag)
+        )
+        seq += 2
+    return schedule

@@ -1,0 +1,41 @@
+"""Beyond RFID: the paper's future-work transfer of QCD.
+
+Section VII: "this design can be easily extended to other wireless
+fields, for example the neighbor discovery [...] of sensor networks".
+This package carries the collision-preamble idea into coordinator-free
+wireless settings:
+
+* :mod:`repro.wireless.neighbor` -- slotted ALOHA ("birthday protocol")
+  neighbor discovery in a clique, with the collision detector deciding
+  how long listeners keep their radios on per slot.  QCD cannot shorten
+  the *latency* here (a half-duplex transmitter cannot hear its own
+  collision), but it slashes the *listener energy*: a receiver classifies
+  the slot from the 2l-bit preamble and powers down through garbage,
+  instead of demodulating 96 bits of every idle and collided slot.
+* :mod:`repro.wireless.coverage` -- multi-hop version: a deployed sensor
+  field verifies its coverage/connectivity by *local* neighbor discovery
+  (interference is per-listener, not global), the paper's other named
+  future-work target.
+"""
+
+from repro.wireless.coverage import (
+    CoverageResult,
+    SensorField,
+    run_field_discovery,
+)
+from repro.wireless.neighbor import (
+    DiscoveryResult,
+    expected_discovery_slots,
+    optimal_tx_probability,
+    run_discovery,
+)
+
+__all__ = [
+    "run_discovery",
+    "DiscoveryResult",
+    "expected_discovery_slots",
+    "optimal_tx_probability",
+    "SensorField",
+    "CoverageResult",
+    "run_field_discovery",
+]

@@ -1,0 +1,104 @@
+"""Cardinality-estimation tests."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.cardinality import (
+    estimate_cardinality,
+    probing_airtime,
+    zero_estimator,
+)
+from repro.core.crc_cd import CRCCDDetector
+from repro.core.qcd import QCDDetector
+from repro.core.timing import TimingModel
+
+
+class TestZeroEstimator:
+    def test_inverts_expectation(self):
+        # With n = F, E[N0] ≈ F/e.
+        f = 256
+        n0 = round(f / math.e)
+        assert zero_estimator(n0, f) == pytest.approx(f, rel=0.05)
+
+    def test_all_idle_means_zero(self):
+        assert zero_estimator(100, 100) == 0.0
+
+    def test_saturated_frame_uninformative(self):
+        assert zero_estimator(0, 64) == math.inf
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            zero_estimator(5, 1)
+        with pytest.raises(ValueError):
+            zero_estimator(-1, 16)
+        with pytest.raises(ValueError):
+            zero_estimator(17, 16)
+
+
+class TestEstimateCardinality:
+    def test_accuracy(self):
+        est = estimate_cardinality(
+            500, 256, 30, QCDDetector(8), TimingModel(), np.random.default_rng(0)
+        )
+        assert est.n_hat == pytest.approx(500, rel=0.10)
+
+    def test_more_frames_tighter(self):
+        few = estimate_cardinality(
+            300, 256, 2, QCDDetector(8), TimingModel(), np.random.default_rng(1)
+        )
+        many = estimate_cardinality(
+            300, 256, 40, QCDDetector(8), TimingModel(), np.random.default_rng(1)
+        )
+        assert many.stderr < few.stderr
+        assert many.relative_error_bound < few.relative_error_bound
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            estimate_cardinality(
+                -1, 64, 1, QCDDetector(8), TimingModel(), np.random.default_rng(0)
+            )
+        with pytest.raises(ValueError):
+            estimate_cardinality(
+                10, 64, 0, QCDDetector(8), TimingModel(), np.random.default_rng(0)
+            )
+
+    def test_zero_population(self):
+        est = estimate_cardinality(
+            0, 64, 3, QCDDetector(8), TimingModel(), np.random.default_rng(2)
+        )
+        assert est.n_hat == 0.0
+
+    def test_estimate_detector_independent(self):
+        """The estimate uses only slot types; the detector only prices it."""
+        a = estimate_cardinality(
+            400, 256, 10, QCDDetector(8), TimingModel(), np.random.default_rng(3)
+        )
+        b = estimate_cardinality(
+            400, 256, 10, CRCCDDetector(id_bits=64), TimingModel(),
+            np.random.default_rng(3),
+        )
+        assert a.n_hat == b.n_hat
+        assert a.slots == b.slots
+
+
+class TestQcdSpeedup:
+    def test_probing_airtime_formula(self):
+        det = QCDDetector(8)
+        t = probing_airtime(det, TimingModel(), n0=10, n1=5, nc=3)
+        assert t == 10 * 16 + 8 * 16  # every slot costs the preamble only
+
+    def test_estimation_speedup_is_full_preamble_ratio(self):
+        """Estimation never transfers IDs, so QCD's speedup is the whole
+        96/16 = 6x -- larger than identification's ~3x."""
+        qcd = estimate_cardinality(
+            400, 256, 10, QCDDetector(8), TimingModel(), np.random.default_rng(5)
+        )
+        crc = estimate_cardinality(
+            400, 256, 10, CRCCDDetector(id_bits=64), TimingModel(),
+            np.random.default_rng(5),
+        )
+        assert crc.airtime / qcd.airtime == pytest.approx(6.0, rel=0.01)

@@ -1,0 +1,37 @@
+"""Table IV generator tests."""
+
+from __future__ import annotations
+
+from repro.analysis.comparison import table4_profiles, table4_rows
+
+
+class TestTable4:
+    def test_rows_structure(self):
+        rows = table4_rows()
+        assert [r["axis"] for r in rows] == [
+            "# of instructions",
+            "complexity",
+            "memory",
+            "transmission",
+        ]
+        assert all(set(r) == {"axis", "CRC-CD", "QCD"} for r in rows)
+
+    def test_headline_numbers(self):
+        rows = {r["axis"]: r for r in table4_rows()}
+        assert rows["complexity"]["CRC-CD"] == "O(l)"
+        assert rows["complexity"]["QCD"] == "O(1)"
+        assert rows["memory"]["CRC-CD"] == "1 KB"
+        assert rows["memory"]["QCD"] == "16 bits"
+        assert rows["transmission"]["CRC-CD"] == "96 bits"
+        assert rows["transmission"]["QCD"] == "16 bits"
+        assert float(rows["# of instructions"]["CRC-CD"]) > 100
+        assert float(rows["# of instructions"]["QCD"]) == 1
+
+    def test_profiles(self):
+        crc, qcd = table4_profiles()
+        assert crc.instructions_per_check > 100 * qcd.instructions_per_check
+        assert crc.transmission_bits == 6 * qcd.transmission_bits
+
+    def test_other_strengths(self):
+        rows = {r["axis"]: r for r in table4_rows(strength=16)}
+        assert rows["transmission"]["QCD"] == "32 bits"

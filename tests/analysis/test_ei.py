@@ -1,0 +1,78 @@
+"""EI formula tests -- Tables II and III digit-for-digit."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.ei import (
+    bt_ei_average,
+    fsa_ei_lower_bound,
+    measured_ei,
+    preamble_bits,
+)
+from repro.experiments.config import PAPER_TABLE2, PAPER_TABLE3
+
+
+class TestTable2:
+    @pytest.mark.parametrize("strength", [4, 8, 16])
+    def test_matches_paper(self, strength):
+        assert fsa_ei_lower_bound(strength) == pytest.approx(
+            PAPER_TABLE2[strength], abs=5e-4
+        )
+
+    def test_recommended_strength_beats_40_percent(self):
+        """The abstract's headline: QCD saves more than 40%."""
+        assert fsa_ei_lower_bound(8) > 0.40
+
+    def test_monotone_in_strength(self):
+        assert fsa_ei_lower_bound(4) > fsa_ei_lower_bound(8) > fsa_ei_lower_bound(16)
+
+
+class TestTable3:
+    @pytest.mark.parametrize("strength", [4, 8, 16])
+    def test_matches_paper(self, strength):
+        assert bt_ei_average(strength) == pytest.approx(
+            PAPER_TABLE3[strength], abs=5e-4
+        )
+
+    def test_bt_ei_exceeds_fsa_ei(self):
+        """BT has more overhead slots per tag (1.885 vs 1.7), so QCD's
+        cheap overhead slots buy relatively more."""
+        for s in (4, 8, 16):
+            assert bt_ei_average(s) > fsa_ei_lower_bound(s)
+
+
+class TestHelpers:
+    def test_preamble_bits(self):
+        assert preamble_bits(8) == 16
+
+    def test_preamble_validation(self):
+        with pytest.raises(ValueError):
+            preamble_bits(0)
+
+    def test_measured_ei(self):
+        assert measured_ei(200.0, 80.0) == pytest.approx(0.6)
+
+    def test_measured_ei_validation(self):
+        with pytest.raises(ValueError):
+            measured_ei(0.0, 10.0)
+
+
+class TestParameterSensitivity:
+    def test_longer_crc_raises_ei(self):
+        """A heavier baseline (bigger CRC) makes QCD look better."""
+        assert fsa_ei_lower_bound(8, crc_bits=64) > fsa_ei_lower_bound(8, crc_bits=32)
+
+    def test_longer_id_raises_ei_toward_asymptote(self):
+        """CRC-CD pays l_id in *every* slot, QCD only in single slots, so a
+        longer ID widens the gap: EI climbs toward 1 − 1/2.7 ≈ 0.63 as
+        l_id grows."""
+        e64 = fsa_ei_lower_bound(8, id_bits=64)
+        e256 = fsa_ei_lower_bound(8, id_bits=256)
+        e4096 = fsa_ei_lower_bound(8, id_bits=4096)
+        assert e64 < e256 < e4096 < 1 - 1 / 2.7
+
+    def test_ei_positive_over_reasonable_range(self):
+        for s in range(1, 33):
+            assert fsa_ei_lower_bound(s) > 0
+            assert bt_ei_average(s) > 0

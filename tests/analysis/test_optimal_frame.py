@@ -1,0 +1,95 @@
+"""Time-optimal frame sizing tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.optimal_frame import (
+    SlotCosts,
+    optimal_frame_size,
+    time_per_identification,
+)
+from repro.core.crc_cd import CRCCDDetector
+from repro.core.gen2_timing import Gen2TimingModel
+from repro.core.qcd import QCDDetector
+from repro.core.timing import TimingModel
+
+
+class TestSlotCosts:
+    def test_from_timing_qcd(self):
+        costs = SlotCosts.from_timing(QCDDetector(8), TimingModel())
+        assert (costs.idle, costs.single, costs.collided) == (16, 80, 16)
+
+    def test_from_timing_crc(self):
+        costs = SlotCosts.from_timing(CRCCDDetector(id_bits=64), TimingModel())
+        assert costs.idle == costs.single == costs.collided == 96
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SlotCosts(-1, 1, 1)
+        with pytest.raises(ValueError):
+            SlotCosts(1, 0, 1)
+
+
+class TestObjective:
+    def test_undersized_frame_is_infinite(self):
+        costs = SlotCosts(1, 1, 1)
+        assert time_per_identification(10_000, 2, costs) == float("inf")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            time_per_identification(0, 5, SlotCosts(1, 1, 1))
+        with pytest.raises(ValueError):
+            optimal_frame_size(0, SlotCosts(1, 1, 1))
+
+    def test_unit_costs_recover_slot_throughput(self):
+        """With c0 = c1 = cc = 1, g(F) = F / E[N1]: minimized at F = n."""
+        costs = SlotCosts(1.0, 1.0, 1.0)
+        n = 60
+        assert optimal_frame_size(n, costs) == pytest.approx(n, abs=1)
+
+
+class TestLemma1Preservation:
+    """Equal overhead costs leave Lemma 1's ℱ = n optimum intact --
+    QCD changes the time the optimum takes, not its location."""
+
+    @pytest.mark.parametrize("n", [25, 60, 120])
+    def test_paper_model_qcd_optimum_at_n(self, n):
+        costs = SlotCosts.from_timing(QCDDetector(8), TimingModel())
+        assert costs.idle == costs.collided  # the premise
+        assert optimal_frame_size(n, costs) == pytest.approx(n, abs=1)
+
+    @pytest.mark.parametrize("n", [25, 60, 120])
+    def test_crc_optimum_at_n(self, n):
+        costs = SlotCosts.from_timing(CRCCDDetector(id_bits=64), TimingModel())
+        assert optimal_frame_size(n, costs) == pytest.approx(n, abs=1)
+
+
+class TestCheapIdlesShiftOptimum:
+    def test_cheap_idle_raises_optimum(self):
+        n = 60
+        balanced = SlotCosts(idle=10.0, single=10.0, collided=10.0)
+        cheap_idle = SlotCosts(idle=1.0, single=10.0, collided=10.0)
+        assert optimal_frame_size(n, cheap_idle) > optimal_frame_size(n, balanced)
+
+    def test_gen2_qcd_optimum_above_n(self):
+        """Under Gen2 timing an idle slot (T3 timeout) is cheaper than a
+        collided one (full preamble reply), so the time-optimal frame is
+        larger than n."""
+        n = 60
+        costs = SlotCosts.from_timing(QCDDetector(8), Gen2TimingModel())
+        assert costs.idle < costs.collided
+        assert optimal_frame_size(n, costs) > n
+
+    def test_expensive_idle_lowers_optimum(self):
+        n = 60
+        pricey_idle = SlotCosts(idle=30.0, single=10.0, collided=3.0)
+        assert optimal_frame_size(n, pricey_idle) < n
+
+    def test_objective_improves_at_shifted_optimum(self):
+        n = 60
+        costs = SlotCosts.from_timing(QCDDetector(8), Gen2TimingModel())
+        f_opt = optimal_frame_size(n, costs)
+        assert time_per_identification(n, f_opt, costs) < time_per_identification(
+            n, n, costs
+        )

@@ -1,0 +1,102 @@
+"""Unknown-tag (alien) detection tests."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.apps.unknown_tags import (
+    detect_unknown_tags,
+    rounds_for_confidence,
+)
+from repro.core.crc_cd import CRCCDDetector
+from repro.core.qcd import QCDDetector
+from repro.core.timing import TimingModel
+
+
+def detect(expected=200, aliens=0, seed=0, **kw):
+    return detect_unknown_tags(
+        expected,
+        aliens,
+        QCDDetector(8),
+        TimingModel(),
+        np.random.default_rng(seed),
+        **kw,
+    )
+
+
+class TestDetection:
+    def test_alien_found_quickly(self):
+        result = detect(aliens=5, mode="detect")
+        assert result.alien_detected
+        assert result.rounds <= 10  # p0 ≈ 0.37 per alien per round
+
+    def test_clean_population_never_false_alarms(self):
+        for seed in range(5):
+            result = detect(aliens=0, mode="certify", seed=seed)
+            assert not result.alien_detected
+
+    def test_certify_runs_fixed_rounds(self):
+        result = detect(aliens=0, mode="certify", confidence=0.999)
+        assert result.rounds == rounds_for_confidence(0.999)
+        assert result.clean_confidence >= 0.999
+
+    def test_detect_mode_stops_early(self):
+        many = detect(aliens=20, mode="detect", seed=3)
+        assert many.alien_detected
+        assert many.rounds <= 3  # 20 aliens: one lands in silence fast
+
+    def test_single_alien_detection_rate_matches_model(self):
+        """Over many seeds, a lone alien is caught within k rounds with
+        probability 1 − (1 − e^{-1})^k (k = 2 at confidence 0.5)."""
+        k = rounds_for_confidence(0.5)
+        predicted = 1.0 - (1.0 - math.exp(-1)) ** k
+        hits = 0
+        trials = 250
+        for seed in range(trials):
+            result = detect(
+                expected=300, aliens=1, mode="certify", confidence=0.5, seed=seed
+            )
+            assert result.rounds == k
+            if result.alien_detected:
+                hits += 1
+        assert hits / trials == pytest.approx(predicted, abs=0.09)
+
+
+class TestValidation:
+    def test_bad_args(self):
+        with pytest.raises(ValueError):
+            detect(expected=-1)
+        with pytest.raises(ValueError):
+            detect(aliens=-1)
+        with pytest.raises(ValueError):
+            detect(load=0)
+        with pytest.raises(ValueError):
+            detect(mode="maybe")
+        with pytest.raises(ValueError):
+            rounds_for_confidence(1.0)
+
+    def test_rounds_for_confidence_monotone(self):
+        assert rounds_for_confidence(0.999) > rounds_for_confidence(0.9)
+
+
+class TestEfficiency:
+    def test_qcd_airtime_factor(self):
+        qcd = detect(aliens=0, mode="certify", seed=9)
+        crc = detect_unknown_tags(
+            200,
+            0,
+            CRCCDDetector(id_bits=64),
+            TimingModel(),
+            np.random.default_rng(9),
+            mode="certify",
+        )
+        assert qcd.slots == crc.slots
+        assert crc.airtime / qcd.airtime == pytest.approx(6.0, rel=0.01)
+
+    def test_certification_cost_logarithmic_in_risk(self):
+        cheap = detect(aliens=0, mode="certify", confidence=0.9, seed=1)
+        strict = detect(aliens=0, mode="certify", confidence=0.9999, seed=1)
+        assert strict.rounds < 5 * cheap.rounds

@@ -1,0 +1,285 @@
+"""Unit and property tests for the BitVector algebra."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.bits.bitvec import BitVector, pack_ints, unpack_ints
+
+
+def bitvectors(max_length: int = 64, min_length: int = 0):
+    """Hypothesis strategy for BitVectors."""
+    return st.integers(min_length, max_length).flatmap(
+        lambda n: st.integers(0, (1 << n) - 1 if n else 0).map(
+            lambda v: BitVector(v, n)
+        )
+    )
+
+
+class TestConstruction:
+    def test_basic(self):
+        v = BitVector(0b1010, 4)
+        assert v.value == 10
+        assert v.length == 4
+        assert len(v) == 4
+
+    def test_value_too_large(self):
+        with pytest.raises(ValueError, match="does not fit"):
+            BitVector(16, 4)
+
+    def test_negative_value(self):
+        with pytest.raises(ValueError):
+            BitVector(-1, 4)
+
+    def test_negative_length(self):
+        with pytest.raises(ValueError):
+            BitVector(0, -1)
+
+    def test_empty(self):
+        v = BitVector(0, 0)
+        assert len(v) == 0
+        assert not v
+        assert v.to_bitstring() == ""
+
+    def test_zeros_ones(self):
+        assert BitVector.zeros(5).value == 0
+        assert BitVector.ones(5).value == 31
+
+    def test_from_bits(self):
+        assert BitVector.from_bits([1, 0, 1]).value == 0b101
+
+    def test_from_bits_rejects_non_binary(self):
+        with pytest.raises(ValueError):
+            BitVector.from_bits([1, 2, 0])
+
+    def test_from_bitstring(self):
+        v = BitVector.from_bitstring("011011")
+        assert v.value == 0b011011
+        assert v.length == 6
+
+    def test_from_bitstring_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            BitVector.from_bitstring("01x1")
+
+    def test_from_bytes(self):
+        v = BitVector.from_bytes(b"\xa5")
+        assert v.to_bitstring() == "10100101"
+
+    def test_from_bytes_truncated(self):
+        v = BitVector.from_bytes(b"\xa5", length=4)
+        assert v.to_bitstring() == "1010"
+
+    def test_from_bytes_length_too_long(self):
+        with pytest.raises(ValueError):
+            BitVector.from_bytes(b"\xa5", length=9)
+
+    def test_random_length_and_range(self, rng):
+        for length in (1, 8, 63, 64, 96, 128):
+            v = BitVector.random(length, rng.generator)
+            assert v.length == length
+
+    def test_random_zero_length(self, rng):
+        assert BitVector.random(0, rng.generator).length == 0
+
+
+class TestPaperAlgebra:
+    def test_paper_overlap_example(self):
+        # Section I: (011001) ∨ (010010) = (011011)
+        a = BitVector.from_bitstring("011001")
+        b = BitVector.from_bitstring("010010")
+        assert (a | b) == BitVector.from_bitstring("011011")
+
+    def test_complement(self):
+        v = BitVector.from_bitstring("0110")
+        assert (~v).to_bitstring() == "1001"
+
+    def test_double_complement_is_identity(self):
+        v = BitVector.from_bitstring("010011")
+        assert ~~v == v
+
+    def test_concat(self):
+        r = BitVector.from_bitstring("01")
+        c = BitVector.from_bitstring("10")
+        assert (r + c).to_bitstring() == "0110"
+
+    def test_or_length_mismatch(self):
+        with pytest.raises(ValueError, match="equal lengths"):
+            BitVector(0, 4) | BitVector(0, 5)
+
+    def test_superpose(self):
+        vecs = [BitVector(1, 4), BitVector(2, 4), BitVector(8, 4)]
+        assert BitVector.superpose(vecs).value == 11
+
+    def test_superpose_single(self):
+        v = BitVector(5, 4)
+        assert BitVector.superpose([v]) == v
+
+    def test_superpose_empty_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            BitVector.superpose([])
+
+    def test_superpose_length_mismatch(self):
+        with pytest.raises(ValueError):
+            BitVector.superpose([BitVector(0, 3), BitVector(0, 4)])
+
+    def test_xor_and(self):
+        a = BitVector.from_bitstring("1100")
+        b = BitVector.from_bitstring("1010")
+        assert (a ^ b).to_bitstring() == "0110"
+        assert (a & b).to_bitstring() == "1000"
+
+
+class TestIndexing:
+    def test_bit_msb_first(self):
+        v = BitVector.from_bitstring("100")
+        assert v.bit(0) == 1
+        assert v.bit(1) == 0
+        assert v.bit(2) == 0
+
+    def test_bit_out_of_range(self):
+        with pytest.raises(IndexError):
+            BitVector(0, 3).bit(3)
+
+    def test_getitem_int_and_negative(self):
+        v = BitVector.from_bitstring("101")
+        assert v[0] == 1
+        assert v[-1] == 1
+        assert v[1] == 0
+
+    def test_slice(self):
+        v = BitVector.from_bitstring("110010")
+        assert v[:3] == BitVector.from_bitstring("110")
+        assert v[3:] == BitVector.from_bitstring("010")
+        assert v[2:4] == BitVector.from_bitstring("00")
+
+    def test_slice_empty(self):
+        v = BitVector.from_bitstring("101")
+        assert v[2:2].length == 0
+
+    def test_slice_step_rejected(self):
+        with pytest.raises(ValueError):
+            BitVector(0, 4)[::2]
+
+    def test_iter(self):
+        assert list(BitVector.from_bitstring("1011")) == [1, 0, 1, 1]
+
+    def test_startswith(self):
+        v = BitVector.from_bitstring("10110")
+        assert v.startswith(BitVector.from_bitstring("101"))
+        assert not v.startswith(BitVector.from_bitstring("100"))
+        assert v.startswith(BitVector(0, 0))
+        assert not v.startswith(BitVector.from_bitstring("101100"))
+
+
+class TestConversions:
+    def test_roundtrip_bits(self):
+        v = BitVector.from_bitstring("0110101")
+        assert BitVector.from_bits(v.to_bits()) == v
+
+    def test_to_bytes_pads_right(self):
+        v = BitVector.from_bitstring("101")
+        assert v.to_bytes() == bytes([0b10100000])
+
+    def test_popcount(self):
+        assert BitVector.from_bitstring("101101").popcount() == 4
+
+    def test_is_zero_and_bool(self):
+        assert BitVector.zeros(8).is_zero()
+        assert not BitVector.zeros(8)
+        assert BitVector(1, 8)
+
+    def test_hash_and_eq_distinguish_length(self):
+        assert BitVector(0, 4) != BitVector(0, 5)
+        assert hash(BitVector(3, 4)) == hash(BitVector(3, 4))
+
+    def test_eq_other_type(self):
+        assert BitVector(3, 4) != 3
+
+    def test_repr_short_and_long(self):
+        assert "BitVector('0011')" == repr(BitVector(3, 4))
+        assert "length=64" in repr(BitVector(3, 64))
+
+
+class TestPackUnpack:
+    def test_roundtrip(self):
+        arr = np.array([0, 1, 255], dtype=np.uint64)
+        vecs = pack_ints(arr, 8)
+        assert [v.length for v in vecs] == [8, 8, 8]
+        assert list(unpack_ints(vecs)) == [0, 1, 255]
+
+    def test_pack_rejects_overflow(self):
+        with pytest.raises(ValueError):
+            pack_ints(np.array([256], dtype=np.uint64), 8)
+
+    def test_pack_rejects_wide(self):
+        with pytest.raises(ValueError):
+            pack_ints(np.array([0]), 65)
+
+    def test_unpack_rejects_mixed_lengths(self):
+        with pytest.raises(ValueError):
+            unpack_ints([BitVector(0, 4), BitVector(0, 5)])
+
+    def test_unpack_empty(self):
+        assert unpack_ints([]).size == 0
+
+
+class TestProperties:
+    @given(bitvectors(min_length=1), bitvectors(min_length=1))
+    def test_or_commutes_when_same_length(self, a, b):
+        if a.length == b.length:
+            assert a | b == b | a
+
+    @given(bitvectors(min_length=1))
+    def test_or_idempotent(self, a):
+        assert a | a == a
+
+    @given(bitvectors(min_length=1))
+    def test_complement_involution(self, a):
+        assert ~~a == a
+
+    @given(bitvectors(min_length=1))
+    def test_complement_disjoint_and_covering(self, a):
+        assert (a & ~a).is_zero()
+        assert (a | ~a) == BitVector.ones(a.length)
+
+    @given(bitvectors(), bitvectors())
+    def test_concat_length_and_split(self, a, b):
+        c = a + b
+        assert c.length == a.length + b.length
+        assert c[: a.length] == a
+        assert c[a.length :] == b
+
+    @given(bitvectors())
+    def test_bitstring_roundtrip(self, a):
+        assert BitVector.from_bitstring(a.to_bitstring()) == a
+
+    @given(bitvectors(min_length=1))
+    def test_popcount_complement(self, a):
+        assert a.popcount() + (~a).popcount() == a.length
+
+    @given(
+        st.lists(
+            st.integers(0, 255).map(lambda v: BitVector(v, 8)),
+            min_size=1,
+            max_size=6,
+        )
+    )
+    def test_superpose_is_fold_of_or(self, vecs):
+        acc = vecs[0]
+        for v in vecs[1:]:
+            acc = acc | v
+        assert BitVector.superpose(vecs) == acc
+
+    @given(
+        st.lists(
+            st.integers(0, 255).map(lambda v: BitVector(v, 8)),
+            min_size=2,
+            max_size=6,
+        )
+    )
+    def test_superpose_dominates_members(self, vecs):
+        s = BitVector.superpose(vecs)
+        for v in vecs:
+            assert (s | v) == s  # every member is absorbed

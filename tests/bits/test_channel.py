@@ -1,0 +1,88 @@
+"""Channel model tests: superposition, idle semantics, noise, accounting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bits.bitvec import BitVector
+from repro.bits.channel import Channel
+from repro.bits.rng import make_rng
+
+
+class TestSuperposition:
+    def test_idle_slot_returns_none(self):
+        ch = Channel()
+        assert ch.transmit([]) is None
+
+    def test_single_transmission_passes_through(self):
+        ch = Channel()
+        v = BitVector.from_bitstring("0101")
+        assert ch.transmit([v]) == v
+
+    def test_overlap_is_boolean_sum(self):
+        ch = Channel()
+        a = BitVector.from_bitstring("011001")
+        b = BitVector.from_bitstring("010010")
+        assert ch.transmit([a, b]) == BitVector.from_bitstring("011011")
+
+    def test_length_mismatch_rejected(self):
+        ch = Channel()
+        with pytest.raises(ValueError):
+            ch.transmit([BitVector(0, 4), BitVector(0, 5)])
+
+
+class TestStats:
+    def test_accounting(self):
+        ch = Channel()
+        ch.transmit([])
+        ch.transmit([BitVector(1, 8)])
+        ch.transmit([BitVector(1, 8), BitVector(2, 8)])
+        assert ch.stats.slots == 3
+        assert ch.stats.transmissions == 3
+        assert ch.stats.bits_on_air == 24
+
+    def test_reset(self):
+        ch = Channel()
+        ch.transmit([BitVector(1, 8)])
+        ch.stats.reset()
+        assert ch.stats.slots == 0
+        assert ch.stats.bits_on_air == 0
+
+
+class TestNoise:
+    def test_noise_requires_rng(self):
+        with pytest.raises(ValueError, match="rng is required"):
+            Channel(bit_error_rate=0.1)
+
+    def test_invalid_ber(self):
+        with pytest.raises(ValueError):
+            Channel(bit_error_rate=1.0)
+        with pytest.raises(ValueError):
+            Channel(bit_error_rate=-0.1)
+
+    def test_zero_ber_never_corrupts(self):
+        ch = Channel()
+        v = BitVector.from_bitstring("10101010")
+        for _ in range(20):
+            assert ch.transmit([v]) == v
+
+    def test_high_ber_flips_bits(self):
+        ch = Channel(bit_error_rate=0.5, rng=make_rng(7))
+        v = BitVector.zeros(64)
+        results = [ch.transmit([v]) for _ in range(10)]
+        assert any(not r.is_zero() for r in results)
+        assert ch.stats.flipped_bits > 0
+
+    def test_flip_count_roughly_matches_rate(self):
+        ch = Channel(bit_error_rate=0.25, rng=make_rng(11))
+        v = BitVector.zeros(100)
+        total = 0
+        for _ in range(100):
+            out = ch.transmit([v])
+            total += out.popcount()
+        # 100 rounds x 100 bits x 0.25 = 2500 expected flips.
+        assert 2000 < total < 3000
+
+    def test_idle_slot_immune_to_noise(self):
+        ch = Channel(bit_error_rate=0.9, rng=make_rng(3))
+        assert ch.transmit([]) is None

@@ -1,0 +1,128 @@
+"""FM0 / Miller line-code tests."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.bits.bitvec import BitVector
+from repro.bits.linecode import FM0Codec, LineCodeError, MillerCodec
+
+
+def data_vectors(max_bits=24):
+    return st.integers(1, max_bits).flatmap(
+        lambda n: st.integers(0, (1 << n) - 1).map(lambda v: BitVector(v, n))
+    )
+
+
+class TestFM0:
+    def test_two_halves_per_bit(self):
+        codec = FM0Codec()
+        wf = codec.encode(BitVector.from_bitstring("101"))
+        assert wf.length == 6
+
+    def test_boundary_always_inverts(self):
+        codec = FM0Codec(initial_level=1)
+        wf = codec.encode(BitVector.from_bitstring("1100"))
+        prev = 1
+        for k in range(0, wf.length, 2):
+            assert wf.bit(k) != prev
+            prev = wf.bit(k + 1)
+
+    def test_zero_has_mid_inversion_one_does_not(self):
+        codec = FM0Codec()
+        wf0 = codec.encode(BitVector.from_bitstring("0"))
+        wf1 = codec.encode(BitVector.from_bitstring("1"))
+        assert wf0.bit(0) != wf0.bit(1)
+        assert wf1.bit(0) == wf1.bit(1)
+
+    @given(data_vectors())
+    def test_roundtrip(self, data):
+        codec = FM0Codec()
+        assert codec.decode(codec.encode(data)) == data
+
+    @given(data_vectors())
+    def test_roundtrip_level0(self, data):
+        codec = FM0Codec(initial_level=0)
+        assert codec.decode(codec.encode(data)) == data
+
+    def test_odd_waveform_rejected(self):
+        with pytest.raises(LineCodeError, match="even"):
+            FM0Codec().decode(BitVector(0, 5))
+
+    def test_missing_inversion_detected(self):
+        codec = FM0Codec(initial_level=1)
+        # First half-symbol equal to the initial level: rule violation.
+        bad = BitVector.from_bitstring("1100")
+        assert not codec.is_valid(bad)
+
+    def test_superposition_usually_invalid(self):
+        """The physical root of collision detection: two overlapped FM0
+        waveforms generally violate the inversion rules."""
+        codec = FM0Codec()
+        a = codec.encode(BitVector.from_bitstring("1010"))
+        b = codec.encode(BitVector.from_bitstring("0001"))
+        assert not codec.is_valid(a | b)
+
+    def test_bad_initial_level(self):
+        with pytest.raises(ValueError):
+            FM0Codec(initial_level=2)
+
+
+class TestMiller:
+    @pytest.mark.parametrize("m", [1, 2, 4, 8])
+    @given(data=data_vectors(max_bits=16))
+    def test_roundtrip(self, m, data):
+        codec = MillerCodec(m=m)
+        wf = codec.encode(data)
+        assert wf.length == data.length * 2 * m
+        assert codec.decode(wf) == data
+
+    def test_bad_m(self):
+        with pytest.raises(ValueError):
+            MillerCodec(m=3)
+
+    def test_length_validation(self):
+        with pytest.raises(LineCodeError, match="multiple"):
+            MillerCodec(m=2).decode(BitVector(0, 6))
+
+    def test_one_inverts_mid_symbol(self):
+        codec = MillerCodec(m=1)
+        wf = codec.encode(BitVector.from_bitstring("1"))
+        assert wf.bit(0) != wf.bit(1)
+
+    def test_consecutive_zeros_invert_at_boundary(self):
+        codec = MillerCodec(m=1, initial_level=1)
+        wf = codec.encode(BitVector.from_bitstring("00"))
+        # Symbol 1: flat at level 1; symbol 2: boundary inversion -> flat 0.
+        assert wf.to_bits() == [1, 1, 0, 0]
+
+    def test_subcarrier_repetition(self):
+        m1 = MillerCodec(m=1).encode(BitVector.from_bitstring("10"))
+        m4 = MillerCodec(m=4).encode(BitVector.from_bitstring("10"))
+        expanded = []
+        for lvl in m1:
+            expanded.extend([lvl] * 4)
+        assert m4.to_bits() == expanded
+
+    def test_glitch_detected(self):
+        codec = MillerCodec(m=2)
+        wf = codec.encode(BitVector.from_bitstring("10"))
+        glitched = wf ^ BitVector(1 << (wf.length - 1), wf.length)
+        assert not codec.is_valid(glitched)
+
+    def test_backlink_factor_matches_gen2_model(self):
+        """The Gen2 timing model's Miller factor equals the codec's
+        waveform expansion."""
+        from repro.core.gen2_timing import Gen2TimingModel
+
+        for m in (1, 2, 4, 8):
+            codec = MillerCodec(m=m)
+            g2 = Gen2TimingModel(miller=m)
+            data = BitVector.from_bitstring("1011")
+            halves = codec.encode(data).length
+            # halves per bit == 2m; bit time scales linearly with m.
+            assert halves == data.length * 2 * m
+            assert g2.backlink_bit_time == pytest.approx(
+                m * Gen2TimingModel(miller=1).backlink_bit_time
+            )

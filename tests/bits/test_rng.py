@@ -1,0 +1,76 @@
+"""RNG stream tests: reproducibility, independence of substreams."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bits.rng import RngStream, make_rng
+
+
+class TestReproducibility:
+    def test_same_seed_same_draws(self):
+        a = make_rng(99).integers(0, 1 << 30, size=10)
+        b = make_rng(99).integers(0, 1 << 30, size=10)
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = make_rng(1).integers(0, 1 << 30, size=10)
+        b = make_rng(2).integers(0, 1 << 30, size=10)
+        assert not np.array_equal(a, b)
+
+    def test_spawned_children_are_deterministic(self):
+        kids1 = make_rng(5).spawn(3)
+        kids2 = make_rng(5).spawn(3)
+        for k1, k2 in zip(kids1, kids2):
+            assert np.array_equal(
+                k1.integers(0, 100, size=5), k2.integers(0, 100, size=5)
+            )
+
+    def test_children_independent_of_parent_consumption(self):
+        """Drawing from the parent must not shift its children."""
+        r1 = make_rng(5)
+        r1.integers(0, 100, size=50)  # consume
+        c1 = r1.spawn(1)[0]
+        r2 = make_rng(5)
+        c2 = r2.spawn(1)[0]
+        assert np.array_equal(
+            c1.integers(0, 100, size=5), c2.integers(0, 100, size=5)
+        )
+
+
+class TestSpawning:
+    def test_children_differ_from_each_other(self):
+        kids = make_rng(7).spawn(2)
+        a = kids[0].integers(0, 1 << 30, size=10)
+        b = kids[1].integers(0, 1 << 30, size=10)
+        assert not np.array_equal(a, b)
+
+    def test_child_shortcut(self):
+        r = make_rng(7)
+        assert isinstance(r.child(), RngStream)
+
+    def test_sequential_children_distinct(self):
+        r = make_rng(7)
+        a = r.child().integers(0, 1 << 30, size=10)
+        b = r.child().integers(0, 1 << 30, size=10)
+        assert not np.array_equal(a, b)
+
+
+class TestConvenience:
+    def test_draw_methods(self):
+        r = make_rng(0)
+        assert 0 <= r.random() < 1
+        assert r.integers(0, 10) in range(10)
+        assert r.exponential(2.0) >= 0
+        assert 0 <= r.binomial(10, 0.5) <= 10
+        assert 0.0 <= r.uniform(0, 1) <= 1.0
+        assert r.choice([1, 2, 3]) in (1, 2, 3)
+        x = list(range(10))
+        r.shuffle(x)
+        assert sorted(x) == list(range(10))
+
+    def test_repr_contains_entropy(self):
+        assert "entropy" in repr(make_rng(42))
+
+    def test_none_seed_allowed(self):
+        assert isinstance(make_rng(None), RngStream)

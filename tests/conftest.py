@@ -1,0 +1,31 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bits.rng import RngStream, make_rng
+from repro.core.timing import TimingModel
+from repro.tags.population import TagPopulation
+
+
+@pytest.fixture
+def rng() -> RngStream:
+    """A deterministic root random stream."""
+    return make_rng(12345)
+
+
+@pytest.fixture
+def timing() -> TimingModel:
+    """The paper's timing constants (τ=1, l_id=64, l_crc=32)."""
+    return TimingModel()
+
+
+@pytest.fixture
+def make_population(rng):
+    """Factory for small reproducible populations."""
+
+    def _make(size: int, id_bits: int = 64, layout: str = "uniform"):
+        return TagPopulation(size, id_bits=id_bits, rng=rng.child(), layout=layout)
+
+    return _make

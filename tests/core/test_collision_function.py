@@ -1,0 +1,99 @@
+"""Theorem 1 and Definition 1 tests."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.bits.bitvec import BitVector
+from repro.core.collision_function import (
+    BitwiseComplement,
+    CollisionFunction,
+    IdentityFunction,
+    is_collision_function,
+)
+
+
+class TestTheorem1Exhaustive:
+    """f(r) = r̄ satisfies Definition 1 -- verified exhaustively for small l."""
+
+    @pytest.mark.parametrize("length", [1, 2, 3, 4])
+    def test_complement_is_collision_function(self, length):
+        assert is_collision_function(BitwiseComplement(), length, max_group=3)
+
+    def test_complement_pairs_length5(self):
+        assert is_collision_function(BitwiseComplement(), 5, max_group=2)
+
+    @pytest.mark.parametrize("length", [2, 3, 4])
+    def test_identity_is_not(self, length):
+        assert not is_collision_function(IdentityFunction(), length)
+
+    def test_checker_rejects_bad_length(self):
+        with pytest.raises(ValueError):
+            is_collision_function(BitwiseComplement(), 0)
+
+
+class TestTheorem1Properties:
+    """The two directions of Theorem 1 as property-based tests (l = 8,
+    the paper's recommended strength -- far beyond exhaustive reach)."""
+
+    @given(
+        st.lists(st.integers(1, 255), min_size=2, max_size=6).filter(
+            lambda xs: len(set(xs)) >= 2
+        )
+    )
+    def test_distinct_values_always_detected(self, values):
+        f = BitwiseComplement()
+        vecs = [BitVector(v, 8) for v in values]
+        combined = BitVector.superpose(vecs)
+        assert f(combined) != BitVector.superpose([f(v) for v in vecs])
+
+    @given(st.integers(1, 255), st.integers(1, 6))
+    def test_identical_values_never_detected(self, value, copies):
+        """All-equal draws are the (only) blind spot: m copies of the same
+        r overlap back to r, so the check passes as if m = 1."""
+        f = BitwiseComplement()
+        vecs = [BitVector(value, 8)] * copies
+        combined = BitVector.superpose(vecs)
+        assert f(combined) == BitVector.superpose([f(v) for v in vecs])
+
+    @given(st.integers(1, 255))
+    def test_single_value_passes(self, value):
+        f = BitwiseComplement()
+        v = BitVector(value, 8)
+        assert f(v) == ~v
+
+
+class TestProofStructure:
+    """The bit-level argument of the paper's proof of Theorem 1."""
+
+    def test_differing_bit_position_argument(self):
+        # If r_i and r_j differ at bit k, then (∨ r)_k = 1 so f(∨ r)_k = 0,
+        # while f(r_i)_k ∨ f(r_j)_k = 1.
+        for ri, rj in itertools.permutations(range(1, 16), 2):
+            a, b = BitVector(ri, 4), BitVector(rj, 4)
+            diffs = [k for k in range(4) if a.bit(k) != b.bit(k)]
+            if not diffs:
+                continue
+            k = diffs[0]
+            assert (a | b).bit(k) == 1
+            assert (~(a | b)).bit(k) == 0
+            assert ((~a) | (~b)).bit(k) == 1
+
+
+class TestInterface:
+    def test_length_preservation_enforced(self):
+        class Truncating(CollisionFunction):
+            name = "bad"
+
+            def apply(self, r):
+                return r[:-1]
+
+        with pytest.raises(ValueError, match="preserve length"):
+            Truncating()(BitVector(3, 4))
+
+    def test_names(self):
+        assert BitwiseComplement().name == "bitwise-complement"
+        assert IdentityFunction().name == "identity"

@@ -1,0 +1,102 @@
+"""Gen2 command codec tests."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.bits.bitvec import BitVector
+from repro.core.commands import Ack, Query, QueryAdjust, QueryRep, decode_command
+from repro.core.gen2_timing import ACK_BITS, QUERY_BITS, QUERY_REP_BITS
+
+
+class TestQuery:
+    def test_length_matches_timing_constant(self):
+        assert Query(q=4).encode().length == QUERY_BITS == 22
+
+    @given(st.integers(0, 15))
+    def test_roundtrip(self, q):
+        cmd = Query(q=q, dr=1, m=2, session=1)
+        assert Query.decode(cmd.encode()) == cmd
+
+    def test_crc5_protects(self):
+        frame = Query(q=7).encode()
+        corrupted = frame ^ BitVector(1 << 10, 22)
+        with pytest.raises(ValueError, match="CRC-5"):
+            Query.decode(corrupted)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Query(q=16)
+        with pytest.raises(ValueError):
+            Query(q=1, session=4)
+
+    def test_wrong_length(self):
+        with pytest.raises(ValueError, match="22 bits"):
+            Query.decode(BitVector(0, 21))
+
+
+class TestQueryRep:
+    def test_length(self):
+        assert QueryRep().encode().length == QUERY_REP_BITS == 4
+
+    @given(st.integers(0, 3))
+    def test_roundtrip(self, session):
+        cmd = QueryRep(session=session)
+        assert QueryRep.decode(cmd.encode()) == cmd
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            QueryRep(session=5)
+
+
+class TestQueryAdjust:
+    @pytest.mark.parametrize(
+        "updn", [QueryAdjust.UP, QueryAdjust.DOWN, QueryAdjust.HOLD]
+    )
+    def test_roundtrip(self, updn):
+        cmd = QueryAdjust(session=2, updn=updn)
+        assert QueryAdjust.decode(cmd.encode()) == cmd
+
+    def test_invalid_updn(self):
+        with pytest.raises(ValueError, match="updn"):
+            QueryAdjust(updn=0b101)
+
+
+class TestAck:
+    def test_length_matches_timing_constant(self):
+        assert Ack(rn16=0xBEEF).encode().length == ACK_BITS == 18
+
+    @given(st.integers(0, 0xFFFF))
+    def test_roundtrip(self, rn16):
+        assert Ack.decode(Ack(rn16=rn16).encode()) == Ack(rn16=rn16)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Ack(rn16=1 << 16)
+
+    def test_qcd_preamble_as_handle(self):
+        """QCD's contention preamble doubles as the ACK handle: the reader
+        echoes the 2l bits it already received."""
+        from repro.core.qcd import QCDDetector
+        from repro.bits.rng import make_rng
+
+        det = QCDDetector(8)
+        preamble = det.contention_payload(0, make_rng(1))
+        ack = Ack(rn16=preamble.to_int())
+        assert Ack.decode(ack.encode()).rn16 == preamble.to_int()
+
+
+class TestDispatch:
+    def test_dispatch_each_type(self):
+        for cmd in (
+            Query(q=3),
+            QueryRep(session=1),
+            QueryAdjust(updn=QueryAdjust.UP),
+            Ack(rn16=42),
+        ):
+            assert decode_command(cmd.encode()) == cmd
+
+    def test_dispatch_unknown(self):
+        with pytest.raises(ValueError, match="unrecognized"):
+            decode_command(BitVector(0b111, 3))

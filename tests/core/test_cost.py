@@ -1,0 +1,42 @@
+"""Cost model tests (Table IV)."""
+
+from __future__ import annotations
+
+from repro.core.cost import measure_crc_cd_cost, measure_qcd_cost
+from repro.core.crc_cd import CRCCDDetector
+from repro.core.qcd import QCDDetector
+
+
+class TestTable4Claims:
+    def test_crc_more_than_100_instructions(self):
+        profile = measure_crc_cd_cost(CRCCDDetector(id_bits=64))
+        assert profile.instructions_per_check > 100
+
+    def test_qcd_one_instruction(self):
+        profile = measure_qcd_cost(QCDDetector(8))
+        assert profile.instructions_per_check == 1.0
+
+    def test_crc_memory_1kb(self):
+        profile = measure_crc_cd_cost(CRCCDDetector(id_bits=64))
+        assert profile.memory_bits == 8 * 1024
+        assert profile.as_row()["memory"] == "1 KB"
+
+    def test_qcd_memory_16_bits(self):
+        profile = measure_qcd_cost(QCDDetector(8))
+        assert profile.memory_bits == 16
+        assert profile.as_row()["memory"] == "16 bits"
+
+    def test_transmission_96_vs_16(self):
+        crc = measure_crc_cd_cost(CRCCDDetector(id_bits=64))
+        qcd = measure_qcd_cost(QCDDetector(8))
+        assert crc.transmission_bits == 96
+        assert qcd.transmission_bits == 16
+
+    def test_complexity_labels(self):
+        assert measure_crc_cd_cost(CRCCDDetector()).complexity == "O(l)"
+        assert measure_qcd_cost(QCDDetector(8)).complexity == "O(1)"
+
+    def test_measurement_deterministic(self):
+        a = measure_crc_cd_cost(CRCCDDetector(), samples=16, seed=3)
+        b = measure_crc_cd_cost(CRCCDDetector(), samples=16, seed=3)
+        assert a.instructions_per_check == b.instructions_per_check

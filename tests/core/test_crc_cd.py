@@ -1,0 +1,125 @@
+"""CRC-CD baseline detector tests."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bits.bitvec import BitVector
+from repro.bits.crc import CRC16_CCITT_FALSE
+from repro.core.crc_cd import CRCCDDetector
+from repro.core.detector import SlotType
+
+
+class TestClassification:
+    def test_idle_on_none(self):
+        assert CRCCDDetector().classify(None).slot_type is SlotType.IDLE
+
+    def test_single_decodes_id(self, rng):
+        det = CRCCDDetector(id_bits=64)
+        signal = det.contention_payload(0x1234_5678_9ABC_DEF0, rng)
+        out = det.classify(signal)
+        assert out.slot_type is SlotType.SINGLE
+        assert out.decoded_id == 0x1234_5678_9ABC_DEF0
+
+    def test_collision_detected(self, rng):
+        det = CRCCDDetector(id_bits=64)
+        a = det.contention_payload(0x1111, rng)
+        b = det.contention_payload(0x2222, rng)
+        assert det.classify(a | b).slot_type is SlotType.COLLIDED
+
+    def test_wrong_signal_length_rejected(self):
+        det = CRCCDDetector(id_bits=64)
+        with pytest.raises(ValueError, match="expected 96"):
+            det.classify(BitVector(0, 95))
+
+    @settings(max_examples=40)
+    @given(
+        st.lists(
+            st.integers(0, (1 << 64) - 1), min_size=2, max_size=5, unique=True
+        )
+    )
+    def test_overlaps_essentially_always_detected(self, ids):
+        """At the paper's parameter point (64-bit IDs, CRC-32) misses are
+        ~2^-32 coincidences; none should show here.  (32-bit IDs are a
+        different story -- see the saturation fixed-point tests.)"""
+        det = CRCCDDetector(id_bits=64)
+        from repro.bits.rng import make_rng
+
+        rng = make_rng(0)
+        signals = [det.contention_payload(i, rng) for i in ids]
+        assert det.classify(BitVector.superpose(signals)).slot_type is SlotType.COLLIDED
+
+    def test_crc32_all_ones_fixed_point(self):
+        """CRC-32 of 32 one-bits is 0xFFFFFFFF -- an exact fixed point
+        (cross-checked against zlib in tests/bits/test_crc.py)."""
+        det = CRCCDDetector(id_bits=32)
+        from repro.bits.bitvec import BitVector as BV
+
+        assert det.engine.compute_bits(BV.ones(32)).to_int() == 0xFFFFFFFF
+
+    def test_saturated_collision_missed_with_32bit_ids(self, rng):
+        """A structural blind spot of CRC-CD under the Boolean-sum channel,
+        found by property testing: with l_id = l_crc = 32, any collision
+        whose OR saturates both fields to all-ones is misread as a single
+        of the all-ones ID, because crc32(1^32) = 1^32.  The Boolean sum
+        drives fields *toward* all-ones as m grows, so this is not a
+        2^-32 coincidence but a systematic failure mode.  (QCD has no such
+        fixed point: its check field is the complement of its random
+        field, so saturating both to 1s always fails the check.)"""
+        det = CRCCDDetector(id_bits=32)
+        ids = [0, 1, (1 << 32) - 2]  # OR of ids = OR of crcs = all-ones
+        signals = [det.contention_payload(i, rng) for i in ids]
+        combined = BitVector.superpose(signals)
+        if combined.popcount() == 64:  # both fields saturated
+            out = det.classify(combined)
+            assert out.slot_type is SlotType.SINGLE  # the documented miss
+            assert out.decoded_id == (1 << 32) - 1
+
+    def test_qcd_immune_to_saturation(self):
+        """Contrast: a fully saturated QCD preamble always reads collided
+        (c = 1^l requires r = 0^l, which is not a valid single)."""
+        from repro.core.qcd import QCDDetector
+
+        det = QCDDetector(8)
+        assert det.classify(BitVector.ones(16)).slot_type is SlotType.COLLIDED
+
+
+class TestParameters:
+    def test_contention_bits_epc_gen2(self):
+        # 64-bit ID + 32-bit CRC = the paper's 96 transmitted bits.
+        assert CRCCDDetector(id_bits=64).contention_bits == 96
+
+    def test_custom_crc(self):
+        det = CRCCDDetector(id_bits=64, crc_spec=CRC16_CCITT_FALSE)
+        assert det.contention_bits == 80
+        assert det.crc_bits == 16
+
+    def test_one_phase(self):
+        assert not CRCCDDetector().needs_id_phase
+
+    def test_invalid_id_bits(self):
+        with pytest.raises(ValueError):
+            CRCCDDetector(id_bits=0)
+
+    def test_miss_probability(self):
+        det = CRCCDDetector()
+        assert det.miss_probability(1) == 0.0
+        assert det.miss_probability(2) == pytest.approx(2.0**-32)
+
+
+class TestInstrumentation:
+    def test_tag_side_and_reader_side_crc_counted(self, rng):
+        det = CRCCDDetector(id_bits=64)
+        signal = det.contention_payload(5, rng)  # tag computes a CRC
+        det.classify(signal)  # reader recomputes it
+        assert det.crc_computations == 2
+        assert det.crc_ops_total > 200  # two O(l) passes over 64 bits
+
+    def test_reset(self, rng):
+        det = CRCCDDetector()
+        det.contention_payload(5, rng)
+        det.reset_instrumentation()
+        assert det.crc_computations == 0
+        assert det.crc_ops_total == 0
+        assert det.classify_calls == 0

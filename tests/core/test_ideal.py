@@ -1,0 +1,59 @@
+"""Genie detector tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bits.bitvec import BitVector
+from repro.core.detector import SlotType
+from repro.core.ideal import IdealDetector
+
+
+class TestGenie:
+    def test_requires_observation(self):
+        det = IdealDetector()
+        with pytest.raises(RuntimeError, match="observe_transmitters"):
+            det.classify(None)
+
+    def test_idle(self):
+        det = IdealDetector()
+        det.observe_transmitters(0)
+        assert det.classify(None).slot_type is SlotType.IDLE
+
+    def test_single_with_id(self):
+        det = IdealDetector()
+        det.observe_transmitters(1, sole_id=42)
+        out = det.classify(BitVector(42, 64))
+        assert out.slot_type is SlotType.SINGLE
+        assert out.decoded_id == 42
+
+    def test_single_falls_back_to_signal(self):
+        det = IdealDetector()
+        det.observe_transmitters(1)
+        assert det.classify(BitVector(7, 64)).decoded_id == 7
+
+    def test_collision(self):
+        det = IdealDetector()
+        det.observe_transmitters(3)
+        assert det.classify(BitVector(7, 64)).slot_type is SlotType.COLLIDED
+
+    def test_observation_consumed(self):
+        det = IdealDetector()
+        det.observe_transmitters(0)
+        det.classify(None)
+        with pytest.raises(RuntimeError):
+            det.classify(None)
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            IdealDetector().observe_transmitters(-1)
+
+    def test_never_misses(self):
+        det = IdealDetector()
+        assert det.miss_probability(2) == 0.0
+        assert det.miss_probability(100) == 0.0
+
+    def test_contention_is_bare_id(self, rng):
+        det = IdealDetector(id_bits=64)
+        assert det.contention_bits == 64
+        assert det.contention_payload(5, rng) == BitVector(5, 64)

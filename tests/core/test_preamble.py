@@ -1,0 +1,91 @@
+"""Collision preamble codec tests."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.bits.bitvec import BitVector
+from repro.core.collision_function import IdentityFunction
+from repro.core.preamble import CollisionPreamble, PreambleCodec
+
+
+class TestCodec:
+    def test_preamble_length_is_2l(self):
+        # Paper: l = 8 -> 16-bit collision preamble.
+        assert PreambleCodec(8).preamble_bits == 16
+        assert PreambleCodec(4).preamble_bits == 8
+
+    def test_invalid_strength(self):
+        with pytest.raises(ValueError):
+            PreambleCodec(0)
+
+    def test_draw_positive_integer(self, rng):
+        codec = PreambleCodec(4)
+        for _ in range(100):
+            p = codec.draw(rng)
+            assert 1 <= p.r.value <= 15
+
+    def test_draw_signal_is_never_zero(self, rng):
+        """r > 0 guarantees the preamble cannot impersonate an idle slot."""
+        codec = PreambleCodec(4)
+        for _ in range(100):
+            assert not codec.draw(rng).to_signal().is_zero()
+
+    def test_encode_decode_roundtrip(self):
+        codec = PreambleCodec(8)
+        r = BitVector(0xA5, 8)
+        signal = codec.encode(r)
+        decoded = codec.decode(signal)
+        assert decoded.r == r
+        assert decoded.c == ~r
+
+    def test_encode_rejects_zero(self):
+        with pytest.raises(ValueError, match="positive"):
+            PreambleCodec(8).encode(BitVector(0, 8))
+
+    def test_encode_rejects_wrong_length(self):
+        with pytest.raises(ValueError):
+            PreambleCodec(8).encode(BitVector(1, 4))
+
+    def test_decode_rejects_wrong_length(self):
+        with pytest.raises(ValueError):
+            PreambleCodec(8).decode(BitVector(1, 8))
+
+    def test_consistency_check(self):
+        codec = PreambleCodec(4)
+        good = CollisionPreamble(BitVector(5, 4), ~BitVector(5, 4))
+        bad = CollisionPreamble(BitVector(5, 4), BitVector(5, 4))
+        assert codec.is_consistent(good)
+        assert not codec.is_consistent(bad)
+
+    def test_custom_function(self):
+        codec = PreambleCodec(4, function=IdentityFunction())
+        r = BitVector(3, 4)
+        assert codec.encode(r) == r + r
+
+
+class TestWireFormat:
+    @given(st.integers(1, 255))
+    def test_signal_layout_r_then_c(self, r_val):
+        codec = PreambleCodec(8)
+        signal = codec.encode(BitVector(r_val, 8))
+        assert signal[:8].to_int() == r_val
+        assert signal[8:].to_int() == r_val ^ 0xFF
+
+    @given(st.integers(1, 255), st.integers(1, 255))
+    def test_overlap_detected_iff_distinct(self, a, b):
+        """The end-to-end Definition 1 property at the signal level."""
+        codec = PreambleCodec(8)
+        sa = codec.encode(BitVector(a, 8))
+        sb = codec.encode(BitVector(b, 8))
+        overlapped = sa | sb
+        decoded = codec.decode(overlapped)
+        if a == b:
+            assert codec.is_consistent(decoded)
+        else:
+            assert not codec.is_consistent(decoded)
+
+    def test_strength_property(self):
+        p = CollisionPreamble(BitVector(1, 6), BitVector(0, 6))
+        assert p.strength == 6

@@ -1,0 +1,91 @@
+"""RN16 (structure-free Gen2 baseline) detector tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bits.bitvec import BitVector
+from repro.core.detector import SlotType
+from repro.core.rn16 import RN16Detector
+from repro.core.timing import TimingModel
+from repro.protocols.fsa import FramedSlottedAloha
+from repro.sim.reader import Reader
+from repro.tags.population import TagPopulation
+from repro.bits.rng import make_rng
+
+
+class TestClassification:
+    def test_idle(self):
+        det = RN16Detector()
+        assert det.classify(None).slot_type is SlotType.IDLE
+        assert det.classify(BitVector.zeros(16)).slot_type is SlotType.IDLE
+
+    def test_any_energy_presumed_single(self, rng):
+        det = RN16Detector()
+        a = det.contention_payload(1, rng)
+        b = det.contention_payload(2, rng)
+        assert det.classify(a).slot_type is SlotType.SINGLE
+        assert det.classify(a | b).slot_type is SlotType.SINGLE  # blind
+
+    def test_payload_positive(self, rng):
+        det = RN16Detector(rn_bits=4)
+        for _ in range(50):
+            assert not det.contention_payload(0, rng).is_zero()
+
+    def test_miss_probability_is_one(self):
+        det = RN16Detector()
+        assert det.miss_probability(2) == 1.0
+        assert det.miss_probability(1) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RN16Detector(rn_bits=0)
+
+
+class TestInventory:
+    def test_completes_with_crc_guard(self, make_population):
+        """The guard CRC is what makes blind contention workable: garbled
+        IDs fail the check and the tags re-contend."""
+        pop = make_population(40)
+        timing = TimingModel(guard_id_phase=True)
+        reader = Reader(RN16Detector(), timing, policy="crc_guard")
+        result = reader.run_inventory(pop.tags, FramedSlottedAloha(24))
+        assert sorted(result.identified_ids) == sorted(pop.ids)
+        # Every true collision was misread at the contention phase.
+        assert result.stats.accuracy == 0.0
+        assert result.stats.missed_collisions == result.stats.true_counts.collided
+
+    def test_loses_tags_without_guard(self, make_population):
+        """Without the ID-phase CRC ('lost' policy), blind contention
+        silently drops every collided group -- the failure QCD's 16 bits
+        of structure prevent."""
+        pop = make_population(40)
+        reader = Reader(RN16Detector(), policy="lost")
+        result = reader.run_inventory(pop.tags, FramedSlottedAloha(24))
+        assert result.lost_ids
+
+    def test_qcd_strictly_faster_same_preamble_length(self):
+        """Same 16 contention bits; QCD's structure ends collided slots at
+        the preamble while RN16 rides them to the failed CRC."""
+        timing = TimingModel(guard_id_phase=True)
+        from repro.core.qcd import QCDDetector
+
+        def total(detector, policy):
+            pop = TagPopulation(100, id_bits=64, rng=make_rng(31))
+            reader = Reader(detector, timing, policy=policy)
+            return reader.run_inventory(
+                pop.tags, FramedSlottedAloha(60)
+            ).stats.total_time
+
+        t_rn16 = total(RN16Detector(), "crc_guard")
+        t_qcd = total(QCDDetector(8), "crc_guard")
+        assert t_qcd < t_rn16
+
+    def test_slot_charges(self):
+        """A collided slot under RN16 costs the full single window (ACK'd
+        ID + guard CRC ran before the garble surfaced)."""
+        timing = TimingModel(guard_id_phase=True)
+        det = RN16Detector()
+        # detected single (which is what a collision reads as):
+        assert timing.slot_duration(det, SlotType.SINGLE) == 16 + 64 + 32
+        assert timing.slot_duration(det, SlotType.IDLE) == 16

@@ -1,0 +1,107 @@
+"""SELECT mask tests: scoped inventories."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bits.bitvec import BitVector
+from repro.bits.rng import make_rng
+from repro.core.qcd import QCDDetector
+from repro.core.select import SelectMask
+from repro.core.timing import TimingModel
+from repro.protocols.fsa import FramedSlottedAloha
+from repro.sim.reader import Reader
+from repro.tags.epc import Sgtin96
+from repro.tags.population import TagPopulation
+from repro.tags.tag import Tag
+
+
+def tag_of(value: int, bits: int = 8) -> Tag:
+    return Tag(tag_id=value, id_bits=bits, rng=make_rng(value))
+
+
+class TestMatching:
+    def test_prefix_match(self):
+        mask = SelectMask.for_prefix(BitVector.from_bitstring("10"))
+        assert mask.matches(tag_of(0b10110101))
+        assert not mask.matches(tag_of(0b01110101))
+
+    def test_offset_match(self):
+        mask = SelectMask(offset=4, pattern=BitVector.from_bitstring("11"))
+        assert mask.matches(tag_of(0b0000_1100))
+        assert not mask.matches(tag_of(0b0000_0100))
+
+    def test_negate(self):
+        mask = SelectMask.for_prefix(BitVector.from_bitstring("1"), negate=True)
+        assert mask.matches(tag_of(0b0111_0000))
+        assert not mask.matches(tag_of(0b1000_0000))
+
+    def test_pattern_beyond_id_never_matches(self):
+        mask = SelectMask(offset=6, pattern=BitVector.from_bitstring("1111"))
+        assert not mask.matches(tag_of(0xFF))
+        # ...and its negation always matches.
+        neg = SelectMask(offset=6, pattern=BitVector.from_bitstring("1111"), negate=True)
+        assert neg.matches(tag_of(0xFF))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SelectMask(offset=-1, pattern=BitVector(1, 1))
+        with pytest.raises(ValueError):
+            SelectMask(offset=0, pattern=BitVector(0, 0))
+
+
+class TestCompanyMask:
+    def test_selects_exactly_that_company(self, rng):
+        ours = [
+            Sgtin96.random(rng, partition=5, company_prefix=0x123456)
+            for _ in range(10)
+        ]
+        theirs = [
+            Sgtin96.random(rng, partition=5, company_prefix=0x654321)
+            for _ in range(10)
+        ]
+        tags = [
+            Tag(tag_id=e.encode().to_int(), id_bits=96, rng=rng.child())
+            for e in ours + theirs
+        ]
+        mask = SelectMask.for_company(partition=5, company_prefix=0x123456)
+        picked = mask.filter(tags)
+        assert len(picked) == 10
+        for tag in picked:
+            assert Sgtin96.decode(tag.id_vector).company_prefix == 0x123456
+
+    def test_filter_value_does_not_matter(self, rng):
+        epc = Sgtin96.random(rng, partition=5, company_prefix=7, filter_value=3)
+        tag = Tag(tag_id=epc.encode().to_int(), id_bits=96, rng=rng.child())
+        mask = SelectMask.for_company(partition=5, company_prefix=7)
+        assert mask.matches(tag)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SelectMask.for_company(partition=9, company_prefix=0)
+        with pytest.raises(ValueError):
+            SelectMask.for_company(partition=6, company_prefix=1 << 20)
+
+
+class TestScopedInventory:
+    def test_reader_select_inventories_subset(self):
+        pop = TagPopulation(60, id_bits=64, rng=make_rng(5))
+        mask = SelectMask.for_prefix(BitVector.from_bitstring("0"))
+        expected = {t.tag_id for t in pop if t.id_vector.bit(0) == 0}
+        reader = Reader(QCDDetector(8), TimingModel())
+        result = reader.run_inventory(
+            pop.tags, FramedSlottedAloha(32), select=mask
+        )
+        assert set(result.identified_ids) == expected
+        # Unselected tags never contended.
+        for tag in pop:
+            if tag.tag_id not in expected:
+                assert not tag.identified
+
+    def test_excluding_masks(self):
+        pop = TagPopulation(6, id_bits=16, rng=make_rng(6))
+        masks = SelectMask.excluding(pop.tags[:2])
+        remaining = pop.tags
+        for mask in masks:
+            remaining = mask.filter(remaining)
+        assert {t.tag_id for t in remaining} == {t.tag_id for t in pop.tags[2:]}

@@ -1,0 +1,84 @@
+"""Timing model tests: the airtime accounting of Section V."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.crc_cd import CRCCDDetector
+from repro.core.detector import SlotType
+from repro.core.ideal import IdealDetector
+from repro.core.qcd import QCDDetector
+from repro.core.timing import TimingModel
+
+
+class TestCrcCdDurations:
+    def test_all_slots_full_length(self, timing):
+        det = CRCCDDetector(id_bits=64)
+        for kind in SlotType:
+            assert timing.slot_duration(det, kind) == 96.0
+
+    def test_tau_scales(self):
+        t = TimingModel(tau=2.0)
+        assert t.slot_duration(CRCCDDetector(), SlotType.IDLE) == 192.0
+
+
+class TestQcdDurations:
+    def test_idle_and_collided_are_preamble_only(self, timing):
+        det = QCDDetector(8)
+        assert timing.slot_duration(det, SlotType.IDLE) == 16.0
+        assert timing.slot_duration(det, SlotType.COLLIDED) == 16.0
+
+    def test_single_adds_id_phase(self, timing):
+        # l_prm + l_id = 16 + 64 = 80 (Section V-A).
+        assert timing.slot_duration(QCDDetector(8), SlotType.SINGLE) == 80.0
+
+    def test_guard_adds_crc(self):
+        t = TimingModel(guard_id_phase=True)
+        assert t.slot_duration(QCDDetector(8), SlotType.SINGLE) == 112.0
+        # guard does not change idle/collided slots
+        assert t.slot_duration(QCDDetector(8), SlotType.IDLE) == 16.0
+
+    @pytest.mark.parametrize("strength,prm", [(4, 8), (8, 16), (16, 32)])
+    def test_strength_sweep(self, timing, strength, prm):
+        det = QCDDetector(strength)
+        assert timing.slot_duration(det, SlotType.COLLIDED) == prm
+        assert timing.slot_duration(det, SlotType.SINGLE) == prm + 64
+
+
+class TestIdealDurations:
+    def test_bare_id_every_slot(self, timing):
+        det = IdealDetector(id_bits=64)
+        for kind in SlotType:
+            assert timing.slot_duration(det, kind) == 64.0
+
+
+class TestInventoryTime:
+    def test_closed_form_section5a(self, timing):
+        """t_qcd = n(l_prm + l_id) + 1.7n·l_prm for n singles and 1.7n
+        idle+collided slots."""
+        det = QCDDetector(8)
+        n = 100
+        t = timing.inventory_time(
+            det, n_idle=70, n_single=n, n_collided=100
+        )
+        assert t == n * 80 + 170 * 16
+
+    def test_crc_closed_form(self, timing):
+        det = CRCCDDetector()
+        assert timing.inventory_time(det, 10, 20, 30) == 60 * 96
+
+
+class TestValidation:
+    def test_bad_tau(self):
+        with pytest.raises(ValueError):
+            TimingModel(tau=0)
+
+    def test_bad_bits(self):
+        with pytest.raises(ValueError):
+            TimingModel(id_bits=0)
+        with pytest.raises(ValueError):
+            TimingModel(crc_bits=-1)
+
+    def test_frozen(self, timing):
+        with pytest.raises(AttributeError):
+            timing.tau = 5.0

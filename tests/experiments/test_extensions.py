@@ -1,0 +1,58 @@
+"""Smoke tests for the extension-study generators (small rounds)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import extensions
+
+
+class TestGenerators:
+    def test_gen2_rows(self):
+        rows = extensions.ext_gen2(rounds=2, seed=1)
+        assert [r["timing model"] for r in rows] == [
+            "paper (τ per bit)",
+            "Gen2, same-commands ACK",
+            "Gen2, no baseline ACK",
+        ]
+        eis = [float(r["EI"]) for r in rows]
+        assert eis[0] > eis[1] > eis[2]
+
+    def test_energy_rows(self):
+        rows = extensions.ext_energy(seed=2)
+        by = {r["scheme"]: r for r in rows}
+        crc = float(by["CRC-CD"]["total (µJ)"].replace(",", ""))
+        qcd = float(by["QCD-8"]["total (µJ)"].replace(",", ""))
+        assert qcd < crc
+
+    def test_neighbor_rows(self):
+        rows = extensions.ext_neighbor(rounds=2, seed=3)
+        by = {r["framing"]: r for r in rows}
+        assert (
+            by["QCD-8"]["slots to full discovery"]
+            == by["CRC-CD"]["slots to full discovery"]
+        )
+
+    def test_missing_rows(self):
+        rows = extensions.ext_missing(rounds=1, seed=4)
+        assert rows[-1]["framing"] == "(full QCD-8 inventory)"
+        assert len(rows) == 3
+
+    def test_coverage_rows(self):
+        rows = extensions.ext_coverage(rounds=1, seed=5)
+        assert len(rows) == 2
+
+    @pytest.mark.slow
+    def test_estimators_rows(self):
+        rows = extensions.ext_estimators(rounds=1, seed=6)
+        assert [r["estimator"] for r in rows] == [
+            "lower-bound",
+            "schoute",
+            "eom-lee",
+            "vogt",
+            "mle",
+        ]
+
+    def test_noise_rows(self):
+        rows = extensions.ext_noise(rounds=1, seed=7)
+        assert [r["BER"] for r in rows] == ["0", "0.001", "0.005", "0.02"]

@@ -1,0 +1,89 @@
+"""Report rendering and CLI tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.cli import EXPERIMENTS, main, run_experiment
+from repro.experiments.report import render_table
+from repro.experiments.runner import ExperimentSuite
+
+
+class TestRenderTable:
+    def test_basic(self):
+        rows = [{"a": "1", "b": "xx"}, {"a": "22", "b": "y"}]
+        out = render_table(rows, title="T")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "a " in lines[1] and "b" in lines[1]
+        assert len(lines) == 5
+
+    def test_alignment(self):
+        rows = [{"col": "short"}, {"col": "a-much-longer-cell"}]
+        out = render_table(rows)
+        widths = {len(line) for line in out.splitlines()}
+        assert len(widths) == 1  # all lines padded to equal width
+
+    def test_missing_cells(self):
+        rows = [{"a": "1"}, {"b": "2"}]
+        out = render_table(rows)
+        assert "a" in out and "b" in out
+
+    def test_empty(self):
+        assert "(no rows)" in render_table([], title="X")
+        assert render_table([]) == "(no rows)"
+
+
+class TestCli:
+    def test_experiment_registry_complete(self):
+        assert set(EXPERIMENTS) == {
+            "table2",
+            "table3",
+            "table4",
+            "table7",
+            "table8",
+            "table9",
+            "fig5",
+            "fig6",
+            "fig7",
+            "fig8",
+        }
+
+    def test_extension_registry_complete(self):
+        from repro.experiments.cli import EXTENSIONS
+
+        assert set(EXTENSIONS) == {
+            "gen2",
+            "energy",
+            "estimators",
+            "noise",
+            "neighbor",
+            "coverage",
+            "missing",
+        }
+
+    def test_extension_via_cli(self, capsys):
+        assert main(["energy", "--rounds", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "energy budget" in out
+        assert "QCD-8" in out
+
+    def test_run_experiment_theory(self):
+        suite = ExperimentSuite(rounds=1, seed=0)
+        rows = run_experiment("table2", suite)
+        assert len(rows) == 3
+
+    def test_main_theory_table(self, capsys):
+        assert main(["table2", "--rounds", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "Table II" in out
+        assert "0.6698" in out
+
+    def test_main_simulation_table_small(self, capsys):
+        assert main(["table7", "--rounds", "2", "--seed", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "Table VII" in out
+
+    def test_main_rejects_unknown(self):
+        with pytest.raises(SystemExit):
+            main(["table99"])

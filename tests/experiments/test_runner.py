@@ -1,0 +1,106 @@
+"""Experiment runner tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.crc_cd import CRCCDDetector
+from repro.core.qcd import QCDDetector
+from repro.experiments.config import CASES, SimulationCase
+from repro.experiments.runner import (
+    AggregateStats,
+    ExperimentSuite,
+    make_detector,
+)
+
+
+@pytest.fixture(scope="module")
+def suite():
+    return ExperimentSuite(rounds=5, seed=7)
+
+
+class TestMakeDetector:
+    def test_crc(self):
+        assert isinstance(make_detector("crc"), CRCCDDetector)
+
+    def test_qcd(self):
+        det = make_detector("qcd-16")
+        assert isinstance(det, QCDDetector)
+        assert det.strength == 16
+
+    def test_unknown(self):
+        with pytest.raises(ValueError):
+            make_detector("morse")
+
+
+class TestSuite:
+    def test_run_small_case(self, suite):
+        agg = suite.run("I", "fsa", "qcd-8")
+        assert agg.single == 50.0
+        assert agg.rounds == 5
+        assert agg.total_slots == agg.idle + agg.single + agg.collided
+
+    def test_caching(self, suite):
+        a = suite.run("I", "fsa", "qcd-8")
+        b = suite.run("I", "fsa", "qcd-8")
+        assert a is b
+
+    def test_deterministic_across_suites(self):
+        a = ExperimentSuite(rounds=3, seed=1).run("I", "fsa", "qcd-8")
+        b = ExperimentSuite(rounds=3, seed=1).run("I", "fsa", "qcd-8")
+        assert a.total_time == b.total_time
+
+    def test_seed_changes_results(self):
+        a = ExperimentSuite(rounds=3, seed=1).run("I", "fsa", "qcd-8")
+        b = ExperimentSuite(rounds=3, seed=2).run("I", "fsa", "qcd-8")
+        assert a.total_time != b.total_time
+
+    def test_bt_protocol(self, suite):
+        agg = suite.run("I", "bt", "crc")
+        assert agg.single == 50.0
+        assert 0.3 < agg.throughput < 0.4
+
+    def test_unknown_protocol(self, suite):
+        with pytest.raises(ValueError):
+            suite.run("I", "ring", "crc")
+
+    def test_case_object_accepted(self, suite):
+        case = SimulationCase("tiny", 10, 8)
+        agg = suite.run(case, "fsa", "qcd-8")
+        assert agg.single == 10.0
+
+    def test_grid(self):
+        s = ExperimentSuite(rounds=2, seed=3)
+        grid = s.grid(cases=("I",), protocols=("fsa",), schemes=("crc", "qcd-8"))
+        assert set(grid) == {("I", "fsa", "crc"), ("I", "fsa", "qcd-8")}
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ExperimentSuite(rounds=0)
+
+
+class TestAggregate:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            AggregateStats.from_runs([])
+
+    def test_cases_config(self):
+        assert CASES["IV"].n_tags == 50_000
+        assert CASES["I"].frame_size == 30
+
+
+class TestPaperGridShape:
+    """Light-weight shape assertions on the small cases (the benchmarks
+    cover the full grid)."""
+
+    def test_qcd_faster_than_crc_fsa(self, suite):
+        crc = suite.run("I", "fsa", "crc")
+        qcd = suite.run("I", "fsa", "qcd-8")
+        assert qcd.total_time < 0.5 * crc.total_time
+
+    def test_slot_counts_scheme_independent(self, suite):
+        """Under the paper policy, the identification process is the same
+        whatever the detector; only airtime differs."""
+        crc = suite.run("I", "fsa", "crc")
+        qcd = suite.run("I", "fsa", "qcd-8")
+        assert crc.single == qcd.single == 50.0

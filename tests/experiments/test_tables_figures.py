@@ -1,0 +1,77 @@
+"""Table/figure generator tests (small rounds; shape only)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import figures, tables
+from repro.experiments.runner import ExperimentSuite
+
+
+@pytest.fixture(scope="module")
+def suite():
+    # Small-round suite: generators must work at any round count.
+    return ExperimentSuite(rounds=3, seed=11)
+
+
+class TestTheoryTables:
+    def test_table2_rows(self):
+        rows = tables.table2()
+        assert len(rows) == 3
+        assert rows[0]["strength"] == "4-bit"
+        assert rows[0]["EI (ours)"] == rows[0]["EI (paper)"] == "0.6698"
+
+    def test_table3_rows(self):
+        rows = tables.table3()
+        assert [r["strength"] for r in rows] == ["4-bit", "8-bit", "16-bit"]
+        assert rows[1]["EI (ours)"] == "0.6023"
+
+    def test_table4_rows(self):
+        rows = tables.table4()
+        assert len(rows) == 4
+
+
+class TestSimulationTables:
+    def test_table7(self, suite):
+        rows = tables.table7(suite)
+        assert len(rows) == 4
+        assert rows[0]["case"] == "50"
+        assert "paper" in rows[0]["throughput"]
+
+    def test_table8(self, suite):
+        rows = tables.table8(suite)
+        assert len(rows) == 4
+        assert "# of slots" in rows[0]
+
+    def test_table9(self, suite):
+        rows = tables.table9(suite)
+        assert len(rows) == 4
+        assert set(rows[0]) == {"case", "4-bit", "8-bit", "16-bit"}
+
+
+class TestFigures:
+    def test_fig5(self, suite):
+        rows = figures.fig5(suite)
+        assert len(rows) == 4
+        for row in rows:
+            accs = [float(row[f"{s}-bit"]) for s in (4, 8, 16)]
+            assert accs[0] <= accs[1] <= accs[2] <= 1.0
+
+    def test_fig6(self, suite):
+        rows = figures.fig6(suite)
+        assert len(rows) == 4
+        for row in rows:
+            assert row["reduction"].endswith("%")
+
+    def test_fig7(self, suite):
+        rows = figures.fig7(suite)
+        assert len(rows) == 8  # 4 cases x 2 panels
+        for row in rows:
+            assert float(row["ratio"]) < 1.0  # QCD always faster
+
+    def test_fig8(self, suite):
+        rows = figures.fig8(suite)
+        assert len(rows) == 8
+        for row in rows:
+            for s in (4, 8, 16):
+                assert 0.0 < float(row[f"strength={s}"]) < 1.0

@@ -1,0 +1,82 @@
+"""Adaptive Binary Splitting tests: round memory and collision-free replay."""
+
+from __future__ import annotations
+
+from repro.core.qcd import QCDDetector
+from repro.protocols.abs_protocol import AdaptiveBinarySplitting
+from repro.sim.reader import Reader
+
+
+class TestFirstRound:
+    def test_all_identified(self, make_population):
+        pop = make_population(50)
+        proto = AdaptiveBinarySplitting()
+        result = Reader(QCDDetector(8)).run_inventory(pop.tags, proto)
+        assert sorted(result.identified_ids) == sorted(pop.ids)
+
+    def test_single_tag(self, make_population):
+        pop = make_population(1)
+        proto = AdaptiveBinarySplitting()
+        result = Reader(QCDDetector(8)).run_inventory(pop.tags, proto)
+        assert len(result.trace) == 1
+
+    def test_empty(self):
+        proto = AdaptiveBinarySplitting()
+        proto.start([])
+        assert proto.finished
+
+
+class TestReadableRound:
+    """ABS's defining feature: a second round over the same tags replays
+    the learned schedule collision-free, one slot per tag."""
+
+    def test_second_round_collision_free(self, make_population):
+        pop = make_population(40)
+        proto = AdaptiveBinarySplitting()
+        reader = Reader(QCDDetector(8))
+        reader.run_inventory(pop.tags, proto)
+        # Tags retain their ASCs; reset identification only.
+        for tag in pop:
+            tag.identified = False
+            tag.identified_at = None
+        result2 = reader.run_inventory_continue(pop.tags, proto)
+        counts = result2.stats.true_counts
+        assert counts.collided == 0
+        assert counts.single == 40
+
+    def test_second_round_slot_count_equals_n(self, make_population):
+        pop = make_population(25)
+        proto = AdaptiveBinarySplitting()
+        reader = Reader(QCDDetector(8))
+        reader.run_inventory(pop.tags, proto)
+        for tag in pop:
+            tag.identified = False
+            tag.identified_at = None
+        result2 = reader.run_inventory_continue(pop.tags, proto)
+        assert len(result2.trace) == 25
+
+
+class TestArrivals:
+    def test_admitted_tag_identified(self, make_population):
+        pop = make_population(10)
+        proto = AdaptiveBinarySplitting()
+        reader = Reader(QCDDetector(8))
+        proto.start(pop.tags)
+        extra_pop = make_population(1)
+        extra = extra_pop[0]
+        # Run a few slots, then admit a newcomer.
+        identified, lost = [], []
+        index, time = 0, 0.0
+        from repro.sim.reader import record_effective
+
+        while not proto.finished:
+            if index == 3:
+                proto.admit(extra)
+            responders = proto.responders()
+            time, record = reader._run_slot(
+                index, time, proto, responders, identified, lost
+            )
+            proto.feedback(record_effective(record, "paper"), responders)
+            index += 1
+        assert extra.tag_id in identified
+        assert len(identified) == 11

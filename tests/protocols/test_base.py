@@ -1,0 +1,89 @@
+"""Base-protocol contract tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bits.rng import make_rng
+from repro.core.detector import SlotType
+from repro.core.qcd import QCDDetector
+from repro.protocols.base import AntiCollisionProtocol
+from repro.sim.reader import Reader
+from repro.tags.population import TagPopulation
+from repro.tags.tag import Tag
+
+
+class OneShot(AntiCollisionProtocol):
+    """Minimal protocol: every active tag talks once, in ID order."""
+
+    name = "one-shot"
+
+    def __init__(self):
+        super().__init__()
+        self._queue = []
+
+    def start(self, tags):
+        super().start(tags)
+        self._queue = sorted(self.active_tags(), key=lambda t: t.tag_id)
+
+    def responders(self):
+        return [self._queue[0]] if self._queue else []
+
+    def feedback(self, effective, responders):
+        self._note_slot()
+        if self._queue:
+            self._queue.pop(0)
+
+    @property
+    def finished(self):
+        return not self._queue
+
+
+def make_tag(v):
+    return Tag(tag_id=v, id_bits=8, rng=make_rng(v))
+
+
+class TestDefaults:
+    def test_active_tags_excludes_identified(self):
+        proto = OneShot()
+        tags = [make_tag(1), make_tag(2)]
+        proto.start(tags)
+        tags[0].identified = True
+        assert proto.active_tags() == [tags[1]]
+
+    def test_admit_and_withdraw(self):
+        proto = OneShot()
+        proto.start([make_tag(1)])
+        extra = make_tag(2)
+        proto.admit(extra)
+        assert extra in proto.tags
+        proto.withdraw(extra)
+        assert extra not in proto.tags
+
+    def test_withdraw_absent_tag_is_noop(self):
+        proto = OneShot()
+        proto.start([])
+        proto.withdraw(make_tag(9))  # must not raise
+
+    def test_slot_counter(self):
+        proto = OneShot()
+        proto.start([make_tag(1), make_tag(2)])
+        reader = Reader(QCDDetector(8))
+        reader.run_inventory([make_tag(1), make_tag(2)], proto)
+        assert proto.slots_elapsed == 2
+
+    def test_custom_protocol_through_reader(self):
+        pop = TagPopulation(10, id_bits=8, rng=make_rng(3))
+        result = Reader(QCDDetector(8)).run_inventory(pop.tags, OneShot())
+        assert sorted(result.identified_ids) == sorted(pop.ids)
+        assert all(r.true_type is SlotType.SINGLE for r in result.trace)
+
+
+class TestReadableRoundErrors:
+    def test_continue_on_memoryless_protocol_is_a_clear_error(self):
+        from repro.protocols.bt import BinaryTree
+
+        pop = TagPopulation(5, id_bits=8, rng=make_rng(4))
+        reader = Reader(QCDDetector(8))
+        with pytest.raises(ValueError, match="readable rounds"):
+            reader.run_inventory_continue(pop.tags, BinaryTree())

@@ -1,0 +1,92 @@
+"""Binary-tree protocol tests: counter automaton invariants and Lemma 2."""
+
+from __future__ import annotations
+
+import statistics
+
+from repro.core.detector import SlotType
+from repro.core.qcd import QCDDetector
+from repro.protocols.bt import BinaryTree
+from repro.sim.reader import Reader
+
+
+def run_bt(pop, detector=None):
+    return Reader(detector or QCDDetector(8)).run_inventory(pop.tags, BinaryTree())
+
+
+class TestInvariants:
+    def test_all_identified_exactly_once(self, make_population):
+        pop = make_population(64)
+        result = run_bt(pop)
+        assert sorted(result.identified_ids) == sorted(pop.ids)
+
+    def test_first_slot_all_respond(self, make_population):
+        pop = make_population(10)
+        proto = BinaryTree()
+        proto.start(pop.tags)
+        assert len(proto.responders()) == 10
+
+    def test_counters_never_negative(self, make_population):
+        pop = make_population(30)
+        proto = BinaryTree()
+        reader = Reader(QCDDetector(8))
+        proto.start(pop.tags)
+        while not proto.finished:
+            responders = proto.responders()
+            time, record = reader._run_slot(0, 0.0, proto, responders, [], [])
+            proto.feedback(record.true_type, responders)
+            assert all(t.counter >= 0 for t in proto.active_tags())
+
+    def test_single_tag_one_slot(self, make_population):
+        pop = make_population(1)
+        result = run_bt(pop)
+        assert len(result.trace) == 1
+        assert result.trace[0].true_type is SlotType.SINGLE
+
+    def test_empty_population(self):
+        proto = BinaryTree()
+        proto.start([])
+        assert proto.finished
+
+    def test_two_tags_split_until_resolved(self, make_population):
+        pop = make_population(2)
+        result = run_bt(pop)
+        assert result.stats.true_counts.single == 2
+        assert result.trace[0].true_type is SlotType.COLLIDED
+
+
+class TestLemma2Shape:
+    def test_slot_count_near_2885n(self, make_population):
+        """Lemma 2: E[slots] = 2.885n; 20 runs of n=50 should average close."""
+        totals = []
+        for _ in range(20):
+            pop = make_population(50)
+            totals.append(run_bt(pop).stats.true_counts.total)
+        avg = statistics.mean(totals)
+        assert 2.885 * 50 * 0.85 < avg < 2.885 * 50 * 1.15
+
+    def test_throughput_near_035(self, make_population):
+        thr = []
+        for _ in range(20):
+            pop = make_population(50)
+            thr.append(run_bt(pop).stats.throughput)
+        assert 0.30 < statistics.mean(thr) < 0.40
+
+    def test_collided_exceed_idle(self, make_population):
+        """Lemma 2: 1.443n collided vs 0.442n idle."""
+        pop = make_population(200)
+        counts = run_bt(pop).stats.true_counts
+        assert counts.collided > counts.idle
+
+
+class TestProgress:
+    def test_slot_count_bounded(self, make_population):
+        """BT resolves n tags in O(n) expected slots; even unlucky runs
+        stay well under 10n."""
+        pop = make_population(40)
+        result = run_bt(pop)
+        assert len(result.trace) < 400
+
+    def test_frames_reported_as_one(self, make_population):
+        pop = make_population(10)
+        assert run_bt(pop).stats.frames == 1

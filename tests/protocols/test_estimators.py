@@ -1,0 +1,121 @@
+"""Cardinality estimator tests."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.protocols.estimators import (
+    FrameObservation,
+    LowerBoundEstimator,
+    SchouteEstimator,
+    VogtEstimator,
+    expected_slot_counts,
+)
+
+
+def obs(frame_size, idle, single, collided):
+    return FrameObservation(frame_size, idle, single, collided)
+
+
+class TestObservation:
+    def test_counts_must_sum(self):
+        with pytest.raises(ValueError, match="must equal frame_size"):
+            obs(10, 3, 3, 3)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            obs(10, -1, 5, 6)
+
+
+class TestExpectedCounts:
+    def test_sum_to_frame(self):
+        e0, e1, ec = expected_slot_counts(100, 64)
+        assert e0 + e1 + ec == pytest.approx(64)
+
+    def test_zero_tags(self):
+        e0, e1, ec = expected_slot_counts(0, 10)
+        assert (e0, e1, ec) == (10.0, 0.0, 0.0)
+
+    def test_one_tag(self):
+        e0, e1, ec = expected_slot_counts(1, 10)
+        assert e1 == pytest.approx(1.0)
+        assert ec == pytest.approx(0.0)
+
+    def test_frame_of_one(self):
+        assert expected_slot_counts(0, 1) == (1.0, 0.0, 0.0)
+        assert expected_slot_counts(1, 1) == (0.0, 1.0, 0.0)
+        e0, e1, ec = expected_slot_counts(5, 1)
+        assert ec == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            expected_slot_counts(-1, 10)
+        with pytest.raises(ValueError):
+            expected_slot_counts(5, 0)
+
+    @given(st.integers(0, 500), st.integers(1, 200))
+    def test_counts_nonnegative(self, n, frame):
+        e0, e1, ec = expected_slot_counts(n, frame)
+        assert e0 >= 0 and e1 >= 0 and ec >= -1e-9
+
+
+class TestLowerBound:
+    def test_formula(self):
+        est = LowerBoundEstimator()
+        assert est.estimate(obs(10, 4, 3, 3)) == 3 + 6
+
+    def test_backlog_subtracts_singles(self):
+        est = LowerBoundEstimator()
+        assert est.backlog(obs(10, 4, 3, 3)) == 6
+
+    def test_no_collisions_zero_backlog(self):
+        est = LowerBoundEstimator()
+        assert est.backlog(obs(10, 7, 3, 0)) == 0
+
+
+class TestSchoute:
+    def test_coefficient_value(self):
+        # E[X | X>=2] for Poisson(1) = (2 - 3/e)/(1 - 2/e) ≈ 2.392
+        assert SchouteEstimator.COEFFICIENT == pytest.approx(2.392, abs=0.01)
+
+    def test_estimate_exceeds_lower_bound(self):
+        o = obs(10, 2, 3, 5)
+        assert SchouteEstimator().estimate(o) > LowerBoundEstimator().estimate(o)
+
+
+class TestVogt:
+    def test_recovers_known_n(self):
+        """Feed Vogt the *expected* counts for a known n: it should return
+        approximately n."""
+        n, frame = 80, 64
+        e0, e1, ec = expected_slot_counts(n, frame)
+        o = obs(frame, round(e0), round(e1), frame - round(e0) - round(e1))
+        est = VogtEstimator().estimate(o)
+        assert abs(est - n) < 0.2 * n
+
+    def test_zero_activity(self):
+        assert VogtEstimator().estimate(obs(10, 10, 0, 0)) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            VogtEstimator(max_factor=0.5)
+
+    def test_at_least_lower_bound(self):
+        o = obs(16, 2, 4, 10)
+        assert VogtEstimator().estimate(o) >= 4 + 2 * 10
+
+
+class TestAccuracyOrdering:
+    def test_schoute_beats_lower_bound_at_operating_point(self):
+        """At ℱ ≈ n (Poisson(1) occupancy) the Schoute correction is the
+        right unbiasing: its estimate is closer to the truth."""
+        n, frame = 100, 100
+        e0, e1, _ = expected_slot_counts(n, frame)
+        o = obs(frame, round(e0), round(e1), frame - round(e0) - round(e1))
+        lb = LowerBoundEstimator().estimate(o)
+        sch = SchouteEstimator().estimate(o)
+        assert abs(sch - n) < abs(lb - n)
+        assert math.isfinite(sch)

@@ -1,0 +1,98 @@
+"""Eom-Lee and MLE estimator tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.protocols.estimators import (
+    EomLeeEstimator,
+    FrameObservation,
+    LowerBoundEstimator,
+    MleEstimator,
+    SchouteEstimator,
+    expected_slot_counts,
+)
+
+
+def obs_for(n: int, frame: int) -> FrameObservation:
+    """The expected observation for a known n (rounded consistently)."""
+    e0, e1, _ = expected_slot_counts(n, frame)
+    i0, i1 = round(e0), round(e1)
+    return FrameObservation(frame, i0, i1, frame - i0 - i1)
+
+
+class TestEomLee:
+    def test_k_limits(self):
+        assert EomLeeEstimator._k(0.0) == 2.0
+        assert EomLeeEstimator._k(1e-12) == 2.0
+        # At rho = 1, k ≈ Schoute's 2.392.
+        assert EomLeeEstimator._k(1.0) == pytest.approx(
+            SchouteEstimator.COEFFICIENT, abs=1e-9
+        )
+
+    def test_k_monotone_in_rho(self):
+        ks = [EomLeeEstimator._k(r) for r in (0.5, 1.0, 2.0, 4.0)]
+        assert ks == sorted(ks)
+
+    def test_no_collisions(self):
+        est = EomLeeEstimator()
+        assert est.estimate(FrameObservation(10, 7, 3, 0)) == 3.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EomLeeEstimator(tol=0)
+        with pytest.raises(ValueError):
+            EomLeeEstimator(max_iter=0)
+
+    @pytest.mark.parametrize("n,frame", [(64, 64), (120, 64), (200, 64)])
+    def test_beats_schoute_off_optimum(self, n, frame):
+        """Above the ρ = 1 operating point Schoute's fixed 2.39
+        underestimates; Eom-Lee's fixed point adapts."""
+        o = obs_for(n, frame)
+        eom = EomLeeEstimator().estimate(o)
+        sch = SchouteEstimator().estimate(o)
+        assert abs(eom - n) <= abs(sch - n) + 1.0
+
+    def test_converges(self):
+        est = EomLeeEstimator(tol=1e-6, max_iter=500)
+        o = obs_for(150, 64)
+        assert est.estimate(o) == pytest.approx(est.estimate(o))
+
+
+class TestMle:
+    @pytest.mark.parametrize("n,frame", [(50, 64), (100, 64), (64, 32)])
+    def test_recovers_known_n(self, n, frame):
+        o = obs_for(n, frame)
+        assert MleEstimator().estimate(o) == pytest.approx(n, rel=0.2)
+
+    def test_no_activity(self):
+        assert MleEstimator().estimate(FrameObservation(8, 8, 0, 0)) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MleEstimator(max_factor=0.9)
+
+    def test_at_least_lower_bound(self):
+        o = FrameObservation(16, 2, 4, 10)
+        assert MleEstimator().estimate(o) >= LowerBoundEstimator().estimate(o)
+
+    def test_loglik_finite_at_extremes(self):
+        o = FrameObservation(16, 0, 0, 16)
+        ll = MleEstimator._loglik(1000, o)
+        # All-collided at huge n is near-certain: ll -> 0 from below.
+        assert -1e6 < ll <= 0
+
+
+class TestInDfsa:
+    @pytest.mark.parametrize(
+        "estimator", [EomLeeEstimator(), MleEstimator()]
+    )
+    def test_drives_dfsa_to_completion(self, make_population, estimator):
+        from repro.core.qcd import QCDDetector
+        from repro.protocols.dfsa import DynamicFSA
+        from repro.sim.reader import Reader
+
+        pop = make_population(80)
+        proto = DynamicFSA(initial_frame_size=8, estimator=estimator)
+        result = Reader(QCDDetector(8)).run_inventory(pop.tags, proto)
+        assert result.stats.true_counts.single == 80

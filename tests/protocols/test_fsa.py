@@ -1,0 +1,143 @@
+"""Fixed-frame FSA tests: invariants, termination policies, Table VII shape."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.qcd import QCDDetector
+from repro.protocols.fsa import TERMINATIONS, FramedSlottedAloha
+from repro.sim.reader import Reader
+
+
+def run_fsa(pop, frame_size, termination="confirm", detector=None):
+    reader = Reader(detector or QCDDetector(8))
+    return reader.run_inventory(
+        pop.tags, FramedSlottedAloha(frame_size, termination=termination)
+    )
+
+
+class TestInvariants:
+    def test_all_tags_identified_exactly_once(self, make_population):
+        pop = make_population(60)
+        result = run_fsa(pop, 32)
+        assert sorted(result.identified_ids) == sorted(pop.ids)
+        assert len(result.identified_ids) == len(set(result.identified_ids))
+
+    def test_slot_accounting(self, make_population):
+        pop = make_population(40)
+        result = run_fsa(pop, 32)
+        counts = result.stats.true_counts
+        assert counts.single == 40
+        assert counts.total == len(result.trace)
+
+    def test_singles_equal_population(self, make_population):
+        for n in (1, 5, 25):
+            pop = make_population(n)
+            assert run_fsa(pop, 16).stats.true_counts.single == n
+
+    def test_frame_structure(self, make_population):
+        """Slot count is a whole number of frames for every termination
+        except 'immediate'."""
+        pop = make_population(30)
+        result = run_fsa(pop, 16)
+        assert len(result.trace) % 16 == 0
+
+    def test_tags_respond_once_per_frame(self, make_population):
+        """Total responders across a frame equals the frame's backlog."""
+        pop = make_population(20)
+        result = run_fsa(pop, 10, termination="frame")
+        frame_resp = {}
+        for rec in result.trace:
+            frame_resp[rec.frame] = frame_resp.get(rec.frame, 0) + rec.n_responders
+        # Frame 1 sees all 20 responders.
+        assert frame_resp[1] == 20
+
+
+class TestTermination:
+    def test_confirm_ends_with_idle_frame(self, make_population):
+        pop = make_population(30)
+        result = run_fsa(pop, 16, termination="confirm")
+        assert all(
+            r.n_responders == 0 for r in result.trace[-16:]
+        ), "last frame must be all idle"
+
+    def test_frame_vs_confirm_differ_by_one_frame(self):
+        """With identical randomness (same population seed), 'confirm'
+        costs exactly one extra all-idle frame over 'frame'."""
+        from repro.bits.rng import make_rng
+        from repro.tags.population import TagPopulation
+
+        pop_a = TagPopulation(30, rng=make_rng(777))
+        r_confirm = run_fsa(pop_a, 16, termination="confirm")
+        pop_b = TagPopulation(30, rng=make_rng(777))
+        r_frame = run_fsa(pop_b, 16, termination="frame")
+        assert len(r_confirm.trace) == len(r_frame.trace) + 16
+        assert r_confirm.stats.true_counts.idle == (
+            r_frame.stats.true_counts.idle + 16
+        )
+
+    def test_immediate_ends_on_single(self, make_population):
+        pop = make_population(30)
+        result = run_fsa(pop, 16, termination="immediate")
+        assert result.trace[-1].identified_tag is not None
+
+    def test_invalid_termination(self):
+        with pytest.raises(ValueError, match="termination"):
+            FramedSlottedAloha(10, termination="sometime")
+
+    @pytest.mark.parametrize("termination", TERMINATIONS)
+    def test_all_policies_complete(self, make_population, termination):
+        pop = make_population(25)
+        result = run_fsa(pop, 16, termination=termination)
+        assert result.stats.true_counts.single == 25
+
+    def test_empty_population_confirm(self):
+        proto = FramedSlottedAloha(8, termination="confirm")
+        proto.start([])
+        slots = 0
+        from repro.core.detector import SlotType
+
+        while not proto.finished:
+            assert proto.responders() == []
+            proto.feedback(SlotType.IDLE, [])
+            slots += 1
+        assert slots == 8  # exactly one confirmation frame
+
+    def test_empty_population_frame(self):
+        proto = FramedSlottedAloha(8, termination="frame")
+        proto.start([])
+        assert proto.finished
+
+
+class TestValidation:
+    def test_bad_frame_size(self):
+        with pytest.raises(ValueError):
+            FramedSlottedAloha(0)
+
+    def test_name(self):
+        assert FramedSlottedAloha(30).name == "FSA(F=30)"
+
+
+class TestPaperShape:
+    def test_case1_throughput_band(self, make_population):
+        """Case I (50 tags, F=30): paper reports λ = 0.25."""
+        import statistics
+
+        thr = []
+        for _ in range(10):
+            pop = make_population(50)
+            thr.append(run_fsa(pop, 30).stats.throughput)
+        assert 0.20 <= statistics.mean(thr) <= 0.30
+
+    def test_undersized_frame_hurts_throughput(self, make_population):
+        """ℱ below n wastes slots on collisions (Lemma 1 shape).
+
+        The mismatch is kept moderate (n/ℱ ≈ 3.75): with n/ℱ >> ln(n) the
+        expected singles per frame drop below one and fixed-frame FSA takes
+        astronomically long -- itself a behaviour worth knowing about.
+        """
+        pop_small = make_population(30)
+        thr_small_frame = run_fsa(pop_small, 8).stats.throughput
+        pop_right = make_population(30)
+        thr_right_frame = run_fsa(pop_right, 30).stats.throughput
+        assert thr_right_frame > thr_small_frame

@@ -1,0 +1,84 @@
+"""Gen2 Q-adaptive protocol tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.detector import SlotType
+from repro.core.qcd import QCDDetector
+from repro.protocols.qadaptive import QAdaptive
+from repro.sim.reader import Reader
+
+
+def run_q(pop, **kw):
+    return Reader(QCDDetector(8)).run_inventory(pop.tags, QAdaptive(**kw))
+
+
+class TestCorrectness:
+    def test_all_identified(self, make_population):
+        pop = make_population(70)
+        result = run_q(pop)
+        assert sorted(result.identified_ids) == sorted(pop.ids)
+
+    def test_small_population(self, make_population):
+        pop = make_population(3)
+        assert run_q(pop).stats.true_counts.single == 3
+
+    def test_large_population_with_small_q(self, make_population):
+        """Starting at Q=0 against 100 tags must still converge."""
+        pop = make_population(100)
+        result = run_q(pop, initial_q=0.0)
+        assert result.stats.true_counts.single == 100
+
+
+class TestQDynamics:
+    def test_q_rises_under_collisions(self, make_population):
+        pop = make_population(200)
+        proto = QAdaptive(initial_q=1.0, c=0.5)
+        Reader(QCDDetector(8)).run_inventory(pop.tags, proto)
+        assert max(proto.q_history) > 1.0
+
+    def test_q_falls_on_idles(self, make_population):
+        pop = make_population(2)
+        proto = QAdaptive(initial_q=6.0, c=0.5)
+        Reader(QCDDetector(8)).run_inventory(pop.tags, proto)
+        assert min(proto.q_history) < 6.0
+
+    def test_q_clamped(self, make_population):
+        pop = make_population(50)
+        proto = QAdaptive(initial_q=15.0, c=0.5)
+        Reader(QCDDetector(8)).run_inventory(pop.tags, proto)
+        assert all(0.0 <= q <= 15.0 for q in proto.q_history)
+
+    def test_single_keeps_q(self):
+        proto = QAdaptive(initial_q=4.0, c=0.3)
+        proto.start([])
+        proto.q_fp = 4.0
+        proto.feedback(SlotType.SINGLE, [])
+        assert proto.q_fp == 4.0
+
+
+class TestValidation:
+    def test_bad_q(self):
+        with pytest.raises(ValueError):
+            QAdaptive(initial_q=16.0)
+
+    def test_bad_c(self):
+        with pytest.raises(ValueError):
+            QAdaptive(c=0.0)
+        with pytest.raises(ValueError):
+            QAdaptive(c=1.5)
+
+    def test_better_than_undersized_fixed_frame(self, make_population):
+        """Q-adaptation recovers from a bad initial Q: starting at Q=1 it
+        should still use fewer slots than a fixed frame stuck at ℱ=16
+        against 40 tags."""
+        from repro.protocols.fsa import FramedSlottedAloha
+
+        pop = make_population(40)
+        adaptive_slots = len(run_q(pop, initial_q=1.0, c=0.5).trace)
+        pop2 = make_population(40)
+        fixed = Reader(QCDDetector(8)).run_inventory(
+            pop2.tags, FramedSlottedAloha(16)
+        )
+        assert adaptive_slots < len(fixed.trace)

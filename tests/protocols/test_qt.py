@@ -1,0 +1,104 @@
+"""Query-tree protocol tests: determinism, starvation-freedom, bounds."""
+
+from __future__ import annotations
+
+from repro.core.detector import SlotType
+from repro.core.qcd import QCDDetector
+from repro.protocols.qt import QueryTree
+from repro.sim.reader import Reader
+
+
+def run_qt(pop, **kw):
+    return Reader(QCDDetector(8)).run_inventory(pop.tags, QueryTree(**kw))
+
+
+class TestCorrectness:
+    def test_all_identified(self, make_population):
+        pop = make_population(64, id_bits=16)
+        result = run_qt(pop)
+        assert sorted(result.identified_ids) == sorted(pop.ids)
+
+    def test_sequential_ids_worst_case(self, make_population):
+        """Clustered IDs force deep shared-prefix walks but must resolve."""
+        pop = make_population(32, id_bits=16, layout="sequential")
+        result = run_qt(pop)
+        assert sorted(result.identified_ids) == sorted(pop.ids)
+
+    def test_single_tag(self, make_population):
+        pop = make_population(1, id_bits=8)
+        result = run_qt(pop)
+        assert result.stats.true_counts.single == 1
+
+    def test_empty_population(self):
+        proto = QueryTree()
+        proto.start([])
+        # The root probe runs once (idle) and the walk ends.
+        reader = Reader(QCDDetector(8))
+        result = reader.run_inventory([], proto)
+        assert len(result.trace) <= 1
+
+
+class TestDeterminism:
+    """QT splits by ID bits, not random draws: no starvation."""
+
+    def test_slot_count_reproducible(self, make_population):
+        pop = make_population(20, id_bits=16)
+        n1 = len(run_qt(pop).trace)
+        pop.reset()
+        n2 = len(run_qt(pop).trace)
+        assert n1 == n2
+
+    def test_duplicate_full_length_prefix_dropped(self, make_population):
+        """A collision at a full-ID prefix (only possible with adversarial
+        tags) must not extend the queue past the ID length."""
+        from repro.protocols.qt import QueryTree
+        from repro.bits.bitvec import BitVector
+
+        pop = make_population(2, id_bits=4)
+        proto = QueryTree()
+        proto.start(pop.tags)
+        full = BitVector(0, 4)
+        proto._queue.clear()
+        proto._queue.append(full)
+        proto.feedback(SlotType.COLLIDED, pop.tags)
+        assert len(proto._queue) == 0
+
+
+class TestBounds:
+    def test_max_slots_aborts(self, make_population):
+        pop = make_population(32, id_bits=16)
+        result = Reader(QCDDetector(8)).run_inventory(
+            pop.tags, QueryTree(max_slots=10)
+        )
+        assert len(result.trace) <= 11
+
+    def test_abort_flag_set(self, make_population):
+        pop = make_population(32, id_bits=16)
+        proto = QueryTree(max_slots=10)
+        Reader(QCDDetector(8)).run_inventory(pop.tags, proto)
+        assert proto.aborted
+
+    def test_queue_size_bounded_by_tree(self, make_population):
+        """Total probes <= 2·(internal nodes) + leaves: linear in n for
+        random IDs."""
+        pop = make_population(50, id_bits=32)
+        result = run_qt(pop)
+        assert len(result.trace) < 50 * 10
+
+
+class TestValidation:
+    def test_mixed_id_lengths_rejected(self, make_population):
+        from repro.bits.rng import make_rng
+        from repro.tags.tag import Tag
+
+        tags = [
+            Tag(tag_id=0, id_bits=8, rng=make_rng(0)),
+            Tag(tag_id=0, id_bits=16, rng=make_rng(1)),
+        ]
+        proto = QueryTree()
+        try:
+            proto.start(tags)
+            raised = False
+        except ValueError:
+            raised = True
+        assert raised

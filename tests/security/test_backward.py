@@ -1,0 +1,100 @@
+"""Backward-channel protection tests."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.bits.bitvec import BitVector
+from repro.bits.rng import make_rng
+from repro.security.backward import PseudoIdMixer, RandomizedBitEncoder
+
+
+class TestPseudoIdMixer:
+    def test_mix_is_boolean_sum(self):
+        tag = BitVector.from_bitstring("0101")
+        pseudo = BitVector.from_bitstring("0011")
+        assert PseudoIdMixer.mix(tag, pseudo) == BitVector.from_bitstring("0111")
+
+    def test_reader_recovers_zero_mask_positions(self):
+        tag = BitVector.from_bitstring("0101")
+        pseudo = BitVector.from_bitstring("0011")
+        known = PseudoIdMixer.recover_known(PseudoIdMixer.mix(tag, pseudo), pseudo)
+        assert known == {0: 0, 1: 1}
+
+    def test_eavesdropper_learns_only_zeros(self):
+        tag = BitVector.from_bitstring("0101")
+        pseudo = BitVector.from_bitstring("0011")
+        leak = PseudoIdMixer.eavesdrop(PseudoIdMixer.mix(tag, pseudo))
+        # mixed = 0111: only position 0 is 0.
+        assert leak == {0: 0}
+
+    def test_full_recovery_converges(self):
+        mixer = PseudoIdMixer(make_rng(5))
+        tag = BitVector.from_bitstring("1100101001")
+        recovered, rounds = mixer.recover_id(tag)
+        assert recovered == tag
+        assert 1 <= rounds < 64
+
+    def test_recovery_round_bound(self):
+        mixer = PseudoIdMixer(make_rng(5))
+        tag = BitVector.ones(8)
+        with pytest.raises(RuntimeError):
+            # With max_rounds=0 nothing can be learned.
+            mixer.recover_id(tag, max_rounds=0)
+
+    @given(st.integers(0, 255), st.integers(0, 255))
+    def test_recovered_positions_always_correct(self, t, p):
+        tag, pseudo = BitVector(t, 8), BitVector(p, 8)
+        known = PseudoIdMixer.recover_known(PseudoIdMixer.mix(tag, pseudo), pseudo)
+        for k, v in known.items():
+            assert tag.bit(k) == v
+
+    @given(st.integers(0, 255))
+    def test_eavesdropper_zeros_always_correct(self, t):
+        tag = BitVector(t, 8)
+        pseudo = BitVector(0b10110100, 8)
+        leak = PseudoIdMixer.eavesdrop(PseudoIdMixer.mix(tag, pseudo))
+        for k, v in leak.items():
+            assert tag.bit(k) == v == 0
+
+
+class TestRandomizedBitEncoder:
+    def test_roundtrip(self):
+        enc = RandomizedBitEncoder(expansion=4, rng=make_rng(9))
+        tag = BitVector.from_bitstring("10110010")
+        encoded = enc.encode(tag)
+        assert encoded.length == 32
+        assert enc.decode(encoded) == tag
+
+    @given(st.integers(0, 2**16 - 1))
+    def test_roundtrip_property(self, value):
+        enc = RandomizedBitEncoder(expansion=3, rng=make_rng(11))
+        tag = BitVector(value, 16)
+        assert enc.decode(enc.encode(tag)) == tag
+
+    def test_encoding_randomized(self):
+        """Two encodings of the same ID differ (whp) -- that is the whole
+        point: an eavesdropper cannot link replies."""
+        enc = RandomizedBitEncoder(expansion=8, rng=make_rng(13))
+        tag = BitVector.from_bitstring("1011")
+        encodings = {enc.encode(tag).to_int() for _ in range(10)}
+        assert len(encodings) > 1
+
+    def test_decode_validates_length(self):
+        enc = RandomizedBitEncoder(expansion=4, rng=make_rng(9))
+        with pytest.raises(ValueError):
+            enc.decode(BitVector(0, 10))
+
+    def test_expansion_validation(self):
+        with pytest.raises(ValueError):
+            RandomizedBitEncoder(expansion=1, rng=make_rng(0))
+
+    def test_parity_structure(self):
+        """Each codeword group carries its ID bit as XOR parity."""
+        enc = RandomizedBitEncoder(expansion=5, rng=make_rng(15))
+        tag = BitVector.from_bitstring("101")
+        encoded = enc.encode(tag)
+        for i, bit in enumerate(tag):
+            group = encoded[i * 5 : (i + 1) * 5]
+            assert group.popcount() % 2 == bit

@@ -1,0 +1,107 @@
+"""Blocker / malicious tag tests (QT starvation and selective privacy)."""
+
+from __future__ import annotations
+
+from repro.bits.bitvec import BitVector
+from repro.bits.rng import make_rng
+from repro.core.qcd import QCDDetector
+from repro.protocols.qt import QueryTree
+from repro.security.blocker import BlockerTag, MaliciousTag
+from repro.sim.reader import Reader
+from repro.tags.population import TagPopulation
+
+
+def malicious(id_bits=8):
+    return MaliciousTag(tag_id=0, id_bits=id_bits, rng=make_rng(66))
+
+
+def blocker(zone: str, id_bits=8):
+    return BlockerTag(
+        tag_id=0,
+        id_bits=id_bits,
+        rng=make_rng(67),
+        privacy_prefix=BitVector.from_bitstring(zone),
+    )
+
+
+class TestMaliciousTag:
+    def test_responds_to_everything(self):
+        m = malicious()
+        assert m.responds_to_prefix(BitVector(0, 0))
+        assert m.responds_to_prefix(BitVector.from_bitstring("10101010"))
+
+    def test_never_retires(self):
+        m = malicious()
+        m.mark_identified(5.0)
+        assert not m.identified
+
+    def test_starves_query_tree(self):
+        """Paper Section II: 'When a malicious tag keeps responding, QT
+        fails to identify any tag.'  Every probe that reaches a genuine
+        tag also reaches the jammer, so it collides; probes reaching the
+        jammer alone read as singles and yield *ghost* identifications of
+        garbage, never of a real tag."""
+        pop = TagPopulation(10, id_bits=8, rng=make_rng(1))
+        tags = list(pop.tags) + [malicious()]
+        proto = QueryTree(max_slots=2000)
+        result = Reader(QCDDetector(8)).run_inventory(tags, proto)
+        # No genuine tag is ever identified (object-level check: reported
+        # IDs can be ghost reads of the jammer).
+        assert all(not t.identified for t in pop)
+        # The jammer does produce ghost reads -- the reader is not merely
+        # slow, it is actively deceived.
+        assert len(result.identified_ids) > 0
+
+
+class TestBlockerTag:
+    def test_blocks_only_its_zone(self):
+        b = blocker("1")
+        assert b.responds_to_prefix(BitVector.from_bitstring("1"))
+        assert b.responds_to_prefix(BitVector.from_bitstring("10"))
+        assert b.responds_to_prefix(BitVector.from_bitstring("1111"))
+        assert not b.responds_to_prefix(BitVector.from_bitstring("0"))
+        assert not b.responds_to_prefix(BitVector.from_bitstring("01"))
+
+    def test_responds_above_zone(self):
+        b = blocker("10")
+        assert b.responds_to_prefix(BitVector(0, 0))  # root covers the zone
+        assert b.responds_to_prefix(BitVector.from_bitstring("1"))
+        assert not b.responds_to_prefix(BitVector.from_bitstring("0"))
+
+    def test_never_retires(self):
+        b = blocker("1")
+        b.mark_identified(1.0)
+        assert not b.identified
+
+    def test_zone_tags_protected_others_readable(self):
+        """Juels-Rivest-Szydlo semantics: tags inside the privacy zone stay
+        hidden (their probes always collide with the blocker); tags outside
+        are identified normally."""
+        pop = TagPopulation(30, id_bits=8, rng=make_rng(2))
+        tags = list(pop.tags) + [blocker("1")]
+        proto = QueryTree(max_slots=2000)
+        result = Reader(QCDDetector(8)).run_inventory(tags, proto)
+        inside = {t.tag_id for t in pop if t.id_vector.bit(0) == 1}
+        outside = {t.tag_id for t in pop if t.id_vector.bit(0) == 0}
+        identified = set(result.identified_ids)
+        assert identified & inside == set()
+        assert outside <= identified
+
+    def test_blocker_inflates_walk_and_forges_reads(self):
+        """The blocker's cost to the reader: probes inside the zone that
+        would have been idle now read as ghost singles, and probes shared
+        with real zone tags collide all the way to full depth -- so the
+        walk grows versus the unblocked inventory, and ghost reads appear."""
+        pop = TagPopulation(8, id_bits=6, rng=make_rng(3))
+        baseline = Reader(QCDDetector(8)).run_inventory(
+            list(pop.tags), QueryTree(max_slots=5000)
+        )
+        pop.reset()
+        tags = list(pop.tags) + [blocker("1", id_bits=6)]
+        blocked = Reader(QCDDetector(8)).run_inventory(
+            tags, QueryTree(max_slots=5000)
+        )
+        assert len(blocked.trace) > len(baseline.trace)
+        n_zone = sum(1 for t in pop if t.id_vector.bit(0) == 1)
+        # Every non-zone tag identified; zone tags all hidden.
+        assert sum(1 for t in pop if t.identified) == len(pop) - n_zone

@@ -1,0 +1,90 @@
+"""Spatial deployment tests (Table V scenario)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.bits.rng import make_rng
+from repro.sim.deployment import Deployment, Reader2D
+from repro.tags.population import TagPopulation
+
+
+class TestReader2D:
+    def test_covers(self):
+        r = Reader2D(0, 10.0, 10.0, 3.0)
+        assert r.covers((11.0, 11.0))
+        assert not r.covers((14.0, 10.0))
+        assert r.covers((13.0, 10.0))  # boundary inclusive
+
+    def test_distance(self):
+        a = Reader2D(0, 0.0, 0.0, 1.0)
+        b = Reader2D(1, 3.0, 4.0, 1.0)
+        assert a.distance_to(b) == pytest.approx(5.0)
+
+
+class TestTable5Setup:
+    def test_dimensions(self):
+        dep = Deployment.table5(200, make_rng(1))
+        assert len(dep.readers) == 100
+        assert len(dep.population) == 200
+        assert all(r.range_m == 3.0 for r in dep.readers)
+        assert all(t.id_bits == 96 for t in dep.population)
+
+    def test_grid_placement_in_bounds(self):
+        dep = Deployment.table5(10, make_rng(1), placement="grid")
+        for r in dep.readers:
+            assert 0 <= r.x <= 100 and 0 <= r.y <= 100
+
+    def test_uniform_placement_in_bounds(self):
+        dep = Deployment.table5(10, make_rng(1), placement="uniform")
+        for r in dep.readers:
+            assert 0 <= r.x <= 100 and 0 <= r.y <= 100
+
+    def test_unknown_placement(self):
+        with pytest.raises(ValueError):
+            Deployment.table5(10, make_rng(1), placement="spiral")
+
+    def test_grid_spacing_exceeds_range(self):
+        """With Table V parameters a 10x10 grid spaces readers 10 m apart
+        -- more than 2x the 3 m range, so the interference graph is empty
+        and the coverage has holes."""
+        dep = Deployment.table5(100, make_rng(1))
+        assert dep.overlap_pairs() == []
+        assert dep.coverage_fraction() < 1.0
+
+
+class TestAssignment:
+    def test_assignment_respects_geometry(self):
+        dep = Deployment.table5(300, make_rng(2))
+        for reader_id, tags in dep.assignment().items():
+            reader = dep.readers[reader_id]
+            for tag in tags:
+                assert reader.covers(tag.position)
+
+    def test_coverage_fraction_matches_disk_area(self):
+        """100 disks of radius 3 on a 100x100 grid cover pi*9*100/10^4
+        ≈ 28% of the area; random tags land inside at about that rate."""
+        dep = Deployment.table5(2000, make_rng(3))
+        expected = 100 * math.pi * 9 / 10_000
+        assert dep.coverage_fraction() == pytest.approx(expected, abs=0.05)
+
+    def test_covered_tags_unique(self):
+        dep = Deployment.table5(500, make_rng(4), n_readers=25, reader_range=12.0)
+        covered = dep.covered_tags()
+        assert len(covered) == len({id(t) for t in covered})
+
+    def test_positions_required(self):
+        pop = TagPopulation(5, id_bits=96, rng=make_rng(0))  # no area
+        dep = Deployment(100.0, 100.0, [Reader2D(0, 0, 0, 3.0)], pop)
+        with pytest.raises(ValueError, match="positions"):
+            dep.assignment()
+
+    def test_overlap_pairs_dense(self):
+        dep = Deployment.table5(10, make_rng(5), n_readers=25, reader_range=12.0)
+        assert len(dep.overlap_pairs()) > 0
+
+    def test_empty_population_coverage(self):
+        dep = Deployment.table5(0, make_rng(6))
+        assert dep.coverage_fraction() == 1.0

@@ -1,0 +1,73 @@
+"""Trace/stats export tests."""
+
+from __future__ import annotations
+
+import csv
+import json
+
+from repro.bits.rng import make_rng
+from repro.core.qcd import QCDDetector
+from repro.protocols.fsa import FramedSlottedAloha
+from repro.sim.export import (
+    stats_to_dict,
+    trace_to_rows,
+    write_stats_json,
+    write_trace_csv,
+)
+from repro.sim.reader import Reader
+from repro.tags.population import TagPopulation
+
+
+def run_small(seed=1):
+    pop = TagPopulation(10, id_bits=64, rng=make_rng(seed))
+    return Reader(QCDDetector(8)).run_inventory(pop.tags, FramedSlottedAloha(8))
+
+
+class TestRows:
+    def test_trace_rows(self):
+        result = run_small()
+        rows = trace_to_rows(result.trace)
+        assert len(rows) == len(result.trace)
+        assert rows[0]["true_type"] in ("IDLE", "SINGLE", "COLLIDED")
+        assert set(rows[0]) >= {
+            "index",
+            "frame",
+            "duration",
+            "end_time",
+            "identified_tag",
+            "captured",
+        }
+
+    def test_stats_dict_roundtrips_json(self):
+        result = run_small()
+        d = stats_to_dict(result.stats)
+        encoded = json.dumps(d)
+        decoded = json.loads(encoded)
+        assert decoded["single"] == 10
+        assert decoded["throughput"] == result.stats.throughput
+
+
+class TestFiles:
+    def test_write_csv(self, tmp_path):
+        result = run_small()
+        path = write_trace_csv(result.trace, tmp_path / "trace.csv")
+        with path.open() as fh:
+            rows = list(csv.DictReader(fh))
+        assert len(rows) == len(result.trace)
+        assert rows[0]["true_type"] in ("IDLE", "SINGLE", "COLLIDED")
+
+    def test_write_csv_empty_trace(self, tmp_path):
+        path = write_trace_csv([], tmp_path / "empty.csv")
+        with path.open() as fh:
+            reader = csv.reader(fh)
+            header = next(reader)
+        assert "true_type" in header
+
+    def test_write_json_single_and_list(self, tmp_path):
+        result = run_small()
+        p1 = write_stats_json(result.stats, tmp_path / "one.json")
+        assert json.loads(p1.read_text())["single"] == 10
+        p2 = write_stats_json(
+            [result.stats, result.stats], tmp_path / "two.json"
+        )
+        assert len(json.loads(p2.read_text())) == 2

@@ -1,0 +1,141 @@
+"""Metrics tests: slot counts, throughput, UR, accuracy, delay, EI."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.detector import SlotType
+from repro.sim.metrics import (
+    DelayStats,
+    InventoryStats,
+    SlotCounts,
+    delay_stats,
+    detection_accuracy,
+    efficiency_improvement,
+    slot_counts,
+    utilization_rate,
+)
+from repro.sim.trace import SlotRecord
+
+
+def rec(
+    i,
+    true_type,
+    detected=None,
+    duration=10.0,
+    end=None,
+    tag=None,
+    n=None,
+):
+    if detected is None:
+        detected = true_type
+    if n is None:
+        n = {SlotType.IDLE: 0, SlotType.SINGLE: 1, SlotType.COLLIDED: 2}[true_type]
+    return SlotRecord(
+        index=i,
+        frame=1,
+        n_responders=n,
+        true_type=true_type,
+        detected_type=detected,
+        duration=duration,
+        end_time=end if end is not None else (i + 1) * duration,
+        identified_tag=tag,
+    )
+
+
+TRACE = [
+    rec(0, SlotType.COLLIDED),
+    rec(1, SlotType.SINGLE, tag=7),
+    rec(2, SlotType.IDLE),
+    rec(3, SlotType.SINGLE, tag=9),
+    rec(4, SlotType.COLLIDED, detected=SlotType.SINGLE),  # missed
+]
+
+
+class TestSlotCounts:
+    def test_true_counts(self):
+        counts = slot_counts(TRACE)
+        assert (counts.idle, counts.single, counts.collided) == (1, 2, 2)
+
+    def test_detected_counts(self):
+        counts = slot_counts(TRACE, detected=True)
+        assert (counts.idle, counts.single, counts.collided) == (1, 3, 1)
+
+    def test_throughput(self):
+        assert SlotCounts(1, 2, 2).throughput == pytest.approx(0.4)
+
+    def test_empty_throughput(self):
+        assert SlotCounts(0, 0, 0).throughput == 0.0
+
+
+class TestAccuracy:
+    def test_partial(self):
+        assert detection_accuracy(TRACE) == pytest.approx(0.5)
+
+    def test_perfect_when_no_collisions(self):
+        assert detection_accuracy([rec(0, SlotType.IDLE)]) == 1.0
+
+    def test_all_caught(self):
+        assert detection_accuracy([rec(0, SlotType.COLLIDED)]) == 1.0
+
+
+class TestDelay:
+    def test_delays_from_identified_slots(self):
+        stats = delay_stats(TRACE)
+        assert stats.count == 2
+        assert stats.mean == pytest.approx((20.0 + 40.0) / 2)
+        assert stats.minimum == 20.0
+        assert stats.maximum == 40.0
+
+    def test_empty(self):
+        stats = DelayStats.from_delays([])
+        assert stats.count == 0
+        assert math.isnan(stats.mean)
+
+    def test_median_odd_even(self):
+        assert DelayStats.from_delays([1, 2, 3]).median == 2
+        assert DelayStats.from_delays([1, 2, 3, 4]).median == 2.5
+
+    def test_std(self):
+        s = DelayStats.from_delays([2.0, 4.0])
+        assert s.std == pytest.approx(1.0)
+
+
+class TestUtilization:
+    def test_formula(self):
+        # 2 singles x 64 bits / 50 total airtime units
+        ur = utilization_rate(TRACE, id_bits=64, tau=1.0)
+        assert ur == pytest.approx(2 * 64 / 50.0)
+
+    def test_zero_time(self):
+        assert utilization_rate([], 64) == 0.0
+
+
+class TestEI:
+    def test_formula(self):
+        assert efficiency_improvement(100.0, 40.0) == pytest.approx(0.6)
+
+    def test_zero_baseline(self):
+        with pytest.raises(ValueError):
+            efficiency_improvement(0.0, 1.0)
+
+    def test_negative_improvement_allowed(self):
+        assert efficiency_improvement(10.0, 12.0) == pytest.approx(-0.2)
+
+
+class TestInventoryStats:
+    def test_from_trace(self):
+        stats = InventoryStats.from_trace(TRACE, n_tags=2, frames=1, id_bits=64)
+        assert stats.throughput == pytest.approx(0.4)
+        assert stats.missed_collisions == 1
+        assert stats.false_collisions == 0
+        assert stats.accuracy == pytest.approx(0.5)
+        assert stats.total_time == pytest.approx(50.0)
+        assert stats.lost_tags == 0
+
+    def test_false_collision_counted(self):
+        trace = [rec(0, SlotType.SINGLE, detected=SlotType.COLLIDED, tag=None)]
+        stats = InventoryStats.from_trace(trace, 1, 1, 64)
+        assert stats.false_collisions == 1

@@ -1,0 +1,127 @@
+"""Multi-reader sweep tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bits.rng import make_rng
+from repro.core.qcd import QCDDetector
+from repro.core.crc_cd import CRCCDDetector
+from repro.protocols.fsa import FramedSlottedAloha
+from repro.sim.deployment import Deployment
+from repro.sim.multireader import run_multireader_inventory
+from repro.sim.reader import Reader
+
+
+def sweep(deployment, detector_factory=None, frame=16):
+    from repro.core.timing import TimingModel
+
+    timing = TimingModel(id_bits=96)  # deployment tags carry 96-bit EPCs
+    return run_multireader_inventory(
+        deployment,
+        reader_factory=lambda rid: Reader(
+            (detector_factory or (lambda: QCDDetector(8)))(), timing
+        ),
+        protocol_factory=lambda rid: FramedSlottedAloha(frame),
+    )
+
+
+class TestSweep:
+    def test_covered_tags_all_identified(self):
+        dep = Deployment.table5(
+            300, make_rng(10), n_readers=25, reader_range=12.0
+        )
+        result = sweep(dep)
+        assert result.identified == result.covered
+        assert result.identification_rate == 1.0
+
+    def test_uncovered_tags_left_alone(self):
+        dep = Deployment.table5(300, make_rng(11))  # sparse Table V geometry
+        result = sweep(dep)
+        assert result.covered < result.population
+        unidentified = [t for t in dep.population if not t.identified]
+        assert len(unidentified) == result.population - result.covered
+
+    def test_overlap_tags_identified_once(self):
+        dep = Deployment.table5(
+            400, make_rng(12), n_readers=16, reader_range=20.0
+        )
+        result = sweep(dep)
+        ids = [
+            i
+            for res in result.per_reader.values()
+            for i in res.identified_ids
+        ]
+        assert len(ids) == len(set(ids))
+
+    def test_makespan_is_sum_of_round_maxima(self):
+        dep = Deployment.table5(
+            300, make_rng(13), n_readers=25, reader_range=12.0
+        )
+        result = sweep(dep)
+        expected = 0.0
+        for rnd in result.rounds:
+            expected += max(
+                (
+                    result.per_reader[rid].stats.total_time
+                    for rid in rnd
+                    if rid in result.per_reader
+                ),
+                default=0.0,
+            )
+        assert result.makespan == pytest.approx(expected)
+
+    def test_qcd_sweep_faster_than_crc(self):
+        dep1 = Deployment.table5(400, make_rng(14), n_readers=25, reader_range=12.0)
+        t_qcd = sweep(dep1).makespan
+        dep2 = Deployment.table5(400, make_rng(14), n_readers=25, reader_range=12.0)
+        t_crc = sweep(dep2, detector_factory=lambda: CRCCDDetector(id_bits=96)).makespan
+        assert t_qcd < t_crc
+
+    def test_coverage_property(self):
+        dep = Deployment.table5(100, make_rng(15))
+        result = sweep(dep)
+        assert 0.0 <= result.coverage <= 1.0
+        assert result.total_slots >= result.identified
+
+
+class TestUnscheduled:
+    """Turning the schedule off constructs the reader-collision failure
+    the paper assumes away."""
+
+    @staticmethod
+    def unscheduled_sweep(dep):
+        from repro.core.timing import TimingModel
+
+        timing = TimingModel(id_bits=96)
+        return run_multireader_inventory(
+            dep,
+            reader_factory=lambda rid: Reader(QCDDetector(8), timing),
+            protocol_factory=lambda rid: FramedSlottedAloha(16),
+            scheduled=False,
+        )
+
+    def test_overlap_tags_jammed(self):
+        dep = Deployment.table5(400, make_rng(16), n_readers=16, reader_range=20.0)
+        result = self.unscheduled_sweep(dep)
+        assert result.jammed > 0
+        assert result.identified == result.covered - result.jammed
+        assert result.identification_rate < 1.0
+
+    def test_scheduled_recovers_everyone(self):
+        dep = Deployment.table5(400, make_rng(16), n_readers=16, reader_range=20.0)
+        result = sweep(dep)
+        assert result.jammed == 0
+        assert result.identified == result.covered
+
+    def test_single_round_when_unscheduled(self):
+        dep = Deployment.table5(50, make_rng(17), n_readers=9, reader_range=20.0)
+        result = self.unscheduled_sweep(dep)
+        assert len(result.rounds) == 1
+
+    def test_no_jamming_without_overlap(self):
+        """Sparse Table V geometry: disjoint disks, unscheduled is safe."""
+        dep = Deployment.table5(200, make_rng(18))  # 3 m range, no overlap
+        result = self.unscheduled_sweep(dep)
+        assert result.jammed == 0
+        assert result.identified == result.covered

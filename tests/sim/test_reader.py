@@ -1,0 +1,164 @@
+"""Reader tests: slot loop, misdetection policies, instrumentation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bits.channel import Channel
+from repro.core.crc_cd import CRCCDDetector
+from repro.core.detector import SlotType
+from repro.core.ideal import IdealDetector
+from repro.core.qcd import QCDDetector
+from repro.core.timing import TimingModel
+from repro.protocols.fsa import FramedSlottedAloha
+from repro.sim.reader import POLICIES, Reader, record_effective
+from repro.sim.trace import SlotRecord
+
+
+class TestBasicLoop:
+    def test_complete_inventory(self, make_population):
+        pop = make_population(30)
+        result = Reader(QCDDetector(8)).run_inventory(
+            pop.tags, FramedSlottedAloha(16)
+        )
+        assert result.complete
+        assert sorted(result.identified_ids) == sorted(pop.ids)
+        assert pop.all_identified()
+
+    def test_identified_at_matches_trace(self, make_population):
+        pop = make_population(10)
+        result = Reader(QCDDetector(8)).run_inventory(
+            pop.tags, FramedSlottedAloha(8)
+        )
+        by_id = {t.tag_id: t for t in pop}
+        for rec in result.trace:
+            if rec.identified_tag is not None:
+                assert by_id[rec.identified_tag].identified_at == rec.end_time
+
+    def test_time_accumulates_slot_durations(self, make_population, timing):
+        pop = make_population(20)
+        result = Reader(QCDDetector(8), timing).run_inventory(
+            pop.tags, FramedSlottedAloha(16)
+        )
+        assert result.stats.total_time == pytest.approx(
+            sum(r.duration for r in result.trace)
+        )
+        assert result.trace[-1].end_time == pytest.approx(result.stats.total_time)
+
+    def test_works_with_all_detectors(self, make_population):
+        for det in (QCDDetector(8), CRCCDDetector(id_bits=64), IdealDetector(64)):
+            pop = make_population(15)
+            result = Reader(det).run_inventory(pop.tags, FramedSlottedAloha(8))
+            assert result.stats.true_counts.single == 15
+
+    def test_max_slots_guard(self, make_population):
+        pop = make_population(30)
+        reader = Reader(QCDDetector(8), max_slots=5)
+        with pytest.raises(RuntimeError, match="max_slots"):
+            reader.run_inventory(pop.tags, FramedSlottedAloha(16))
+
+
+class TestPolicies:
+    def test_invalid_policy(self):
+        with pytest.raises(ValueError, match="policy"):
+            Reader(QCDDetector(8), policy="hope")
+
+    def test_crc_guard_requires_guard_timing(self):
+        with pytest.raises(ValueError, match="guard_id_phase"):
+            Reader(QCDDetector(8), policy="crc_guard")
+
+    def test_crc_guard_accepted_with_guard_timing(self):
+        Reader(
+            QCDDetector(8),
+            TimingModel(guard_id_phase=True),
+            policy="crc_guard",
+        )
+
+    def test_lost_policy_loses_tags_at_weak_strength(self, make_population):
+        """With l = 1 misses are frequent (P = 1 for pair collisions:
+        both tags must draw the single value 1), so tags get lost."""
+        pop = make_population(40)
+        reader = Reader(QCDDetector(1), policy="lost")
+        result = reader.run_inventory(pop.tags, FramedSlottedAloha(20))
+        assert result.lost_ids  # l=1 collides invisibly all the time
+        assert not result.complete
+        assert result.stats.lost_tags == len(result.lost_ids)
+        lost_set = set(result.lost_ids)
+        assert lost_set.isdisjoint(result.identified_ids)
+
+    def test_paper_policy_never_loses(self, make_population):
+        pop = make_population(40)
+        reader = Reader(QCDDetector(1), policy="paper")
+        result = reader.run_inventory(pop.tags, FramedSlottedAloha(20))
+        assert result.complete
+        assert result.stats.missed_collisions > 0  # errors counted, not fatal
+
+    def test_lost_tags_marked(self, make_population):
+        pop = make_population(40)
+        reader = Reader(QCDDetector(1), policy="lost")
+        result = reader.run_inventory(pop.tags, FramedSlottedAloha(20))
+        for tag in pop:
+            if tag.tag_id in set(result.lost_ids):
+                assert tag.lost and tag.identified
+
+
+class TestRecordEffective:
+    @staticmethod
+    def rec(true_type, detected_type):
+        return SlotRecord(
+            index=0,
+            frame=1,
+            n_responders=2,
+            true_type=true_type,
+            detected_type=detected_type,
+            duration=1.0,
+            end_time=1.0,
+        )
+
+    @pytest.mark.parametrize("policy", POLICIES)
+    def test_agreement_passes_through(self, policy):
+        r = self.rec(SlotType.SINGLE, SlotType.SINGLE)
+        assert record_effective(r, policy) is SlotType.SINGLE
+
+    def test_paper_restores_truth_on_miss(self):
+        r = self.rec(SlotType.COLLIDED, SlotType.SINGLE)
+        assert record_effective(r, "paper") is SlotType.COLLIDED
+        assert record_effective(r, "crc_guard") is SlotType.COLLIDED
+
+    def test_lost_follows_detection_on_miss(self):
+        r = self.rec(SlotType.COLLIDED, SlotType.SINGLE)
+        assert record_effective(r, "lost") is SlotType.SINGLE
+
+    def test_false_collision_recontends(self):
+        r = self.rec(SlotType.SINGLE, SlotType.COLLIDED)
+        for policy in POLICIES:
+            assert record_effective(r, policy) is SlotType.COLLIDED
+
+
+class TestMissedCollisionTiming:
+    def test_missed_collision_charged_as_single(self, make_population):
+        """A miss triggers the ID phase, so the slot costs single-length
+        airtime even though it was truly collided."""
+        pop = make_population(40)
+        reader = Reader(QCDDetector(1), policy="paper")
+        result = reader.run_inventory(pop.tags, FramedSlottedAloha(20))
+        missed = [
+            r
+            for r in result.trace
+            if r.true_type is SlotType.COLLIDED
+            and r.detected_type is SlotType.SINGLE
+        ]
+        assert missed
+        for rec in missed:
+            assert rec.duration == 2 + 64  # l_prm + l_id at strength 1
+
+
+class TestChannelIntegration:
+    def test_channel_stats_accumulate(self, make_population):
+        channel = Channel()
+        pop = make_population(20)
+        Reader(QCDDetector(8), channel=channel).run_inventory(
+            pop.tags, FramedSlottedAloha(16)
+        )
+        assert channel.stats.slots > 0
+        assert channel.stats.transmissions >= 20

@@ -1,0 +1,76 @@
+"""Reader-scheduling tests: interference graph and coloring."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bits.rng import make_rng
+from repro.sim.deployment import Deployment
+from repro.sim.scheduling import color_schedule, interference_graph
+
+
+def dense_deployment(seed=1):
+    # 25 readers of range 12 m on a 100x100 grid: heavy overlap.
+    return Deployment.table5(
+        50, make_rng(seed), n_readers=25, reader_range=12.0
+    )
+
+
+class TestInterferenceGraph:
+    def test_table5_graph_is_empty(self):
+        dep = Deployment.table5(10, make_rng(1))
+        g = interference_graph(dep)
+        assert g.number_of_edges() == 0
+        assert g.number_of_nodes() == 100
+
+    def test_dense_graph_has_edges(self):
+        g = interference_graph(dense_deployment())
+        assert g.number_of_edges() > 0
+
+    def test_edges_match_geometry(self):
+        dep = dense_deployment()
+        g = interference_graph(dep)
+        by_id = {r.reader_id: r for r in dep.readers}
+        for a, b in g.edges:
+            assert by_id[a].distance_to(by_id[b]) <= 24.0
+
+    def test_guard_factor_adds_edges(self):
+        dep = Deployment.table5(10, make_rng(2), n_readers=16, reader_range=6.0)
+        base = interference_graph(dep, 1.0).number_of_edges()
+        guarded = interference_graph(dep, 3.0).number_of_edges()
+        assert guarded > base
+
+    def test_invalid_guard(self):
+        with pytest.raises(ValueError):
+            interference_graph(dense_deployment(), 0.5)
+
+
+class TestColoring:
+    def test_rounds_partition_readers(self):
+        dep = dense_deployment()
+        rounds = color_schedule(dep)
+        flat = [r for rnd in rounds for r in rnd]
+        assert sorted(flat) == [r.reader_id for r in dep.readers]
+
+    def test_no_intra_round_interference(self):
+        """The defining property: readers in one round never interfere --
+        the paper's 'no reader-reader collision' assumption, constructed."""
+        dep = dense_deployment()
+        g = interference_graph(dep)
+        for rnd in color_schedule(dep):
+            for i, a in enumerate(rnd):
+                for b in rnd[i + 1 :]:
+                    assert not g.has_edge(a, b)
+
+    def test_empty_graph_single_round(self):
+        dep = Deployment.table5(10, make_rng(1))
+        rounds = color_schedule(dep)
+        assert len(rounds) == 1
+        assert len(rounds[0]) == 100
+
+    def test_round_count_reasonable(self):
+        """Greedy coloring of a disk graph uses at most Δ+1 colors."""
+        dep = dense_deployment()
+        g = interference_graph(dep)
+        max_deg = max(dict(g.degree).values())
+        assert len(color_schedule(dep)) <= max_deg + 1

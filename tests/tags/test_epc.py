@@ -1,0 +1,95 @@
+"""SGTIN-96 EPC encoding tests."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.bits.bitvec import BitVector
+from repro.tags.epc import PARTITION_TABLE, SGTIN96_HEADER, Sgtin96
+
+
+def sgtin_strategy():
+    return st.sampled_from(sorted(PARTITION_TABLE)).flatmap(
+        lambda part: st.tuples(
+            st.integers(0, 7),
+            st.just(part),
+            st.integers(0, (1 << PARTITION_TABLE[part][0]) - 1),
+            st.integers(0, (1 << PARTITION_TABLE[part][1]) - 1),
+            st.integers(0, (1 << 38) - 1),
+        ).map(lambda t: Sgtin96(*t))
+    )
+
+
+class TestEncoding:
+    def test_encode_is_96_bits_with_header(self):
+        epc = Sgtin96(1, 5, 12345, 678, 42).encode()
+        assert epc.length == 96
+        assert epc[:8].to_int() == SGTIN96_HEADER
+
+    def test_roundtrip_example(self):
+        orig = Sgtin96(
+            filter_value=1,
+            partition=5,
+            company_prefix=0x123456,
+            item_reference=0xBEEF,
+            serial=999_999,
+        )
+        assert Sgtin96.decode(orig.encode()) == orig
+
+    @given(sgtin_strategy())
+    def test_roundtrip_property(self, epc):
+        assert Sgtin96.decode(epc.encode()) == epc
+
+    def test_partition_bits_sum_to_44(self):
+        for company_bits, item_bits in PARTITION_TABLE.values():
+            assert company_bits + item_bits == 44
+
+
+class TestValidation:
+    def test_bad_partition(self):
+        with pytest.raises(ValueError, match="partition"):
+            Sgtin96(1, 7, 0, 0, 0)
+
+    def test_company_overflow(self):
+        with pytest.raises(ValueError, match="company_prefix"):
+            Sgtin96(1, 6, 1 << 20, 0, 0)
+
+    def test_item_overflow(self):
+        with pytest.raises(ValueError, match="item_reference"):
+            Sgtin96(1, 0, 0, 1 << 4, 0)
+
+    def test_serial_overflow(self):
+        with pytest.raises(ValueError, match="serial"):
+            Sgtin96(1, 5, 0, 0, 1 << 38)
+
+    def test_filter_overflow(self):
+        with pytest.raises(ValueError, match="filter"):
+            Sgtin96(8, 5, 0, 0, 0)
+
+    def test_decode_wrong_length(self):
+        with pytest.raises(ValueError, match="96 bits"):
+            Sgtin96.decode(BitVector(0, 64))
+
+    def test_decode_wrong_header(self):
+        with pytest.raises(ValueError, match="header"):
+            Sgtin96.decode(BitVector.zeros(96))
+
+    def test_decode_bad_partition_field(self):
+        # header 0x30, then filter 0, partition 7 (invalid).
+        raw = BitVector(SGTIN96_HEADER, 8) + BitVector(0, 3) + BitVector(7, 3)
+        raw = raw + BitVector.zeros(96 - raw.length)
+        with pytest.raises(ValueError, match="invalid partition"):
+            Sgtin96.decode(raw)
+
+
+class TestRandom:
+    def test_random_valid_and_reproducible(self, rng):
+        a = Sgtin96.random(rng)
+        assert Sgtin96.decode(a.encode()) == a
+
+    def test_pinned_company(self, rng):
+        epc = Sgtin96.random(rng, partition=6, company_prefix=0xABCDE)
+        assert epc.company_prefix == 0xABCDE
+        assert epc.company_bits == 20
+        assert epc.item_bits == 24

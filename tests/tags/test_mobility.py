@@ -1,0 +1,87 @@
+"""Mobility schedule tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bits.rng import make_rng
+from repro.tags.mobility import MobilityEvent, MobilitySchedule, poisson_arrivals
+from repro.tags.population import TagPopulation
+
+
+def ev(time, kind, tag, seq=0):
+    return MobilityEvent(time=time, seq=seq, kind=kind, tag=tag)
+
+
+class TestEvents:
+    def test_invalid_kind(self, make_population):
+        tag = make_population(1)[0]
+        with pytest.raises(ValueError, match="kind"):
+            ev(1.0, "teleport", tag)
+
+    def test_negative_time(self, make_population):
+        tag = make_population(1)[0]
+        with pytest.raises(ValueError, match="time"):
+            ev(-1.0, "arrive", tag)
+
+    def test_ordering_by_time_then_seq(self, make_population):
+        tag = make_population(1)[0]
+        a = ev(1.0, "arrive", tag, seq=1)
+        b = ev(1.0, "depart", tag, seq=2)
+        c = ev(0.5, "arrive", tag, seq=9)
+        assert sorted([b, a, c]) == [c, a, b]
+
+
+class TestSchedule:
+    def test_events_until_pops_in_order(self, make_population):
+        tags = make_population(3).tags
+        sched = MobilitySchedule(
+            [ev(3.0, "arrive", tags[0], 0), ev(1.0, "arrive", tags[1], 1),
+             ev(2.0, "arrive", tags[2], 2)]
+        )
+        due = sched.events_until(2.0)
+        assert [e.time for e in due] == [1.0, 2.0]
+        assert len(sched) == 1
+        assert sched.peek_next_time() == 3.0
+
+    def test_events_until_empty(self):
+        sched = MobilitySchedule()
+        assert sched.events_until(100.0) == []
+        assert sched.peek_next_time() is None
+
+    def test_add_keeps_order(self, make_population):
+        tag = make_population(1)[0]
+        sched = MobilitySchedule([ev(5.0, "arrive", tag, 0)])
+        sched.add(ev(1.0, "arrive", tag, 1))
+        assert sched.peek_next_time() == 1.0
+
+
+class TestPoissonArrivals:
+    def test_structure(self):
+        pop = TagPopulation(20, rng=make_rng(9))
+        sched = poisson_arrivals(pop.tags, rate=1.0, dwell_mean=5.0, rng=make_rng(1))
+        events = list(sched)
+        assert len(events) == 40  # one arrive + one depart per tag
+        arrives = {id(e.tag): e.time for e in events if e.kind == "arrive"}
+        departs = {id(e.tag): e.time for e in events if e.kind == "depart"}
+        for key in arrives:
+            assert departs[key] > arrives[key]
+
+    def test_times_sorted(self):
+        pop = TagPopulation(10, rng=make_rng(9))
+        sched = poisson_arrivals(pop.tags, 2.0, 1.0, make_rng(2))
+        times = [e.time for e in sched]
+        assert times == sorted(times)
+
+    def test_invalid_params(self):
+        pop = TagPopulation(1, rng=make_rng(9))
+        with pytest.raises(ValueError):
+            poisson_arrivals(pop.tags, 0.0, 1.0, make_rng(0))
+        with pytest.raises(ValueError):
+            poisson_arrivals(pop.tags, 1.0, -1.0, make_rng(0))
+
+    def test_reproducible(self):
+        pop = TagPopulation(5, rng=make_rng(9))
+        t1 = [e.time for e in poisson_arrivals(pop.tags, 1.0, 1.0, make_rng(3))]
+        t2 = [e.time for e in poisson_arrivals(pop.tags, 1.0, 1.0, make_rng(3))]
+        assert t1 == t2

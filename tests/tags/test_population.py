@@ -1,0 +1,96 @@
+"""Population generator tests."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bits.rng import make_rng
+from repro.tags.epc import Sgtin96
+from repro.tags.population import TagPopulation
+
+
+class TestUniqueness:
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, 300), st.sampled_from([16, 64, 96]))
+    def test_ids_unique(self, size, id_bits):
+        pop = TagPopulation(size, id_bits=id_bits, rng=make_rng(1))
+        assert len(set(pop.ids)) == size
+
+    def test_dense_space(self):
+        """More tags than half the ID space exercises the permutation path."""
+        pop = TagPopulation(12, id_bits=4, rng=make_rng(2))
+        assert len(set(pop.ids)) == 12
+        assert all(0 <= i < 16 for i in pop.ids)
+
+    def test_full_space(self):
+        pop = TagPopulation(16, id_bits=4, rng=make_rng(2))
+        assert sorted(pop.ids) == list(range(16))
+
+    def test_too_many_for_space(self):
+        with pytest.raises(ValueError, match="larger than the ID space"):
+            TagPopulation(17, id_bits=4, rng=make_rng(0))
+
+
+class TestLayouts:
+    def test_sequential(self):
+        pop = TagPopulation(10, id_bits=8, layout="sequential", rng=make_rng(0))
+        assert pop.ids == list(range(10))
+
+    def test_sgtin_ids_decode(self):
+        pop = TagPopulation(20, id_bits=96, layout="sgtin", rng=make_rng(3))
+        for tag in pop:
+            Sgtin96.decode(tag.id_vector)  # must not raise
+
+    def test_sgtin_requires_96_bits(self):
+        with pytest.raises(ValueError, match="96"):
+            TagPopulation(5, id_bits=64, layout="sgtin", rng=make_rng(0))
+
+    def test_unknown_layout(self):
+        with pytest.raises(ValueError, match="unknown layout"):
+            TagPopulation(5, layout="weird", rng=make_rng(0))
+
+    def test_negative_size(self):
+        with pytest.raises(ValueError):
+            TagPopulation(-1, rng=make_rng(0))
+
+
+class TestReproducibility:
+    def test_same_seed_same_population(self):
+        a = TagPopulation(50, rng=make_rng(42))
+        b = TagPopulation(50, rng=make_rng(42))
+        assert a.ids == b.ids
+
+    def test_tag_streams_independent(self):
+        pop = TagPopulation(2, rng=make_rng(42))
+        d0 = pop[0].rng.integers(0, 1 << 20)
+        d1 = pop[1].rng.integers(0, 1 << 20)
+        assert d0 != d1  # overwhelmingly likely; deterministic given seed
+
+
+class TestSpatial:
+    def test_positions_within_area(self):
+        pop = TagPopulation(100, rng=make_rng(1), area=(50.0, 20.0))
+        for tag in pop:
+            x, y = tag.position
+            assert 0 <= x <= 50 and 0 <= y <= 20
+
+    def test_no_area_no_positions(self):
+        pop = TagPopulation(5, rng=make_rng(1))
+        assert all(t.position is None for t in pop)
+
+
+class TestHelpers:
+    def test_reset_and_queries(self):
+        pop = TagPopulation(5, rng=make_rng(1))
+        pop[0].mark_identified(1.0)
+        assert len(pop.unidentified()) == 4
+        assert not pop.all_identified()
+        pop.reset()
+        assert len(pop.unidentified()) == 5
+
+    def test_len_iter_getitem(self):
+        pop = TagPopulation(5, rng=make_rng(1))
+        assert len(pop) == 5
+        assert len(list(pop)) == 5
+        assert pop[0] is pop.tags[0]

@@ -1,0 +1,77 @@
+"""Tag state-machine tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bits.bitvec import BitVector
+from repro.bits.rng import make_rng
+from repro.tags.tag import Tag
+
+
+def make_tag(tag_id=5, id_bits=8):
+    return Tag(tag_id=tag_id, id_bits=id_bits, rng=make_rng(0))
+
+
+class TestConstruction:
+    def test_valid(self):
+        tag = make_tag()
+        assert tag.tag_id == 5
+        assert not tag.identified
+
+    def test_id_overflow(self):
+        with pytest.raises(ValueError, match="does not fit"):
+            Tag(tag_id=256, id_bits=8, rng=make_rng(0))
+
+    def test_negative_id(self):
+        with pytest.raises(ValueError):
+            Tag(tag_id=-1, id_bits=8, rng=make_rng(0))
+
+    def test_id_vector_cached(self):
+        tag = make_tag(0b1010, 4)
+        assert tag.id_vector == BitVector(0b1010, 4)
+        assert tag.id_vector is tag.id_vector
+
+
+class TestLifecycle:
+    def test_mark_identified(self):
+        tag = make_tag()
+        tag.mark_identified(123.0)
+        assert tag.identified
+        assert tag.identified_at == 123.0
+
+    def test_double_identification_rejected(self):
+        tag = make_tag()
+        tag.mark_identified(1.0)
+        with pytest.raises(RuntimeError, match="twice"):
+            tag.mark_identified(2.0)
+
+    def test_reset(self):
+        tag = make_tag()
+        tag.counter = 3
+        tag.slot_choice = 7
+        tag.mark_identified(9.0)
+        tag.lost = True
+        tag.reset_protocol_state()
+        assert tag.counter == 0
+        assert tag.slot_choice == -1
+        assert not tag.identified
+        assert tag.identified_at is None
+        assert not tag.lost
+
+
+class TestPrefixMatching:
+    def test_matches_own_prefix(self):
+        tag = make_tag(0b1010, 4)
+        assert tag.responds_to_prefix(BitVector.from_bitstring("10"))
+        assert not tag.responds_to_prefix(BitVector.from_bitstring("11"))
+
+    def test_empty_prefix_matches_all(self):
+        assert make_tag().responds_to_prefix(BitVector(0, 0))
+
+    def test_full_id_prefix(self):
+        tag = make_tag(0b1010, 4)
+        assert tag.responds_to_prefix(BitVector.from_bitstring("1010"))
+
+    def test_hashable(self):
+        assert len({make_tag(1), make_tag(2)}) == 2

@@ -1,0 +1,128 @@
+"""End-to-end integration tests: the paper's headline claims, verified
+through the public API on laptop-scale versions of its experiments."""
+
+from __future__ import annotations
+
+import statistics
+
+import pytest
+
+from repro import (
+    BinaryTree,
+    CRCCDDetector,
+    FramedSlottedAloha,
+    QCDDetector,
+    QueryTree,
+    Reader,
+    TagPopulation,
+    TimingModel,
+    make_rng,
+)
+from repro.analysis.ei import bt_ei_average, fsa_ei_lower_bound, measured_ei
+
+
+def inventory_time(detector, protocol_factory, n=100, seed=0, rounds=5):
+    times = []
+    for r in range(rounds):
+        pop = TagPopulation(n, rng=make_rng(seed + r))
+        reader = Reader(detector, TimingModel())
+        result = reader.run_inventory(pop.tags, protocol_factory())
+        assert result.stats.true_counts.single == n
+        times.append(result.stats.total_time)
+    return statistics.mean(times)
+
+
+class TestHeadlineClaim:
+    """Abstract: 'QCD improves the identification efficiency by 40%.'"""
+
+    def test_fsa_ei_exceeds_40_percent(self):
+        t_crc = inventory_time(CRCCDDetector(id_bits=64), lambda: FramedSlottedAloha(100))
+        t_qcd = inventory_time(QCDDetector(8), lambda: FramedSlottedAloha(100))
+        assert measured_ei(t_crc, t_qcd) > 0.40
+
+    def test_bt_ei_exceeds_40_percent(self):
+        t_crc = inventory_time(CRCCDDetector(id_bits=64), BinaryTree)
+        t_qcd = inventory_time(QCDDetector(8), BinaryTree)
+        assert measured_ei(t_crc, t_qcd) > 0.40
+
+    def test_qt_also_benefits(self):
+        """QCD plugs into any slotted protocol -- 'seamlessly adopted by
+        current anti-collision algorithms'."""
+        t_crc = inventory_time(CRCCDDetector(id_bits=64), QueryTree)
+        t_qcd = inventory_time(QCDDetector(8), QueryTree)
+        assert measured_ei(t_crc, t_qcd) > 0.30
+
+
+class TestMeasuredVsTheory:
+    def test_fsa_measured_ei_at_least_lower_bound(self):
+        """Table II gives a *lower* bound at the FSA optimum; off-optimal
+        frames only help QCD."""
+        t_crc = inventory_time(
+            CRCCDDetector(id_bits=64), lambda: FramedSlottedAloha(60), n=100
+        )
+        t_qcd = inventory_time(
+            QCDDetector(8), lambda: FramedSlottedAloha(60), n=100
+        )
+        assert measured_ei(t_crc, t_qcd) >= fsa_ei_lower_bound(8) - 0.02
+
+    def test_bt_measured_ei_near_average(self):
+        t_crc = inventory_time(CRCCDDetector(id_bits=64), BinaryTree, n=150, rounds=8)
+        t_qcd = inventory_time(QCDDetector(8), BinaryTree, n=150, rounds=8)
+        assert measured_ei(t_crc, t_qcd) == pytest.approx(
+            bt_ei_average(8), abs=0.05
+        )
+
+
+class TestStrengthTradeoff:
+    """Section VI: higher strength -> better accuracy, lower EI/UR."""
+
+    def test_ei_decreases_with_strength(self):
+        times = {
+            s: inventory_time(QCDDetector(s), lambda: FramedSlottedAloha(100))
+            for s in (4, 8, 16)
+        }
+        assert times[4] < times[8] < times[16]
+
+    def test_accuracy_increases_with_strength(self):
+        accs = {}
+        for s in (2, 4, 8):
+            vals = []
+            for r in range(5):
+                pop = TagPopulation(100, rng=make_rng(50 + r))
+                res = Reader(QCDDetector(s)).run_inventory(
+                    pop.tags, FramedSlottedAloha(64)
+                )
+                vals.append(res.stats.accuracy)
+            accs[s] = statistics.mean(vals)
+        assert accs[2] < accs[4] < accs[8] <= 1.0
+
+
+class TestDelayClaim:
+    """Section VI-D: QCD reduces identification delay dramatically and
+    concentrates it."""
+
+    def test_delay_reduction_over_60_percent(self):
+        def delays(detector):
+            pop = TagPopulation(100, rng=make_rng(123))
+            res = Reader(detector, TimingModel()).run_inventory(
+                pop.tags, FramedSlottedAloha(100)
+            )
+            return res.stats.delay
+
+        d_crc = delays(CRCCDDetector(id_bits=64))
+        d_qcd = delays(QCDDetector(8))
+        assert d_qcd.mean < 0.4 * d_crc.mean
+        assert d_qcd.std < d_crc.std
+
+
+class TestVariableSlotMechanism:
+    """The mechanism behind all of it: QCD's idle/collided slots are 6x
+    shorter than CRC-CD's."""
+
+    def test_slot_length_ratio(self):
+        timing = TimingModel()
+        from repro.core.detector import SlotType
+
+        crc_idle = timing.slot_duration(CRCCDDetector(id_bits=64), SlotType.IDLE)
+        qcd_idle = timing.slot_duration(QCDDetector(8), SlotType.IDLE)
+        assert crc_idle / qcd_idle == 6.0

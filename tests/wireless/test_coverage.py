@@ -1,0 +1,121 @@
+"""Sensor-field coverage/connectivity tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.crc_cd import CRCCDDetector
+from repro.core.qcd import QCDDetector
+from repro.core.timing import TimingModel
+from repro.wireless.coverage import SensorField, run_field_discovery
+
+
+def dense_field(seed=0, n=30):
+    # 30 nodes, 40x40 m, 15 m range: connected with high probability.
+    return SensorField.random(n, 40.0, 40.0, 15.0, np.random.default_rng(seed))
+
+
+def discover(field, detector=None, seed=1, **kw):
+    return run_field_discovery(
+        field,
+        detector or QCDDetector(8),
+        TimingModel(),
+        np.random.default_rng(seed),
+        **kw,
+    )
+
+
+class TestField:
+    def test_random_in_bounds(self):
+        f = dense_field()
+        assert ((f.positions >= 0) & (f.positions <= 40)).all()
+
+    def test_adjacency_symmetric_no_loops(self):
+        adj = dense_field().adjacency()
+        assert (adj == adj.T).all()
+        assert not adj.diagonal().any()
+
+    def test_graph_matches_adjacency(self):
+        f = dense_field()
+        assert f.graph().number_of_edges() == int(f.adjacency().sum()) // 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SensorField(np.zeros((3, 3)), 1.0)
+        with pytest.raises(ValueError):
+            SensorField(np.zeros((3, 2)), 0.0)
+
+
+class TestDiscovery:
+    def test_complete_discovery(self):
+        f = dense_field()
+        result = discover(f)
+        assert result.complete
+        assert result.discovered_fraction == 1.0
+
+    def test_connectivity_verified_when_field_connected(self):
+        f = dense_field()
+        if not f.is_connected():  # pragma: no cover - improbable
+            pytest.skip("random field not connected")
+        result = discover(f)
+        assert result.connectivity_verified()
+
+    def test_connected_stop_is_earlier(self):
+        f = dense_field(seed=3)
+        full = discover(f, seed=5, until="complete")
+        early = discover(f, seed=5, until="connected")
+        assert early.slots <= full.slots
+        assert early.connectivity_verified()
+
+    def test_validation(self):
+        f = dense_field()
+        with pytest.raises(ValueError):
+            discover(f, until="forever")
+        with pytest.raises(ValueError):
+            discover(f, tx_prob=0.0)
+        with pytest.raises(ValueError):
+            run_field_discovery(
+                SensorField(np.zeros((1, 2)), 1.0),
+                QCDDetector(8),
+                TimingModel(),
+                np.random.default_rng(0),
+            )
+
+    def test_max_slots_cap(self):
+        f = dense_field()
+        result = discover(f, max_slots=5)
+        assert result.slots == 5
+
+    def test_discovered_edges_are_real(self):
+        f = dense_field(seed=7)
+        result = discover(f, seed=8, max_slots=200)
+        adj = f.adjacency()
+        heard = np.nonzero(result.discovered)
+        for i, j in zip(*heard):
+            assert adj[i, j]
+
+    def test_isolated_node_leaves_graph_disconnected(self):
+        # Two clusters far apart can never verify connectivity.
+        pos = np.array(
+            [[0.0, 0.0], [1.0, 0.0], [100.0, 0.0], [101.0, 0.0]]
+        )
+        f = SensorField(pos, radio_range=5.0)
+        result = discover(f, seed=2, until="complete")
+        assert result.complete  # all *existing* links heard
+        assert not result.connectivity_verified()
+
+
+class TestEnergyTransfer:
+    def test_qcd_listener_energy_lower(self):
+        f = dense_field(seed=11)
+        qcd = discover(f, QCDDetector(8), seed=12)
+        crc = discover(f, CRCCDDetector(id_bits=64), seed=12)
+        assert qcd.slots == crc.slots  # same contention process
+        assert qcd.listen_time < 0.55 * crc.listen_time
+
+    def test_weak_strength_garbage(self):
+        f = dense_field(seed=13)
+        weak = discover(f, QCDDetector(1), seed=14, max_slots=400)
+        strong = discover(f, QCDDetector(16), seed=14, max_slots=400)
+        assert weak.garbage_receptions > strong.garbage_receptions
