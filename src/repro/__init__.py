@@ -33,6 +33,7 @@ Package layout
 ``repro.analysis``    Lemmas 1-2, EI formulas, accuracy & cost models
 ``repro.security``    blocker tags, backward-channel protection, entropy
 ``repro.experiments`` table/figure regeneration harness + CLI
+``repro.obs``         metrics registry, span tracing, profiling timers
 ====================  ===================================================
 """
 

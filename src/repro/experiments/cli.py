@@ -5,25 +5,36 @@ Usage::
     python -m repro.experiments table7 --rounds 100 --seed 2010
     python -m repro.experiments all --rounds 20
     repro-experiments fig8
+    repro-experiments table7 --metrics-out metrics.json
+    repro-experiments obs-report
 
 Paper experiments: table2 table3 table4 table7 table8 table9 fig5 fig6
 fig7 fig8 (``all`` runs these).  Beyond-the-paper studies: gen2 energy
 estimators noise neighbor coverage missing (``extensions`` runs these;
 see also the asserted versions under ``benchmarks/``).
+
+Observability (``docs/OBSERVABILITY.md``): ``--metrics-out FILE`` enables
+the :mod:`repro.obs` instrumentation for the run and dumps the metrics
+registry afterwards as JSON plus a Prometheus-text sibling; ``--trace-out
+FILE`` streams span/event records as JSON lines while the run executes;
+``obs-report`` runs a small seeded, fully instrumented demo and prints
+the registry next to the trace-derived ground truth.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import Callable, Mapping, Sequence
 
+from repro import obs
 from repro.experiments import extensions, figures, tables
 from repro.experiments.config import DEFAULT_ROUNDS
 from repro.experiments.report import render_table
 from repro.experiments.runner import ExperimentSuite
 
-__all__ = ["main", "EXPERIMENTS", "EXTENSIONS"]
+__all__ = ["main", "run_obs_report", "EXPERIMENTS", "EXTENSIONS"]
 
 #: experiment id -> (needs_suite, generator, title)
 EXPERIMENTS: dict[str, tuple[bool, Callable, str]] = {
@@ -80,6 +91,90 @@ def _title(exp_id: str) -> str:
     return EXTENSIONS[exp_id][1]
 
 
+# ----------------------------------------------------------------------
+# Observability
+
+
+def run_obs_report(suite: ExperimentSuite) -> list[dict[str, str]]:
+    """Instrumented seeded demo; returns registry-vs-ground-truth rows.
+
+    Runs one exact-reader inventory and one vectorized FSA kernel with
+    observability enabled, then cross-checks the registry's slot-outcome
+    counters against the trace/stats the runs returned.  Requires
+    :mod:`repro.obs` to be enabled (``main`` guarantees it) and assumes a
+    freshly reset registry.
+    """
+    import numpy as np
+
+    from repro.bits.rng import make_rng
+    from repro.core.qcd import QCDDetector
+    from repro.protocols.fsa import FramedSlottedAloha
+    from repro.sim.fast import fsa_fast
+    from repro.sim.metrics import slot_counts
+    from repro.sim.reader import Reader
+
+    from repro.tags.population import TagPopulation
+
+    pop = TagPopulation(100, id_bits=64, rng=make_rng(suite.seed))
+    reader = Reader(QCDDetector(8), suite.timing)
+    result = reader.run_inventory(pop.tags, FramedSlottedAloha(64))
+    kernel = fsa_fast(
+        1000,
+        600,
+        QCDDetector(8),
+        suite.timing,
+        np.random.Generator(np.random.PCG64(suite.seed)),
+    )
+
+    exact_true = slot_counts(result.trace)
+    exact_det = slot_counts(result.trace, detected=True)
+    truth_true = {
+        "IDLE": exact_true.idle + kernel.true_counts.idle,
+        "SINGLE": exact_true.single + kernel.true_counts.single,
+        "COLLIDED": exact_true.collided + kernel.true_counts.collided,
+    }
+    truth_det = {
+        "IDLE": exact_det.idle + kernel.detected_counts.idle,
+        "SINGLE": exact_det.single + kernel.detected_counts.single,
+        "COLLIDED": exact_det.collided + kernel.detected_counts.collided,
+    }
+    rows: list[dict[str, str]] = []
+    for by, truth in (("true_type", truth_true), ("detected_type", truth_det)):
+        observed = obs.slot_totals(by=by)
+        for outcome in ("IDLE", "SINGLE", "COLLIDED"):
+            got = int(observed.get(outcome, 0))
+            want = truth[outcome]
+            rows.append(
+                {
+                    "counter": f"repro_slots_total[{by}={outcome}]",
+                    "registry": str(got),
+                    "trace ground truth": str(want),
+                    "match": "yes" if got == want else "NO",
+                }
+            )
+    return rows
+
+
+def _dump_metrics(path: Path) -> tuple[Path, Path]:
+    """Write the registry as JSON to ``path`` and Prometheus text next to
+    it (the ``.prom`` sibling); if ``path`` ends in ``.prom`` the roles
+    swap.  Returns (json_path, prom_path)."""
+    if path.suffix == ".prom":
+        prom_path = path
+        json_path = path.with_suffix(".json")
+    else:
+        json_path = path
+        prom_path = path.with_suffix(".prom")
+    json_path.parent.mkdir(parents=True, exist_ok=True)
+    registry = obs.STATE.registry
+    json_path.write_text(registry.to_json() + "\n")
+    prom_path.write_text(registry.to_prometheus())
+    return json_path, prom_path
+
+
+# ----------------------------------------------------------------------
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-experiments",
@@ -88,8 +183,9 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "experiment",
-        choices=[*EXPERIMENTS, *EXTENSIONS, "all", "extensions"],
-        help="experiment id, 'all' (paper) or 'extensions'",
+        choices=[*EXPERIMENTS, *EXTENSIONS, "all", "extensions", "obs-report"],
+        help="experiment id, 'all' (paper), 'extensions', or 'obs-report' "
+        "(instrumented demo + registry dump)",
     )
     parser.add_argument(
         "--rounds",
@@ -98,19 +194,68 @@ def main(argv: list[str] | None = None) -> int:
         help=f"Monte-Carlo rounds per grid point (default {DEFAULT_ROUNDS})",
     )
     parser.add_argument("--seed", type=int, default=2010, help="root seed")
+    parser.add_argument(
+        "--metrics-out",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help="enable repro.obs for the run and dump the metrics registry "
+        "afterwards: JSON to FILE plus Prometheus text to FILE's .prom "
+        "sibling",
+    )
+    parser.add_argument(
+        "--trace-out",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help="enable repro.obs and stream span/event records to FILE as "
+        "JSON lines while the run executes",
+    )
     args = parser.parse_args(argv)
 
     suite = ExperimentSuite(rounds=args.rounds, seed=args.seed)
-    if args.experiment == "all":
-        ids = list(EXPERIMENTS)
-    elif args.experiment == "extensions":
-        ids = list(EXTENSIONS)
-    else:
-        ids = [args.experiment]
-    for exp_id in ids:
-        rows = run_experiment(exp_id, suite)
-        print(render_table(rows, title=_title(exp_id)))
-        print()
+    observing = (
+        args.metrics_out is not None
+        or args.trace_out is not None
+        or args.experiment == "obs-report"
+    )
+    if observing:
+        obs.reset()
+        sink = obs.JsonlSink(args.trace_out) if args.trace_out else None
+        obs.enable(sink=sink)
+    try:
+        if args.experiment == "obs-report":
+            rows = run_obs_report(suite)
+            print(
+                render_table(
+                    rows,
+                    title="Observability self-check "
+                    "(registry vs trace ground truth)",
+                )
+            )
+            print()
+            print(obs.STATE.registry.to_prometheus())
+            if not all(r["match"] == "yes" for r in rows):
+                return 1
+        else:
+            if args.experiment == "all":
+                ids = list(EXPERIMENTS)
+            elif args.experiment == "extensions":
+                ids = list(EXTENSIONS)
+            else:
+                ids = [args.experiment]
+            for exp_id in ids:
+                rows = run_experiment(exp_id, suite)
+                print(render_table(rows, title=_title(exp_id)))
+                print()
+    finally:
+        if observing:
+            if args.metrics_out is not None:
+                json_path, prom_path = _dump_metrics(args.metrics_out)
+                print(f"metrics written to {json_path} and {prom_path}")
+            if args.trace_out is not None:
+                print(f"trace written to {args.trace_out}")
+            obs.disable(close_sink=args.trace_out is not None)
     return 0
 
 

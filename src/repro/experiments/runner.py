@@ -20,6 +20,9 @@ from repro.core.crc_cd import CRCCDDetector
 from repro.core.detector import CollisionDetector
 from repro.core.qcd import QCDDetector
 from repro.core.timing import TimingModel
+from repro.obs import instruments as _inst
+from repro.obs.profiling import profile
+from repro.obs.state import STATE as _OBS
 from repro.experiments.config import (
     CASES,
     CRC_BITS,
@@ -143,23 +146,51 @@ class ExperimentSuite:
         self, case: SimulationCase, protocol: str, scheme: str
     ) -> AggregateStats:
         detector = make_detector(scheme, id_bits=self.timing.id_bits)
+        obs_on = _OBS.enabled
+        if obs_on:
+            _OBS.tracer.start_span(
+                "grid_point",
+                case=case.name,
+                protocol=protocol,
+                scheme=scheme,
+                rounds=self.rounds,
+            )
         # One deterministic stream per grid point, independent of how many
         # other points have been run.
         seq = np.random.SeedSequence(
             [self.seed, case.n_tags, _stable_hash(protocol), _stable_hash(scheme)]
         )
         runs: list[InventoryStats] = []
-        for child in seq.spawn(self.rounds):
-            rng = np.random.Generator(np.random.PCG64(child))
-            if protocol == "fsa":
-                stats = fsa_fast(
-                    case.n_tags, case.frame_size, detector, self.timing, rng
-                )
-            elif protocol == "bt":
-                stats = bt_fast(case.n_tags, detector, self.timing, rng)
-            else:
-                raise ValueError(f"unknown protocol {protocol!r}")
-            runs.append(stats)
+        try:
+            with profile("runner.grid_point"):
+                for child in seq.spawn(self.rounds):
+                    rng = np.random.Generator(np.random.PCG64(child))
+                    if protocol == "fsa":
+                        stats = fsa_fast(
+                            case.n_tags,
+                            case.frame_size,
+                            detector,
+                            self.timing,
+                            rng,
+                        )
+                    elif protocol == "bt":
+                        stats = bt_fast(case.n_tags, detector, self.timing, rng)
+                    else:
+                        raise ValueError(f"unknown protocol {protocol!r}")
+                    runs.append(stats)
+                    if obs_on:
+                        _OBS.registry.counter(
+                            _inst.MC_ROUNDS, "Monte-Carlo rounds completed"
+                        ).inc()
+        finally:
+            if obs_on:
+                _OBS.tracer.end_span(completed_rounds=len(runs))
+        if obs_on:
+            _OBS.registry.counter(
+                _inst.GRID_POINTS,
+                "Evaluation grid points completed",
+                labelnames=("case", "protocol", "scheme"),
+            ).labels(case=case.name, protocol=protocol, scheme=scheme).inc()
         return AggregateStats.from_runs(runs)
 
     # ------------------------------------------------------------------

@@ -1,0 +1,174 @@
+"""Canonical metric names and the shared instrumentation helpers.
+
+One module owns every metric the simulation stack emits, so names and
+label schemas cannot drift between the exact reader, the vectorized
+kernels and the experiment runner (``docs/OBSERVABILITY.md`` is the
+human-readable registry of the same names).
+
+Every helper here assumes the caller already checked
+``STATE.enabled`` -- these functions do real work and must only run in
+enabled mode.  The contract that makes the dumps trustworthy:
+
+* summing ``repro_slots_total`` over ``detected_type`` grouped by
+  ``true_type`` reproduces :func:`repro.sim.metrics.slot_counts` of the
+  same run exactly (and vice versa for detected counts), whether the run
+  went through the exact reader (per-slot increments) or a vectorized
+  kernel (bulk increments from the synthesized stats).
+"""
+
+from __future__ import annotations
+
+from repro.obs.state import STATE
+
+__all__ = [
+    "SLOTS",
+    "INVENTORIES",
+    "FRAMES",
+    "IDENTIFIED",
+    "LOST",
+    "CAPTURES",
+    "MISDETECTIONS",
+    "INVENTORY_AIRTIME",
+    "MOBILITY_EVENTS",
+    "ESCAPED",
+    "MONITOR_ROUNDS",
+    "MONITOR_CHURN",
+    "MONITOR_PRESENT",
+    "SWEEPS",
+    "JAMMED",
+    "GRID_POINTS",
+    "MC_ROUNDS",
+    "record_slot",
+    "record_inventory",
+    "record_kernel_stats",
+]
+
+SLOTS = "repro_slots_total"
+INVENTORIES = "repro_inventories_total"
+FRAMES = "repro_frames_total"
+IDENTIFIED = "repro_identified_tags_total"
+LOST = "repro_lost_tags_total"
+CAPTURES = "repro_captures_total"
+MISDETECTIONS = "repro_misdetections_total"
+INVENTORY_AIRTIME = "repro_inventory_airtime"
+MOBILITY_EVENTS = "repro_mobility_events_total"
+ESCAPED = "repro_escaped_tags_total"
+MONITOR_ROUNDS = "repro_monitoring_rounds_total"
+MONITOR_CHURN = "repro_monitoring_churn_total"
+MONITOR_PRESENT = "repro_monitoring_present_tags"
+SWEEPS = "repro_multireader_sweeps_total"
+JAMMED = "repro_jammed_tags_total"
+GRID_POINTS = "repro_grid_points_total"
+MC_ROUNDS = "repro_mc_rounds_total"
+
+#: Airtime histogram buckets (units of tau): decade ladder wide enough
+#: for a 10-tag toy run and the paper's 50 000-tag case IV.
+AIRTIME_BUCKETS = tuple(
+    float(10**e) * m for e in range(1, 9) for m in (1.0, 3.0)
+)
+
+
+def _slots_counter():
+    return STATE.registry.counter(
+        SLOTS,
+        "Slots executed, by ground-truth and detected verdict",
+        labelnames=("true_type", "detected_type"),
+    )
+
+
+def record_slot(record) -> None:
+    """Per-slot counters + a ``slot`` trace event (exact reader path).
+
+    ``record`` is a :class:`repro.sim.trace.SlotRecord`; typed loosely to
+    keep :mod:`repro.obs` import-independent of :mod:`repro.sim`.
+    """
+    reg = STATE.registry
+    true_name = record.true_type.name
+    detected_name = record.detected_type.name
+    _slots_counter().labels(
+        true_type=true_name, detected_type=detected_name
+    ).inc()
+    if record.identified_tag is not None:
+        reg.counter(IDENTIFIED, "Tags successfully identified").inc()
+    if record.lost_tags:
+        reg.counter(
+            LOST, "Tags lost to misdetection ('lost' policy)"
+        ).inc(record.lost_tags)
+    if record.captured:
+        reg.counter(
+            CAPTURES, "Collided slots resolved by the capture effect"
+        ).inc()
+    if (
+        true_name == "COLLIDED"
+        and detected_name == "SINGLE"
+        and not record.captured
+    ):
+        reg.counter(
+            MISDETECTIONS, "Detector errors by kind", labelnames=("kind",)
+        ).labels(kind="missed_collision").inc()
+    elif true_name == "SINGLE" and detected_name == "COLLIDED":
+        reg.counter(
+            MISDETECTIONS, "Detector errors by kind", labelnames=("kind",)
+        ).labels(kind="false_collision").inc()
+    STATE.tracer.event(
+        "slot",
+        index=record.index,
+        frame=record.frame,
+        true_type=true_name,
+        detected_type=detected_name,
+        n_responders=record.n_responders,
+        duration=record.duration,
+    )
+
+
+def record_inventory(engine: str, frames: int, airtime: float) -> None:
+    """Inventory-completion counters shared by all engines."""
+    reg = STATE.registry
+    reg.counter(
+        INVENTORIES, "Inventory runs completed", labelnames=("engine",)
+    ).labels(engine=engine).inc()
+    reg.counter(
+        FRAMES,
+        "Frames started (frame restarts included)",
+        labelnames=("engine",),
+    ).labels(engine=engine).inc(frames)
+    reg.histogram(
+        INVENTORY_AIRTIME,
+        "Total airtime per inventory (units of tau)",
+        labelnames=("engine",),
+        buckets=AIRTIME_BUCKETS,
+    ).labels(engine=engine).observe(airtime)
+
+
+def record_kernel_stats(engine: str, stats) -> None:
+    """Bulk counters for a vectorized kernel run.
+
+    ``stats`` is the kernel's :class:`~repro.sim.metrics.InventoryStats`;
+    the increments land on exactly the label combinations the exact
+    reader would have produced slot by slot (kernels draw misses only in
+    the collided->single direction and see no captures).
+    """
+    reg = STATE.registry
+    slots = _slots_counter()
+    counts = stats.true_counts
+    missed = stats.missed_collisions
+    if counts.idle:
+        slots.labels(true_type="IDLE", detected_type="IDLE").inc(counts.idle)
+    if counts.single:
+        slots.labels(true_type="SINGLE", detected_type="SINGLE").inc(
+            counts.single
+        )
+    if counts.collided - missed:
+        slots.labels(true_type="COLLIDED", detected_type="COLLIDED").inc(
+            counts.collided - missed
+        )
+    if missed:
+        slots.labels(true_type="COLLIDED", detected_type="SINGLE").inc(missed)
+        reg.counter(
+            MISDETECTIONS, "Detector errors by kind", labelnames=("kind",)
+        ).labels(kind="missed_collision").inc(missed)
+    if counts.single:
+        reg.counter(IDENTIFIED, "Tags successfully identified").inc(
+            counts.single
+        )
+    record_inventory(engine, stats.frames, stats.total_time)

@@ -1,0 +1,70 @@
+"""Process-wide observability switchboard.
+
+Everything the instrumented hot paths touch lives on one slotted object,
+:data:`STATE`, imported once at module load by the instrumented modules::
+
+    from repro.obs.state import STATE as _OBS
+    ...
+    if _OBS.enabled:          # one attribute load + branch when disabled
+        _OBS.registry.counter(...).inc()
+
+Disabled is the default and must stay near-zero-cost: the slot loop of
+:class:`repro.sim.reader.Reader` runs hundreds of thousands of times per
+experiment, so the *only* thing it may pay when observability is off is
+that single guard (budget asserted by
+``benchmarks/test_ablation_observability.py``).  All metric/trace work --
+including building label dicts and f-strings -- must sit behind the guard.
+"""
+
+from __future__ import annotations
+
+from repro.obs.registry import MetricsRegistry
+from repro.obs.tracing import NullSink, Tracer, TraceSink
+
+__all__ = ["ObsState", "STATE", "enable", "disable", "reset", "is_enabled"]
+
+
+class ObsState:
+    """The flag, the registry and the tracer, in one attribute load."""
+
+    __slots__ = ("enabled", "registry", "tracer")
+
+    def __init__(self) -> None:
+        self.enabled: bool = False
+        self.registry = MetricsRegistry()
+        self.tracer = Tracer(NullSink())
+
+
+#: The process-wide instance every instrumented module guards on.
+STATE = ObsState()
+
+
+def enable(sink: TraceSink | None = None) -> ObsState:
+    """Turn instrumentation on, optionally routing trace records to ``sink``.
+
+    Metrics accumulate into the existing registry (call :func:`reset`
+    first for a clean slate).  Returns :data:`STATE` for chaining.
+    """
+    if sink is not None:
+        STATE.tracer = Tracer(sink)
+    STATE.enabled = True
+    return STATE
+
+
+def disable(close_sink: bool = False) -> ObsState:
+    """Turn instrumentation off; optionally close the tracer's sink."""
+    STATE.enabled = False
+    if close_sink:
+        STATE.tracer.close()
+    return STATE
+
+
+def reset() -> ObsState:
+    """Clear all metrics and replace the tracer (sink is NOT closed)."""
+    STATE.registry.reset()
+    STATE.tracer = Tracer(NullSink())
+    return STATE
+
+
+def is_enabled() -> bool:
+    return STATE.enabled

@@ -1,0 +1,191 @@
+"""Structured tracing: span/event records to pluggable sinks.
+
+The trace half of :mod:`repro.obs`.  Where the metrics registry answers
+"how many / how fast so far", the tracer answers "what is the run doing
+right now and in what order": the instrumented drivers emit a span tree
+
+    inventory -> frame -> slot (events)
+
+(and analogous spans for monitoring rounds, mobile runs, multi-reader
+sweeps and Monte-Carlo grid points) to whatever sink is configured.
+
+Records are plain dicts so every sink serializes them trivially:
+
+``span``  -- ``{"type": "span", "name", "span_id", "parent_id", "start",
+"end", "duration", "attrs"}`` (emitted when the span *closes*);
+``event`` -- ``{"type": "event", "name", "span_id", "time", "attrs"}``
+(``span_id`` is the enclosing span, or ``None`` at top level).
+
+Sinks:
+
+* :class:`NullSink`       -- drops everything (the default);
+* :class:`RingBufferSink` -- keeps the last ``capacity`` records in
+  memory, for tests and interactive inspection;
+* :class:`JsonlSink`      -- appends one JSON object per line to a file,
+  the interchange format for offline span analysis.
+
+Timestamps are wall-clock ``time.perf_counter()`` values: tracing measures
+*host* execution, while the simulation's airtime clock stays inside the
+:class:`~repro.sim.trace.SlotRecord` stream.  Simulation quantities that
+matter to a span (airtime, slot counts) travel in ``attrs``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from collections import deque
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Iterator
+
+__all__ = ["Tracer", "TraceSink", "NullSink", "RingBufferSink", "JsonlSink"]
+
+
+class TraceSink:
+    """Sink interface: receives finished record dicts."""
+
+    def emit(self, record: dict[str, object]) -> None:
+        raise NotImplementedError
+
+    def close(self) -> None:  # pragma: no cover - default no-op
+        pass
+
+
+class NullSink(TraceSink):
+    """Discards every record."""
+
+    def emit(self, record: dict[str, object]) -> None:
+        pass
+
+
+class RingBufferSink(TraceSink):
+    """Keeps the newest ``capacity`` records in memory."""
+
+    def __init__(self, capacity: int = 10_000) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.records: deque[dict[str, object]] = deque(maxlen=capacity)
+
+    def emit(self, record: dict[str, object]) -> None:
+        self.records.append(record)
+
+    def spans(self, name: str | None = None) -> list[dict[str, object]]:
+        return [
+            r
+            for r in self.records
+            if r["type"] == "span" and (name is None or r["name"] == name)
+        ]
+
+    def events(self, name: str | None = None) -> list[dict[str, object]]:
+        return [
+            r
+            for r in self.records
+            if r["type"] == "event" and (name is None or r["name"] == name)
+        ]
+
+
+class JsonlSink(TraceSink):
+    """Appends records as JSON lines to ``path``."""
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self._fh = self.path.open("a")
+
+    def emit(self, record: dict[str, object]) -> None:
+        self._fh.write(json.dumps(record, allow_nan=True) + "\n")
+
+    def close(self) -> None:
+        self._fh.flush()
+        self._fh.close()
+
+
+class Tracer:
+    """Emits a span tree to a sink.
+
+    Two APIs over the same stack:
+
+    * the context manager :meth:`span` for lexically scoped phases;
+    * the explicit :meth:`start_span` / :meth:`end_span` pair for spans
+      whose boundaries only become known inside a loop (the reader learns
+      a frame ended when the *next* frame's first slot arrives).
+
+    Not thread-safe by design: one tracer per driving thread (the
+    simulators are single-threaded).
+    """
+
+    def __init__(self, sink: TraceSink | None = None) -> None:
+        self.sink = sink if sink is not None else NullSink()
+        self._stack: list[dict[str, object]] = []
+        self._next_id = 1
+
+    # -- spans ----------------------------------------------------------
+
+    def start_span(self, name: str, **attrs: object) -> int:
+        """Open a span; returns its id.  Close with :meth:`end_span`."""
+        span_id = self._next_id
+        self._next_id += 1
+        self._stack.append(
+            {
+                "type": "span",
+                "name": name,
+                "span_id": span_id,
+                "parent_id": (
+                    self._stack[-1]["span_id"] if self._stack else None
+                ),
+                "start": time.perf_counter(),
+                "attrs": dict(attrs),
+            }
+        )
+        return span_id
+
+    def end_span(self, **attrs: object) -> None:
+        """Close the innermost open span, merging ``attrs`` into it."""
+        if not self._stack:
+            raise RuntimeError("end_span with no open span")
+        record = self._stack.pop()
+        record["attrs"].update(attrs)  # type: ignore[union-attr]
+        record["end"] = time.perf_counter()
+        record["duration"] = record["end"] - record["start"]  # type: ignore[operator]
+        self.sink.emit(record)
+
+    @contextmanager
+    def span(self, name: str, **attrs: object) -> Iterator[int]:
+        """``with tracer.span("inventory", n_tags=50): ...``"""
+        span_id = self.start_span(name, **attrs)
+        try:
+            yield span_id
+        finally:
+            # Unwind any child spans an exception left open.
+            while self._stack and self._stack[-1]["span_id"] != span_id:
+                self.end_span(aborted=True)
+            if self._stack:
+                self.end_span()
+
+    # -- events ---------------------------------------------------------
+
+    def event(self, name: str, **attrs: object) -> None:
+        """Point-in-time record parented to the innermost open span."""
+        self.sink.emit(
+            {
+                "type": "event",
+                "name": name,
+                "span_id": (
+                    self._stack[-1]["span_id"] if self._stack else None
+                ),
+                "time": time.perf_counter(),
+                "attrs": attrs,
+            }
+        )
+
+    # -- housekeeping ---------------------------------------------------
+
+    @property
+    def depth(self) -> int:
+        return len(self._stack)
+
+    def close(self) -> None:
+        """Close any dangling spans and the sink."""
+        while self._stack:
+            self.end_span(aborted=True)
+        self.sink.close()

@@ -19,10 +19,13 @@ from repro.sim.deployment import Deployment, Reader2D
 from repro.sim.energy import EnergyBreakdown, EnergyModel, inventory_energy
 from repro.sim.engine import MobileInventoryEngine
 from repro.sim.export import (
+    read_trace_csv,
+    read_trace_json,
     stats_to_dict,
     trace_to_rows,
     write_stats_json,
     write_trace_csv,
+    write_trace_json,
 )
 from repro.sim.fast import bt_fast, dfsa_fast, fsa_fast
 from repro.sim.metrics import (
@@ -63,5 +66,8 @@ __all__ = [
     "trace_to_rows",
     "stats_to_dict",
     "write_trace_csv",
+    "write_trace_json",
+    "read_trace_csv",
+    "read_trace_json",
     "write_stats_json",
 ]

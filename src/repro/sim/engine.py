@@ -17,6 +17,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.obs import instruments as _inst
+from repro.obs.state import STATE as _OBS
 from repro.sim.metrics import DelayStats, InventoryStats
 from repro.sim.reader import Reader, record_effective
 from repro.sim.trace import SlotRecord
@@ -78,16 +80,41 @@ class MobileInventoryEngine:
         self._arrivals = {id(t): 0.0 for t in tags0}
         protocol.start(tags0)
         index = 0
+        obs_on = _OBS.enabled
+        if obs_on:
+            _OBS.tracer.start_span(
+                "mobile_inventory",
+                engine="mobile",
+                protocol=protocol.name,
+                initial_tags=len(tags0),
+            )
         while True:
             # Deliver all mobility events due at the current airtime.
             for ev in schedule.events_until(time):
                 if ev.kind == "arrive":
                     self._arrivals[id(ev.tag)] = max(ev.time, time)
                     protocol.admit(ev.tag)
+                    if obs_on:
+                        _OBS.registry.counter(
+                            _inst.MOBILITY_EVENTS,
+                            "Mobility events applied",
+                            labelnames=("kind",),
+                        ).labels(kind="arrive").inc()
                 else:
                     if not ev.tag.identified:
                         escaped.append(ev.tag.tag_id)
+                        if obs_on:
+                            _OBS.registry.counter(
+                                _inst.ESCAPED,
+                                "Tags that departed unidentified",
+                            ).inc()
                     protocol.withdraw(ev.tag)
+                    if obs_on:
+                        _OBS.registry.counter(
+                            _inst.MOBILITY_EVENTS,
+                            "Mobility events applied",
+                            labelnames=("kind",),
+                        ).labels(kind="depart").inc()
             if protocol.finished:
                 nxt = schedule.peek_next_time()
                 if nxt is None:
@@ -97,6 +124,8 @@ class MobileInventoryEngine:
                 time = max(time, nxt)
                 continue
             if index >= self.max_slots:
+                if obs_on:
+                    _OBS.tracer.end_span(aborted=True)
                 raise RuntimeError(f"exceeded max_slots={self.max_slots}")
             responders = protocol.responders()
             time, record = self.reader._run_slot(
@@ -120,6 +149,14 @@ class MobileInventoryEngine:
             id_bits=self.reader.timing.id_bits,
             tau=self.reader.timing.tau,
         )
+        if obs_on:
+            _OBS.tracer.end_span(
+                slots=index,
+                identified=len(identified),
+                escaped=len(escaped),
+                airtime=time,
+            )
+            _inst.record_inventory("mobile", stats.frames, stats.total_time)
         return MobileInventoryResult(
             trace=trace,
             stats=stats,

@@ -3,7 +3,10 @@
 Downstream analysis (plotting, regression dashboards) wants flat records,
 not object graphs.  This module converts traces and
 :class:`~repro.sim.metrics.InventoryStats` into plain dicts and writes
-CSV/JSON without any third-party dependency.
+CSV/JSON without any third-party dependency.  The readers
+(:func:`read_trace_csv` / :func:`read_trace_json`) invert the writers
+loss-free: parsed rows compare equal to :func:`trace_to_rows` of the
+original trace (asserted by ``tests/sim/test_export.py``).
 """
 
 from __future__ import annotations
@@ -21,8 +24,29 @@ __all__ = [
     "trace_to_rows",
     "stats_to_dict",
     "write_trace_csv",
+    "write_trace_json",
+    "read_trace_csv",
+    "read_trace_json",
     "write_stats_json",
 ]
+
+#: Column order of a flattened slot record (also the header of an empty
+#: CSV, so downstream parsers always see the schema).
+TRACE_FIELDS: tuple[str, ...] = (
+    "index",
+    "frame",
+    "n_responders",
+    "true_type",
+    "detected_type",
+    "duration",
+    "end_time",
+    "identified_tag",
+    "lost_tags",
+    "captured",
+)
+
+_INT_FIELDS = ("index", "frame", "n_responders", "lost_tags")
+_FLOAT_FIELDS = ("duration", "end_time")
 
 
 def trace_to_rows(trace: Sequence[SlotRecord]) -> list[dict[str, object]]:
@@ -37,7 +61,12 @@ def trace_to_rows(trace: Sequence[SlotRecord]) -> list[dict[str, object]]:
 
 
 def stats_to_dict(stats: InventoryStats) -> dict[str, object]:
-    """Flatten an InventoryStats into JSON-ready primitives."""
+    """Flatten an InventoryStats into JSON-ready primitives.
+
+    Loss-free over the paper's reported quantities: both the legacy
+    ``utilization`` key and its spelled-out alias ``utilization_rate``
+    are emitted, plus ``lost_tags`` and ``captures``.
+    """
     return {
         "n_tags": stats.n_tags,
         "frames": stats.frames,
@@ -54,6 +83,7 @@ def stats_to_dict(stats: InventoryStats) -> dict[str, object]:
         "delay_std": stats.delay.std,
         "delay_median": stats.delay.median,
         "utilization": stats.utilization,
+        "utilization_rate": stats.utilization,
         "missed_collisions": stats.missed_collisions,
         "false_collisions": stats.false_collisions,
         "lost_tags": stats.lost_tags,
@@ -62,26 +92,54 @@ def stats_to_dict(stats: InventoryStats) -> dict[str, object]:
 
 
 def write_trace_csv(trace: Sequence[SlotRecord], path: str | Path) -> Path:
-    """Write one CSV row per slot; returns the path written."""
+    """Write one CSV row per slot; returns the path written.
+
+    An empty trace still produces the full header row, so consumers can
+    rely on the schema being present.
+    """
     path = Path(path)
     rows = trace_to_rows(trace)
-    fields = list(rows[0]) if rows else [
-        "index",
-        "frame",
-        "n_responders",
-        "true_type",
-        "detected_type",
-        "duration",
-        "end_time",
-        "identified_tag",
-        "lost_tags",
-        "captured",
-    ]
+    fields = list(rows[0]) if rows else list(TRACE_FIELDS)
     with path.open("w", newline="") as fh:
         writer = csv.DictWriter(fh, fieldnames=fields)
         writer.writeheader()
         writer.writerows(rows)
     return path
+
+
+def write_trace_json(trace: Sequence[SlotRecord], path: str | Path) -> Path:
+    """Write the flattened trace as one JSON array."""
+    path = Path(path)
+    path.write_text(
+        json.dumps(trace_to_rows(trace), indent=2, allow_nan=True)
+    )
+    return path
+
+
+def _coerce_row(row: dict[str, object]) -> dict[str, object]:
+    """CSV gives back strings; restore the types ``trace_to_rows`` emits."""
+    out: dict[str, object] = dict(row)
+    for key in _INT_FIELDS:
+        out[key] = int(out[key])  # type: ignore[arg-type]
+    for key in _FLOAT_FIELDS:
+        out[key] = float(out[key])  # type: ignore[arg-type]
+    identified = out["identified_tag"]
+    out["identified_tag"] = (
+        None if identified in ("", None) else int(identified)  # type: ignore[arg-type]
+    )
+    out["captured"] = out["captured"] in (True, "True", "true", "1")
+    return out
+
+
+def read_trace_csv(path: str | Path) -> list[dict[str, object]]:
+    """Parse a trace CSV back into typed rows (= ``trace_to_rows`` output)."""
+    with Path(path).open(newline="") as fh:
+        return [_coerce_row(row) for row in csv.DictReader(fh)]
+
+
+def read_trace_json(path: str | Path) -> list[dict[str, object]]:
+    """Parse a trace JSON file back into rows (= ``trace_to_rows`` output)."""
+    return json.loads(Path(path).read_text())
 
 
 def write_stats_json(

@@ -35,6 +35,9 @@ from repro.core.detector import CollisionDetector
 from repro.core.ideal import IdealDetector
 from repro.core.qcd import QCDDetector
 from repro.core.timing import TimingModel
+from repro.obs.instruments import record_kernel_stats
+from repro.obs.profiling import profiled
+from repro.obs.state import STATE as _OBS
 from repro.sim.metrics import DelayStats, InventoryStats, SlotCounts
 
 __all__ = ["fsa_fast", "bt_fast", "dfsa_fast"]
@@ -75,6 +78,7 @@ def _miss_prob_scalar(detector: CollisionDetector):
     return detector.miss_probability
 
 
+@profiled("fast.fsa_fast")
 def fsa_fast(
     n_tags: int,
     frame_size: int,
@@ -139,7 +143,7 @@ def fsa_fast(
     all_delays = (
         np.concatenate(delays) if delays else np.empty(0, dtype=np.float64)
     )
-    return InventoryStats(
+    stats = InventoryStats(
         n_tags=n_tags,
         frames=frames,
         true_counts=true_counts,
@@ -152,8 +156,12 @@ def fsa_fast(
         false_collisions=0,
         lost_tags=0,
     )
+    if _OBS.enabled:
+        record_kernel_stats("fast_fsa", stats)
+    return stats
 
 
+@profiled("fast.bt_fast")
 def bt_fast(
     n_tags: int,
     detector: CollisionDetector,
@@ -198,7 +206,7 @@ def bt_fast(
             stack.append(left)
     true_counts = SlotCounts(n0, n1, nc)
     detected_counts = SlotCounts(n0, n1 + missed_total, nc - missed_total)
-    return InventoryStats(
+    stats = InventoryStats(
         n_tags=n_tags,
         frames=1,  # tree protocols run one continuous logical frame
         true_counts=true_counts,
@@ -211,8 +219,12 @@ def bt_fast(
         false_collisions=0,
         lost_tags=0,
     )
+    if _OBS.enabled:
+        record_kernel_stats("fast_bt", stats)
+    return stats
 
 
+@profiled("fast.dfsa_fast")
 def dfsa_fast(
     n_tags: int,
     initial_frame_size: int,
@@ -289,7 +301,7 @@ def dfsa_fast(
     all_delays = (
         np.concatenate(delays) if delays else np.empty(0, dtype=np.float64)
     )
-    return InventoryStats(
+    stats = InventoryStats(
         n_tags=n_tags,
         frames=frames,
         true_counts=true_counts,
@@ -302,3 +314,6 @@ def dfsa_fast(
         false_collisions=0,
         lost_tags=0,
     )
+    if _OBS.enabled:
+        record_kernel_stats("fast_dfsa", stats)
+    return stats

@@ -18,6 +18,8 @@ from dataclasses import dataclass
 from typing import Sequence
 
 from repro.bits.rng import RngStream
+from repro.obs import instruments as _inst
+from repro.obs.state import STATE as _OBS
 from repro.protocols.abs_protocol import AdaptiveBinarySplitting
 from repro.protocols.aqs import AdaptiveQuerySplitting
 from repro.protocols.base import AntiCollisionProtocol
@@ -139,7 +141,15 @@ class ContinuousMonitor:
             self.protocol, (AdaptiveBinarySplitting, AdaptiveQuerySplitting)
         )
         out: list[MonitoringRound] = []
+        obs_on = _OBS.enabled
         for index in range(rounds):
+            if obs_on:
+                _OBS.tracer.start_span(
+                    "monitoring_round",
+                    round=index,
+                    protocol=self.protocol.name,
+                    present=len(present),
+                )
             arrivals = departures = 0
             if index > 0 and churn:
                 departures = min(churn, len(present))
@@ -177,4 +187,26 @@ class ContinuousMonitor:
                     identified=len(result.identified_ids),
                 )
             )
+            if obs_on:
+                reg = _OBS.registry
+                reg.counter(
+                    _inst.MONITOR_ROUNDS, "Monitoring rounds completed"
+                ).inc()
+                if arrivals or departures:
+                    churn_counter = reg.counter(
+                        _inst.MONITOR_CHURN,
+                        "Population churn applied between rounds",
+                        labelnames=("kind",),
+                    )
+                    churn_counter.labels(kind="arrival").inc(arrivals)
+                    churn_counter.labels(kind="departure").inc(departures)
+                reg.gauge(
+                    _inst.MONITOR_PRESENT,
+                    "Tags present in the monitored population",
+                ).set(len(present))
+                _OBS.tracer.end_span(
+                    slots=counts.total,
+                    identified=len(result.identified_ids),
+                    airtime=result.stats.total_time,
+                )
         return MonitoringResult(rounds=out)

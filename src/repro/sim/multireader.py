@@ -24,6 +24,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable
 
+from repro.obs import instruments as _inst
+from repro.obs.state import STATE as _OBS
 from repro.protocols.base import AntiCollisionProtocol
 from repro.sim.deployment import Deployment
 from repro.sim.reader import InventoryResult, Reader
@@ -101,9 +103,25 @@ def run_multireader_inventory(
             for tag in tags:
                 seen[id(tag)] = seen.get(id(tag), 0) + 1
         jammed_tags = {key for key, count in seen.items() if count >= 2}
+    obs_on = _OBS.enabled
+    if obs_on:
+        _OBS.tracer.start_span(
+            "multireader_sweep",
+            readers=len(deployment.readers),
+            rounds=len(rounds),
+            scheduled=scheduled,
+        )
+        _OBS.registry.counter(
+            _inst.SWEEPS, "Multi-reader sweeps executed"
+        ).inc()
+        if jammed_tags:
+            _OBS.registry.counter(
+                _inst.JAMMED,
+                "Tags jammed by concurrent readers (unscheduled mode)",
+            ).inc(len(jammed_tags))
     per_reader: dict[int, InventoryResult] = {}
     makespan = 0.0
-    for round_ids in rounds:
+    for round_number, round_ids in enumerate(rounds):
         round_time = 0.0
         for reader_id in round_ids:
             tags = [
@@ -115,12 +133,23 @@ def run_multireader_inventory(
                 continue
             reader = reader_factory(reader_id)
             protocol = protocol_factory(reader_id)
+            if obs_on:
+                _OBS.tracer.event(
+                    "reader_activation",
+                    round=round_number,
+                    reader_id=reader_id,
+                    tags=len(tags),
+                )
             result = reader.run_inventory(tags, protocol)
             per_reader[reader_id] = result
             round_time = max(round_time, result.stats.total_time)
         makespan += round_time
     covered = deployment.covered_tags()
     identified = sum(1 for t in covered if t.identified and not t.lost)
+    if obs_on:
+        _OBS.tracer.end_span(
+            makespan=makespan, identified=identified, covered=len(covered)
+        )
     return MultiReaderResult(
         per_reader=per_reader,
         rounds=rounds,

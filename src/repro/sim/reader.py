@@ -38,6 +38,9 @@ from repro.bits.channel import Channel
 from repro.core.detector import CollisionDetector, SlotType
 from repro.core.ideal import IdealDetector
 from repro.core.timing import TimingModel
+from repro.obs import instruments as _inst
+from repro.obs.profiling import profile
+from repro.obs.state import STATE as _OBS
 from repro.protocols.base import AntiCollisionProtocol
 from repro.sim.metrics import InventoryStats
 from repro.sim.trace import SlotRecord
@@ -156,20 +159,49 @@ class Reader:
                     "(its start() takes no 'fresh' parameter); use "
                     "run_inventory() instead"
                 ) from exc
-        index = 0
-        while not protocol.finished:
-            if index >= self.max_slots:
-                raise RuntimeError(
-                    f"inventory exceeded max_slots={self.max_slots} "
-                    f"({protocol.name} / {detector.name})"
-                )
-            responders = protocol.responders()
-            time, record = self._run_slot(
-                index, time, protocol, responders, identified, lost
+        obs_on = _OBS.enabled
+        if obs_on:
+            _OBS.tracer.start_span(
+                "inventory",
+                engine="reader",
+                protocol=protocol.name,
+                detector=detector.name,
+                policy=self.policy,
+                n_tags=len(tags),
             )
-            trace.append(record)
-            protocol.feedback(record_effective(record, self.policy), responders)
-            index += 1
+        current_frame = 0
+        index = 0
+        try:
+            with profile("reader.run_inventory"):
+                while not protocol.finished:
+                    if index >= self.max_slots:
+                        raise RuntimeError(
+                            f"inventory exceeded max_slots={self.max_slots} "
+                            f"({protocol.name} / {detector.name})"
+                        )
+                    responders = protocol.responders()
+                    if obs_on:
+                        frame = max(1, protocol.frames_started)
+                        if frame != current_frame:
+                            if current_frame:
+                                _OBS.tracer.end_span()
+                            _OBS.tracer.start_span("frame", frame=frame)
+                            current_frame = frame
+                    time, record = self._run_slot(
+                        index, time, protocol, responders, identified, lost
+                    )
+                    trace.append(record)
+                    protocol.feedback(
+                        record_effective(record, self.policy), responders
+                    )
+                    index += 1
+        finally:
+            if obs_on:
+                if current_frame:
+                    _OBS.tracer.end_span()
+                _OBS.tracer.end_span(
+                    slots=index, identified=len(identified), airtime=time
+                )
         stats = InventoryStats.from_trace(
             trace,
             n_tags=len(tags),
@@ -177,6 +209,8 @@ class Reader:
             id_bits=self.timing.id_bits,
             tau=self.timing.tau,
         )
+        if obs_on:
+            _inst.record_inventory("reader", stats.frames, stats.total_time)
         return InventoryResult(
             trace=trace, stats=stats, identified_ids=identified, lost_ids=lost
         )
@@ -247,6 +281,8 @@ class Reader:
             lost_tags=lost_count,
             captured=captured,
         )
+        if _OBS.enabled:
+            _inst.record_slot(record)
         return time, record
 
 

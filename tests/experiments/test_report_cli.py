@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
 from repro.experiments.cli import EXPERIMENTS, main, run_experiment
@@ -87,3 +89,71 @@ class TestCli:
     def test_main_rejects_unknown(self):
         with pytest.raises(SystemExit):
             main(["table99"])
+
+
+class TestObsCli:
+    def test_obs_report_self_check_passes(self, capsys):
+        assert main(["obs-report", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "Observability self-check" in out
+        assert "repro_slots_total" in out
+        assert " NO" not in out
+
+    def test_metrics_out_matches_recomputation(self, tmp_path, capsys):
+        import numpy as np
+
+        from repro.bits.rng import make_rng
+        from repro.core.qcd import QCDDetector
+        from repro.protocols.fsa import FramedSlottedAloha
+        from repro.sim.fast import fsa_fast
+        from repro.sim.metrics import slot_counts
+        from repro.sim.reader import Reader
+        from repro.tags.population import TagPopulation
+
+        path = tmp_path / "metrics.json"
+        argv = ["obs-report", "--seed", "3", "--metrics-out", str(path)]
+        assert main(argv) == 0
+        capsys.readouterr()
+        doc = json.loads(path.read_text())
+        prom = path.with_suffix(".prom").read_text()
+        assert "# TYPE repro_slots_total counter" in prom
+
+        got: dict[str, int] = {}
+        for sample in doc["repro_slots_total"]["samples"]:
+            key = sample["labels"]["true_type"]
+            got[key] = got.get(key, 0) + int(sample["value"])
+
+        # Recompute the same seeded runs without obs and compare.
+        suite = ExperimentSuite(seed=3)
+        pop = TagPopulation(100, id_bits=64, rng=make_rng(3))
+        reader = Reader(QCDDetector(8), suite.timing)
+        result = reader.run_inventory(pop.tags, FramedSlottedAloha(64))
+        kernel = fsa_fast(
+            1000,
+            600,
+            QCDDetector(8),
+            suite.timing,
+            np.random.Generator(np.random.PCG64(3)),
+        )
+        exact = slot_counts(result.trace)
+        want = {
+            "IDLE": exact.idle + kernel.true_counts.idle,
+            "SINGLE": exact.single + kernel.true_counts.single,
+            "COLLIDED": exact.collided + kernel.true_counts.collided,
+        }
+        assert got == {k: v for k, v in want.items() if v}
+
+    def test_trace_out_writes_jsonl(self, tmp_path, capsys):
+        path = tmp_path / "trace.jsonl"
+        argv = [
+            "table7", "--rounds", "1", "--seed", "5",
+            "--trace-out", str(path),
+        ]
+        assert main(argv) == 0
+        capsys.readouterr()
+        records = [
+            json.loads(line) for line in path.read_text().splitlines()
+        ]
+        assert records
+        assert {r["name"] for r in records} == {"grid_point"}
+        assert all(r["type"] == "span" for r in records)

@@ -1,0 +1,17 @@
+"""Shared fixtures: every obs test starts and ends with a clean, disabled
+observability state (the registry is process-global)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+
+
+@pytest.fixture(autouse=True)
+def clean_obs():
+    obs.disable()
+    obs.reset()
+    yield
+    obs.disable()
+    obs.reset()

@@ -1,0 +1,64 @@
+"""Profiling timer tests: disabled no-op path and enabled histograms."""
+
+from __future__ import annotations
+
+import time
+
+from repro import obs
+from repro.obs.profiling import PROFILE_METRIC, profile, profiled
+
+
+class TestDisabled:
+    def test_profile_returns_shared_noop(self):
+        assert profile("a") is profile("b")
+
+    def test_no_metrics_created(self):
+        with profile("section"):
+            pass
+        assert obs.STATE.registry.get(PROFILE_METRIC) is None
+
+    def test_profiled_decorator_passthrough(self):
+        @profiled("section")
+        def add(a, b):
+            return a + b
+
+        assert add(1, 2) == 3
+        assert obs.STATE.registry.get(PROFILE_METRIC) is None
+
+
+class TestEnabled:
+    def test_observations_recorded_per_section(self):
+        obs.enable()
+        with profile("alpha"):
+            time.sleep(0.001)
+        with profile("alpha"):
+            pass
+        with profile("beta"):
+            pass
+        fam = obs.STATE.registry.get(PROFILE_METRIC)
+        alpha = fam.labels(section="alpha")
+        beta = fam.labels(section="beta")
+        assert alpha.count == 2
+        assert beta.count == 1
+        assert alpha.sum >= 0.001
+
+    def test_decorator_records_and_returns(self):
+        obs.enable()
+
+        @profiled("gamma")
+        def mul(a, b):
+            return a * b
+
+        assert mul(3, 4) == 12
+        fam = obs.STATE.registry.get(PROFILE_METRIC)
+        assert fam.labels(section="gamma").count == 1
+
+    def test_timer_records_on_exception(self):
+        obs.enable()
+        try:
+            with profile("failing"):
+                raise ValueError("boom")
+        except ValueError:
+            pass
+        fam = obs.STATE.registry.get(PROFILE_METRIC)
+        assert fam.labels(section="failing").count == 1

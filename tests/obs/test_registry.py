@@ -1,0 +1,169 @@
+"""Metrics registry unit tests: counters, gauges, histograms, exports."""
+
+from __future__ import annotations
+
+import json
+import math
+
+import pytest
+
+from repro.obs.registry import (
+    DEFAULT_TIME_BUCKETS,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+class TestCounters:
+    def test_inc_and_value(self):
+        reg = MetricsRegistry()
+        c = reg.counter("runs_total", "help text")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+    def test_get_or_create_returns_same_family(self):
+        reg = MetricsRegistry()
+        assert reg.counter("x_total") is reg.counter("x_total")
+
+    def test_counter_rejects_negative(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError):
+            reg.counter("x_total").inc(-1)
+
+    def test_type_conflict_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("x_total")
+        with pytest.raises(ValueError):
+            reg.gauge("x_total")
+
+    def test_label_schema_conflict_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("x_total", labelnames=("a",))
+        with pytest.raises(ValueError):
+            reg.counter("x_total", labelnames=("b",))
+
+    def test_invalid_names_rejected(self):
+        reg = MetricsRegistry()
+        for bad in ("", "1abc", "with space", "dash-ed"):
+            with pytest.raises(ValueError):
+                reg.counter(bad)
+
+    def test_labels(self):
+        reg = MetricsRegistry()
+        fam = reg.counter("slots_total", labelnames=("true_type",))
+        fam.labels(true_type="IDLE").inc(3)
+        fam.labels(true_type="SINGLE").inc(2)
+        assert fam.labels(true_type="IDLE").value == 3
+        assert fam.total() == 5
+
+    def test_labelled_family_rejects_anonymous_access(self):
+        reg = MetricsRegistry()
+        fam = reg.counter("slots_total", labelnames=("k",))
+        with pytest.raises(ValueError):
+            fam.inc()
+
+    def test_wrong_label_names_rejected(self):
+        reg = MetricsRegistry()
+        fam = reg.counter("slots_total", labelnames=("k",))
+        with pytest.raises(ValueError):
+            fam.labels(other="x")
+
+    def test_counter_totals_grouping(self):
+        reg = MetricsRegistry()
+        fam = reg.counter("slots_total", labelnames=("true", "det"))
+        fam.labels(true="A", det="A").inc(2)
+        fam.labels(true="A", det="B").inc(3)
+        fam.labels(true="B", det="B").inc(7)
+        assert reg.counter_totals("slots_total") == 12
+        assert reg.counter_totals("slots_total", by="true") == {
+            "A": 5,
+            "B": 7,
+        }
+        assert reg.counter_totals("missing") == 0
+        assert reg.counter_totals("missing", by="true") == {}
+
+
+class TestGauges:
+    def test_set_inc_dec(self):
+        reg = MetricsRegistry()
+        g = reg.gauge("present")
+        g.set(10)
+        g.inc(2)
+        g.dec(5)
+        assert g.value == 7
+
+
+class TestHistograms:
+    def test_observe_buckets(self):
+        h = Histogram((1.0, 10.0))
+        for v in (0.5, 0.7, 5.0, 50.0):
+            h.observe(v)
+        assert h.count == 4
+        assert h.sum == pytest.approx(56.2)
+        assert h.cumulative_buckets() == [
+            (1.0, 2),
+            (10.0, 3),
+            (math.inf, 4),
+        ]
+
+    def test_buckets_must_be_sorted_unique(self):
+        with pytest.raises(ValueError):
+            Histogram((2.0, 1.0))
+        with pytest.raises(ValueError):
+            Histogram((1.0, 1.0))
+        with pytest.raises(ValueError):
+            Histogram(())
+
+    def test_default_buckets_are_valid(self):
+        assert list(DEFAULT_TIME_BUCKETS) == sorted(set(DEFAULT_TIME_BUCKETS))
+
+
+class TestExports:
+    def _populated(self) -> MetricsRegistry:
+        reg = MetricsRegistry()
+        reg.counter("runs_total", "Total runs").inc(3)
+        fam = reg.counter("slots_total", "Slots", labelnames=("kind",))
+        fam.labels(kind="idle").inc(2)
+        reg.gauge("present", "Present tags").set(5)
+        reg.histogram("lat", "Latency", buckets=(1.0, 2.0)).observe(1.5)
+        return reg
+
+    def test_prometheus_text(self):
+        text = self._populated().to_prometheus()
+        assert "# HELP runs_total Total runs" in text
+        assert "# TYPE runs_total counter" in text
+        assert "runs_total 3" in text
+        assert 'slots_total{kind="idle"} 2' in text
+        assert "# TYPE present gauge" in text
+        assert 'lat_bucket{le="1"} 0' in text
+        assert 'lat_bucket{le="2"} 1' in text
+        assert 'lat_bucket{le="+Inf"} 1' in text
+        assert "lat_sum 1.5" in text
+        assert "lat_count 1" in text
+
+    def test_label_value_escaping(self):
+        reg = MetricsRegistry()
+        reg.counter("c_total", labelnames=("k",)).labels(k='a"b\\c').inc()
+        text = reg.to_prometheus()
+        assert 'k="a\\"b\\\\c"' in text
+
+    def test_json_roundtrip(self):
+        doc = json.loads(self._populated().to_json())
+        assert doc["runs_total"]["type"] == "counter"
+        assert doc["runs_total"]["samples"][0]["value"] == 3
+        slots = doc["slots_total"]["samples"]
+        assert slots == [{"labels": {"kind": "idle"}, "value": 2}]
+        lat = doc["lat"]["samples"][0]
+        assert lat["count"] == 1 and lat["buckets"]["+Inf"] == 1
+
+    def test_reset(self):
+        reg = self._populated()
+        reg.reset()
+        assert reg.to_prometheus() == ""
+        assert reg.to_dict() == {}
+
+    def test_empty_registry_exports(self):
+        reg = MetricsRegistry()
+        assert reg.to_prometheus() == ""
+        assert json.loads(reg.to_json()) == {}

@@ -9,10 +9,13 @@ from repro.bits.rng import make_rng
 from repro.core.qcd import QCDDetector
 from repro.protocols.fsa import FramedSlottedAloha
 from repro.sim.export import (
+    read_trace_csv,
+    read_trace_json,
     stats_to_dict,
     trace_to_rows,
     write_stats_json,
     write_trace_csv,
+    write_trace_json,
 )
 from repro.sim.reader import Reader
 from repro.tags.population import TagPopulation
@@ -46,6 +49,11 @@ class TestRows:
         assert decoded["single"] == 10
         assert decoded["throughput"] == result.stats.throughput
 
+    def test_stats_dict_is_loss_free(self):
+        d = stats_to_dict(run_small().stats)
+        assert d["utilization_rate"] == d["utilization"]
+        assert "lost_tags" in d and "captures" in d
+
 
 class TestFiles:
     def test_write_csv(self, tmp_path):
@@ -63,6 +71,10 @@ class TestFiles:
             header = next(reader)
         assert "true_type" in header
 
+    def test_write_json_empty_trace(self, tmp_path):
+        path = write_trace_json([], tmp_path / "empty.json")
+        assert json.loads(path.read_text()) == []
+
     def test_write_json_single_and_list(self, tmp_path):
         result = run_small()
         p1 = write_stats_json(result.stats, tmp_path / "one.json")
@@ -71,3 +83,30 @@ class TestFiles:
             [result.stats, result.stats], tmp_path / "two.json"
         )
         assert len(json.loads(p2.read_text())) == 2
+
+
+class TestRoundTrip:
+    """trace -> file -> parsed rows must equal trace_to_rows exactly."""
+
+    def test_csv_roundtrip(self, tmp_path):
+        result = run_small()
+        path = write_trace_csv(result.trace, tmp_path / "trace.csv")
+        assert read_trace_csv(path) == trace_to_rows(result.trace)
+
+    def test_json_roundtrip(self, tmp_path):
+        result = run_small()
+        path = write_trace_json(result.trace, tmp_path / "trace.json")
+        assert read_trace_json(path) == trace_to_rows(result.trace)
+
+    def test_csv_roundtrip_lost_policy(self, tmp_path):
+        """Covers lost_tags > 0 and identified_tag=None columns."""
+        pop = TagPopulation(40, id_bits=64, rng=make_rng(5))
+        result = Reader(QCDDetector(2), policy="lost").run_inventory(
+            pop.tags, FramedSlottedAloha(8)
+        )
+        path = write_trace_csv(result.trace, tmp_path / "trace.csv")
+        assert read_trace_csv(path) == trace_to_rows(result.trace)
+
+    def test_csv_roundtrip_empty(self, tmp_path):
+        path = write_trace_csv([], tmp_path / "empty.csv")
+        assert read_trace_csv(path) == []

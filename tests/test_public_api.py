@@ -26,6 +26,7 @@ class TestApiSurface:
             "analysis",
             "security",
             "experiments",
+            "obs",
         ):
             mod = importlib.import_module(f"repro.{pkg}")
             for name in getattr(mod, "__all__", []):
