@@ -8,10 +8,19 @@ pytest-benchmark.
 The Monte-Carlo suite is session-scoped and memoized, so grid points shared
 between tables are simulated once.  ``--benchmark-only`` works: every test
 here uses the benchmark fixture.
+
+The shared suite honours the runner's execution knobs via environment
+variables (mirroring the CLI's ``--workers`` / ``--cache-dir`` /
+``--no-cache``):
+
+* ``REPRO_BENCH_WORKERS=N``    -- shard rounds across N processes;
+* ``REPRO_BENCH_CACHE_DIR=DIR``-- reuse grid points across bench runs;
+* ``REPRO_BENCH_NO_CACHE=1``   -- ignore the cache dir for this run.
 """
 
 from __future__ import annotations
 
+import os
 import sys
 from pathlib import Path
 
@@ -26,4 +35,15 @@ from repro.experiments.runner import ExperimentSuite  # noqa: E402
 
 @pytest.fixture(scope="session")
 def suite() -> ExperimentSuite:
-    return ExperimentSuite(rounds=BENCH_ROUNDS, seed=BENCH_SEED)
+    workers = int(os.environ.get("REPRO_BENCH_WORKERS", "1"))
+    cache_dir: str | None = os.environ.get("REPRO_BENCH_CACHE_DIR") or None
+    if os.environ.get("REPRO_BENCH_NO_CACHE"):
+        cache_dir = None
+    suite = ExperimentSuite(
+        rounds=BENCH_ROUNDS,
+        seed=BENCH_SEED,
+        workers=workers,
+        cache_dir=cache_dir,
+    )
+    yield suite
+    suite.close()

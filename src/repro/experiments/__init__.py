@@ -4,6 +4,10 @@
   paper reference values;
 * :mod:`repro.experiments.runner` -- Monte-Carlo runners with result
   memoization (the evaluation's tables and figures share runs);
+* :mod:`repro.experiments.parallel` -- deterministic sharding of a grid
+  point's rounds across a process pool (``workers=N``);
+* :mod:`repro.experiments.cache` -- on-disk cache of aggregated grid
+  points (``cache_dir=...`` / ``--cache-dir``);
 * :mod:`repro.experiments.tables` / :mod:`repro.experiments.figures` --
   one generator per table/figure, returning row dicts / series;
 * :mod:`repro.experiments.report`  -- plain-text rendering;

@@ -1,0 +1,95 @@
+"""On-disk result cache for Monte-Carlo grid points.
+
+Regenerating the paper's tables and figures re-runs the same grid; this
+cache lets repeated CLI invocations (and the benchmark harness) skip
+grid points that were already simulated.  One JSON document per grid
+point, under the directory handed to ``--cache-dir``:
+
+* the **key** is a SHA-256 content hash over every input that determines
+  the result -- schema version, rounds, root seed, the timing model
+  (tau / id_bits / crc_bits), the case (name, n_tags, frame_size),
+  protocol and scheme.  Changing *any* of them changes the key, so a
+  cache never has to be manually invalidated; bumping
+  :data:`SCHEMA_VERSION` orphans every old entry at once.
+* the **value** is the aggregated stats mapping (the caller serializes
+  its dataclass; this module stays payload-agnostic), written RFC-8259
+  clean: NaN is stored as ``null`` and restored by the caller.
+
+Writes are atomic (temp file + ``os.replace``) so concurrent runners
+sharing a cache directory never observe torn entries; unreadable,
+mismatched or stale-schema entries read as misses, never as errors.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Mapping
+
+from repro.sim.export import nan_to_none
+
+__all__ = ["SCHEMA_VERSION", "ResultCache", "cache_key"]
+
+#: Bump when the cached payload's meaning changes (new AggregateStats
+#: fields, different aggregation semantics, ...); every existing entry
+#: then misses.
+SCHEMA_VERSION = 1
+
+
+def cache_key(params: Mapping[str, object]) -> str:
+    """Content hash of one grid point's inputs (hex, stable across runs)."""
+    canonical = json.dumps(
+        nan_to_none(dict(params)), sort_keys=True, separators=(",", ":")
+    )
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+class ResultCache:
+    """Directory of ``<key>.json`` grid-point results."""
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def path_for(self, params: Mapping[str, object]) -> Path:
+        return self.root / f"{cache_key(params)[:32]}.json"
+
+    def load(self, params: Mapping[str, object]) -> dict | None:
+        """The cached stats mapping, or ``None`` on any kind of miss.
+
+        A hit requires a parseable document, a matching schema version
+        and byte-equal parameters (belt and braces on top of the hashed
+        filename); anything else -- including a corrupt or truncated
+        file -- is treated as a miss.
+        """
+        path = self.path_for(params)
+        try:
+            doc = json.loads(path.read_text())
+        except (OSError, ValueError):
+            return None
+        if not isinstance(doc, dict):
+            return None
+        if doc.get("schema") != SCHEMA_VERSION:
+            return None
+        if doc.get("params") != nan_to_none(dict(params)):
+            return None
+        stats = doc.get("stats")
+        return stats if isinstance(stats, dict) else None
+
+    def store(
+        self, params: Mapping[str, object], stats: Mapping[str, object]
+    ) -> Path:
+        """Atomically persist one grid point; returns the entry's path."""
+        path = self.path_for(params)
+        doc = {
+            "schema": SCHEMA_VERSION,
+            "params": nan_to_none(dict(params)),
+            "stats": nan_to_none(dict(stats)),
+        }
+        payload = json.dumps(doc, indent=2, sort_keys=True, allow_nan=False)
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        tmp.write_text(payload + "\n")
+        os.replace(tmp, path)
+        return path

@@ -5,8 +5,14 @@ Usage::
     python -m repro.experiments table7 --rounds 100 --seed 2010
     python -m repro.experiments all --rounds 20
     repro-experiments fig8
+    repro-experiments table7 --workers 4 --cache-dir results/.mc-cache
     repro-experiments table7 --metrics-out metrics.json
     repro-experiments obs-report
+
+``--workers N`` shards every grid point's Monte-Carlo rounds across N
+processes (bit-identical results; see EXPERIMENTS.md).  ``--cache-dir
+DIR`` reuses aggregated grid points across invocations; ``--no-cache``
+ignores the cache for one run.
 
 Paper experiments: table2 table3 table4 table7 table8 table9 fig5 fig6
 fig7 fig8 (``all`` runs these).  Beyond-the-paper studies: gen2 energy
@@ -195,6 +201,29 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument("--seed", type=int, default=2010, help="root seed")
     parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="shard each grid point's Monte-Carlo rounds across N "
+        "processes (default 1 = in-process); results are bit-identical "
+        "for any worker count",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help="persist aggregated grid points to DIR and reuse them on "
+        "later invocations (keyed by rounds/seed/timing/case/protocol/"
+        "scheme plus a schema version)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="ignore --cache-dir for this run (neither read nor write)",
+    )
+    parser.add_argument(
         "--metrics-out",
         type=Path,
         default=None,
@@ -213,7 +242,12 @@ def main(argv: list[str] | None = None) -> int:
     )
     args = parser.parse_args(argv)
 
-    suite = ExperimentSuite(rounds=args.rounds, seed=args.seed)
+    suite = ExperimentSuite(
+        rounds=args.rounds,
+        seed=args.seed,
+        workers=args.workers,
+        cache_dir=None if args.no_cache else args.cache_dir,
+    )
     observing = (
         args.metrics_out is not None
         or args.trace_out is not None
@@ -249,6 +283,7 @@ def main(argv: list[str] | None = None) -> int:
                 print(render_table(rows, title=_title(exp_id)))
                 print()
     finally:
+        suite.close()
         if observing:
             if args.metrics_out is not None:
                 json_path, prom_path = _dump_metrics(args.metrics_out)

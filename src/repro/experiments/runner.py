@@ -6,23 +6,33 @@ The paper's tables and figures all derive from the same grid of runs:
 most once (via the vectorized kernels of :mod:`repro.sim.fast`, which are
 validated against the exact reader) and serves every generator from the
 cache.
+
+Two optional layers extend the in-memory memoization:
+
+* ``workers > 1`` shards each grid point's rounds over a process pool
+  (:mod:`repro.experiments.parallel`).  The per-round ``SeedSequence``
+  children are spawned up front exactly as the serial path spawns them,
+  so the aggregated result is bit-identical for any worker count.
+* ``cache_dir`` persists every aggregated grid point to disk
+  (:mod:`repro.experiments.cache`), keyed by a content hash of all
+  inputs, so repeated table/figure generation across CLI invocations
+  skips completed points entirely.
 """
 
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
-from typing import Callable, Iterable
+from dataclasses import asdict, dataclass, fields
+from pathlib import Path
+from typing import Callable, Iterable, Mapping
 
 import numpy as np
 
-from repro.core.crc_cd import CRCCDDetector
-from repro.core.detector import CollisionDetector
-from repro.core.qcd import QCDDetector
 from repro.core.timing import TimingModel
 from repro.obs import instruments as _inst
 from repro.obs.profiling import profile
 from repro.obs.state import STATE as _OBS
+from repro.experiments.cache import SCHEMA_VERSION, ResultCache
 from repro.experiments.config import (
     CASES,
     CRC_BITS,
@@ -31,7 +41,11 @@ from repro.experiments.config import (
     TAU,
     SimulationCase,
 )
-from repro.sim.fast import bt_fast, fsa_fast
+from repro.experiments.parallel import (
+    GridPointJob,
+    make_detector,
+    make_executor,
+)
 from repro.sim.metrics import InventoryStats
 
 __all__ = ["AggregateStats", "ExperimentSuite", "make_detector"]
@@ -67,6 +81,14 @@ class AggregateStats:
         def mean(f: Callable[[InventoryStats], float]) -> float:
             return sum(f(s) for s in runs) / len(runs)
 
+        def nan_mean(f: Callable[[InventoryStats], float]) -> float:
+            # A round that identifies no tags has NaN delay stats; it
+            # carries no delay information, so it is excluded rather than
+            # averaged in as 0.0 (which silently biased the mean toward
+            # zero).  All-NaN rounds -> NaN, not a fabricated number.
+            values = [v for v in (f(s) for s in runs) if not math.isnan(v)]
+            return sum(values) / len(values) if values else math.nan
+
         return AggregateStats(
             rounds=len(runs),
             n_tags=runs[0].n_tags,
@@ -77,24 +99,11 @@ class AggregateStats:
             throughput=mean(lambda s: s.throughput),
             total_time=mean(lambda s: s.total_time),
             accuracy=mean(lambda s: s.accuracy),
-            delay_mean=mean(
-                lambda s: s.delay.mean if not math.isnan(s.delay.mean) else 0.0
-            ),
-            delay_std=mean(
-                lambda s: s.delay.std if not math.isnan(s.delay.std) else 0.0
-            ),
+            delay_mean=nan_mean(lambda s: s.delay.mean),
+            delay_std=nan_mean(lambda s: s.delay.std),
             utilization=mean(lambda s: s.utilization),
             missed_collisions=mean(lambda s: s.missed_collisions),
         )
-
-
-def make_detector(scheme: str, id_bits: int = ID_BITS) -> CollisionDetector:
-    """Detector factory for grid keys: ``"crc"`` or ``"qcd-<strength>"``."""
-    if scheme == "crc":
-        return CRCCDDetector(id_bits=id_bits)
-    if scheme.startswith("qcd-"):
-        return QCDDetector(strength=int(scheme.split("-", 1)[1]))
-    raise ValueError(f"unknown scheme {scheme!r}")
 
 
 class ExperimentSuite:
@@ -108,6 +117,18 @@ class ExperimentSuite:
         Root seed; grid points get deterministic, independent substreams.
     tau / id_bits / crc_bits:
         Paper constants, overridable for sensitivity studies.
+    workers:
+        Processes to shard each grid point's rounds across; 1 (default)
+        runs in-process.  Results are bit-identical either way.
+    cache_dir:
+        Directory for the on-disk result cache; ``None`` (default)
+        disables persistence.
+    executor:
+        Pluggable round executor (anything with ``run(job)`` / ``close()``
+        / ``workers``); overrides ``workers`` when given.
+
+    Suites hold a worker pool when ``workers > 1``; call :meth:`close`
+    when done, or use the suite as a context manager.
     """
 
     def __init__(
@@ -117,13 +138,33 @@ class ExperimentSuite:
         tau: float = TAU,
         id_bits: int = ID_BITS,
         crc_bits: int = CRC_BITS,
+        workers: int = 1,
+        cache_dir: str | Path | None = None,
+        executor=None,
     ) -> None:
         if rounds < 1:
             raise ValueError("rounds must be >= 1")
         self.rounds = rounds
         self.seed = seed
         self.timing = TimingModel(tau=tau, id_bits=id_bits, crc_bits=crc_bits)
-        self._cache: dict[tuple[str, str, str], AggregateStats] = {}
+        self._executor = executor if executor is not None else make_executor(workers)
+        self.workers = self._executor.workers
+        self._disk = ResultCache(cache_dir) if cache_dir is not None else None
+        self._cache: dict[
+            tuple[SimulationCase, str, str], AggregateStats
+        ] = {}
+
+    # ------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Release the executor's worker pool (no-op for serial)."""
+        self._executor.close()
+
+    def __enter__(self) -> "ExperimentSuite":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
 
@@ -137,15 +178,66 @@ class ExperimentSuite:
         """
         if isinstance(case, str):
             case = CASES[case]
-        key = (case.name, protocol, scheme)
-        if key not in self._cache:
-            self._cache[key] = self._run_uncached(case, protocol, scheme)
-        return self._cache[key]
+        # Memoize on the full case identity, not just its name: two ad-hoc
+        # cases sharing a name but differing in n_tags/frame_size are
+        # different grid points.
+        key = (case, protocol, scheme)
+        hit = self._cache.get(key)
+        if hit is not None:
+            return hit
+        params = self._cache_params(case, protocol, scheme)
+        stats = self._load_cached(params)
+        if stats is None:
+            stats = self._run_uncached(case, protocol, scheme)
+            if self._disk is not None:
+                self._disk.store(params, asdict(stats))
+        self._cache[key] = stats
+        return stats
+
+    # -- disk cache ----------------------------------------------------
+
+    def _cache_params(
+        self, case: SimulationCase, protocol: str, scheme: str
+    ) -> dict[str, object]:
+        """Every input that determines a grid point's result."""
+        return {
+            "schema": SCHEMA_VERSION,
+            "rounds": self.rounds,
+            "seed": self.seed,
+            "tau": self.timing.tau,
+            "id_bits": self.timing.id_bits,
+            "crc_bits": self.timing.crc_bits,
+            "case": {
+                "name": case.name,
+                "n_tags": case.n_tags,
+                "frame_size": case.frame_size,
+            },
+            "protocol": protocol,
+            "scheme": scheme,
+        }
+
+    def _load_cached(
+        self, params: Mapping[str, object]
+    ) -> AggregateStats | None:
+        if self._disk is None:
+            return None
+        doc = self._disk.load(params)
+        if doc is None:
+            return None
+        try:
+            kwargs = {
+                f.name: (math.nan if doc[f.name] is None else doc[f.name])
+                for f in fields(AggregateStats)
+            }
+            return AggregateStats(**kwargs)
+        except (KeyError, TypeError):
+            return None  # stale/foreign entry: recompute
+
+    # -- execution -----------------------------------------------------
 
     def _run_uncached(
         self, case: SimulationCase, protocol: str, scheme: str
     ) -> AggregateStats:
-        detector = make_detector(scheme, id_bits=self.timing.id_bits)
         obs_on = _OBS.enabled
         if obs_on:
             _OBS.tracer.start_span(
@@ -154,34 +246,37 @@ class ExperimentSuite:
                 protocol=protocol,
                 scheme=scheme,
                 rounds=self.rounds,
+                workers=self.workers,
             )
-        # One deterministic stream per grid point, independent of how many
-        # other points have been run.
+        # One deterministic stream per grid point, independent of how
+        # many other points have been run.  Every identity-bearing field
+        # enters the entropy key: two cases that share a tag count but
+        # differ in name or frame size get distinct substreams.
         seq = np.random.SeedSequence(
-            [self.seed, case.n_tags, _stable_hash(protocol), _stable_hash(scheme)]
+            [
+                self.seed,
+                _stable_hash(case.name),
+                case.n_tags,
+                case.frame_size,
+                _stable_hash(protocol),
+                _stable_hash(scheme),
+            ]
+        )
+        # Children are spawned up front, once, in round order -- workers
+        # receive contiguous chunks of this exact list, which is what
+        # keeps the parallel path bit-identical to the serial one.
+        job = GridPointJob(
+            case=case,
+            protocol=protocol,
+            scheme=scheme,
+            children=tuple(seq.spawn(self.rounds)),
+            timing=self.timing,
+            observe=obs_on,
         )
         runs: list[InventoryStats] = []
         try:
             with profile("runner.grid_point"):
-                for child in seq.spawn(self.rounds):
-                    rng = np.random.Generator(np.random.PCG64(child))
-                    if protocol == "fsa":
-                        stats = fsa_fast(
-                            case.n_tags,
-                            case.frame_size,
-                            detector,
-                            self.timing,
-                            rng,
-                        )
-                    elif protocol == "bt":
-                        stats = bt_fast(case.n_tags, detector, self.timing, rng)
-                    else:
-                        raise ValueError(f"unknown protocol {protocol!r}")
-                    runs.append(stats)
-                    if obs_on:
-                        _OBS.registry.counter(
-                            _inst.MC_ROUNDS, "Monte-Carlo rounds completed"
-                        ).inc()
+                runs = self._executor.run(job)
         finally:
             if obs_on:
                 _OBS.tracer.end_span(completed_rounds=len(runs))

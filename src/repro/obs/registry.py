@@ -99,6 +99,10 @@ class Counter:
             raise ValueError("counters can only increase")
         self.value += amount
 
+    def merge(self, other: "Counter") -> None:
+        """Fold another counter in (totals add)."""
+        self.value += other.value
+
 
 class Gauge:
     """Arbitrary settable value."""
@@ -116,6 +120,16 @@ class Gauge:
 
     def dec(self, amount: float = 1) -> None:
         self.value -= amount
+
+    def merge(self, other: "Gauge") -> None:
+        """Fold another gauge in.
+
+        Gauges merge additively: in the sharded Monte-Carlo use case each
+        worker's gauge holds that worker's contribution, so the merged
+        value is the sum (there is no meaningful "last write" across
+        processes).
+        """
+        self.value += other.value
 
 
 class Histogram:
@@ -146,6 +160,19 @@ class Histogram:
                 self.bucket_counts[i] += 1
                 return
         self.inf_count += 1
+
+    def merge(self, other: "Histogram") -> None:
+        """Fold another histogram in (bucket-wise; schemas must match)."""
+        if self.upper_bounds != other.upper_bounds:
+            raise ValueError(
+                "cannot merge histograms with different buckets: "
+                f"{self.upper_bounds} vs {other.upper_bounds}"
+            )
+        for i, n in enumerate(other.bucket_counts):
+            self.bucket_counts[i] += n
+        self.inf_count += other.inf_count
+        self.sum += other.sum
+        self.count += other.count
 
     def cumulative_buckets(self) -> list[tuple[float, int]]:
         """``[(le, cumulative_count), ...]`` ending with (+Inf, count)."""
@@ -257,6 +284,33 @@ class MetricFamily:
             raise ValueError("total() is not defined for histograms")
         return sum(c.value for c in self._children.values())
 
+    # -- merging --------------------------------------------------------
+
+    def merge_from(self, other: "MetricFamily") -> None:
+        """Fold another family's children into this one.
+
+        The other family must have the same type and label schema (and
+        bucket ladder, for histograms); children that only exist on one
+        side are kept/created, shared children combine element-wise.
+        """
+        if other.type != self.type:
+            raise ValueError(
+                f"{self.name}: cannot merge {other.type} into {self.type}"
+            )
+        if other.labelnames != self.labelnames:
+            raise ValueError(
+                f"{self.name}: label schema mismatch "
+                f"({other.labelnames} vs {self.labelnames})"
+            )
+        if self.type == "histogram" and other.buckets != self.buckets:
+            raise ValueError(f"{self.name}: histogram bucket mismatch")
+        for key, child in other._children.items():
+            mine = self._children.get(key)
+            if mine is None:
+                mine = self._make_child()
+                self._children[key] = mine
+            mine.merge(child)  # type: ignore[attr-defined]
+
 
 class MetricsRegistry:
     """Named collection of metric families.
@@ -323,6 +377,31 @@ class MetricsRegistry:
     def reset(self) -> None:
         """Drop every family (names, schemas and values)."""
         self._families.clear()
+
+    def merge(self, other: "MetricsRegistry") -> "MetricsRegistry":
+        """Fold another registry's metrics into this one; returns ``self``.
+
+        Counters and gauges add, histograms combine bucket-wise; families
+        unknown here are adopted with the other registry's schema.  This
+        is how the parallel Monte-Carlo runner folds each worker's
+        registry back into the process-wide one, so ``--metrics-out``
+        reflects the whole run regardless of worker count.  A name
+        registered with a conflicting type/label schema raises
+        ``ValueError``.
+        """
+        for family in other.families():
+            mine = self._families.get(family.name)
+            if mine is None:
+                mine = MetricFamily(
+                    family.name,
+                    family.type,
+                    family.help,
+                    family.labelnames,
+                    family.buckets,
+                )
+                self._families[family.name] = mine
+            mine.merge_from(family)
+        return self
 
     # -- export ---------------------------------------------------------
 

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import csv
 import json
+import math
 from dataclasses import asdict
 from pathlib import Path
 from typing import Iterable, Sequence
@@ -21,6 +22,7 @@ from repro.sim.metrics import InventoryStats
 from repro.sim.trace import SlotRecord
 
 __all__ = [
+    "nan_to_none",
     "trace_to_rows",
     "stats_to_dict",
     "write_trace_csv",
@@ -29,6 +31,25 @@ __all__ = [
     "read_trace_json",
     "write_stats_json",
 ]
+
+
+def nan_to_none(obj: object) -> object:
+    """Recursively replace float NaN with ``None`` for strict JSON.
+
+    RFC 8259 has no ``NaN`` literal, and Python's default
+    ``json.dumps(..., allow_nan=True)`` emits one anyway -- output that
+    ``jq``, ``JSON.parse`` and ``json.loads`` in strict mode all reject.
+    Every JSON writer in this repo runs its payload through this helper
+    and serializes with ``allow_nan=False``; readers that know a field is
+    a float coerce ``None`` back to NaN.
+    """
+    if isinstance(obj, float) and math.isnan(obj):
+        return None
+    if isinstance(obj, dict):
+        return {key: nan_to_none(value) for key, value in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [nan_to_none(value) for value in obj]
+    return obj
 
 #: Column order of a flattened slot record (also the header of an empty
 #: CSV, so downstream parsers always see the schema).
@@ -108,10 +129,16 @@ def write_trace_csv(trace: Sequence[SlotRecord], path: str | Path) -> Path:
 
 
 def write_trace_json(trace: Sequence[SlotRecord], path: str | Path) -> Path:
-    """Write the flattened trace as one JSON array."""
+    """Write the flattened trace as one RFC-8259-clean JSON array.
+
+    NaN floats (``duration`` / ``end_time``) become ``null``;
+    :func:`read_trace_json` restores them.
+    """
     path = Path(path)
     path.write_text(
-        json.dumps(trace_to_rows(trace), indent=2, allow_nan=True)
+        json.dumps(
+            nan_to_none(trace_to_rows(trace)), indent=2, allow_nan=False
+        )
     )
     return path
 
@@ -138,8 +165,17 @@ def read_trace_csv(path: str | Path) -> list[dict[str, object]]:
 
 
 def read_trace_json(path: str | Path) -> list[dict[str, object]]:
-    """Parse a trace JSON file back into rows (= ``trace_to_rows`` output)."""
-    return json.loads(Path(path).read_text())
+    """Parse a trace JSON file back into rows (= ``trace_to_rows`` output).
+
+    ``null`` in a float column is the writer's encoding of NaN and is
+    coerced back; ``identified_tag`` keeps ``None`` as ``None``.
+    """
+    rows = json.loads(Path(path).read_text())
+    for row in rows:
+        for key in _FLOAT_FIELDS:
+            if row.get(key) is None:
+                row[key] = math.nan
+    return rows
 
 
 def write_stats_json(
@@ -151,5 +187,7 @@ def write_stats_json(
         payload: object = stats_to_dict(stats)
     else:
         payload = [stats_to_dict(s) for s in stats]
-    path.write_text(json.dumps(payload, indent=2, allow_nan=True))
+    path.write_text(
+        json.dumps(nan_to_none(payload), indent=2, allow_nan=False)
+    )
     return path

@@ -1,0 +1,140 @@
+"""On-disk grid-point cache tests: keys, round-trips, invalidation."""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import asdict
+
+import pytest
+
+from repro.experiments import cache as cache_mod
+from repro.experiments.cache import ResultCache, cache_key
+from repro.experiments.runner import ExperimentSuite
+
+PARAMS = {
+    "schema": cache_mod.SCHEMA_VERSION,
+    "rounds": 4,
+    "seed": 3,
+    "case": {"name": "I", "n_tags": 50, "frame_size": 30},
+    "protocol": "fsa",
+    "scheme": "qcd-8",
+}
+
+
+class TestKey:
+    def test_stable(self):
+        assert cache_key(PARAMS) == cache_key(dict(PARAMS))
+
+    def test_insensitive_to_dict_order(self):
+        reordered = dict(reversed(list(PARAMS.items())))
+        assert cache_key(reordered) == cache_key(PARAMS)
+
+    def test_every_field_enters_the_key(self):
+        for field, value in [
+            ("rounds", 5),
+            ("seed", 4),
+            ("protocol", "bt"),
+            ("scheme", "crc"),
+            ("case", {"name": "I", "n_tags": 50, "frame_size": 31}),
+            ("schema", cache_mod.SCHEMA_VERSION + 1),
+        ]:
+            changed = dict(PARAMS, **{field: value})
+            assert cache_key(changed) != cache_key(PARAMS), field
+
+
+class TestResultCache:
+    def test_miss_then_hit(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert cache.load(PARAMS) is None
+        cache.store(PARAMS, {"x": 1.5, "n": 3})
+        assert cache.load(PARAMS) == {"x": 1.5, "n": 3}
+
+    def test_written_json_is_rfc8259_strict(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        path = cache.store(PARAMS, {"delay_mean": math.nan, "idle": 2.0})
+        doc = json.loads(path.read_text(), parse_constant=pytest.fail)
+        assert doc["stats"]["delay_mean"] is None
+        assert cache.load(PARAMS) == {"delay_mean": None, "idle": 2.0}
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.store(PARAMS, {"x": 1})
+        cache.path_for(PARAMS).write_text("{not json")
+        assert cache.load(PARAMS) is None
+
+    def test_schema_bump_invalidates(self, tmp_path, monkeypatch):
+        cache = ResultCache(tmp_path)
+        cache.store(PARAMS, {"x": 1})
+        monkeypatch.setattr(cache_mod, "SCHEMA_VERSION", 999)
+        assert cache.load(PARAMS) is None
+
+    def test_param_mismatch_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.store(PARAMS, {"x": 1})
+        # Same file on disk, forged params in the document.
+        path = cache.path_for(PARAMS)
+        doc = json.loads(path.read_text())
+        doc["params"]["seed"] = 12345
+        path.write_text(json.dumps(doc))
+        assert cache.load(PARAMS) is None
+
+
+class TestSuiteIntegration:
+    def test_warm_cache_skips_kernels_and_is_identical(
+        self, tmp_path, monkeypatch
+    ):
+        first = ExperimentSuite(rounds=3, seed=2, cache_dir=tmp_path)
+        grid = dict(cases=("I",), protocols=("fsa", "bt"), schemes=("qcd-8",))
+        cold = first.grid(**grid)
+
+        calls = {"n": 0}
+
+        def counted(real):
+            def wrapper(*args, **kwargs):
+                calls["n"] += 1
+                return real(*args, **kwargs)
+
+            return wrapper
+
+        from repro.experiments import parallel as par
+
+        monkeypatch.setattr(par, "fsa_fast", counted(par.fsa_fast))
+        monkeypatch.setattr(par, "bt_fast", counted(par.bt_fast))
+
+        warm = ExperimentSuite(rounds=3, seed=2, cache_dir=tmp_path).grid(
+            **grid
+        )
+        assert calls["n"] == 0
+        assert set(warm) == set(cold)
+        for key in cold:
+            assert asdict(warm[key]) == asdict(cold[key]), key
+
+    def test_nan_delay_survives_disk_round_trip(self, tmp_path):
+        from repro.experiments.config import SimulationCase
+
+        # A 0-tag FSA inventory identifies nothing: every round's delay is
+        # NaN, so the aggregate must be NaN, cached as null, and restored.
+        case = SimulationCase("empty", 0, 8)
+        cold = ExperimentSuite(rounds=2, seed=1, cache_dir=tmp_path).run(
+            case, "fsa", "qcd-8"
+        )
+        assert math.isnan(cold.delay_mean)
+        warm = ExperimentSuite(rounds=2, seed=1, cache_dir=tmp_path).run(
+            case, "fsa", "qcd-8"
+        )
+        assert math.isnan(warm.delay_mean)
+        assert warm.rounds == cold.rounds
+
+    def test_different_seeds_do_not_share_entries(self, tmp_path):
+        a = ExperimentSuite(rounds=2, seed=1, cache_dir=tmp_path).run(
+            "I", "fsa", "qcd-8"
+        )
+        b = ExperimentSuite(rounds=2, seed=2, cache_dir=tmp_path).run(
+            "I", "fsa", "qcd-8"
+        )
+        assert a.total_time != b.total_time
+
+    def test_no_cache_dir_writes_nothing(self, tmp_path):
+        ExperimentSuite(rounds=2, seed=1).run("I", "fsa", "qcd-8")
+        assert list(tmp_path.iterdir()) == []

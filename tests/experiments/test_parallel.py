@@ -1,0 +1,119 @@
+"""Parallel executor tests: sharding, determinism, obs merging."""
+
+from __future__ import annotations
+
+from dataclasses import asdict
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.obs import instruments as inst
+from repro.experiments.parallel import (
+    ProcessExecutor,
+    SerialExecutor,
+    make_executor,
+    shard_rounds,
+)
+from repro.experiments.runner import ExperimentSuite
+
+GRID = dict(cases=("I",), protocols=("fsa", "bt"), schemes=("crc", "qcd-8"))
+
+
+@pytest.fixture(autouse=True)
+def clean_obs():
+    obs.disable()
+    obs.reset()
+    yield
+    obs.disable()
+    obs.reset()
+
+
+class TestSharding:
+    def test_contiguous_order_preserving(self):
+        children = list(range(7))  # shard_rounds is agnostic to item type
+        shards = shard_rounds(children, 3)
+        assert [len(s) for s in shards] == [3, 2, 2]
+        assert [x for s in shards for x in s] == children
+
+    def test_fewer_rounds_than_shards(self):
+        shards = shard_rounds([1, 2], 8)
+        assert [len(s) for s in shards] == [1, 1]
+
+    def test_single_shard(self):
+        assert shard_rounds([1, 2, 3], 1) == [(1, 2, 3)]
+
+    def test_invalid_shard_count(self):
+        with pytest.raises(ValueError):
+            shard_rounds([1], 0)
+
+    def test_seed_children_shard_losslessly(self):
+        children = np.random.SeedSequence(1).spawn(5)
+        shards = shard_rounds(children, 2)
+        flat = [c for s in shards for c in s]
+        assert [c.spawn_key for c in flat] == [c.spawn_key for c in children]
+
+
+class TestExecutorFactory:
+    def test_serial_for_one_worker(self):
+        assert isinstance(make_executor(1), SerialExecutor)
+
+    def test_pool_for_many(self):
+        ex = make_executor(3)
+        assert isinstance(ex, ProcessExecutor)
+        assert ex.workers == 3
+        ex.close()
+
+    def test_invalid_worker_counts(self):
+        with pytest.raises(ValueError):
+            make_executor(0)
+        with pytest.raises(ValueError):
+            ProcessExecutor(1)
+
+
+class TestParallelDeterminism:
+    """workers=N must be bit-identical to the serial path."""
+
+    def test_grid_bit_identical_across_worker_counts(self):
+        serial = ExperimentSuite(rounds=6, seed=11).grid(**GRID)
+        for workers in (2, 4):
+            with ExperimentSuite(rounds=6, seed=11, workers=workers) as suite:
+                parallel = suite.grid(**GRID)
+            assert set(parallel) == set(serial)
+            for key, agg in parallel.items():
+                want = asdict(serial[key])
+                got = asdict(agg)
+                for field, value in want.items():
+                    assert got[field] == value, (key, field)
+
+    def test_workers_exceeding_rounds(self):
+        serial = ExperimentSuite(rounds=2, seed=5).run("I", "fsa", "qcd-8")
+        with ExperimentSuite(rounds=2, seed=5, workers=4) as suite:
+            assert suite.run("I", "fsa", "qcd-8") == serial
+
+    def test_single_round_runs_inline(self):
+        serial = ExperimentSuite(rounds=1, seed=5).run("I", "bt", "crc")
+        with ExperimentSuite(rounds=1, seed=5, workers=2) as suite:
+            assert suite.run("I", "bt", "crc") == serial
+
+
+class TestObsMerge:
+    def test_worker_metrics_merged_into_parent(self):
+        obs.enable()
+        with ExperimentSuite(rounds=5, seed=1, workers=2) as suite:
+            suite.run("I", "fsa", "qcd-8")
+        reg = obs.STATE.registry
+        assert reg.counter_totals(inst.MC_ROUNDS) == 5
+        # Slot totals must cover every round, not just the parent's share.
+        totals = obs.slot_totals()
+        assert totals.get("SINGLE") == 5 * 50
+        assert reg.counter_totals(inst.GRID_POINTS) == 1
+
+    def test_parallel_counts_equal_serial_counts(self):
+        obs.enable()
+        ExperimentSuite(rounds=4, seed=9).run("I", "fsa", "qcd-4")
+        serial = dict(obs.slot_totals())
+        obs.reset()
+        with ExperimentSuite(rounds=4, seed=9, workers=2) as suite:
+            suite.run("I", "fsa", "qcd-4")
+        assert dict(obs.slot_totals()) == serial

@@ -90,6 +90,27 @@ class TestCli:
         with pytest.raises(SystemExit):
             main(["table99"])
 
+    def test_workers_and_cache_flags(self, tmp_path, capsys):
+        cache = tmp_path / "mc-cache"
+        argv = [
+            "table7", "--rounds", "1", "--seed", "5",
+            "--workers", "2", "--cache-dir", str(cache),
+        ]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert "Table VII" in first
+        assert list(cache.glob("*.json"))  # grid points persisted
+        # Warm cache (and serial this time): identical output.
+        warm_argv = [
+            "table7", "--rounds", "1", "--seed", "5",
+            "--cache-dir", str(cache),
+        ]
+        assert main(warm_argv) == 0
+        assert capsys.readouterr().out == first
+        # --no-cache recomputes but must land on the same numbers.
+        assert main(warm_argv + ["--no-cache"]) == 0
+        assert capsys.readouterr().out == first
+
 
 class TestObsCli:
     def test_obs_report_self_check_passes(self, capsys):

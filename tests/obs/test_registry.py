@@ -167,3 +167,78 @@ class TestExports:
         reg = MetricsRegistry()
         assert reg.to_prometheus() == ""
         assert json.loads(reg.to_json()) == {}
+
+
+class TestMerge:
+    """Registry merging (the parallel runner folds worker registries in)."""
+
+    def test_counters_add(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("runs_total").inc(3)
+        b.counter("runs_total").inc(4)
+        assert a.merge(b) is a
+        assert a.counter("runs_total").value == 7
+
+    def test_labeled_counters_merge_per_child(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("slots_total", labelnames=("kind",)).labels(kind="idle").inc(2)
+        b.counter("slots_total", labelnames=("kind",)).labels(kind="idle").inc(5)
+        b.counter("slots_total", labelnames=("kind",)).labels(kind="busy").inc(1)
+        a.merge(b)
+        fam = a.get("slots_total")
+        assert fam.labels(kind="idle").value == 7
+        assert fam.labels(kind="busy").value == 1
+
+    def test_unknown_family_adopted(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        b.gauge("depth").set(4)
+        a.merge(b)
+        assert a.get("depth").value == 4
+
+    def test_gauges_sum(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.gauge("present").set(2)
+        b.gauge("present").set(3)
+        a.merge(b)
+        assert a.get("present").value == 5
+
+    def test_histograms_merge_bucketwise(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        h1 = a.histogram("t", buckets=(1.0, 10.0))
+        h2 = b.histogram("t", buckets=(1.0, 10.0))
+        h1.observe(0.5)
+        h2.observe(5.0)
+        h2.observe(50.0)
+        a.merge(b)
+        merged = a.get("t")._anonymous()
+        assert merged.count == 3
+        assert merged.sum == 55.5
+        assert merged.cumulative_buckets() == [(1.0, 1), (10.0, 2), (math.inf, 3)]
+
+    def test_type_conflict_rejected(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("x_total")
+        b.gauge("x_total")
+        with pytest.raises(ValueError):
+            a.merge(b)
+
+    def test_label_schema_conflict_rejected(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("x_total", labelnames=("a",))
+        b.counter("x_total", labelnames=("b",))
+        with pytest.raises(ValueError):
+            a.merge(b)
+
+    def test_histogram_bucket_conflict_rejected(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.histogram("t", buckets=(1.0,))
+        b.histogram("t", buckets=(2.0,))
+        b.get("t").observe(1.5)
+        with pytest.raises(ValueError):
+            a.merge(b)
+
+    def test_merge_empty_is_noop(self):
+        a = MetricsRegistry()
+        a.counter("x_total").inc()
+        a.merge(MetricsRegistry())
+        assert a.counter("x_total").value == 1
