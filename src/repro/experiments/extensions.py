@@ -58,8 +58,14 @@ _SCHEMES = (
 )
 
 
+def _check_rounds(rounds: int) -> None:
+    if rounds < 1:
+        raise ValueError("rounds must be >= 1")
+
+
 def ext_gen2(rounds: int = 10, seed: int = 2010) -> list[dict[str, str]]:
     """EI of QCD-8 over CRC-CD under paper vs Gen2 timing (case II)."""
+    _check_rounds(rounds)
     rows = []
     for label, timing in (
         ("paper (τ per bit)", TimingModel()),
@@ -88,6 +94,7 @@ def ext_gen2(rounds: int = 10, seed: int = 2010) -> list[dict[str, str]]:
 
 def ext_energy(rounds: int = 5, seed: int = 2010) -> list[dict[str, str]]:
     """Energy budget per 150-tag inventory, by scheme."""
+    _check_rounds(rounds)
     rows = []
     for name, factory in _SCHEMES:
         detector = factory()
@@ -111,6 +118,7 @@ def ext_energy(rounds: int = 5, seed: int = 2010) -> list[dict[str, str]]:
 
 def ext_estimators(rounds: int = 5, seed: int = 2010) -> list[dict[str, str]]:
     """DFSA estimator race (n = 5000, initial frame 64, QCD-8)."""
+    _check_rounds(rounds)
     estimators = (
         LowerBoundEstimator(),
         SchouteEstimator(),
@@ -144,6 +152,7 @@ def ext_estimators(rounds: int = 5, seed: int = 2010) -> list[dict[str, str]]:
 
 def ext_noise(rounds: int = 3, seed: int = 2010) -> list[dict[str, str]]:
     """Bit-error robustness sweep (FSA, 200 tags)."""
+    _check_rounds(rounds)
     rows = []
     for ber in (0.0, 1e-3, 5e-3, 2e-2):
         cells: dict[str, str] = {"BER": f"{ber:g}"}
@@ -169,6 +178,7 @@ def ext_noise(rounds: int = 3, seed: int = 2010) -> list[dict[str, str]]:
 
 def ext_neighbor(rounds: int = 5, seed: int = 2010) -> list[dict[str, str]]:
     """Neighbor discovery in a 40-node clique: latency and energy."""
+    _check_rounds(rounds)
     rows = []
     for name, factory in _SCHEMES:
         slots, energy = [], []
@@ -190,6 +200,7 @@ def ext_neighbor(rounds: int = 5, seed: int = 2010) -> list[dict[str, str]]:
 
 def ext_coverage(rounds: int = 3, seed: int = 2010) -> list[dict[str, str]]:
     """Sensor-field link discovery (40 nodes, 50x50 m, 15 m range)."""
+    _check_rounds(rounds)
     rows = []
     for name, factory in _SCHEMES:
         slots, listen = [], []
@@ -214,6 +225,7 @@ def ext_coverage(rounds: int = 3, seed: int = 2010) -> list[dict[str, str]]:
 
 def ext_missing(rounds: int = 3, seed: int = 2010) -> list[dict[str, str]]:
     """Manifest verification (1000 tags, 20 missing) vs full inventory."""
+    _check_rounds(rounds)
     rows = []
     for name, factory in _SCHEMES:
         airtimes, slot_counts = [], []

@@ -38,6 +38,7 @@ __all__ = [
     "JAMMED",
     "GRID_POINTS",
     "MC_ROUNDS",
+    "INVARIANT_VIOLATIONS",
     "record_slot",
     "record_inventory",
     "record_kernel_stats",
@@ -60,6 +61,7 @@ SWEEPS = "repro_multireader_sweeps_total"
 JAMMED = "repro_jammed_tags_total"
 GRID_POINTS = "repro_grid_points_total"
 MC_ROUNDS = "repro_mc_rounds_total"
+INVARIANT_VIOLATIONS = "repro_invariant_violations_total"
 
 #: Airtime histogram buckets (units of tau): decade ladder wide enough
 #: for a 10-tag toy run and the paper's 50 000-tag case IV.

@@ -24,6 +24,8 @@ from repro.sim.reader import Reader, record_effective
 from repro.sim.trace import SlotRecord
 from repro.tags.mobility import MobilitySchedule
 from repro.tags.tag import Tag
+from repro.verify.invariants import STATE as _INV
+from repro.verify.invariants import check_inventory as _check_inventory
 
 __all__ = ["MobileInventoryEngine", "MobileInventoryResult"]
 
@@ -81,6 +83,8 @@ class MobileInventoryEngine:
         protocol.start(tags0)
         index = 0
         obs_on = _OBS.enabled
+        inv_on = _INV.enabled
+        seen_ids = [t.tag_id for t in tags0] if inv_on else []
         if obs_on:
             _OBS.tracer.start_span(
                 "mobile_inventory",
@@ -93,6 +97,8 @@ class MobileInventoryEngine:
             for ev in schedule.events_until(time):
                 if ev.kind == "arrive":
                     self._arrivals[id(ev.tag)] = max(ev.time, time)
+                    if inv_on:
+                        seen_ids.append(ev.tag.tag_id)
                     protocol.admit(ev.tag)
                     if obs_on:
                         _OBS.registry.counter(
@@ -149,6 +155,10 @@ class MobileInventoryEngine:
             id_bits=self.reader.timing.id_bits,
             tau=self.reader.timing.tau,
         )
+        if inv_on:
+            # Tags may depart unidentified, so the run is never "complete"
+            # in the static-inventory sense; subset/partition checks only.
+            _check_inventory(trace, seen_ids, identified, lost)
         if obs_on:
             _OBS.tracer.end_span(
                 slots=index,

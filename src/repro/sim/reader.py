@@ -45,6 +45,9 @@ from repro.protocols.base import AntiCollisionProtocol
 from repro.sim.metrics import InventoryStats
 from repro.sim.trace import SlotRecord
 from repro.tags.tag import Tag
+from repro.verify.invariants import STATE as _INV
+from repro.verify.invariants import check_inventory as _check_inventory
+from repro.verify.invariants import check_slot as _check_slot
 
 __all__ = ["Reader", "InventoryResult", "POLICIES"]
 
@@ -209,6 +212,16 @@ class Reader:
             id_bits=self.timing.id_bits,
             tau=self.timing.tau,
         )
+        if _INV.enabled:
+            # The protocol ran to completion over a fixed population, so
+            # every tag must be accounted for (identified or lost).
+            _check_inventory(
+                trace,
+                [t.tag_id for t in tags],
+                identified,
+                lost,
+                complete=True,
+            )
         if obs_on:
             _inst.record_inventory("reader", stats.frames, stats.total_time)
         return InventoryResult(
@@ -281,6 +294,8 @@ class Reader:
             lost_tags=lost_count,
             captured=captured,
         )
+        if _INV.enabled:
+            _check_slot(record, detector, self.timing, signal)
         if _OBS.enabled:
             _inst.record_slot(record)
         return time, record

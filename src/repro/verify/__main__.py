@@ -1,0 +1,6 @@
+"""``python -m repro.verify`` -- alias for the ``repro-verify`` CLI."""
+
+from repro.verify.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

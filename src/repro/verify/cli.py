@@ -1,0 +1,130 @@
+"""``repro-verify`` -- run the differential-oracle suite from the shell.
+
+Examples::
+
+    repro-verify --quick                 # CI smoke: all oracles, 8 rounds
+    repro-verify --oracle bt-slots-vs-theory --rounds 48
+    repro-verify --list
+    repro-verify --quick --workers 4 --report verify-report.json
+
+Exit status is 0 iff every check of every executed oracle passed, so the
+command gates CI directly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Sequence
+
+from repro.experiments.report import render_table
+from repro.sim.export import nan_to_none
+from repro.verify.oracles import all_oracles
+from repro.verify.runner import VerificationRunner, report_rows
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-verify",
+        description=(
+            "Differential-oracle verification: prove the exact reader, "
+            "the vectorized kernels and the closed-form theory simulate "
+            "the same stochastic process."
+        ),
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI smoke depth (fewer Monte-Carlo rounds, same tolerances)",
+    )
+    parser.add_argument(
+        "--rounds",
+        type=int,
+        default=None,
+        help="override Monte-Carlo rounds per oracle batch",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=2010, help="root seed (default 2010)"
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="shard kernel batches across N processes",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="persist oracle verdicts to this directory (content-hashed)",
+    )
+    parser.add_argument(
+        "--oracle",
+        action="append",
+        dest="oracles",
+        metavar="NAME",
+        help="run only this oracle (repeatable)",
+    )
+    parser.add_argument(
+        "--report",
+        default=None,
+        metavar="FILE",
+        help="write the machine-readable JSON verdict report to FILE",
+    )
+    parser.add_argument(
+        "--list",
+        action="store_true",
+        dest="list_oracles",
+        help="list registered oracles and exit",
+    )
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list_oracles:
+        print(
+            render_table(
+                [
+                    {
+                        "oracle": o.name,
+                        "kind": o.kind,
+                        "description": o.description,
+                    }
+                    for o in all_oracles()
+                ],
+                title="Registered oracle pairs",
+            )
+        )
+        return 0
+    with VerificationRunner(
+        rounds=args.rounds,
+        seed=args.seed,
+        quick=args.quick,
+        workers=args.workers,
+        cache_dir=args.cache_dir,
+    ) as runner:
+        report = runner.run(args.oracles)
+    title = (
+        f"repro-verify: {len(report.reports)} oracles, "
+        f"{report.rounds} rounds, seed {report.seed}"
+    )
+    print(render_table(report_rows(report), title=title))
+    if args.report:
+        with open(args.report, "w") as fh:
+            json.dump(
+                nan_to_none(report.to_dict()), fh, indent=2, allow_nan=False
+            )
+            fh.write("\n")
+    if report.passed:
+        print(f"\nPASS: all {len(report.reports)} oracle pairs agree")
+        return 0
+    failed = ", ".join(r.oracle for r in report.failures)
+    print(f"\nFAIL: tolerance violations in: {failed}", file=sys.stderr)
+    return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

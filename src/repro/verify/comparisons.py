@@ -1,0 +1,144 @@
+"""Comparison statistics the differential oracles declare.
+
+Each helper condenses one backend-vs-backend comparison into a
+:class:`Check`: a named, machine-readable verdict carrying the observed
+value, the reference it was held against, the tolerance and the outcome.
+The statistics cover the three regimes the oracles need:
+
+* **exact** -- fields that must match bit-for-bit (deterministic
+  re-derivations, invariant-violation counts);
+* **rel / abs / lower_bound** -- Monte-Carlo means against closed-form
+  theory or another backend's means, within an error band;
+* **ks / mean_z** -- distributional equivalence of two round batches
+  that simulate the same process with different random streams.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import asdict, dataclass
+from typing import Sequence
+
+from scipy.stats import ks_2samp
+
+__all__ = [
+    "Check",
+    "check_exact",
+    "check_relative",
+    "check_absolute",
+    "check_lower_bound",
+    "check_ks",
+    "check_mean_z",
+]
+
+
+@dataclass(frozen=True)
+class Check:
+    """One adjudicated comparison.
+
+    ``observed`` / ``reference`` hold the two sides of the comparison
+    (for ``ks`` the p-value and the alpha level; for ``mean_z`` the z
+    statistic and 0).  ``tolerance`` is the band the oracle declared.
+    """
+
+    name: str
+    statistic: str
+    observed: float
+    reference: float
+    tolerance: float
+    passed: bool
+
+    def to_dict(self) -> dict[str, object]:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, doc: dict[str, object]) -> "Check":
+        # JSON round-trips NaN as null (RFC-8259 clean, like the result
+        # cache); restore it here.
+        def num(v: object) -> float:
+            return math.nan if v is None else float(v)  # type: ignore[arg-type]
+
+        return cls(
+            name=str(doc["name"]),
+            statistic=str(doc["statistic"]),
+            observed=num(doc["observed"]),
+            reference=num(doc["reference"]),
+            tolerance=num(doc["tolerance"]),
+            passed=bool(doc["passed"]),
+        )
+
+
+def check_exact(name: str, observed: float, reference: float) -> Check:
+    """Bit-for-bit field equality."""
+    obs, ref = float(observed), float(reference)
+    return Check(name, "exact", obs, ref, 0.0, obs == ref)
+
+
+def check_relative(
+    name: str, observed: float, reference: float, tolerance: float
+) -> Check:
+    """``|observed - reference| / |reference|`` within ``tolerance``.
+
+    A zero reference degenerates to an absolute comparison against the
+    tolerance itself (so "expected zero" still admits MC jitter).
+    """
+    obs, ref = float(observed), float(reference)
+    scale = abs(ref)
+    err = abs(obs - ref) / scale if scale > 0 else abs(obs - ref)
+    return Check(name, "rel", obs, ref, tolerance, err <= tolerance)
+
+
+def check_absolute(
+    name: str, observed: float, reference: float, tolerance: float
+) -> Check:
+    obs, ref = float(observed), float(reference)
+    return Check(name, "abs", obs, ref, tolerance, abs(obs - ref) <= tolerance)
+
+
+def check_lower_bound(
+    name: str, observed: float, bound: float, slack: float = 0.0
+) -> Check:
+    """``observed >= bound - slack`` (theory *lower* bounds: the measured
+    value may legitimately exceed the bound by any amount)."""
+    obs, ref = float(observed), float(bound)
+    return Check(name, "lower_bound", obs, ref, slack, obs >= ref - slack)
+
+
+def check_ks(
+    name: str,
+    sample_a: Sequence[float],
+    sample_b: Sequence[float],
+    alpha: float = 1e-3,
+) -> Check:
+    """Two-sample Kolmogorov-Smirnov test; passes unless the samples are
+    distinguishable at level ``alpha``.
+
+    ``alpha`` is deliberately loose (the oracles run fixed seeds, so a
+    failure is reproducible, not flaky): the test is meant to catch a
+    backend drifting to a *different* distribution, not to certify
+    equality.
+    """
+    result = ks_2samp(list(sample_a), list(sample_b))
+    p = float(result.pvalue)
+    return Check(name, "ks", p, alpha, alpha, p >= alpha)
+
+
+def check_mean_z(
+    name: str,
+    sample_a: Sequence[float],
+    sample_b: Sequence[float],
+    z_max: float = 4.0,
+) -> Check:
+    """Welch two-sample z statistic on the means, bounded by ``z_max``."""
+    a, b = [float(v) for v in sample_a], [float(v) for v in sample_b]
+    if not a or not b:
+        raise ValueError("both samples must be non-empty")
+    mean_a, mean_b = sum(a) / len(a), sum(b) / len(b)
+    var_a = sum((v - mean_a) ** 2 for v in a) / max(len(a) - 1, 1)
+    var_b = sum((v - mean_b) ** 2 for v in b) / max(len(b) - 1, 1)
+    se = math.sqrt(var_a / len(a) + var_b / len(b))
+    if se == 0.0:
+        z = 0.0 if mean_a == mean_b else math.inf
+    else:
+        z = abs(mean_a - mean_b) / se
+    return Check(name, "mean_z", z, 0.0, z_max, z <= z_max)

@@ -1,0 +1,220 @@
+"""The verification sweep driver behind the ``repro-verify`` CLI.
+
+Executes registered oracle pairs (:mod:`repro.verify.oracles`) and
+collects their verdicts into one machine-readable report.  Execution
+reuses the PR-2 infrastructure end-to-end:
+
+* kernel round batches go through
+  :func:`repro.experiments.parallel.make_executor`, so ``--workers N``
+  shards them over a process pool exactly like the experiment grid;
+* finished oracle reports persist into a
+  :class:`repro.experiments.cache.ResultCache` (the cache is
+  payload-agnostic), keyed by a content hash of everything that
+  determines the verdict -- oracle name, rounds, seed, timing model and
+  the verify schema version -- so repeated CI runs skip green oracles
+  whose inputs have not changed.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Mapping, Sequence
+
+from repro.core.timing import TimingModel
+from repro.experiments.cache import ResultCache
+from repro.experiments.parallel import make_executor
+from repro.verify.oracles import (
+    Oracle,
+    OracleContext,
+    OracleReport,
+    all_oracles,
+    get,
+)
+
+__all__ = [
+    "VERIFY_SCHEMA_VERSION",
+    "QUICK_ROUNDS",
+    "FULL_ROUNDS",
+    "VerificationReport",
+    "VerificationRunner",
+]
+
+#: Bump when oracle definitions or tolerances change meaning; every
+#: cached verdict then misses and recomputes.
+VERIFY_SCHEMA_VERSION = 1
+
+QUICK_ROUNDS = 8
+FULL_ROUNDS = 24
+
+
+@dataclass(frozen=True)
+class VerificationReport:
+    """All oracle verdicts of one sweep."""
+
+    reports: tuple[OracleReport, ...]
+    rounds: int
+    seed: int
+    quick: bool
+
+    @property
+    def passed(self) -> bool:
+        return all(r.passed for r in self.reports)
+
+    @property
+    def failures(self) -> list[OracleReport]:
+        return [r for r in self.reports if not r.passed]
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "schema": VERIFY_SCHEMA_VERSION,
+            "passed": self.passed,
+            "rounds": self.rounds,
+            "seed": self.seed,
+            "quick": self.quick,
+            "oracles": [r.to_dict() for r in self.reports],
+        }
+
+
+class VerificationRunner:
+    """Runs oracle pairs with shared execution knobs.
+
+    Parameters
+    ----------
+    rounds:
+        Monte-Carlo rounds per oracle batch (default:
+        :data:`FULL_ROUNDS`, or :data:`QUICK_ROUNDS` with ``quick``).
+    seed:
+        Root seed; oracles derive deterministic substreams from it.
+    quick:
+        Smaller round counts for CI smoke runs.  Same oracles, same
+        tolerances -- the tolerances are sized to hold at quick depth.
+    workers:
+        Processes to shard kernel batches across (1 = in-process).
+    cache_dir:
+        Directory for cached verdicts; ``None`` disables persistence.
+    timing:
+        Airtime model (paper constants by default).
+    executor:
+        Pluggable executor override (anything with ``run``/``close``/
+        ``workers``), as in :class:`~repro.experiments.runner.ExperimentSuite`.
+    """
+
+    def __init__(
+        self,
+        rounds: int | None = None,
+        seed: int = 2010,
+        quick: bool = False,
+        workers: int = 1,
+        cache_dir: str | Path | None = None,
+        timing: TimingModel | None = None,
+        executor=None,
+    ) -> None:
+        if rounds is None:
+            rounds = QUICK_ROUNDS if quick else FULL_ROUNDS
+        if rounds < 2:
+            raise ValueError("rounds must be >= 2 (two-sample statistics)")
+        self.rounds = rounds
+        self.seed = seed
+        self.quick = quick
+        self.timing = timing if timing is not None else TimingModel()
+        self._executor = (
+            executor if executor is not None else make_executor(workers)
+        )
+        self.workers = self._executor.workers
+        self._disk = ResultCache(cache_dir) if cache_dir is not None else None
+
+    # ------------------------------------------------------------------
+
+    def close(self) -> None:
+        self._executor.close()
+
+    def __enter__(self) -> "VerificationRunner":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+
+    def context(self) -> OracleContext:
+        return OracleContext(
+            rounds=self.rounds,
+            seed=self.seed,
+            timing=self.timing,
+            executor=self._executor,
+            quick=self.quick,
+        )
+
+    def _cache_params(self, oracle: Oracle) -> dict[str, object]:
+        return {
+            "verify_schema": VERIFY_SCHEMA_VERSION,
+            "oracle": oracle.name,
+            "rounds": self.rounds,
+            "seed": self.seed,
+            "tau": self.timing.tau,
+            "id_bits": self.timing.id_bits,
+            "crc_bits": self.timing.crc_bits,
+        }
+
+    def _load_cached(self, params: Mapping[str, object]) -> OracleReport | None:
+        if self._disk is None:
+            return None
+        doc = self._disk.load(params)
+        if doc is None:
+            return None
+        try:
+            return OracleReport.from_dict(doc)
+        except (KeyError, TypeError, ValueError):
+            return None  # stale/foreign entry: recompute
+
+    def run_oracle(self, oracle: Oracle) -> OracleReport:
+        params = self._cache_params(oracle)
+        report = self._load_cached(params)
+        if report is None:
+            report = oracle.run(self.context())
+            if self._disk is not None:
+                self._disk.store(params, report.to_dict())
+        return report
+
+    def run(self, names: Sequence[str] | None = None) -> VerificationReport:
+        """Run the named oracles (default: the whole registry, in
+        registration order)."""
+        oracles = (
+            [get(n) for n in names] if names else all_oracles()
+        )
+        return VerificationReport(
+            reports=tuple(self.run_oracle(o) for o in oracles),
+            rounds=self.rounds,
+            seed=self.seed,
+            quick=self.quick,
+        )
+
+
+def _fmt(value: float) -> str:
+    if math.isnan(value):
+        return "nan"
+    if value == int(value) and abs(value) < 1e9:
+        return str(int(value))
+    return f"{value:.4g}"
+
+
+def report_rows(report: VerificationReport) -> list[dict[str, str]]:
+    """Flatten a report into renderable rows (one per check)."""
+    rows = []
+    for orc in report.reports:
+        for check in orc.checks:
+            rows.append(
+                {
+                    "oracle": orc.oracle,
+                    "kind": orc.kind,
+                    "check": check.name,
+                    "statistic": check.statistic,
+                    "observed": _fmt(check.observed),
+                    "reference": _fmt(check.reference),
+                    "tolerance": _fmt(check.tolerance),
+                    "verdict": "ok" if check.passed else "FAIL",
+                }
+            )
+    return rows

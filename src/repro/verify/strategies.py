@@ -1,0 +1,162 @@
+"""Shared Hypothesis strategies for the property suites.
+
+One library instead of per-file copies: the bit-algebra, codec, detector
+and protocol property tests all draw their inputs from here, so the
+input distributions (and their documented edge cases -- n = 0/1/2,
+frame size 1, zero-length vectors) stay consistent across suites.
+
+This module imports :mod:`hypothesis`, which is a dev-only dependency;
+it is therefore *not* imported by the runtime verification code
+(:mod:`repro.verify` loads its submodules lazily).
+"""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+from repro.bits.bitvec import BitVector
+from repro.bits.rng import make_rng
+from repro.core.crc_cd import CRCCDDetector
+from repro.core.ideal import IdealDetector
+from repro.core.qcd import QCDDetector
+from repro.core.timing import TimingModel
+from repro.tags.population import TagPopulation
+
+__all__ = [
+    "bitvectors",
+    "sized_bitvectors",
+    "data_vectors",
+    "preamble_values",
+    "distinct_preamble_values",
+    "tag_ids",
+    "distinct_tag_ids",
+    "seeds",
+    "populations",
+    "adequate_frame",
+    "frame_slacks",
+    "detectors",
+    "timing_models",
+]
+
+#: Strength values the paper's evaluation sweeps (plus the miss-prone 2).
+STRENGTHS = (2, 4, 8, 16)
+
+
+def bitvectors(max_length: int = 64, min_length: int = 0) -> st.SearchStrategy:
+    """Arbitrary :class:`~repro.bits.bitvec.BitVector`\\ s, length included
+    (``min_length=0`` admits the empty vector)."""
+    return st.integers(min_length, max_length).flatmap(
+        lambda n: st.integers(0, (1 << n) - 1 if n else 0).map(
+            lambda v: BitVector(v, n)
+        )
+    )
+
+
+def sized_bitvectors(length: int, min_value: int = 0) -> st.SearchStrategy:
+    """BitVectors of one fixed ``length`` (e.g. slot payloads)."""
+    if length < 0:
+        raise ValueError("length must be >= 0")
+    upper = (1 << length) - 1 if length else 0
+    return st.integers(min_value, upper).map(lambda v: BitVector(v, length))
+
+
+def data_vectors(max_bits: int = 24) -> st.SearchStrategy:
+    """Non-empty BitVectors (line-code payloads: codecs need >= 1 bit)."""
+    return st.integers(1, max_bits).flatmap(
+        lambda n: st.integers(0, (1 << n) - 1).map(lambda v: BitVector(v, n))
+    )
+
+
+def preamble_values(strength: int = 8) -> st.SearchStrategy:
+    """Valid QCD random integers: strictly positive l-bit values (paper
+    Section IV-A -- zero would impersonate an idle slot)."""
+    if strength < 1:
+        raise ValueError("strength must be >= 1")
+    return st.integers(1, (1 << strength) - 1)
+
+
+def distinct_preamble_values(
+    strength: int = 8, min_size: int = 2, max_size: int = 8
+) -> st.SearchStrategy:
+    """Lists of pairwise-distinct preamble integers (the Theorem 1
+    always-detected case)."""
+    return st.lists(
+        preamble_values(strength),
+        min_size=min_size,
+        max_size=max_size,
+        unique=True,
+    )
+
+
+def tag_ids(id_bits: int = 64) -> st.SearchStrategy:
+    """Tag IDs over the full ``id_bits`` space."""
+    if id_bits < 1:
+        raise ValueError("id_bits must be >= 1")
+    return st.integers(0, (1 << id_bits) - 1)
+
+
+def distinct_tag_ids(
+    id_bits: int = 64, min_size: int = 2, max_size: int = 5
+) -> st.SearchStrategy:
+    return st.lists(
+        tag_ids(id_bits), min_size=min_size, max_size=max_size, unique=True
+    )
+
+
+def seeds(max_seed: int = 10_000) -> st.SearchStrategy:
+    """Root seeds for reproducible population / stream construction."""
+    return st.integers(0, max_seed)
+
+
+@st.composite
+def populations(
+    draw, max_size: int = 40, id_bits: int = 16, min_size: int = 0
+) -> TagPopulation:
+    """Reproducible random tag populations, edges (n = 0, 1, 2) included."""
+    n = draw(st.integers(min_size, max_size))
+    seed = draw(seeds())
+    return TagPopulation(n, id_bits=id_bits, rng=make_rng(seed))
+
+
+def adequate_frame(n_tags: int, slack: int = 0) -> int:
+    """A frame size fixed-frame FSA terminates with: ``n/F <= 2`` with an
+    absolute floor of 2 slots.  Fixed-frame FSA with n >> F·ln(n)
+    essentially never produces a single slot (F = 1 with two tags
+    literally never does) -- a real protocol pathology the generators
+    must stay clear of, not a bug (pinned by
+    ``test_fsa_frame_of_one_deadlocks``)."""
+    if n_tags < 0 or slack < 0:
+        raise ValueError("need n_tags >= 0 and slack >= 0")
+    return n_tags // 2 + 2 + slack
+
+
+def frame_slacks(max_slack: int = 40) -> st.SearchStrategy:
+    """Extra frame headroom to sweep alongside :func:`adequate_frame`."""
+    return st.integers(0, max_slack)
+
+
+def detectors(
+    strengths: tuple[int, ...] = STRENGTHS,
+    id_bits: int = 64,
+    include_crc: bool = True,
+    include_ideal: bool = False,
+) -> st.SearchStrategy:
+    """Fresh detector instances (stateful instrumentation counters, so a
+    new object per example)."""
+    options = [st.sampled_from(strengths).map(QCDDetector)]
+    if include_crc:
+        options.append(st.just(0).map(lambda _: CRCCDDetector(id_bits=id_bits)))
+    if include_ideal:
+        options.append(st.just(0).map(lambda _: IdealDetector(id_bits)))
+    return st.one_of(options)
+
+
+def timing_models() -> st.SearchStrategy:
+    """Timing models around the paper's constants (τ = 1, 64-bit IDs,
+    CRC-32), plus scaled variants."""
+    return st.builds(
+        TimingModel,
+        tau=st.sampled_from((0.5, 1.0, 2.0)),
+        id_bits=st.sampled_from((16, 64, 96)),
+        crc_bits=st.sampled_from((16, 32)),
+    )

@@ -7,15 +7,7 @@ import pytest
 from hypothesis import given, strategies as st
 
 from repro.bits.bitvec import BitVector, pack_ints, unpack_ints
-
-
-def bitvectors(max_length: int = 64, min_length: int = 0):
-    """Hypothesis strategy for BitVectors."""
-    return st.integers(min_length, max_length).flatmap(
-        lambda n: st.integers(0, (1 << n) - 1 if n else 0).map(
-            lambda v: BitVector(v, n)
-        )
-    )
+from repro.verify.strategies import bitvectors, sized_bitvectors
 
 
 class TestConstruction:
@@ -259,26 +251,14 @@ class TestProperties:
     def test_popcount_complement(self, a):
         assert a.popcount() + (~a).popcount() == a.length
 
-    @given(
-        st.lists(
-            st.integers(0, 255).map(lambda v: BitVector(v, 8)),
-            min_size=1,
-            max_size=6,
-        )
-    )
+    @given(st.lists(sized_bitvectors(8), min_size=1, max_size=6))
     def test_superpose_is_fold_of_or(self, vecs):
         acc = vecs[0]
         for v in vecs[1:]:
             acc = acc | v
         assert BitVector.superpose(vecs) == acc
 
-    @given(
-        st.lists(
-            st.integers(0, 255).map(lambda v: BitVector(v, 8)),
-            min_size=2,
-            max_size=6,
-        )
-    )
+    @given(st.lists(sized_bitvectors(8), min_size=2, max_size=6))
     def test_superpose_dominates_members(self, vecs):
         s = BitVector.superpose(vecs)
         for v in vecs:

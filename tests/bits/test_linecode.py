@@ -3,16 +3,11 @@
 from __future__ import annotations
 
 import pytest
-from hypothesis import given, strategies as st
+from hypothesis import given
 
 from repro.bits.bitvec import BitVector
 from repro.bits.linecode import FM0Codec, LineCodeError, MillerCodec
-
-
-def data_vectors(max_bits=24):
-    return st.integers(1, max_bits).flatmap(
-        lambda n: st.integers(0, (1 << n) - 1).map(lambda v: BitVector(v, n))
-    )
+from repro.verify.strategies import data_vectors
 
 
 class TestFM0:

@@ -3,12 +3,13 @@
 from __future__ import annotations
 
 import pytest
-from hypothesis import given, settings, strategies as st
+from hypothesis import given, settings
 
 from repro.bits.bitvec import BitVector
 from repro.bits.crc import CRC16_CCITT_FALSE
 from repro.core.crc_cd import CRCCDDetector
 from repro.core.detector import SlotType
+from repro.verify.strategies import distinct_tag_ids
 
 
 class TestClassification:
@@ -34,11 +35,7 @@ class TestClassification:
             det.classify(BitVector(0, 95))
 
     @settings(max_examples=40)
-    @given(
-        st.lists(
-            st.integers(0, (1 << 64) - 1), min_size=2, max_size=5, unique=True
-        )
-    )
+    @given(distinct_tag_ids(64, min_size=2, max_size=5))
     def test_overlaps_essentially_always_detected(self, ids):
         """At the paper's parameter point (64-bit IDs, CRC-32) misses are
         ~2^-32 coincidences; none should show here.  (32-bit IDs are a

@@ -3,11 +3,12 @@
 from __future__ import annotations
 
 import pytest
-from hypothesis import given, strategies as st
+from hypothesis import given
 
 from repro.bits.bitvec import BitVector
 from repro.core.collision_function import IdentityFunction
 from repro.core.preamble import CollisionPreamble, PreambleCodec
+from repro.verify.strategies import preamble_values
 
 
 class TestCodec:
@@ -66,14 +67,14 @@ class TestCodec:
 
 
 class TestWireFormat:
-    @given(st.integers(1, 255))
+    @given(preamble_values(8))
     def test_signal_layout_r_then_c(self, r_val):
         codec = PreambleCodec(8)
         signal = codec.encode(BitVector(r_val, 8))
         assert signal[:8].to_int() == r_val
         assert signal[8:].to_int() == r_val ^ 0xFF
 
-    @given(st.integers(1, 255), st.integers(1, 255))
+    @given(preamble_values(8), preamble_values(8))
     def test_overlap_detected_iff_distinct(self, a, b):
         """The end-to-end Definition 1 property at the signal level."""
         codec = PreambleCodec(8)

@@ -3,11 +3,12 @@
 from __future__ import annotations
 
 import pytest
-from hypothesis import given, strategies as st
+from hypothesis import given
 
 from repro.bits.bitvec import BitVector
 from repro.core.detector import SlotType
 from repro.core.qcd import QCDDetector
+from repro.verify.strategies import distinct_preamble_values
 
 
 class TestAlgorithm1:
@@ -42,7 +43,7 @@ class TestAlgorithm1:
         signal = det.contention_payload(7, rng)
         assert det.classify(signal).decoded_id is None
 
-    @given(st.lists(st.integers(1, 255), min_size=2, max_size=8, unique=True))
+    @given(distinct_preamble_values(8, min_size=2, max_size=8))
     def test_always_detects_distinct_draws(self, values):
         det = QCDDetector(8)
         signals = [det.codec.encode(BitVector(v, 8)) for v in values]

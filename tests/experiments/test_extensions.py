@@ -56,3 +56,15 @@ class TestGenerators:
     def test_noise_rows(self):
         rows = extensions.ext_noise(rounds=1, seed=7)
         assert [r["BER"] for r in rows] == ["0", "0.001", "0.005", "0.02"]
+
+
+class TestRoundsValidation:
+    """Negative path: every generator rejects a non-positive round count
+    up front instead of silently emitting empty or degenerate rows."""
+
+    @pytest.mark.parametrize("name", extensions.__all__)
+    @pytest.mark.parametrize("rounds", [0, -1])
+    def test_rejects_nonpositive_rounds(self, name, rounds):
+        fn = getattr(extensions, name)
+        with pytest.raises(ValueError, match="rounds"):
+            fn(rounds=rounds)

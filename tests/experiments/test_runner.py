@@ -107,6 +107,45 @@ class TestSuite:
             ExperimentSuite(rounds=0)
 
 
+class TestEdgeCases:
+    """Degenerate grid points the sweep machinery must survive."""
+
+    def test_empty_grid(self):
+        assert ExperimentSuite(rounds=2, seed=3).grid(cases=()) == {}
+
+    def test_empty_protocol_axis(self):
+        assert ExperimentSuite(rounds=2, seed=3).grid(protocols=()) == {}
+
+    def test_single_slot_frame_single_tag(self):
+        """n = 1, ℱ = 1: the lone tag wins its slot; the closing empty
+        frame confirms termination."""
+        agg = ExperimentSuite(rounds=3, seed=5).run(
+            SimulationCase("one", 1, 1), "fsa", "qcd-8"
+        )
+        assert agg.single == 1.0
+        assert agg.collided == 0.0
+        assert agg.total_slots == agg.single + agg.idle
+
+    def test_zero_tags_fsa(self):
+        """n = 0: one all-idle frame, perfect accuracy, airtime equal to
+        frame_size idle slots."""
+        agg = ExperimentSuite(rounds=3, seed=5).run(
+            SimulationCase("zero", 0, 4), "fsa", "qcd-8"
+        )
+        assert agg.single == 0.0
+        assert agg.collided == 0.0
+        assert agg.idle == agg.total_slots == 4.0
+        assert agg.accuracy == 1.0
+
+    def test_zero_tags_bt(self):
+        """BT with no contenders never splits: zero slots, zero airtime."""
+        agg = ExperimentSuite(rounds=3, seed=5).run(
+            SimulationCase("zero", 0, 4), "bt", "qcd-8"
+        )
+        assert agg.total_slots == 0.0
+        assert agg.total_time == 0.0
+
+
 class TestAggregate:
     def test_empty_rejected(self):
         with pytest.raises(ValueError):

@@ -74,3 +74,34 @@ class TestColoring:
         g = interference_graph(dep)
         max_deg = max(dict(g.degree).values())
         assert len(color_schedule(dep)) <= max_deg + 1
+
+
+class TestEdgeCases:
+    """Degenerate deployments the scheduler must survive."""
+
+    @staticmethod
+    def _empty():
+        from repro.tags.population import TagPopulation
+
+        return Deployment(10.0, 10.0, [], TagPopulation(0))
+
+    def test_empty_deployment_graph(self):
+        g = interference_graph(self._empty())
+        assert g.number_of_nodes() == 0
+        assert g.number_of_edges() == 0
+
+    def test_empty_deployment_schedule(self):
+        assert color_schedule(self._empty()) == []
+
+    def test_single_reader_single_round(self):
+        from repro.sim.deployment import Reader2D
+        from repro.tags.population import TagPopulation
+
+        dep = Deployment(
+            10.0, 10.0, [Reader2D(7, 5.0, 5.0, 3.0)], TagPopulation(0)
+        )
+        assert color_schedule(dep) == [[7]]
+
+    def test_empty_deployment_rejects_bad_guard(self):
+        with pytest.raises(ValueError):
+            interference_graph(self._empty(), 0.0)

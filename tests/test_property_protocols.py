@@ -4,13 +4,17 @@ Random small populations, random seeds, every protocol family: the slot
 accounting and identification invariants must hold for any input -- the
 same contract the matrix test checks pointwise, here explored over the
 input space, including the awkward edges (n = 0, 1, 2; frame size 1).
+
+The generators live in repro.verify.strategies (shared with the
+differential-oracle suite); the invariant predicate itself is the
+strict-mode checker from repro.verify.invariants plus the protocol-level
+completeness assertions below.
 """
 
 from __future__ import annotations
 
 from hypothesis import given, settings, strategies as st
 
-from repro.bits.rng import make_rng
 from repro.core.detector import SlotType
 from repro.core.qcd import QCDDetector
 from repro.protocols.bt import BinaryTree
@@ -18,11 +22,16 @@ from repro.protocols.dfsa import DynamicFSA
 from repro.protocols.fsa import FramedSlottedAloha
 from repro.protocols.qt import QueryTree
 from repro.sim.reader import Reader
-from repro.tags.population import TagPopulation
+from repro.verify import invariants
+from repro.verify.strategies import adequate_frame, frame_slacks, populations
 
 
-def build(n, seed, id_bits=16):
-    return TagPopulation(n, id_bits=id_bits, rng=make_rng(seed))
+def run_checked(pop, protocol, **reader_kwargs):
+    """Run an inventory with the engine invariant checker armed (strict)."""
+    with invariants.checking(strict=True):
+        return Reader(QCDDetector(8), **reader_kwargs).run_inventory(
+            pop.tags, protocol
+        )
 
 
 def check_invariants(pop, result):
@@ -45,22 +54,12 @@ def check_invariants(pop, result):
 
 
 @settings(max_examples=25, deadline=None)
-@given(
-    n=st.integers(0, 40),
-    seed=st.integers(0, 10_000),
-    frame_slack=st.integers(0, 40),
-)
-def test_fsa_invariants(n, seed, frame_slack):
-    # The frame must scale with the population: fixed-frame FSA with
-    # n >> ℱ·ln(n) essentially never produces a single slot (ℱ = 1 with
-    # two tags literally never does) -- a real protocol pathology the
-    # generator must stay clear of, not a bug.  Keep n/ℱ <= 2 with an
-    # absolute floor of 2 slots.
-    frame = n // 2 + 2 + frame_slack
-    pop = build(n, seed)
-    result = Reader(QCDDetector(8)).run_inventory(
-        pop.tags, FramedSlottedAloha(frame)
-    )
+@given(pop=populations(max_size=40), frame_slack=frame_slacks(40))
+def test_fsa_invariants(pop, frame_slack):
+    # The frame must scale with the population (see adequate_frame for the
+    # fixed-frame pathology the generator must stay clear of).
+    frame = adequate_frame(len(pop), slack=frame_slack)
+    result = run_checked(pop, FramedSlottedAloha(frame))
     check_invariants(pop, result)
     # FSA: whole frames only (confirm termination).
     assert len(result.trace) % frame == 0
@@ -71,25 +70,26 @@ def test_fsa_frame_of_one_deadlocks():
     every slot forever; the reader's max_slots guard is what fires."""
     import pytest
 
-    pop = build(2, 123)
+    from repro.bits.rng import make_rng
+    from repro.tags.population import TagPopulation
+
+    pop = TagPopulation(2, id_bits=16, rng=make_rng(123))
     reader = Reader(QCDDetector(8), max_slots=500)
     with pytest.raises(RuntimeError, match="max_slots"):
         reader.run_inventory(pop.tags, FramedSlottedAloha(1))
 
 
 @settings(max_examples=25, deadline=None)
-@given(n=st.integers(0, 40), seed=st.integers(0, 10_000))
-def test_bt_invariants(n, seed):
-    pop = build(n, seed)
-    result = Reader(QCDDetector(8)).run_inventory(pop.tags, BinaryTree())
+@given(pop=populations(max_size=40))
+def test_bt_invariants(pop):
+    result = run_checked(pop, BinaryTree())
     check_invariants(pop, result)
 
 
 @settings(max_examples=25, deadline=None)
-@given(n=st.integers(0, 40), seed=st.integers(0, 10_000))
-def test_qt_invariants(n, seed):
-    pop = build(n, seed)
-    result = Reader(QCDDetector(8)).run_inventory(pop.tags, QueryTree())
+@given(pop=populations(max_size=40))
+def test_qt_invariants(pop):
+    result = run_checked(pop, QueryTree())
     check_invariants(pop, result)
     # QT additionally: deterministic -- rerunning gives the same trace
     # length (preamble draws differ but the walk is ID-driven).
@@ -99,14 +99,7 @@ def test_qt_invariants(n, seed):
 
 
 @settings(max_examples=20, deadline=None)
-@given(
-    n=st.integers(0, 40),
-    seed=st.integers(0, 10_000),
-    initial=st.integers(1, 32),
-)
-def test_dfsa_invariants(n, seed, initial):
-    pop = build(n, seed)
-    result = Reader(QCDDetector(8)).run_inventory(
-        pop.tags, DynamicFSA(initial_frame_size=initial)
-    )
+@given(pop=populations(max_size=40), initial=st.integers(1, 32))
+def test_dfsa_invariants(pop, initial):
+    result = run_checked(pop, DynamicFSA(initial_frame_size=initial))
     check_invariants(pop, result)

@@ -1,0 +1,105 @@
+"""Unit and end-to-end tests for the ``repro-verify`` CLI."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.verify import cli
+from repro.verify.comparisons import check_exact
+from repro.verify.oracles import ORACLES, Oracle
+
+
+def stub(name, passes):
+    return Oracle(
+        name=name,
+        kind="invariant",
+        description="stub",
+        fn=lambda ctx: (check_exact("c", 1.0, 1.0 if passes else 2.0),),
+    )
+
+
+@pytest.fixture
+def stub_registry(monkeypatch):
+    """Replace the registry with two cheap stubs (one green, one red)."""
+    fakes = {"green": stub("green", True), "red": stub("red", False)}
+    monkeypatch.setattr("repro.verify.oracles.ORACLES", fakes)
+    return fakes
+
+
+class TestParser:
+    def test_defaults(self):
+        args = cli.build_parser().parse_args([])
+        assert not args.quick
+        assert args.rounds is None
+        assert args.seed == 2010
+        assert args.workers == 1
+        assert args.oracles is None
+
+    def test_oracle_repeatable(self):
+        args = cli.build_parser().parse_args(
+            ["--oracle", "a", "--oracle", "b"]
+        )
+        assert args.oracles == ["a", "b"]
+
+
+class TestList:
+    def test_lists_registry_and_exits_zero(self, capsys):
+        assert cli.main(["--list"]) == 0
+        out = capsys.readouterr().out
+        for name in ORACLES:
+            assert name in out
+
+
+class TestStubbedSweeps:
+    def test_green_sweep_exits_zero(self, stub_registry, capsys):
+        assert cli.main(["--rounds", "2", "--oracle", "green"]) == 0
+        assert "PASS" in capsys.readouterr().out
+
+    def test_red_sweep_exits_nonzero(self, stub_registry, capsys):
+        assert cli.main(["--rounds", "2"]) == 1
+        captured = capsys.readouterr()
+        assert "FAIL: tolerance violations in: red" in captured.err
+        assert "ok" in captured.out and "FAIL" in captured.out
+
+    def test_unknown_oracle_raises(self, stub_registry):
+        with pytest.raises(KeyError, match="green"):
+            cli.main(["--rounds", "2", "--oracle", "nope"])
+
+    def test_report_file(self, stub_registry, tmp_path):
+        out = tmp_path / "verdict.json"
+        assert cli.main(["--rounds", "2", "--report", str(out)]) == 1
+        doc = json.loads(out.read_text())
+        assert doc["passed"] is False
+        assert {o["oracle"] for o in doc["oracles"]} == {"green", "red"}
+
+
+class TestRealSweep:
+    """The acceptance-criteria path: the full registry at quick depth."""
+
+    def test_quick_sweep_all_oracles_green(self, tmp_path, capsys):
+        report_file = tmp_path / "report.json"
+        code = cli.main(
+            [
+                "--quick",
+                "--cache-dir",
+                str(tmp_path / "cache"),
+                "--report",
+                str(report_file),
+            ]
+        )
+        assert code == 0
+        doc = json.loads(report_file.read_text())
+        assert doc["passed"] is True
+        assert doc["quick"] is True
+        assert len(doc["oracles"]) == len(ORACLES) >= 6
+        kinds = [o["kind"] for o in doc["oracles"]]
+        assert kinds.count("kernel-reader") == 2
+        assert kinds.count("sim-theory") >= 3
+        assert kinds.count("invariant") == 1
+
+        # Warm-cache rerun: same verdict, served from disk.
+        assert (
+            cli.main(["--quick", "--cache-dir", str(tmp_path / "cache")]) == 0
+        )

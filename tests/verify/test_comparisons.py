@@ -1,0 +1,111 @@
+"""Unit tests for the comparison statistics."""
+
+from __future__ import annotations
+
+import json
+import math
+
+import pytest
+
+from repro.verify.comparisons import (
+    Check,
+    check_absolute,
+    check_exact,
+    check_ks,
+    check_lower_bound,
+    check_mean_z,
+    check_relative,
+)
+
+
+class TestExact:
+    def test_pass(self):
+        c = check_exact("n", 5, 5)
+        assert c.passed and c.statistic == "exact" and c.tolerance == 0.0
+
+    def test_fail(self):
+        assert not check_exact("n", 5, 6).passed
+
+
+class TestRelative:
+    def test_within_band(self):
+        assert check_relative("t", 109.0, 100.0, 0.10).passed
+
+    def test_outside_band(self):
+        assert not check_relative("t", 111.0, 100.0, 0.10).passed
+
+    def test_boundary_inclusive(self):
+        assert check_relative("t", 110.0, 100.0, 0.10).passed
+
+    def test_zero_reference_degenerates_to_absolute(self):
+        """'Expected zero' still admits MC jitter up to the tolerance."""
+        assert check_relative("z", 0.05, 0.0, 0.1).passed
+        assert not check_relative("z", 0.2, 0.0, 0.1).passed
+
+
+class TestAbsolute:
+    def test_band(self):
+        assert check_absolute("a", 0.52, 0.50, 0.05).passed
+        assert not check_absolute("a", 0.56, 0.50, 0.05).passed
+
+
+class TestLowerBound:
+    def test_exceeding_the_bound_is_fine(self):
+        """Theory lower bounds: measured may exceed by any amount."""
+        assert check_lower_bound("ei", 10.0, 0.5).passed
+
+    def test_slack(self):
+        assert check_lower_bound("ei", 0.48, 0.5, slack=0.02).passed
+        assert not check_lower_bound("ei", 0.47, 0.5, slack=0.02).passed
+
+
+class TestKS:
+    def test_same_sample_passes(self):
+        sample = [1.0, 2.0, 3.0, 4.0, 5.0] * 4
+        c = check_ks("ks", sample, list(sample))
+        assert c.passed and c.observed == 1.0
+
+    def test_disjoint_distributions_fail(self):
+        a = [0.0] * 30
+        b = [100.0] * 30
+        assert not check_ks("ks", a, b).passed
+
+
+class TestMeanZ:
+    def test_identical_constant_samples(self):
+        """se = 0 with equal means: z defined as 0, passes."""
+        c = check_mean_z("z", [5.0, 5.0], [5.0, 5.0])
+        assert c.passed and c.observed == 0.0
+
+    def test_different_constant_samples(self):
+        """se = 0 with unequal means: z = inf, fails."""
+        c = check_mean_z("z", [5.0, 5.0], [6.0, 6.0])
+        assert not c.passed and math.isinf(c.observed)
+
+    def test_close_means_pass(self):
+        a = [10.0, 11.0, 9.0, 10.5, 9.5]
+        b = [10.2, 10.8, 9.4, 10.1, 9.9]
+        assert check_mean_z("z", a, b).passed
+
+    def test_empty_sample_rejected(self):
+        with pytest.raises(ValueError):
+            check_mean_z("z", [], [1.0])
+
+
+class TestSerialization:
+    def test_roundtrip(self):
+        c = check_relative("t", 1.05, 1.0, 0.1)
+        assert Check.from_dict(c.to_dict()) == c
+
+    def test_nan_roundtrips_through_json_null(self):
+        """The result cache stores RFC-8259-clean JSON (NaN -> null);
+        from_dict must restore the NaN."""
+        c = Check("d", "abs", math.nan, 1.0, 0.1, False)
+        doc = json.loads(
+            json.dumps(
+                {**c.to_dict(), "observed": None}, allow_nan=False
+            )
+        )
+        back = Check.from_dict(doc)
+        assert math.isnan(back.observed)
+        assert back.reference == 1.0

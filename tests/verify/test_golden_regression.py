@@ -1,0 +1,117 @@
+"""Golden-file regression: slot-type distributions for frozen seeds.
+
+Pins the exact reader and both fast kernels at one QCD-4 grid point
+(n = 30, ℱ = 16, seed 2010).  Any change to the RNG consumption order,
+the channel, the detector, or the kernels shifts these counts and fails
+the exact-equality comparison against ``tests/data``.
+
+Regenerate after an *intentional* behavior change with::
+
+    PYTHONPATH=src python tests/verify/test_golden_regression.py
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.bits.rng import make_rng
+from repro.core.qcd import QCDDetector
+from repro.core.timing import TimingModel
+from repro.protocols.bt import BinaryTree
+from repro.protocols.fsa import FramedSlottedAloha
+from repro.sim.fast import bt_fast, fsa_fast
+from repro.sim.reader import Reader
+from repro.tags.population import TagPopulation
+
+GOLDEN_PATH = (
+    Path(__file__).resolve().parent.parent
+    / "data"
+    / "golden_slot_distribution.json"
+)
+
+N_TAGS = 30
+FRAME = 16
+SEED = 2010
+STRENGTH = 4  # QCD-4: misses are common enough to pin the policy paths
+
+
+def _counts(stats) -> dict:
+    return {
+        "true": {
+            "idle": stats.true_counts.idle,
+            "single": stats.true_counts.single,
+            "collided": stats.true_counts.collided,
+        },
+        "detected": {
+            "idle": stats.detected_counts.idle,
+            "single": stats.detected_counts.single,
+            "collided": stats.detected_counts.collided,
+        },
+        "total_time": stats.total_time,
+        "missed_collisions": stats.missed_collisions,
+    }
+
+
+def _population():
+    return TagPopulation(N_TAGS, id_bits=64, rng=make_rng(SEED))
+
+
+def generate() -> dict:
+    """Recompute the pinned distributions (the golden file's source)."""
+    timing = TimingModel()
+    out = {
+        "_config": {
+            "n_tags": N_TAGS,
+            "frame_size": FRAME,
+            "seed": SEED,
+            "scheme": f"qcd-{STRENGTH}",
+        }
+    }
+
+    res = Reader(QCDDetector(STRENGTH), timing).run_inventory(
+        _population().tags, FramedSlottedAloha(FRAME)
+    )
+    out["reader-fsa"] = _counts(res.stats)
+
+    res = Reader(QCDDetector(STRENGTH), timing).run_inventory(
+        _population().tags, BinaryTree()
+    )
+    out["reader-bt"] = _counts(res.stats)
+
+    out["fsa-fast"] = _counts(
+        fsa_fast(
+            N_TAGS,
+            FRAME,
+            QCDDetector(STRENGTH),
+            timing,
+            np.random.default_rng(SEED),
+        )
+    )
+    out["bt-fast"] = _counts(
+        bt_fast(N_TAGS, QCDDetector(STRENGTH), timing, np.random.default_rng(SEED))
+    )
+    return out
+
+
+class TestGoldenDistribution:
+    def test_matches_golden_file_exactly(self):
+        golden = json.loads(GOLDEN_PATH.read_text())
+        assert generate() == golden
+
+    def test_golden_file_is_self_consistent(self):
+        """Sanity on the pinned numbers themselves: totals partition and
+        every tag won exactly one true single under both backends."""
+        golden = json.loads(GOLDEN_PATH.read_text())
+        for key in ("reader-fsa", "reader-bt", "fsa-fast", "bt-fast"):
+            entry = golden[key]
+            assert entry["true"]["single"] == N_TAGS
+            assert sum(entry["true"].values()) == sum(entry["detected"].values())
+
+
+if __name__ == "__main__":
+    GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+    GOLDEN_PATH.write_text(json.dumps(generate(), indent=2, sort_keys=True) + "\n")
+    print(f"wrote {GOLDEN_PATH}")

@@ -1,0 +1,292 @@
+"""Unit tests for the engine invariant checker."""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from dataclasses import dataclass
+
+import pytest
+
+from repro import obs
+from repro.core.detector import SlotType
+from repro.core.qcd import QCDDetector
+from repro.core.timing import TimingModel
+from repro.verify import invariants
+from repro.verify.invariants import (
+    InvariantViolation,
+    Violation,
+    check_inventory,
+    check_slot,
+    checking,
+)
+
+
+@pytest.fixture(autouse=True)
+def clean_state():
+    invariants.disable()
+    invariants.reset()
+    obs.disable()
+    obs.reset()
+    yield
+    invariants.disable()
+    invariants.reset()
+    obs.disable()
+    obs.reset()
+
+
+@dataclass
+class FakeRecord:
+    """Duck-typed stand-in for SlotRecord (the checker never imports
+    repro.sim, so any record-shaped object works)."""
+
+    index: int = 0
+    n_responders: int = 1
+    true_type: SlotType = SlotType.SINGLE
+    detected_type: SlotType = SlotType.SINGLE
+    duration: float = 0.0
+    end_time: float = 0.0
+
+
+def good_record(detector, timing, **overrides) -> FakeRecord:
+    rec = FakeRecord()
+    rec.duration = timing.slot_duration(detector, rec.detected_type)
+    rec.end_time = rec.duration
+    for k, v in overrides.items():
+        setattr(rec, k, v)
+    return rec
+
+
+class TestSwitchboard:
+    def test_off_by_default(self):
+        assert not invariants.is_enabled()
+
+    def test_enable_disable(self):
+        invariants.enable(strict=False)
+        assert invariants.is_enabled()
+        assert not invariants.STATE.strict
+        invariants.disable()
+        assert not invariants.is_enabled()
+
+    def test_reset_clears_log_only(self):
+        invariants.enable(strict=False)
+        invariants._report("x", "boom")
+        assert invariants.STATE.violations
+        invariants.reset()
+        assert invariants.STATE.violations == []
+        assert invariants.is_enabled()
+
+    def test_checking_restores_prior_state(self):
+        invariants.enable(strict=False)
+        with checking(strict=True):
+            assert invariants.STATE.strict
+        assert invariants.is_enabled()
+        assert not invariants.STATE.strict
+
+    def test_checking_restores_on_exception(self):
+        with pytest.raises(RuntimeError):
+            with checking():
+                raise RuntimeError("boom")
+        assert not invariants.is_enabled()
+
+    def test_env_flag_strict(self):
+        out = subprocess.run(
+            [
+                sys.executable,
+                "-c",
+                "from repro.verify.invariants import STATE; "
+                "print(STATE.enabled, STATE.strict)",
+            ],
+            capture_output=True,
+            text=True,
+            env={"PYTHONPATH": "src", "REPRO_VERIFY_INVARIANTS": "1"},
+            cwd=str(__import__("pathlib").Path(__file__).parents[2]),
+        )
+        assert out.stdout.split() == ["True", "True"]
+
+    def test_env_flag_collect(self):
+        out = subprocess.run(
+            [
+                sys.executable,
+                "-c",
+                "from repro.verify.invariants import STATE; "
+                "print(STATE.enabled, STATE.strict)",
+            ],
+            capture_output=True,
+            text=True,
+            env={"PYTHONPATH": "src", "REPRO_VERIFY_INVARIANTS": "collect"},
+            cwd=str(__import__("pathlib").Path(__file__).parents[2]),
+        )
+        assert out.stdout.split() == ["True", "False"]
+
+
+class TestModes:
+    def test_strict_raises(self):
+        invariants.enable(strict=True)
+        with pytest.raises(InvariantViolation, match="boom"):
+            invariants._report("test", "boom")
+
+    def test_collect_records(self):
+        invariants.enable(strict=False)
+        invariants._report("test", "boom")
+        assert invariants.STATE.violations == [Violation("test", "boom")]
+
+    def test_obs_counter_incremented(self):
+        from repro.obs import instruments as inst
+
+        obs.enable()
+        invariants.enable(strict=False)
+        invariants._report("slot_duration", "off by one")
+        invariants._report("slot_duration", "off by two")
+        counter = obs.STATE.registry.get(inst.INVARIANT_VIOLATIONS)
+        assert counter.labels(check="slot_duration").value == 2
+
+    def test_no_obs_write_when_obs_disabled(self):
+        from repro.obs import instruments as inst
+
+        invariants.enable(strict=False)
+        invariants._report("test", "boom")
+        assert obs.STATE.registry.get(inst.INVARIANT_VIOLATIONS) is None
+
+
+class TestCheckSlot:
+    def setup_method(self):
+        self.detector = QCDDetector(8)
+        self.timing = TimingModel()
+
+    def test_clean_slot(self):
+        invariants.enable(strict=True)
+        rec = good_record(self.detector, self.timing)
+        check_slot(rec, self.detector, self.timing, None)
+        assert invariants.STATE.violations == []
+
+    def test_true_type_mismatch(self):
+        invariants.enable(strict=False)
+        rec = good_record(
+            self.detector, self.timing, n_responders=3, true_type=SlotType.SINGLE
+        )
+        check_slot(rec, self.detector, self.timing, None)
+        assert [v.check for v in invariants.STATE.violations] == [
+            "slot_true_type"
+        ]
+
+    def test_duration_mismatch(self):
+        invariants.enable(strict=False)
+        rec = good_record(self.detector, self.timing, duration=1.0)
+        check_slot(rec, self.detector, self.timing, None)
+        assert [v.check for v in invariants.STATE.violations] == [
+            "slot_duration"
+        ]
+
+    def test_inconsistent_qcd_preamble(self):
+        """A single verdict over an all-ones signal: r = c = 1^8 fails
+        c == f(r), the checker must flag it."""
+        from repro.bits.bitvec import BitVector
+
+        invariants.enable(strict=False)
+        rec = good_record(self.detector, self.timing)
+        check_slot(rec, self.detector, self.timing, BitVector.ones(16))
+        assert [v.check for v in invariants.STATE.violations] == [
+            "qcd_preamble"
+        ]
+
+    def test_consistent_qcd_preamble_clean(self):
+        from repro.bits.bitvec import BitVector
+
+        invariants.enable(strict=True)
+        rec = good_record(self.detector, self.timing)
+        signal = self.detector.codec.encode(BitVector(0x42, 8))
+        check_slot(rec, self.detector, self.timing, signal)
+        assert invariants.STATE.violations == []
+
+
+class TestCheckInventory:
+    def setup_method(self):
+        self.detector = QCDDetector(8)
+        self.timing = TimingModel()
+
+    def _trace(self, n=3):
+        out = []
+        t = 0.0
+        for i in range(n):
+            rec = good_record(self.detector, self.timing, index=i)
+            t += rec.duration
+            rec.end_time = t
+            out.append(rec)
+        return out
+
+    def _run(self, trace=None, pop=(1, 2, 3), ident=(1, 2, 3), lost=(), **kw):
+        invariants.enable(strict=False)
+        check_inventory(
+            self._trace() if trace is None else trace,
+            list(pop),
+            list(ident),
+            list(lost),
+            **kw,
+        )
+        return [v.check for v in invariants.STATE.violations]
+
+    def test_clean(self):
+        assert self._run(complete=True) == []
+
+    def test_duplicate_identified(self):
+        assert "identified_unique" in self._run(ident=(1, 1, 2))
+
+    def test_identified_outside_population(self):
+        assert "identified_subset" in self._run(ident=(1, 2, 99))
+
+    def test_lost_and_identified_overlap(self):
+        assert "lost_disjoint" in self._run(ident=(1, 2), lost=(2,))
+
+    def test_incomplete_inventory_flagged_only_when_complete(self):
+        assert self._run(ident=(1, 2)) == []
+        assert "inventory_complete" in self._run(ident=(1, 2), complete=True)
+
+    def test_negative_duration(self):
+        trace = self._trace()
+        trace[1].duration = -1.0
+        assert "clock_monotone" in self._run(trace=trace)
+
+    def test_non_monotone_clock(self):
+        trace = self._trace()
+        trace[2].end_time = 0.0
+        assert "clock_monotone" in self._run(trace=trace)
+
+    def test_partition_violation(self):
+        trace = self._trace()
+        trace[0].true_type = None  # not a known slot type
+        assert "slot_partition" in self._run(trace=trace)
+
+
+class TestEndToEnd:
+    def test_reader_run_is_clean_under_strict_checks(self):
+        from repro.bits.rng import make_rng
+        from repro.protocols.fsa import FramedSlottedAloha
+        from repro.sim.reader import Reader
+        from repro.tags.population import TagPopulation
+
+        pop = TagPopulation(20, id_bits=64, rng=make_rng(9))
+        with checking(strict=True) as state:
+            Reader(QCDDetector(8)).run_inventory(
+                pop.tags, FramedSlottedAloha(12)
+            )
+        assert state.violations == []
+
+    def test_engine_run_is_clean_under_strict_checks(self):
+        from repro.bits.rng import make_rng
+        from repro.protocols.fsa import FramedSlottedAloha
+        from repro.sim.engine import MobileInventoryEngine
+        from repro.sim.reader import Reader
+        from repro.tags.mobility import poisson_arrivals
+        from repro.tags.population import TagPopulation
+
+        pop = TagPopulation(10, id_bits=64, rng=make_rng(4))
+        movers = TagPopulation(8, id_bits=64, rng=make_rng(6))
+        schedule = poisson_arrivals(
+            list(movers.tags), rate=0.002, dwell_mean=4000.0, rng=make_rng(5)
+        )
+        with checking(strict=True) as state:
+            MobileInventoryEngine(Reader(QCDDetector(8))).run(
+                FramedSlottedAloha(16), schedule, initial_tags=pop.tags
+            )
+        assert state.violations == []

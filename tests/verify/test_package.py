@@ -1,0 +1,57 @@
+"""The lazy package loader and the module entry point."""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+import repro.verify as verify
+
+REPO = Path(__file__).parents[2]
+
+
+class TestLazyLoading:
+    def test_submodules_resolve(self):
+        for name in verify._SUBMODULES:
+            mod = getattr(verify, name)
+            assert mod.__name__ == f"repro.verify.{name}"
+
+    def test_unknown_attribute(self):
+        with pytest.raises(AttributeError, match="no attribute"):
+            verify.nonexistent
+
+    def test_dir_lists_submodules(self):
+        assert set(verify._SUBMODULES) <= set(dir(verify))
+
+    def test_runtime_import_does_not_pull_hypothesis(self):
+        """The reader hooks import repro.verify.invariants at load; that
+        must not drag the dev-only hypothesis dependency into runtime."""
+        out = subprocess.run(
+            [
+                sys.executable,
+                "-c",
+                "import sys; import repro.sim.reader; "
+                "print('hypothesis' in sys.modules)",
+            ],
+            capture_output=True,
+            text=True,
+            env={"PYTHONPATH": "src"},
+            cwd=str(REPO),
+        )
+        assert out.stdout.strip() == "False"
+
+
+class TestModuleEntryPoint:
+    def test_python_m_repro_verify_list(self):
+        out = subprocess.run(
+            [sys.executable, "-m", "repro.verify", "--list"],
+            capture_output=True,
+            text=True,
+            env={"PYTHONPATH": "src"},
+            cwd=str(REPO),
+        )
+        assert out.returncode == 0
+        assert "invariant-sweep" in out.stdout

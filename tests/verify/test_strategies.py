@@ -1,0 +1,130 @@
+"""The strategy library, property-tested against its own contracts."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+
+from repro.bits.bitvec import BitVector
+from repro.core.crc_cd import CRCCDDetector
+from repro.core.qcd import QCDDetector
+from repro.core.timing import TimingModel
+from repro.tags.population import TagPopulation
+from repro.verify import strategies as vs
+
+
+class TestBitvectors:
+    @settings(max_examples=30)
+    @given(vs.bitvectors(max_length=16))
+    def test_length_band(self, v):
+        assert isinstance(v, BitVector)
+        assert 0 <= v.length <= 16
+
+    @settings(max_examples=30)
+    @given(vs.sized_bitvectors(8))
+    def test_sized(self, v):
+        assert v.length == 8
+
+    @settings(max_examples=30)
+    @given(vs.data_vectors(max_bits=12))
+    def test_data_vectors_nonempty(self, v):
+        assert 1 <= v.length <= 12
+
+    def test_sized_rejects_negative(self):
+        with pytest.raises(ValueError):
+            vs.sized_bitvectors(-1)
+
+
+class TestPreambleValues:
+    @settings(max_examples=30)
+    @given(vs.preamble_values(4))
+    def test_band(self, r):
+        assert 1 <= r <= 15
+
+    @settings(max_examples=20)
+    @given(vs.distinct_preamble_values(4, min_size=2, max_size=6))
+    def test_distinct(self, values):
+        assert len(set(values)) == len(values)
+        assert all(1 <= v <= 15 for v in values)
+
+    def test_rejects_zero_strength(self):
+        with pytest.raises(ValueError):
+            vs.preamble_values(0)
+
+
+class TestTagIds:
+    @settings(max_examples=30)
+    @given(vs.tag_ids(16))
+    def test_band(self, tag_id):
+        assert 0 <= tag_id < (1 << 16)
+
+    @settings(max_examples=20)
+    @given(vs.distinct_tag_ids(16, min_size=2, max_size=4))
+    def test_distinct(self, ids):
+        assert len(set(ids)) == len(ids)
+
+    def test_rejects_zero_bits(self):
+        with pytest.raises(ValueError):
+            vs.tag_ids(0)
+
+
+class TestPopulations:
+    @settings(max_examples=20, deadline=None)
+    @given(vs.populations(max_size=10))
+    def test_shape(self, pop):
+        assert isinstance(pop, TagPopulation)
+        assert 0 <= len(pop) <= 10
+        assert len(set(pop.ids)) == len(pop)
+
+
+class TestFrames:
+    def test_adequate_frame_floor(self):
+        assert vs.adequate_frame(0) == 2
+        assert vs.adequate_frame(1) == 2
+
+    def test_adequate_frame_scales(self):
+        # The termination condition the docstring promises: n/F <= 2.
+        for n in (0, 1, 2, 7, 40, 101):
+            assert n / vs.adequate_frame(n) <= 2
+
+    def test_slack_adds(self):
+        assert vs.adequate_frame(10, slack=5) == vs.adequate_frame(10) + 5
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            vs.adequate_frame(-1)
+        with pytest.raises(ValueError):
+            vs.adequate_frame(1, slack=-1)
+
+
+class TestDetectors:
+    @settings(max_examples=30)
+    @given(vs.detectors())
+    def test_default_mix(self, det):
+        assert isinstance(det, (QCDDetector, CRCCDDetector))
+        if isinstance(det, QCDDetector):
+            assert det.strength in vs.STRENGTHS
+
+    @settings(max_examples=20)
+    @given(vs.detectors(include_crc=False, include_ideal=True))
+    def test_ideal_opt_in(self, det):
+        from repro.core.ideal import IdealDetector
+
+        assert isinstance(det, (QCDDetector, IdealDetector))
+
+    @settings(max_examples=10)
+    @given(vs.detectors(strengths=(8,), include_crc=False))
+    def test_fresh_instances(self, det):
+        """Stateful instrumentation counters demand a new object per
+        example."""
+        assert det.classify_calls == 0
+        det.classify(None)
+
+
+class TestTimingModels:
+    @settings(max_examples=20)
+    @given(vs.timing_models())
+    def test_shape(self, timing):
+        assert isinstance(timing, TimingModel)
+        assert timing.tau in (0.5, 1.0, 2.0)
+        assert timing.id_bits in (16, 64, 96)

@@ -1,0 +1,130 @@
+"""Unit tests for the verification sweep driver."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.verify.comparisons import check_exact
+from repro.verify.oracles import Oracle, OracleReport
+from repro.verify.runner import (
+    FULL_ROUNDS,
+    QUICK_ROUNDS,
+    VerificationReport,
+    VerificationRunner,
+    _fmt,
+    report_rows,
+)
+
+
+def counting_oracle(calls, passes=True):
+    def fn(ctx):
+        calls.append(ctx.rounds)
+        return (check_exact("unit", 1.0, 1.0 if passes else 2.0),)
+
+    return Oracle(name="unit-stub", kind="invariant", description="stub", fn=fn)
+
+
+class TestConstruction:
+    def test_default_depths(self):
+        with VerificationRunner() as r:
+            assert r.rounds == FULL_ROUNDS
+        with VerificationRunner(quick=True) as r:
+            assert r.rounds == QUICK_ROUNDS
+
+    def test_explicit_rounds_beat_quick(self):
+        with VerificationRunner(rounds=5, quick=True) as r:
+            assert r.rounds == 5
+
+    def test_too_few_rounds_rejected(self):
+        with pytest.raises(ValueError, match="rounds"):
+            VerificationRunner(rounds=1)
+
+
+class TestCaching:
+    def test_cache_hit_skips_recompute(self, tmp_path):
+        calls: list[int] = []
+        orc = counting_oracle(calls)
+        with VerificationRunner(rounds=2, cache_dir=tmp_path) as runner:
+            first = runner.run_oracle(orc)
+            second = runner.run_oracle(orc)
+        assert calls == [2]  # second call served from disk
+        assert first == second
+
+    def test_cache_shared_across_runners(self, tmp_path):
+        calls: list[int] = []
+        orc = counting_oracle(calls)
+        with VerificationRunner(rounds=2, cache_dir=tmp_path) as runner:
+            runner.run_oracle(orc)
+        with VerificationRunner(rounds=2, cache_dir=tmp_path) as runner:
+            runner.run_oracle(orc)
+        assert calls == [2]
+
+    def test_rounds_key_the_cache(self, tmp_path):
+        calls: list[int] = []
+        orc = counting_oracle(calls)
+        with VerificationRunner(rounds=2, cache_dir=tmp_path) as runner:
+            runner.run_oracle(orc)
+        with VerificationRunner(rounds=3, cache_dir=tmp_path) as runner:
+            runner.run_oracle(orc)
+        assert calls == [2, 3]
+
+    def test_no_cache_dir_always_recomputes(self):
+        calls: list[int] = []
+        orc = counting_oracle(calls)
+        with VerificationRunner(rounds=2) as runner:
+            runner.run_oracle(orc)
+            runner.run_oracle(orc)
+        assert calls == [2, 2]
+
+    def test_corrupt_cache_entry_recomputes(self, tmp_path):
+        calls: list[int] = []
+        orc = counting_oracle(calls)
+        with VerificationRunner(rounds=2, cache_dir=tmp_path) as runner:
+            runner._disk.store(runner._cache_params(orc), {"garbage": True})
+            report = runner.run_oracle(orc)
+        assert calls == [2]
+        assert report.passed
+
+
+class TestReports:
+    def _report(self, *passes):
+        return VerificationReport(
+            reports=tuple(
+                OracleReport(
+                    f"o{i}", "invariant", (check_exact("c", 1, 1 if p else 2),)
+                )
+                for i, p in enumerate(passes)
+            ),
+            rounds=2,
+            seed=1,
+            quick=False,
+        )
+
+    def test_passed_and_failures(self):
+        rep = self._report(True, False, True)
+        assert not rep.passed
+        assert [r.oracle for r in rep.failures] == ["o1"]
+
+    def test_to_dict_shape(self):
+        doc = self._report(True).to_dict()
+        assert doc["passed"] is True
+        assert doc["oracles"][0]["checks"][0]["statistic"] == "exact"
+
+    def test_report_rows(self):
+        rows = report_rows(self._report(True, False))
+        assert [r["verdict"] for r in rows] == ["ok", "FAIL"]
+        assert rows[0]["oracle"] == "o0"
+        assert rows[0]["observed"] == "1"
+
+
+class TestFmt:
+    def test_nan(self):
+        assert _fmt(math.nan) == "nan"
+
+    def test_integral(self):
+        assert _fmt(68.0) == "68"
+
+    def test_general(self):
+        assert _fmt(0.123456) == "0.1235"
