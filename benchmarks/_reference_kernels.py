@@ -1,0 +1,306 @@
+"""Frozen pre-batching inventory kernels (ablation baseline).
+
+This is the per-round kernel implementation as it stood *before* the
+round-batched engine (:mod:`repro.sim.batch`) landed -- dense per-frame
+``np.where`` duration chains, per-frame ``isinstance`` detector dispatch,
+the scalar depth-first ``bt_fast`` walk, and Python-loop delay statistics.
+``benchmarks/test_ablation_batch.py`` and ``repro-bench`` measure the
+batched kernels against this snapshot so the speedup baseline stays fixed
+as the live streamed kernels keep improving; it is not part of the
+library and must not be imported from ``src/``.
+
+Except for this docstring the file is byte-for-byte the pre-batching
+``src/repro/sim/fast.py``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.crc_cd import CRCCDDetector
+from repro.core.detector import CollisionDetector
+from repro.core.ideal import IdealDetector
+from repro.core.qcd import QCDDetector
+from repro.core.timing import TimingModel
+from repro.obs.instruments import record_kernel_stats
+from repro.obs.profiling import profiled
+from repro.obs.state import STATE as _OBS
+from repro.sim.metrics import DelayStats, InventoryStats, SlotCounts
+
+__all__ = ["fsa_fast", "bt_fast", "dfsa_fast"]
+
+
+def _durations(detector: CollisionDetector, timing: TimingModel):
+    from repro.core.detector import SlotType
+
+    return (
+        timing.slot_duration(detector, SlotType.IDLE),
+        timing.slot_duration(detector, SlotType.SINGLE),
+        timing.slot_duration(detector, SlotType.COLLIDED),
+    )
+
+
+def _miss_probs(detector: CollisionDetector, m: np.ndarray) -> np.ndarray:
+    """Vectorized P(collision of size m read as single)."""
+    if isinstance(detector, QCDDetector):
+        base = float((1 << detector.strength) - 1)
+        return base ** (-(m.astype(np.float64) - 1.0))
+    if isinstance(detector, CRCCDDetector):
+        return np.full(m.shape, 2.0 ** (-detector.crc_bits))
+    if isinstance(detector, IdealDetector):
+        return np.zeros(m.shape)
+    return np.array([detector.miss_probability(int(x)) for x in m])
+
+
+def _miss_prob_scalar(detector: CollisionDetector):
+    """Scalar miss-probability closure (hot path of the BT kernel)."""
+    if isinstance(detector, QCDDetector):
+        base = float((1 << detector.strength) - 1)
+        return lambda m: base ** (-(m - 1))
+    if isinstance(detector, CRCCDDetector):
+        const = 2.0 ** (-detector.crc_bits)
+        return lambda m: const
+    if isinstance(detector, IdealDetector):
+        return lambda m: 0.0
+    return detector.miss_probability
+
+
+@profiled("fast.fsa_fast")
+def fsa_fast(
+    n_tags: int,
+    frame_size: int,
+    detector: CollisionDetector,
+    timing: TimingModel,
+    rng: np.random.Generator,
+    collect_delays: bool = True,
+    confirm_frame: bool = True,
+) -> InventoryStats:
+    """Fixed-frame FSA inventory, vectorized.
+
+    Matches :class:`repro.protocols.fsa.FramedSlottedAloha` under the exact
+    reader with the default ``"confirm"`` termination: constant frame size,
+    collided tags re-contend next frame, every frame runs to completion,
+    and the inventory ends with one all-idle confirmation frame (the reader
+    cannot observe an empty backlog -- the paper's Table VII accounting).
+    Pass ``confirm_frame=False`` for the known-n ``"frame"`` termination.
+    """
+    if n_tags < 0 or frame_size < 1:
+        raise ValueError("need n_tags >= 0 and frame_size >= 1")
+    dur_idle, dur_single, dur_coll = _durations(detector, timing)
+    remaining = n_tags
+    frames = 0
+    t = 0.0
+    n0 = n1 = nc = 0
+    missed_total = 0
+    delays: list[np.ndarray] = []
+    while remaining > 0:
+        frames += 1
+        occ = np.bincount(
+            rng.integers(0, frame_size, remaining), minlength=frame_size
+        )
+        coll = occ >= 2
+        single = occ == 1
+        idle = occ == 0
+        m_vals = occ[coll]
+        miss = np.zeros(m_vals.shape, dtype=bool)
+        if m_vals.size:
+            miss = rng.random(m_vals.size) < _miss_probs(detector, m_vals)
+        dur = np.where(idle, dur_idle, np.where(single, dur_single, dur_coll))
+        if miss.any():
+            # A missed collision runs the ID phase: single-slot airtime.
+            coll_idx = np.nonzero(coll)[0]
+            dur[coll_idx[miss]] = dur_single
+        end_times = t + np.cumsum(dur)
+        if collect_delays and single.any():
+            delays.append(end_times[single])
+        t = float(end_times[-1]) if dur.size else t
+        n0 += int(idle.sum())
+        n1 += int(single.sum())
+        nc += int(coll.sum())
+        missed_total += int(miss.sum())
+        remaining = int(m_vals.sum())
+    if confirm_frame:
+        # The knowledge-free reader issues one final frame and reads it
+        # all-idle before concluding the inventory is complete.
+        frames += 1
+        n0 += frame_size
+        t += frame_size * dur_idle
+    true_counts = SlotCounts(n0, n1, nc)
+    detected_counts = SlotCounts(n0, n1 + missed_total, nc - missed_total)
+    all_delays = (
+        np.concatenate(delays) if delays else np.empty(0, dtype=np.float64)
+    )
+    stats = InventoryStats(
+        n_tags=n_tags,
+        frames=frames,
+        true_counts=true_counts,
+        detected_counts=detected_counts,
+        total_time=t,
+        accuracy=1.0 if nc == 0 else (nc - missed_total) / nc,
+        delay=DelayStats.from_delays(all_delays.tolist()),
+        utilization=(n1 * timing.id_bits * timing.tau / t) if t else 0.0,
+        missed_collisions=missed_total,
+        false_collisions=0,
+        lost_tags=0,
+    )
+    if _OBS.enabled:
+        record_kernel_stats("fast_fsa", stats)
+    return stats
+
+
+@profiled("fast.bt_fast")
+def bt_fast(
+    n_tags: int,
+    detector: CollisionDetector,
+    timing: TimingModel,
+    rng: np.random.Generator,
+    collect_delays: bool = True,
+) -> InventoryStats:
+    """Binary-tree inventory, group-size formulation.
+
+    Matches :class:`repro.protocols.bt.BinaryTree` under the exact reader:
+    the counter automaton is exactly a depth-first traversal where each
+    collided group of size m splits into (Binomial(m, 1/2), rest), the
+    drew-0 subset going first.
+    """
+    if n_tags < 0:
+        raise ValueError("n_tags must be >= 0")
+    dur_idle, dur_single, dur_coll = _durations(detector, timing)
+    miss_prob = _miss_prob_scalar(detector)
+    t = 0.0
+    n0 = n1 = nc = 0
+    missed_total = 0
+    delays: list[float] = []
+    stack: list[int] = [n_tags] if n_tags else []
+    while stack:
+        m = stack.pop()
+        if m == 0:
+            n0 += 1
+            t += dur_idle
+        elif m == 1:
+            n1 += 1
+            t += dur_single
+            if collect_delays:
+                delays.append(t)
+        else:
+            nc += 1
+            missed = bool(rng.random() < miss_prob(m))
+            missed_total += missed
+            t += dur_single if missed else dur_coll
+            left = int(rng.binomial(m, 0.5))
+            # LIFO: the drew-1 subset waits; the drew-0 subset goes next.
+            stack.append(m - left)
+            stack.append(left)
+    true_counts = SlotCounts(n0, n1, nc)
+    detected_counts = SlotCounts(n0, n1 + missed_total, nc - missed_total)
+    stats = InventoryStats(
+        n_tags=n_tags,
+        frames=1,  # tree protocols run one continuous logical frame
+        true_counts=true_counts,
+        detected_counts=detected_counts,
+        total_time=t,
+        accuracy=1.0 if nc == 0 else (nc - missed_total) / nc,
+        utilization=(n1 * timing.id_bits * timing.tau / t) if t else 0.0,
+        delay=DelayStats.from_delays(delays),
+        missed_collisions=missed_total,
+        false_collisions=0,
+        lost_tags=0,
+    )
+    if _OBS.enabled:
+        record_kernel_stats("fast_bt", stats)
+    return stats
+
+
+@profiled("fast.dfsa_fast")
+def dfsa_fast(
+    n_tags: int,
+    initial_frame_size: int,
+    estimator,
+    detector: CollisionDetector,
+    timing: TimingModel,
+    rng: np.random.Generator,
+    min_frame_size: int = 1,
+    max_frame_size: int = 1 << 15,
+    collect_delays: bool = True,
+    max_frames: int = 100_000,
+) -> InventoryStats:
+    """Dynamic FSA inventory, vectorized.
+
+    Matches :class:`repro.protocols.dfsa.DynamicFSA` under the exact
+    reader: after each (complete) frame, the pluggable estimator sizes the
+    next frame from the observed (N0, N1, Nc); the inventory ends with the
+    frame in which the backlog empties.  The primary consumer is the
+    estimator-quality ablation at populations the exact reader cannot
+    reach (``benchmarks/test_ablation_estimators.py``).
+    """
+    from repro.protocols.estimators import FrameObservation
+
+    if n_tags < 0 or initial_frame_size < 1:
+        raise ValueError("need n_tags >= 0 and initial_frame_size >= 1")
+    if not 1 <= min_frame_size <= max_frame_size:
+        raise ValueError("need 1 <= min_frame_size <= max_frame_size")
+    dur_idle, dur_single, dur_coll = _durations(detector, timing)
+    remaining = n_tags
+    frame_size = initial_frame_size
+    frames = 0
+    t = 0.0
+    n0 = n1 = nc = 0
+    missed_total = 0
+    delays: list[np.ndarray] = []
+    while remaining > 0:
+        if frames >= max_frames:
+            raise RuntimeError(f"dfsa_fast exceeded max_frames={max_frames}")
+        frames += 1
+        occ = np.bincount(
+            rng.integers(0, frame_size, remaining), minlength=frame_size
+        )
+        coll = occ >= 2
+        single = occ == 1
+        idle = occ == 0
+        m_vals = occ[coll]
+        miss = np.zeros(m_vals.shape, dtype=bool)
+        if m_vals.size:
+            miss = rng.random(m_vals.size) < _miss_probs(detector, m_vals)
+        dur = np.where(idle, dur_idle, np.where(single, dur_single, dur_coll))
+        if miss.any():
+            coll_idx = np.nonzero(coll)[0]
+            dur[coll_idx[miss]] = dur_single
+        end_times = t + np.cumsum(dur)
+        if collect_delays and single.any():
+            delays.append(end_times[single])
+        t = float(end_times[-1]) if dur.size else t
+        f0, f1, fc = int(idle.sum()), int(single.sum()), int(coll.sum())
+        n0 += f0
+        n1 += f1
+        nc += fc
+        missed_total += int(miss.sum())
+        remaining = int(m_vals.sum())
+        if remaining > 0:
+            obs = FrameObservation(
+                frame_size=frame_size, idle=f0, single=f1, collided=fc
+            )
+            backlog = estimator.backlog(obs)
+            frame_size = max(
+                min_frame_size, min(max_frame_size, max(1, backlog))
+            )
+    true_counts = SlotCounts(n0, n1, nc)
+    detected_counts = SlotCounts(n0, n1 + missed_total, nc - missed_total)
+    all_delays = (
+        np.concatenate(delays) if delays else np.empty(0, dtype=np.float64)
+    )
+    stats = InventoryStats(
+        n_tags=n_tags,
+        frames=frames,
+        true_counts=true_counts,
+        detected_counts=detected_counts,
+        total_time=t,
+        accuracy=1.0 if nc == 0 else (nc - missed_total) / nc,
+        delay=DelayStats.from_delays(all_delays.tolist()),
+        utilization=(n1 * timing.id_bits * timing.tau / t) if t else 0.0,
+        missed_collisions=missed_total,
+        false_collisions=0,
+        lost_tags=0,
+    )
+    if _OBS.enabled:
+        record_kernel_stats("fast_dfsa", stats)
+    return stats

@@ -118,18 +118,24 @@ class BitVector:
 
     @classmethod
     def random(cls, length: int, rng: np.random.Generator) -> "BitVector":
-        """A uniformly random vector of ``length`` bits."""
+        """A uniformly random vector of ``length`` bits.
+
+        Stream-compatible with the historical 64-bits-per-iteration loop:
+        the full chunks come from one vectorized full-range draw (one
+        64-bit word each, most significant chunk first) and the trailing
+        partial chunk from the same bounded draw the loop made.
+        """
         if length == 0:
             return cls(0, 0)
-        # Draw 64 bits at a time to stay in numpy's native width.
+        n_full, rem = divmod(length, 64)
         value = 0
-        remaining = length
-        while remaining > 0:
-            chunk = min(remaining, 64)
-            value = (value << chunk) | int(
-                rng.integers(0, 1 << chunk, dtype=np.uint64)
+        if n_full:
+            chunks = rng.integers(0, 1 << 64, size=n_full, dtype=np.uint64)
+            value = int.from_bytes(chunks.astype(">u8").tobytes(), "big")
+        if rem:
+            value = (value << rem) | int(
+                rng.integers(0, 1 << rem, dtype=np.uint64)
             )
-            remaining -= chunk
         return cls(value, length)
 
     # ------------------------------------------------------------------
@@ -308,15 +314,21 @@ def pack_ints(values: np.ndarray, length: int) -> list[BitVector]:
     arr = np.asarray(values, dtype=np.uint64)
     if length < 64 and np.any(arr >> np.uint64(length)):
         raise ValueError(f"some values do not fit in {length} bits")
-    return [BitVector(int(v), length) for v in arr]
+    # tolist() converts to plain ints in one C pass; the constructor then
+    # skips the per-element numpy-scalar unboxing the old loop paid for.
+    return [BitVector(v, length) for v in arr.tolist()]
 
 
 def unpack_ints(vectors: Sequence[BitVector]) -> np.ndarray:
     """Convert equal-length ``BitVector`` objects (<= 64 bits) to uint64."""
-    if vectors:
-        width = vectors[0].length
-        if width > 64:
-            raise ValueError("unpack_ints supports lengths up to 64 bits")
-        if any(v.length != width for v in vectors):
-            raise ValueError("unpack_ints requires equal-length vectors")
-    return np.array([v.value for v in vectors], dtype=np.uint64)
+    n = len(vectors)
+    if not n:
+        return np.empty(0, dtype=np.uint64)
+    width = vectors[0]._length
+    if width > 64:
+        raise ValueError("unpack_ints supports lengths up to 64 bits")
+    if any(v._length != width for v in vectors):
+        raise ValueError("unpack_ints requires equal-length vectors")
+    # fromiter fills the array in one C loop, without the intermediate
+    # Python list the old implementation built.
+    return np.fromiter((v._value for v in vectors), np.uint64, count=n)

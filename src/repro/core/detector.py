@@ -72,6 +72,15 @@ class CollisionDetector(ABC):
     #: payload (CRC-CD).
     needs_id_phase: bool = False
 
+    #: Width of the packed contention payload in bits, or ``None`` when the
+    #: scheme cannot represent its payloads as machine integers.  When set
+    #: (<= 64), :meth:`contention_payload_packed` and
+    #: :meth:`classify_packed` must be implemented, must consume tag RNG
+    #: streams identically to their object counterparts, and must return
+    #: identical verdicts -- the Reader's uint64 fast path relies on all
+    #: three properties.
+    packed_bits: int | None = None
+
     @property
     @abstractmethod
     def contention_bits(self) -> int:
@@ -99,6 +108,25 @@ class CollisionDetector(ABC):
         Boolean-sum channel additionally lets QCD treat an all-zero signal
         as idle, since its preamble integers are strictly positive.
         """
+
+    def contention_payload_packed(self, tag_id: int, rng: RngStream) -> int:
+        """:meth:`contention_payload` as a ``packed_bits``-wide integer.
+
+        Must draw from ``rng`` exactly like the object version (same calls,
+        same order), so the two paths stay interchangeable mid-experiment.
+        Only called when :attr:`packed_bits` is not ``None``.
+        """
+        raise NotImplementedError(f"{self.name} has no packed payload")
+
+    def classify_packed(self, value: int | None) -> SlotOutcome:
+        """:meth:`classify` over a packed superposed value.
+
+        ``value`` is ``None`` for an idle slot, otherwise the bitwise OR
+        of the slot's packed payloads.  Must return the same verdict (and
+        update the same instrumentation) as :meth:`classify` would for the
+        equivalent :class:`BitVector` signal.
+        """
+        raise NotImplementedError(f"{self.name} has no packed classifier")
 
     def reset_instrumentation(self) -> None:
         """Clear any per-run counters.  Default: nothing to clear."""

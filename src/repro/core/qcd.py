@@ -21,7 +21,7 @@ from __future__ import annotations
 
 from repro.bits.bitvec import BitVector
 from repro.bits.rng import RngStream
-from repro.core.collision_function import CollisionFunction
+from repro.core.collision_function import BitwiseComplement, CollisionFunction
 from repro.core.detector import CollisionDetector, SlotOutcome, SlotType
 from repro.core.preamble import PreambleCodec
 
@@ -49,6 +49,16 @@ class QCDDetector(CollisionDetector):
     ) -> None:
         self.codec = PreambleCodec(strength, function)
         self.name = f"QCD-{strength}"
+        # The uint64 fast path needs the whole 2l-bit preamble in one
+        # machine word and a collision function it can apply to plain
+        # ints; the paper's complement qualifies, ablation functions fall
+        # back to the object path.
+        self.packed_bits = (
+            2 * strength
+            if 2 * strength <= 64
+            and isinstance(self.codec.function, BitwiseComplement)
+            else None
+        )
         #: Instrumentation: number of classify() calls and of collision-
         #: function evaluations (one complement per non-idle slot).
         self.classify_calls = 0
@@ -76,6 +86,29 @@ class QCDDetector(CollisionDetector):
         preamble = self.codec.decode(signal)
         self.function_evaluations += 1
         if self.codec.is_consistent(preamble):
+            return SlotOutcome(SlotType.SINGLE)
+        return SlotOutcome(SlotType.COLLIDED)
+
+    def contention_payload_packed(self, tag_id: int, rng: RngStream) -> int:
+        """Packed ``r ⊕ r̄``: the same single draw as :meth:`codec.draw`.
+
+        Bit layout matches :meth:`CollisionPreamble.to_signal` -- ``r`` in
+        the high l bits, the complement in the low l bits -- so a packed
+        superposition ORs exactly the bits the object channel ORs.
+        """
+        l = self.codec.strength
+        r = int(rng.integers(1, 1 << l))
+        return (r << l) | (r ^ ((1 << l) - 1))
+
+    def classify_packed(self, value: int | None) -> SlotOutcome:
+        """Algorithm 1 over a packed superposition (same counters)."""
+        self.classify_calls += 1
+        if not value:
+            return SlotOutcome(SlotType.IDLE)
+        l = self.codec.strength
+        mask = (1 << l) - 1
+        self.function_evaluations += 1
+        if value & mask == (value >> l) ^ mask:
             return SlotOutcome(SlotType.SINGLE)
         return SlotOutcome(SlotType.COLLIDED)
 

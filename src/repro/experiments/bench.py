@@ -1,0 +1,335 @@
+"""``repro-bench`` -- kernel throughput measurement and regression gate.
+
+Measures wall-clock per Monte-Carlo round for the streamed kernels
+(:mod:`repro.sim.fast`), the round-batched kernels
+(:mod:`repro.sim.batch`) and the exact Reader's object vs uint64 packed
+paths, then writes a machine-readable ``BENCH_kernels.json``.
+
+Because absolute timings are machine-bound, the regression gate compares
+*within-run speedup ratios* (batched over streamed, packed over object),
+which transfer across machines::
+
+    repro-bench --quick --out BENCH_kernels.json \\
+                --baseline benchmarks/BENCH_kernels.json
+
+fails (exit 1) when a batched kernel drops below streamed throughput or
+when any speedup ratio regresses more than ``--tolerance`` (default 25%)
+against the committed baseline.  When a ``--frozen-dir`` containing the
+vendored pre-batching kernels (``benchmarks/_reference_kernels.py``) is
+present, the frozen engines are measured too, so the report carries the
+full ablation story; the gate never depends on them.
+
+The committed baseline is regenerated after an *intentional* perf change
+with the same command CI runs (see ``.github/workflows/ci.yml``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import json
+import sys
+import time
+from pathlib import Path
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.core.qcd import QCDDetector
+from repro.core.timing import TimingModel
+from repro.protocols.estimators import SchouteEstimator
+from repro.protocols.fsa import FramedSlottedAloha
+from repro.sim.batch import bt_fast_batch, dfsa_fast_batch, fsa_fast_batch
+from repro.sim.fast import bt_fast, dfsa_fast, fsa_fast
+from repro.sim.reader import Reader
+from repro.tags.population import TagPopulation
+from repro.bits.rng import make_rng
+
+__all__ = ["main", "build_parser", "run_bench", "check_against_baseline"]
+
+#: Case IV of the paper's evaluation (50 000 tags), the ISSUE's reference
+#: point; ``--quick`` scales it down with the same n/F ratio for CI.
+FULL = {"n_tags": 50_000, "frame_size": 30_000, "rounds": 10, "repeats": 3,
+        "reader_tags": 1_000}
+QUICK = {"n_tags": 4_000, "frame_size": 2_400, "rounds": 6, "repeats": 2,
+         "reader_tags": 300}
+
+
+def _time(fn: Callable[[], object], repeats: int) -> float:
+    """Best-of-``repeats`` wall time in seconds (min rejects noise)."""
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def _children(salt: int, rounds: int):
+    return np.random.SeedSequence([20_100, salt]).spawn(rounds)
+
+
+def _gens(kids):
+    return [np.random.Generator(np.random.PCG64(c)) for c in kids]
+
+
+def _load_frozen(frozen_dir: str | None):
+    """The vendored pre-batching kernels, or None outside a checkout."""
+    if not frozen_dir:
+        return None
+    path = Path(frozen_dir)
+    if not (path / "_reference_kernels.py").is_file():
+        return None
+    sys.path.insert(0, str(path))
+    try:
+        return importlib.import_module("_reference_kernels")
+    finally:
+        sys.path.remove(str(path))
+
+
+def run_bench(
+    n_tags: int,
+    frame_size: int,
+    rounds: int,
+    repeats: int,
+    reader_tags: int,
+    frozen=None,
+) -> dict:
+    """Measure every engine and return the report document."""
+    timing = TimingModel()
+    det = QCDDetector(8)
+    kernels: dict[str, dict[str, float]] = {}
+
+    variants: dict[str, dict[str, Callable[[], object]]] = {
+        "fsa": {
+            "streamed": lambda: [
+                fsa_fast(n_tags, frame_size, det, timing, g)
+                for g in _gens(_children(1, rounds))
+            ],
+            "batched": lambda: fsa_fast_batch(
+                n_tags, frame_size, det, timing, _children(1, rounds)
+            ),
+        },
+        "dfsa": {
+            "streamed": lambda: [
+                dfsa_fast(
+                    n_tags, frame_size, SchouteEstimator(), det, timing, g,
+                    max_frame_size=1 << 17,
+                )
+                for g in _gens(_children(2, rounds))
+            ],
+            "batched": lambda: dfsa_fast_batch(
+                n_tags, frame_size, SchouteEstimator(), det, timing,
+                _children(2, rounds), max_frame_size=1 << 17,
+            ),
+        },
+        "bt": {
+            "streamed": lambda: [
+                bt_fast(n_tags, det, timing, g)
+                for g in _gens(_children(3, rounds))
+            ],
+            "batched": lambda: bt_fast_batch(
+                n_tags, det, timing, _children(3, rounds)
+            ),
+        },
+    }
+    if frozen is not None:
+        variants["fsa"]["frozen"] = lambda: [
+            frozen.fsa_fast(n_tags, frame_size, det, timing, g)
+            for g in _gens(_children(1, rounds))
+        ]
+        variants["dfsa"]["frozen"] = lambda: [
+            frozen.dfsa_fast(
+                n_tags, frame_size, SchouteEstimator(), det, timing, g,
+                max_frame_size=1 << 17,
+            )
+            for g in _gens(_children(2, rounds))
+        ]
+        # The frozen BT walker is ~10x slower; one round is plenty.
+        variants["bt"]["frozen"] = lambda: [
+            frozen.bt_fast(n_tags, det, timing, g)
+            for g in _gens(_children(3, 1))
+        ]
+
+    for proto, engines in variants.items():
+        # Interleave the engines within each repeat (and take at least
+        # best-of-5): the gate compares ratios, and alternating keeps a
+        # sustained noise spike from biasing one engine only.
+        best = {name: float("inf") for name in engines}
+        for _ in range(max(repeats, 5)):
+            for name, fn in engines.items():
+                best[name] = min(best[name], _time(fn, 1))
+        entry: dict[str, float] = {}
+        for engine in engines:
+            n_r = 1 if engine == "frozen" and proto == "bt" else rounds
+            entry[f"{engine}_ms_per_round"] = best[engine] / n_r * 1_000.0
+        entry["batch_speedup_vs_streamed"] = (
+            entry["streamed_ms_per_round"] / entry["batched_ms_per_round"]
+        )
+        if "frozen_ms_per_round" in entry:
+            entry["batch_speedup_vs_frozen"] = (
+                entry["frozen_ms_per_round"] / entry["batched_ms_per_round"]
+            )
+        kernels[proto] = entry
+
+    def reader_once(packed: bool):
+        pop = TagPopulation(
+            reader_tags, id_bits=timing.id_bits, rng=make_rng(99)
+        )
+        Reader(QCDDetector(8), timing, packed=packed).run_inventory(
+            pop.tags, FramedSlottedAloha(max(1, reader_tags))
+        )
+
+    # Interleave the two reader paths within each repeat (and take at
+    # least best-of-5): the ratio is what the gate compares, and
+    # alternating keeps a sustained noise spike from biasing one side.
+    t_obj = t_packed = float("inf")
+    for _ in range(max(repeats, 5)):
+        t_obj = min(t_obj, _time(lambda: reader_once(False), 1))
+        t_packed = min(t_packed, _time(lambda: reader_once(True), 1))
+    return {
+        "config": {
+            "n_tags": n_tags,
+            "frame_size": frame_size,
+            "rounds": rounds,
+            "repeats": repeats,
+            "reader_tags": reader_tags,
+            "scheme": "qcd-8",
+            "frozen_measured": frozen is not None,
+        },
+        "kernels": kernels,
+        "reader": {
+            "object_ms": t_obj * 1_000.0,
+            "packed_ms": t_packed * 1_000.0,
+            "packed_speedup": t_obj / t_packed,
+        },
+    }
+
+
+def check_against_baseline(
+    report: dict, baseline: dict, tolerance: float
+) -> list[str]:
+    """Ratio-based regression findings (empty when the gate passes)."""
+    problems: list[str] = []
+    for proto, entry in report["kernels"].items():
+        ratio = entry["batch_speedup_vs_streamed"]
+        if ratio < 1.0:
+            problems.append(
+                f"{proto}: batched kernel is slower than streamed "
+                f"(speedup {ratio:.2f}x < 1.0x)"
+            )
+        base = baseline.get("kernels", {}).get(proto, {}).get(
+            "batch_speedup_vs_streamed"
+        )
+        if base is not None and ratio < base * (1.0 - tolerance):
+            problems.append(
+                f"{proto}: batch speedup regressed {ratio:.2f}x vs "
+                f"baseline {base:.2f}x (> {tolerance:.0%} drop)"
+            )
+    base_r = baseline.get("reader", {}).get("packed_speedup")
+    cur_r = report["reader"]["packed_speedup"]
+    if base_r is not None and cur_r < base_r * (1.0 - tolerance):
+        problems.append(
+            f"reader: packed speedup regressed {cur_r:.2f}x vs "
+            f"baseline {base_r:.2f}x (> {tolerance:.0%} drop)"
+        )
+    return problems
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-bench",
+        description=(
+            "Measure streamed vs round-batched kernel throughput and the "
+            "Reader's object vs uint64 paths; gate CI on speedup ratios."
+        ),
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI smoke sizes (scaled-down case IV, same n/F ratio)",
+    )
+    parser.add_argument("--n-tags", type=int, default=None)
+    parser.add_argument("--frame-size", type=int, default=None)
+    parser.add_argument(
+        "--rounds", type=int, default=None, help="rounds per measurement"
+    )
+    parser.add_argument(
+        "--repeats",
+        type=int,
+        default=None,
+        help="measurements per engine (best-of)",
+    )
+    parser.add_argument("--reader-tags", type=int, default=None)
+    parser.add_argument(
+        "--out",
+        default="BENCH_kernels.json",
+        metavar="FILE",
+        help="report path (default BENCH_kernels.json)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        metavar="FILE",
+        help="committed baseline to gate speedup ratios against",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.25,
+        help="allowed fractional ratio regression vs baseline (default 0.25)",
+    )
+    parser.add_argument(
+        "--frozen-dir",
+        default="benchmarks",
+        metavar="DIR",
+        help=(
+            "directory holding _reference_kernels.py (the vendored "
+            "pre-batching engines); skipped silently when absent"
+        ),
+    )
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    params = dict(QUICK if args.quick else FULL)
+    for key in params:
+        override = getattr(args, key)
+        if override is not None:
+            params[key] = override
+    frozen = _load_frozen(args.frozen_dir)
+    report = run_bench(frozen=frozen, **params)
+
+    for proto, entry in report["kernels"].items():
+        line = (
+            f"{proto:>5}: streamed {entry['streamed_ms_per_round']:8.2f} "
+            f"ms/round | batched {entry['batched_ms_per_round']:8.2f} "
+            f"ms/round | {entry['batch_speedup_vs_streamed']:.2f}x"
+        )
+        if "batch_speedup_vs_frozen" in entry:
+            line += f" ({entry['batch_speedup_vs_frozen']:.2f}x vs frozen)"
+        print(line)
+    rd = report["reader"]
+    print(
+        f"reader: object {rd['object_ms']:8.2f} ms | packed "
+        f"{rd['packed_ms']:8.2f} ms | {rd['packed_speedup']:.2f}x"
+    )
+
+    out = Path(args.out)
+    out.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {out}")
+
+    if args.baseline:
+        baseline = json.loads(Path(args.baseline).read_text())
+        problems = check_against_baseline(report, baseline, args.tolerance)
+        for p in problems:
+            print(f"REGRESSION: {p}", file=sys.stderr)
+        if problems:
+            return 1
+        print(f"gate OK vs {args.baseline} (tolerance {args.tolerance:.0%})")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -5,8 +5,12 @@ a grid point draws from its own pre-spawned ``SeedSequence`` child, so
 the *work list* -- not the RNG -- is the unit of distribution.  This
 module owns that execution layer:
 
-* :func:`run_rounds` -- the single round loop both paths share: one
-  kernel call per seed child, in order;
+* :func:`run_rounds` -- the single execution funnel both paths share:
+  by default one round-batched kernel call per shard
+  (:mod:`repro.sim.batch`), or -- with ``batched=False`` on the job --
+  the historical loop of one streamed kernel call per seed child.  The
+  two are bit-identical (the batch engine replays the streamed per-round
+  RNG draw order), so flipping the flag never changes results;
 * :class:`SerialExecutor` -- runs the loop inline (the default; identical
   to the historical single-process behaviour);
 * :class:`ProcessExecutor` -- shards the children into contiguous chunks
@@ -73,7 +77,9 @@ class GridPointJob:
 
     ``children`` are the pre-spawned per-round ``SeedSequence`` children,
     in round order.  ``observe`` mirrors the parent's ``repro.obs``
-    enabled flag at submission time.
+    enabled flag at submission time.  ``batched`` selects the
+    round-batched engine (the default; bit-identical to the streamed
+    loop, so cache keys do not include it).
     """
 
     case: SimulationCase
@@ -82,6 +88,7 @@ class GridPointJob:
     children: tuple[np.random.SeedSequence, ...]
     timing: TimingModel
     observe: bool = False
+    batched: bool = True
 
 
 @dataclass
@@ -93,15 +100,40 @@ class ShardResult:
 
 
 def run_rounds(job: GridPointJob) -> list[InventoryStats]:
-    """Run one kernel call per seed child, in order.
+    """Execute a job's rounds: one batched call, or a streamed loop.
 
     This is the only place rounds execute -- serial path, worker
     processes and tests all funnel through it, which is what makes the
-    parallel results bit-identical to the serial ones.
+    parallel results bit-identical to the serial ones.  A shard is one
+    batched kernel call by default; ``batched=False`` replays the
+    historical per-round loop (same results, round for round).
     """
     detector = make_detector(job.scheme, id_bits=job.timing.id_bits)
     obs_on = _OBS.enabled
-    runs: list[InventoryStats] = []
+    if job.batched:
+        from repro.sim.batch import bt_fast_batch, fsa_fast_batch
+
+        if job.protocol == "fsa":
+            result = fsa_fast_batch(
+                job.case.n_tags,
+                job.case.frame_size,
+                detector,
+                job.timing,
+                job.children,
+            )
+        elif job.protocol == "bt":
+            result = bt_fast_batch(
+                job.case.n_tags, detector, job.timing, job.children
+            )
+        else:
+            raise ValueError(f"unknown protocol {job.protocol!r}")
+        runs = list(result.runs)
+        if obs_on and runs:
+            _OBS.registry.counter(
+                _inst.MC_ROUNDS, "Monte-Carlo rounds completed"
+            ).inc(len(runs))
+        return runs
+    runs = []
     for child in job.children:
         rng = np.random.Generator(np.random.PCG64(child))
         if job.protocol == "fsa":

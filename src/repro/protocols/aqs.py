@@ -108,7 +108,7 @@ class AdaptiveQuerySplitting(AntiCollisionProtocol):
     def finished(self) -> bool:
         if not self._queue:
             return True
-        if not self.active_tags():
+        if not self.has_active_tags():
             # Early exit: every tag identified.  The unprobed prefixes would
             # all read idle; fold them into the candidates so the next
             # round's warm start still covers their regions.

@@ -45,6 +45,7 @@ class AntiCollisionProtocol(ABC):
 
     def __init__(self) -> None:
         self._tags: list[Tag] = []
+        self._live: list[Tag] = []
         self.frames_started = 0
         self.slots_elapsed = 0
 
@@ -58,6 +59,20 @@ class AntiCollisionProtocol(ABC):
         """Tags still contending (not identified / retired)."""
         return [t for t in self._tags if not t.identified]
 
+    def has_active_tags(self) -> bool:
+        """Whether any tag is still contending -- amortized O(1).
+
+        ``_live`` mirrors ``_tags`` but sheds identified tags from its
+        tail as they are discovered; identification is monotone within a
+        round (``start`` rebuilds the list), so each tag is popped at
+        most once and the per-slot backlog check never rescans the whole
+        population the way ``bool(active_tags())`` did.
+        """
+        live = self._live
+        while live and live[-1].identified:
+            live.pop()
+        return bool(live)
+
     def start(self, tags: Sequence[Tag]) -> None:
         """Begin an identification round over ``tags``.
 
@@ -65,6 +80,7 @@ class AntiCollisionProtocol(ABC):
         call ``super().start(tags)`` first.
         """
         self._tags = list(tags)
+        self._live = list(self._tags)
         self.frames_started = 0
         self.slots_elapsed = 0
 
@@ -75,11 +91,14 @@ class AntiCollisionProtocol(ABC):
         next frame / splitting decision.  Subclasses refine this.
         """
         self._tags.append(tag)
+        self._live.append(tag)
 
     def withdraw(self, tag: Tag) -> None:
         """A tag left the range mid-round; it stops responding."""
         if tag in self._tags:
             self._tags.remove(tag)
+        if tag in self._live:
+            self._live.remove(tag)
 
     # ------------------------------------------------------------------
 

@@ -80,4 +80,4 @@ class BinaryTree(AntiCollisionProtocol):
         0) either resolves (idle/single) or splits (collision), and every
         non-collided slot strictly decreases the sum of counters.
         """
-        return self._started and not self.active_tags()
+        return self._started and not self.has_active_tags()

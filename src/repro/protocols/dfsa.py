@@ -70,7 +70,7 @@ class DynamicFSA(AntiCollisionProtocol):
         super().start(tags)
         self.frame_size = self.initial_frame_size
         self.adaptation_history = []
-        self._done = not self.active_tags()
+        self._done = not self.has_active_tags()
         if not self._done:
             self._begin_frame()
 
@@ -106,7 +106,7 @@ class DynamicFSA(AntiCollisionProtocol):
         if self._slot_in_frame >= self.frame_size:
             # The frame always runs to completion: a real reader cannot see
             # an empty backlog, only an all-idle frame.
-            if self.active_tags():
+            if self.has_active_tags():
                 self._adapt()
                 self._begin_frame()
             else:

@@ -119,7 +119,7 @@ class FramedSlottedAloha(AntiCollisionProtocol):
         self._slot_in_frame += 1
         if responders:
             self._frame_had_responder = True
-        backlog = bool(self.active_tags())
+        backlog = self.has_active_tags()
         if self.termination == "immediate" and not backlog:
             self._done = True
             return

@@ -120,4 +120,4 @@ class QAdaptive(AntiCollisionProtocol):
 
     @property
     def finished(self) -> bool:
-        return not self.active_tags()
+        return not self.has_active_tags()

@@ -91,4 +91,4 @@ class QueryTree(AntiCollisionProtocol):
 
     @property
     def finished(self) -> bool:
-        return not self._queue or not self.active_tags()
+        return not self._queue or not self.has_active_tags()

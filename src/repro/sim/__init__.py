@@ -12,6 +12,9 @@
   :mod:`repro.sim.multireader` -- the spatial scenario of Table V;
 * :mod:`repro.sim.fast` -- vectorized kernels for the 50 000-tag cases,
   cross-validated against the exact reader;
+* :mod:`repro.sim.batch` -- round-batched kernel engines: all R Monte-Carlo
+  rounds of a grid point in one numpy program, bit-identical to looping
+  the :mod:`repro.sim.fast` kernels (see ``docs/PERFORMANCE.md``);
 * :mod:`repro.sim.export` -- CSV/JSON trace and stats export.
 """
 
@@ -26,6 +29,13 @@ from repro.sim.export import (
     write_stats_json,
     write_trace_csv,
     write_trace_json,
+)
+from repro.sim.batch import (
+    BatchResult,
+    bt_fast_batch,
+    dfsa_fast_batch,
+    fsa_fast_batch,
+    stats_equal,
 )
 from repro.sim.fast import bt_fast, dfsa_fast, fsa_fast
 from repro.sim.metrics import (
@@ -63,6 +73,11 @@ __all__ = [
     "fsa_fast",
     "bt_fast",
     "dfsa_fast",
+    "BatchResult",
+    "fsa_fast_batch",
+    "bt_fast_batch",
+    "dfsa_fast_batch",
+    "stats_equal",
     "trace_to_rows",
     "stats_to_dict",
     "write_trace_csv",

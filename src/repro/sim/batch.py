@@ -1,0 +1,466 @@
+"""Round-batched Monte-Carlo kernels.
+
+One evaluation grid point is ``rounds`` independent inventories, each
+seeded by its own pre-spawned ``SeedSequence`` child.  The streamed path
+(:func:`repro.experiments.parallel.run_rounds` with ``batched=False``)
+executes them as a Python loop of :mod:`repro.sim.fast` kernel calls; this
+module executes the *whole batch as one numpy program* while consuming the
+per-round substreams in exactly the streamed order, so every per-round
+:class:`~repro.sim.metrics.InventoryStats` -- and therefore every cached
+:class:`~repro.experiments.runner.AggregateStats` -- is unchanged:
+
+* :func:`fsa_fast_batch` / :func:`dfsa_fast_batch` -- frame-synchronous
+  frontier over the live rounds.  Each frame step draws every live round's
+  slot choices, evaluates the detector's miss probabilities *once* for all
+  collisions of the step, and advances each round with sparse per-frame
+  expressions: instead of materializing the dense ``frame_size`` slot
+  array the streamed kernel bincounts, only the occupied slots (at most
+  ``min(backlog, frame_size)`` of them) are touched, and frame airtime /
+  identification delays come from occupancy-class counts and prefix sums.
+* :func:`bt_fast_batch` -- replays the level-synchronous walk of
+  :func:`repro.sim.fast.bt_fast` (two vectorized RNG calls per tree
+  level), round by round to bound memory, with the vectorized
+  :meth:`~repro.sim.metrics.DelayStats.from_array` statistics.
+
+Bit-identity to the streamed path holds whenever every slot duration is an
+integer multiple of the float granule (the paper's timing: ``tau = 1`` and
+integer bit counts), because then every partial sum the two formulations
+compute is exact in float64; with exotic non-integer timing the results
+agree to normal float rounding instead.  ``tests/sim/test_batch.py`` and
+the ``batch-vs-streamed`` verify oracle assert the field-by-field identity
+on the default timing for every protocol × detector in the grid.
+
+Misdetection policy is ``"paper"`` only, like :mod:`repro.sim.fast`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import asdict, dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.detector import CollisionDetector
+from repro.core.timing import TimingModel
+from repro.obs.instruments import record_kernel_stats
+from repro.obs.profiling import profiled
+from repro.obs.state import STATE as _OBS
+from repro.sim.fast import (
+    _bt_finalize,
+    _bt_walk,
+    _duration_lut,
+    _miss_eval,
+)
+from repro.sim.metrics import DelayStats, InventoryStats, SlotCounts
+
+__all__ = [
+    "BatchResult",
+    "fsa_fast_batch",
+    "dfsa_fast_batch",
+    "bt_fast_batch",
+    "stats_equal",
+]
+
+
+@dataclass(frozen=True)
+class BatchResult:
+    """All rounds of one batched grid point, in round order."""
+
+    runs: tuple[InventoryStats, ...]
+
+    def aggregate(self):
+        """Round-averaged stats, identical to the streamed aggregation."""
+        # Imported lazily: experiments.parallel imports this module.
+        from repro.experiments.runner import AggregateStats
+
+        return AggregateStats.from_runs(list(self.runs))
+
+
+def _generators(streams: Sequence) -> list[np.random.Generator]:
+    """One PCG64 generator per round, exactly as ``run_rounds`` builds
+    them from the spawned children (already-built generators pass
+    through, e.g. for golden pins against the streamed kernels)."""
+    return [
+        s
+        if isinstance(s, np.random.Generator)
+        else np.random.Generator(np.random.PCG64(s))
+        for s in streams
+    ]
+
+
+def _tree_equal(x, y) -> bool:
+    if isinstance(x, dict):
+        return (
+            isinstance(y, dict)
+            and x.keys() == y.keys()
+            and all(_tree_equal(x[k], y[k]) for k in x)
+        )
+    if isinstance(x, float) and isinstance(y, float):
+        return x == y or (math.isnan(x) and math.isnan(y))
+    return x == y
+
+
+def stats_equal(a: InventoryStats, b: InventoryStats) -> bool:
+    """Field-by-field equality, treating NaN == NaN (empty delay stats)."""
+    return _tree_equal(asdict(a), asdict(b))
+
+
+def _frame_occupancy(
+    rng: np.random.Generator, backlog: int, frame_size: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Occupied slot indices and their multiplicities, in slot order.
+
+    Consumes exactly the streamed kernel's draw
+    (``rng.integers(0, frame_size, backlog)``).  Dense frames extract the
+    occupancy from a bincount; sparse ones (backlog far below the frame
+    size) sort the draws instead, avoiding the O(frame_size) scan.
+    """
+    draws = rng.integers(0, frame_size, backlog)
+    if 2 * backlog >= frame_size:
+        # Dense frame: bincount's O(frame_size) scan beats sorting
+        # (measured crossover near backlog ~ frame_size / 2).
+        occ = np.bincount(draws)
+        slots = np.flatnonzero(occ)
+        return slots, occ[slots]
+    ds = np.sort(draws)
+    first = np.empty(ds.size, dtype=bool)
+    first[0] = True
+    np.not_equal(ds[1:], ds[:-1], out=first[1:])
+    slots = ds[first]
+    starts = np.flatnonzero(first)
+    counts = np.empty(starts.size, dtype=np.int64)
+    np.subtract(starts[1:], starts[:-1], out=counts[:-1])
+    counts[-1] = ds.size - starts[-1]
+    return slots, counts
+
+
+class _AlohaRound:
+    """Mutable per-round accumulator of the frame-synchronous engine."""
+
+    __slots__ = (
+        "rng",
+        "remaining",
+        "frame_size",
+        "frames",
+        "t",
+        "n0",
+        "n1",
+        "nc",
+        "missed",
+        "fdata",
+    )
+
+    def __init__(self, rng, n_tags: int, frame_size: int) -> None:
+        self.rng = rng
+        self.remaining = n_tags
+        self.frame_size = frame_size
+        self.frames = 0
+        self.t = 0.0
+        self.n0 = self.n1 = self.nc = 0
+        self.missed = 0
+        # Per frame with >= 1 single: (t_start, slots, coll, miss, f1); the
+        # identification delays are reconstructed in one flat pass at
+        # finalize time instead of per frame.
+        self.fdata: list[tuple] = []
+
+
+def _aloha_batch(
+    n_tags: int,
+    frame_size: int,
+    detector: CollisionDetector,
+    timing: TimingModel,
+    rngs: list[np.random.Generator],
+    collect_delays: bool,
+    confirm_frame: bool,
+    estimator=None,
+    min_frame_size: int = 1,
+    max_frame_size: int = 1 << 15,
+    max_frames: int = 100_000,
+    engine: str = "fast_fsa",
+) -> tuple[InventoryStats, ...]:
+    """The shared FSA/DFSA frame-synchronous batch engine.
+
+    ``estimator is None`` runs fixed-frame FSA (with the optional
+    confirmation frame); otherwise each round resizes its next frame from
+    its own observation, like ``dfsa_fast``.
+    """
+    lut = _duration_lut(detector, timing)
+    d0, d1, dc = float(lut[0]), float(lut[1]), float(lut[2])
+    miss_fn = _miss_eval(detector, n_tags)
+    obs_on = _OBS.enabled
+    if estimator is not None:
+        from repro.protocols.estimators import FrameObservation
+    rounds = [_AlohaRound(rng, n_tags, frame_size) for rng in rngs]
+    runs: list[InventoryStats | None] = [None] * len(rounds)
+
+    def finalize(idx: int, st: _AlohaRound) -> None:
+        if confirm_frame:
+            # The knowledge-free reader issues one final frame and reads
+            # it all-idle before concluding the inventory is complete.
+            st.frames += 1
+            st.n0 += st.frame_size
+            st.t += st.frame_size * d0
+        if st.fdata:
+            # One flat pass over every recorded frame.  The streamed
+            # per-frame formula is: end of occupied slot j (slot index
+            # s_j) = t_start + cumsum(dur_occ)[j] + (s_j - j) * d0.  With
+            # G the cumsum over the *concatenation* of the frames'
+            # dur_occ, the within-frame cumsum at global index g is
+            # G[g] - G[start_f - 1], and j = g - start_f, so
+            #   ends[g] = (t_start_f - baseG_f + start_f * d0)
+            #             + G[g] + (slots[g] - g) * d0
+            # -- exact, and therefore bit-identical to the streamed
+            # value, because integer-valued durations make every term an
+            # exact float64 integer (slots[g] - g may go negative across
+            # frame boundaries; the products stay exact).
+            n_f = len(st.fdata)
+            slots_all = np.concatenate([f[1] for f in st.fdata])
+            coll_all = np.concatenate([f[2] for f in st.fdata])
+            miss_cat = np.concatenate([f[3] for f in st.fdata])
+            dur = np.where(coll_all, dc, d1)
+            if miss_cat.size and miss_cat.any():
+                # Missed collisions run the ID phase: single-slot airtime.
+                dur[np.flatnonzero(coll_all)[miss_cat]] = d1
+            g_sum = np.cumsum(dur)
+            sizes = np.array(
+                [f[1].size for f in st.fdata], dtype=np.int64
+            )
+            starts = np.cumsum(sizes) - sizes
+            base = np.empty(n_f, dtype=np.float64)
+            base[0] = 0.0
+            base[1:] = g_sum[starts[1:] - 1]
+            t_starts = np.array(
+                [f[0] for f in st.fdata], dtype=np.float64
+            )
+            # Only the single slots need their end times materialized.
+            si = np.flatnonzero(~coll_all)
+            f1s = np.array([f[4] for f in st.fdata], dtype=np.int64)
+            off = np.repeat(t_starts - base + starts * d0, f1s)
+            all_delays = off + g_sum[si] + (slots_all[si] - si) * d0
+            st.fdata = []
+        else:
+            all_delays = np.empty(0, dtype=np.float64)
+        stats = InventoryStats(
+            n_tags=n_tags,
+            frames=st.frames,
+            true_counts=SlotCounts(st.n0, st.n1, st.nc),
+            detected_counts=SlotCounts(
+                st.n0, st.n1 + st.missed, st.nc - st.missed
+            ),
+            total_time=st.t,
+            accuracy=1.0 if st.nc == 0 else (st.nc - st.missed) / st.nc,
+            # Frames are appended in time order and each frame's singles
+            # are in slot order, so the concatenated delays are already
+            # ascending.
+            delay=DelayStats.from_array(all_delays, assume_sorted=True),
+            utilization=(
+                (st.n1 * timing.id_bits * timing.tau / st.t) if st.t else 0.0
+            ),
+            missed_collisions=st.missed,
+            false_collisions=0,
+            lost_tags=0,
+        )
+        if obs_on:
+            record_kernel_stats(engine, stats)
+        runs[idx] = stats
+
+    live = []
+    for idx, st in enumerate(rounds):
+        if st.remaining > 0:
+            live.append(idx)
+        else:
+            finalize(idx, st)
+    while live:
+        # Phase 1: every live round draws its frame and extracts the
+        # occupied slots; misdetection uniforms are drawn per round (the
+        # streamed call order) but compared in one flat detector pass.
+        step: list[tuple] = []
+        m_parts: list[np.ndarray] = []
+        u_parts: list[np.ndarray] = []
+        for idx in live:
+            st = rounds[idx]
+            if estimator is not None and st.frames >= max_frames:
+                raise RuntimeError(
+                    f"dfsa_fast_batch exceeded max_frames={max_frames}"
+                )
+            st.frames += 1
+            slots, counts = _frame_occupancy(
+                st.rng, st.remaining, st.frame_size
+            )
+            coll = counts >= 2
+            m = counts[coll]
+            if m.size:
+                m_parts.append(m)
+                u_parts.append(st.rng.random(m.size))
+            step.append((idx, slots, coll, m))
+        # Phase 2: one miss-probability evaluation for the whole step.
+        if m_parts:
+            miss_all = np.concatenate(u_parts) < miss_fn(
+                np.concatenate(m_parts)
+            )
+        else:
+            miss_all = np.empty(0, dtype=bool)
+        # Phase 3: sparse per-round accounting.
+        offset = 0
+        nxt: list[int] = []
+        for idx, slots, coll, m in step:
+            st = rounds[idx]
+            fc = m.size
+            miss = miss_all[offset : offset + fc]
+            offset += fc
+            n_occ = slots.size
+            f1 = n_occ - fc
+            f0 = st.frame_size - n_occ
+            fm = int(miss.sum()) if fc else 0
+            if collect_delays and f1 > 0:
+                st.fdata.append((st.t, slots, coll, miss, f1))
+            st.t += f0 * d0 + (f1 + fm) * d1 + (fc - fm) * dc
+            st.n0 += f0
+            st.n1 += f1
+            st.nc += fc
+            st.missed += fm
+            st.remaining = int(m.sum())
+            if st.remaining > 0:
+                if estimator is not None:
+                    backlog = estimator.backlog(
+                        FrameObservation(
+                            frame_size=st.frame_size,
+                            idle=f0,
+                            single=f1,
+                            collided=fc,
+                        )
+                    )
+                    st.frame_size = max(
+                        min_frame_size, min(max_frame_size, max(1, backlog))
+                    )
+                nxt.append(idx)
+            else:
+                finalize(idx, st)
+        live = nxt
+    return tuple(runs)  # type: ignore[arg-type]
+
+
+@profiled("batch.fsa_fast_batch")
+def fsa_fast_batch(
+    n_tags: int,
+    frame_size: int,
+    detector: CollisionDetector,
+    timing: TimingModel,
+    streams: Sequence,
+    collect_delays: bool = True,
+    confirm_frame: bool = True,
+) -> BatchResult:
+    """All rounds of a fixed-frame FSA grid point as one batched program.
+
+    ``streams`` is the round-ordered sequence of ``SeedSequence`` children
+    (or ready generators); round *i* consumes its stream exactly like
+    ``fsa_fast`` does, so the per-round stats match the streamed loop
+    field for field.
+    """
+    if n_tags < 0 or frame_size < 1:
+        raise ValueError("need n_tags >= 0 and frame_size >= 1")
+    return BatchResult(
+        runs=_aloha_batch(
+            n_tags,
+            frame_size,
+            detector,
+            timing,
+            _generators(streams),
+            collect_delays,
+            confirm_frame,
+            engine="fast_fsa",
+        )
+    )
+
+
+@profiled("batch.dfsa_fast_batch")
+def dfsa_fast_batch(
+    n_tags: int,
+    initial_frame_size: int,
+    estimator,
+    detector: CollisionDetector,
+    timing: TimingModel,
+    streams: Sequence,
+    min_frame_size: int = 1,
+    max_frame_size: int = 1 << 15,
+    collect_delays: bool = True,
+    max_frames: int = 100_000,
+) -> BatchResult:
+    """All rounds of a dynamic-FSA grid point as one batched program.
+
+    The estimator instance is shared across rounds, which is safe for the
+    built-in estimators (pure functions of one ``FrameObservation``); a
+    *stateful* estimator would leak state between interleaved rounds and
+    must use the streamed ``dfsa_fast`` loop instead.
+    """
+    if n_tags < 0 or initial_frame_size < 1:
+        raise ValueError("need n_tags >= 0 and initial_frame_size >= 1")
+    if not 1 <= min_frame_size <= max_frame_size:
+        raise ValueError("need 1 <= min_frame_size <= max_frame_size")
+    return BatchResult(
+        runs=_aloha_batch(
+            n_tags,
+            initial_frame_size,
+            detector,
+            timing,
+            _generators(streams),
+            collect_delays,
+            confirm_frame=False,
+            estimator=estimator,
+            min_frame_size=min_frame_size,
+            max_frame_size=max_frame_size,
+            max_frames=max_frames,
+            engine="fast_dfsa",
+        )
+    )
+
+
+@profiled("batch.bt_fast_batch")
+def bt_fast_batch(
+    n_tags: int,
+    detector: CollisionDetector,
+    timing: TimingModel,
+    streams: Sequence,
+    collect_delays: bool = True,
+) -> BatchResult:
+    """All rounds of a binary-tree grid point, batched.
+
+    Each round runs the level-synchronous frontier walk of
+    :func:`repro.sim.fast.bt_fast` (identical draw order) with the
+    detector dispatch and duration LUT hoisted across the whole batch and
+    the vectorized delay statistics; rounds are walked one at a time to
+    keep peak memory at one tree (~2.885·n slots) instead of R trees.
+    """
+    if n_tags < 0:
+        raise ValueError("n_tags must be >= 0")
+    lut = _duration_lut(detector, timing)
+    miss_fn = _miss_eval(detector, n_tags)
+    obs_on = _OBS.enabled
+    runs = []
+    for rng in _generators(streams):
+        levels = _bt_walk(n_tags, rng)
+        n0, n1, nc, missed, t, delays = _bt_finalize(
+            levels, miss_fn, lut, collect_delays
+        )
+        stats = InventoryStats(
+            n_tags=n_tags,
+            frames=1,  # tree protocols run one continuous logical frame
+            true_counts=SlotCounts(n0, n1, nc),
+            detected_counts=SlotCounts(n0, n1 + missed, nc - missed),
+            total_time=t,
+            accuracy=1.0 if nc == 0 else (nc - missed) / nc,
+            utilization=(
+                (n1 * timing.id_bits * timing.tau / t) if t else 0.0
+            ),
+            # ``_bt_finalize`` emits single slots in slot order, and slot
+            # end times increase with position, so ``delays`` is ascending.
+            delay=DelayStats.from_array(delays, assume_sorted=True),
+            missed_collisions=missed,
+            false_collisions=0,
+            lost_tags=0,
+        )
+        if obs_on:
+            record_kernel_stats("fast_bt", stats)
+        runs.append(stats)
+    return BatchResult(runs=tuple(runs))

@@ -5,21 +5,28 @@ signals per slot -- ideal for correctness, too slow for the paper's case IV
 (50 000 tags, ~250 000 slots, 100 Monte-Carlo rounds).  Following the
 optimization workflow of the HPC guides (make it work, validate, then
 vectorize the measured bottleneck behind the same interface), this module
-re-implements the two protocol × detector processes the evaluation sweeps
-as numpy kernels:
+re-implements the protocol × detector processes the evaluation sweeps as
+numpy kernels:
 
 * :func:`fsa_fast` -- fixed-frame FSA: a frame is one ``bincount`` over the
   backlog's uniform slot choices; slot types, misdetection draws, durations
   and identification times all come from array expressions.
-* :func:`bt_fast`  -- binary-tree splitting: the depth-first walk over
-  *group sizes* (a collided group of size m splits Binomial(m, 1/2)); the
-  per-slot loop is O(2.885·n) scalar steps with no per-tag work.
+* :func:`bt_fast`  -- binary-tree splitting as a *level-synchronous*
+  frontier walk: every tree level draws one ``random`` vector (misdetection
+  uniforms) and one raw 64-bit block whose popcounts are the
+  Binomial(m, 1/2) splits, for all collided groups of the level; then the
+  depth-first slot order the exact reader executes is reconstructed from
+  subtree sizes.  O(2.885·n) slots with O(depth) numpy calls and no
+  per-slot Python work.
+* :func:`dfsa_fast` -- dynamic FSA with a pluggable backlog estimator.
 
-Both kernels simulate the *identical* stochastic process as the exact
+All kernels simulate the *identical* stochastic process as the exact
 reader (slot choices / split draws are the only randomness; detector misses
 are drawn from their exact probabilities) and return the same
 :class:`~repro.sim.metrics.InventoryStats`.  ``tests/sim/test_fast.py``
-cross-validates them against the exact reader distributionally.
+cross-validates them against the exact reader distributionally, and
+:mod:`repro.sim.batch` reuses the same per-frame / per-level draw order to
+run whole Monte-Carlo batches bit-identically (see ``docs/PERFORMANCE.md``).
 
 Kernels implement the ``"paper"`` misdetection policy only (misses are
 counted and charged single-slot airtime; the process follows ground
@@ -53,20 +60,68 @@ def _durations(detector: CollisionDetector, timing: TimingModel):
     )
 
 
-def _miss_probs(detector: CollisionDetector, m: np.ndarray) -> np.ndarray:
-    """Vectorized P(collision of size m read as single)."""
+def _duration_lut(detector: CollisionDetector, timing: TimingModel) -> np.ndarray:
+    """Slot durations indexed by outcome code.
+
+    Codes 0/1/2 are the :class:`~repro.core.detector.SlotType` values
+    (idle / single / collided); code 3 is a *missed* collision, which runs
+    the ID phase and is charged single-slot airtime.  Building the LUT once
+    per inventory replaces the nested ``np.where`` the per-frame loop used
+    to rebuild from the same three constants.
+    """
+    dur_idle, dur_single, dur_coll = _durations(detector, timing)
+    return np.array(
+        [dur_idle, dur_single, dur_coll, dur_single], dtype=np.float64
+    )
+
+
+def _miss_prob_fn(detector: CollisionDetector):
+    """Vectorized P(collision of size m read as single), hoisted.
+
+    Resolves the detector's type once per inventory and returns a closure
+    over plain floats, so the per-frame hot loop runs no ``isinstance``
+    chain and no attribute lookups.
+    """
     if isinstance(detector, QCDDetector):
         base = float((1 << detector.strength) - 1)
-        return base ** (-(m.astype(np.float64) - 1.0))
+        return lambda m: base ** (-(m.astype(np.float64) - 1.0))
     if isinstance(detector, CRCCDDetector):
-        return np.full(m.shape, 2.0 ** (-detector.crc_bits))
+        const = 2.0 ** (-detector.crc_bits)
+        return lambda m: np.full(m.shape, const)
     if isinstance(detector, IdealDetector):
-        return np.zeros(m.shape)
-    return np.array([detector.miss_probability(int(x)) for x in m])
+        return lambda m: np.zeros(m.shape)
+    return lambda m: np.array([detector.miss_probability(int(x)) for x in m])
+
+
+def _miss_lut(detector: CollisionDetector, n_max: int) -> np.ndarray | None:
+    """Miss probabilities tabulated by collision size, or None.
+
+    For the closed-form detectors the table is built with the *same*
+    vectorized expression :func:`_miss_prob_fn` evaluates, so
+    ``lut[m] == miss_fn(m)`` bit for bit and a table gather can replace
+    the per-frame ``power`` evaluation (the batched engines' hot path).
+    Unknown detector classes return None -- tabulating them would call a
+    Python ``miss_probability`` once per possible size.
+    """
+    if isinstance(detector, (QCDDetector, CRCCDDetector, IdealDetector)):
+        return _miss_prob_fn(detector)(np.arange(n_max + 1, dtype=np.int64))
+    return None
+
+
+def _miss_eval(detector: CollisionDetector, n_max: int):
+    """Miss-probability evaluator for collision sizes in ``[0, n_max]``.
+
+    A table gather when the detector tabulates (:func:`_miss_lut`),
+    otherwise the vectorized closure -- bit-identical either way.
+    """
+    lut = _miss_lut(detector, n_max)
+    if lut is not None:
+        return lambda m: lut[m]
+    return _miss_prob_fn(detector)
 
 
 def _miss_prob_scalar(detector: CollisionDetector):
-    """Scalar miss-probability closure (hot path of the BT kernel)."""
+    """Scalar miss-probability closure (wireless estimators' hot path)."""
     if isinstance(detector, QCDDetector):
         base = float((1 << detector.strength) - 1)
         return lambda m: base ** (-(m - 1))
@@ -99,7 +154,8 @@ def fsa_fast(
     """
     if n_tags < 0 or frame_size < 1:
         raise ValueError("need n_tags >= 0 and frame_size >= 1")
-    dur_idle, dur_single, dur_coll = _durations(detector, timing)
+    lut = _duration_lut(detector, timing)
+    miss_fn = _miss_eval(detector, n_tags)
     remaining = n_tags
     frames = 0
     t = 0.0
@@ -117,12 +173,12 @@ def fsa_fast(
         m_vals = occ[coll]
         miss = np.zeros(m_vals.shape, dtype=bool)
         if m_vals.size:
-            miss = rng.random(m_vals.size) < _miss_probs(detector, m_vals)
-        dur = np.where(idle, dur_idle, np.where(single, dur_single, dur_coll))
+            miss = rng.random(m_vals.size) < miss_fn(m_vals)
+        dur = lut[np.minimum(occ, 2)]
         if miss.any():
             # A missed collision runs the ID phase: single-slot airtime.
             coll_idx = np.nonzero(coll)[0]
-            dur[coll_idx[miss]] = dur_single
+            dur[coll_idx[miss]] = lut[1]
         end_times = t + np.cumsum(dur)
         if collect_delays and single.any():
             delays.append(end_times[single])
@@ -137,7 +193,7 @@ def fsa_fast(
         # all-idle before concluding the inventory is complete.
         frames += 1
         n0 += frame_size
-        t += frame_size * dur_idle
+        t += frame_size * float(lut[0])
     true_counts = SlotCounts(n0, n1, nc)
     detected_counts = SlotCounts(n0, n1 + missed_total, nc - missed_total)
     all_delays = (
@@ -161,6 +217,143 @@ def fsa_fast(
     return stats
 
 
+_U64_MAX = np.iinfo(np.uint64).max
+_U64_ONES = ~np.uint64(0)
+
+
+def _split_lefts(m: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+    """Binomial(m, 1/2) split sizes for one tree level, via popcount.
+
+    Each tag flips a fair coin, so the left-subset size of a group of m
+    tags is the popcount of m random bits.  Groups draw whole 64-bit words
+    (``ceil(m/64)`` each, one ``integers`` call per level) and the unused
+    high bits of each group's last word are masked off -- an order of
+    magnitude cheaper than ``Generator.binomial``, whose per-element
+    rejection loop dominated the walk at case-IV populations.
+    """
+    if np.max(m) <= 64:
+        # Common case away from the root: one word per group.
+        raw = rng.integers(0, _U64_MAX, m.size, dtype=np.uint64, endpoint=True)
+        masks = _U64_ONES >> (64 - m).astype(np.uint64)
+        return np.bitwise_count(raw & masks).astype(np.int64)
+    words_per = (m + 63) >> 6
+    ends = np.cumsum(words_per)
+    raw = rng.integers(
+        0, _U64_MAX, int(ends[-1]), dtype=np.uint64, endpoint=True
+    )
+    popc = np.bitwise_count(raw).astype(np.int64)
+    # Mask the partial last word of every group before counting its bits.
+    tail_bits = ((m - 1) & 63) + 1
+    last = ends - 1
+    tail = raw[last] & (_U64_ONES >> (64 - tail_bits).astype(np.uint64))
+    popc[last] = np.bitwise_count(tail)
+    starts = ends - words_per
+    return np.add.reduceat(popc, starts)
+
+
+def _bt_walk(n_tags: int, rng: np.random.Generator) -> list[tuple]:
+    """Level-synchronous draws for one binary-tree inventory.
+
+    Returns one ``(sizes, coll, u, lefts, m)`` tuple per tree level, in
+    level order; within a level nodes are ordered by their parents' order,
+    left child first, and ``m = sizes[coll]`` are the collided group
+    sizes.  Each level makes exactly two RNG calls -- ``random(k)``
+    (misdetection uniforms) then one raw 64-bit ``integers`` block whose
+    popcounts are the Binomial(m, 1/2) splits (:func:`_split_lefts`) --
+    which is the draw order the batched kernel replays round by round.
+    """
+    levels: list[tuple] = []
+    frontier = (
+        np.array([n_tags], dtype=np.int64)
+        if n_tags
+        else np.empty(0, dtype=np.int64)
+    )
+    while frontier.size:
+        coll = frontier >= 2
+        m = frontier[coll]
+        if m.size == 0:
+            levels.append((frontier, coll, np.empty(0), None, m))
+            break
+        u = rng.random(m.size)
+        lefts = _split_lefts(m, rng)
+        levels.append((frontier, coll, u, lefts, m))
+        children = np.empty(2 * m.size, dtype=np.int64)
+        children[0::2] = lefts
+        children[1::2] = m - lefts
+        frontier = children
+    return levels
+
+
+def _bt_finalize(
+    levels: list[tuple],
+    miss_fn,
+    lut: np.ndarray,
+    collect_delays: bool,
+) -> tuple[int, int, int, int, float, np.ndarray]:
+    """Classify, time and order the slots of one level-synchronous walk.
+
+    The exact reader visits the tree depth-first (drew-0 subset first);
+    the walk produced nodes level by level.  Pre-order slot positions are
+    reconstructed in two passes: subtree slot counts bottom-up, then each
+    collided node at position p places its left child at p+1 and its right
+    child at p+1+|left subtree|.  Durations scattered into that order and
+    cumulative-summed reproduce the reader's running clock bit for bit.
+
+    Returns ``(n0, n1, nc, missed, total_time, delays)`` with ``delays``
+    in slot order (ascending identification time).
+    """
+    if not levels:
+        return 0, 0, 0, 0, 0.0, np.empty(0, dtype=np.float64)
+    n_levels = len(levels)
+    sizes_flat = np.concatenate([lv[0] for lv in levels])
+    total = sizes_flat.size
+    u_flat = np.concatenate([lv[2] for lv in levels])
+    mvals = np.concatenate([lv[4] for lv in levels])
+    miss = u_flat < miss_fn(mvals)
+    nc = mvals.size
+    n0 = int((sizes_flat == 0).sum())
+    n1 = total - n0 - nc
+    n_miss = int(miss.sum())
+    if not collect_delays:
+        # Slot order affects neither the counts nor the (integer-valued)
+        # total airtime, so skip the position reconstruction entirely.
+        t = n0 * lut[0] + (n1 + n_miss) * lut[1] + (nc - n_miss) * lut[2]
+        return n0, n1, nc, n_miss, float(t), np.empty(0, dtype=np.float64)
+    # Subtree slot counts, bottom-up (leaves occupy one slot).
+    subtree: list[np.ndarray] = [None] * n_levels  # type: ignore[list-item]
+    for d in range(n_levels - 1, -1, -1):
+        sizes, coll = levels[d][0], levels[d][1]
+        s = np.ones(sizes.size, dtype=np.int64)
+        if d + 1 < n_levels:
+            s[coll] = 1 + subtree[d + 1].reshape(-1, 2).sum(axis=1)
+        subtree[d] = s
+    # Pre-order positions, top-down.
+    pos: list[np.ndarray] = [None] * n_levels  # type: ignore[list-item]
+    pos[0] = np.zeros(1, dtype=np.int64)
+    for d in range(n_levels - 1):
+        coll = levels[d][1]
+        base = pos[d][coll] + 1
+        child_s = subtree[d + 1]
+        nxt = np.empty(2 * base.size, dtype=np.int64)
+        nxt[0::2] = base
+        nxt[1::2] = base + child_s[0::2]
+        pos[d + 1] = nxt
+    pos_flat = np.concatenate(pos)
+    codes = np.minimum(sizes_flat, 2)
+    if n_miss:
+        # 2 -> 3 marks a missed collision (single-slot airtime).
+        codes[np.flatnonzero(sizes_flat >= 2)[miss]] = 3
+    # Scatter the codes into slot order: the durations become one gather
+    # and the single-slot positions come out pre-sorted via flatnonzero
+    # instead of an O(n log n) sort.
+    code_seq = np.empty(total, dtype=np.int64)
+    code_seq[pos_flat] = codes
+    dur_seq = lut[code_seq]
+    end = np.cumsum(dur_seq)
+    delays = end[np.flatnonzero(code_seq == 1)]
+    return n0, n1, nc, n_miss, float(end[-1]), delays
+
+
 @profiled("fast.bt_fast")
 def bt_fast(
     n_tags: int,
@@ -169,41 +362,26 @@ def bt_fast(
     rng: np.random.Generator,
     collect_delays: bool = True,
 ) -> InventoryStats:
-    """Binary-tree inventory, group-size formulation.
+    """Binary-tree inventory, level-synchronous group-size formulation.
 
     Matches :class:`repro.protocols.bt.BinaryTree` under the exact reader:
     the counter automaton is exactly a depth-first traversal where each
     collided group of size m splits into (Binomial(m, 1/2), rest), the
-    drew-0 subset going first.
+    drew-0 subset going first.  The walk draws level-synchronously (two
+    vectorized RNG calls per tree level -- see :func:`_bt_walk`) and
+    reconstructs the depth-first slot order afterwards, so the per-slot
+    scalar loop of earlier revisions is gone; the split distribution and
+    slot accounting are unchanged, but the RNG *consumption order* differs
+    from the old depth-first draws (golden files were regenerated).
     """
     if n_tags < 0:
         raise ValueError("n_tags must be >= 0")
-    dur_idle, dur_single, dur_coll = _durations(detector, timing)
-    miss_prob = _miss_prob_scalar(detector)
-    t = 0.0
-    n0 = n1 = nc = 0
-    missed_total = 0
-    delays: list[float] = []
-    stack: list[int] = [n_tags] if n_tags else []
-    while stack:
-        m = stack.pop()
-        if m == 0:
-            n0 += 1
-            t += dur_idle
-        elif m == 1:
-            n1 += 1
-            t += dur_single
-            if collect_delays:
-                delays.append(t)
-        else:
-            nc += 1
-            missed = bool(rng.random() < miss_prob(m))
-            missed_total += missed
-            t += dur_single if missed else dur_coll
-            left = int(rng.binomial(m, 0.5))
-            # LIFO: the drew-1 subset waits; the drew-0 subset goes next.
-            stack.append(m - left)
-            stack.append(left)
+    lut = _duration_lut(detector, timing)
+    miss_fn = _miss_eval(detector, n_tags)
+    levels = _bt_walk(n_tags, rng)
+    n0, n1, nc, missed_total, t, delays = _bt_finalize(
+        levels, miss_fn, lut, collect_delays
+    )
     true_counts = SlotCounts(n0, n1, nc)
     detected_counts = SlotCounts(n0, n1 + missed_total, nc - missed_total)
     stats = InventoryStats(
@@ -214,7 +392,7 @@ def bt_fast(
         total_time=t,
         accuracy=1.0 if nc == 0 else (nc - missed_total) / nc,
         utilization=(n1 * timing.id_bits * timing.tau / t) if t else 0.0,
-        delay=DelayStats.from_delays(delays),
+        delay=DelayStats.from_delays(delays.tolist()),
         missed_collisions=missed_total,
         false_collisions=0,
         lost_tags=0,
@@ -252,7 +430,8 @@ def dfsa_fast(
         raise ValueError("need n_tags >= 0 and initial_frame_size >= 1")
     if not 1 <= min_frame_size <= max_frame_size:
         raise ValueError("need 1 <= min_frame_size <= max_frame_size")
-    dur_idle, dur_single, dur_coll = _durations(detector, timing)
+    lut = _duration_lut(detector, timing)
+    miss_fn = _miss_eval(detector, n_tags)
     remaining = n_tags
     frame_size = initial_frame_size
     frames = 0
@@ -273,11 +452,11 @@ def dfsa_fast(
         m_vals = occ[coll]
         miss = np.zeros(m_vals.shape, dtype=bool)
         if m_vals.size:
-            miss = rng.random(m_vals.size) < _miss_probs(detector, m_vals)
-        dur = np.where(idle, dur_idle, np.where(single, dur_single, dur_coll))
+            miss = rng.random(m_vals.size) < miss_fn(m_vals)
+        dur = lut[np.minimum(occ, 2)]
         if miss.any():
             coll_idx = np.nonzero(coll)[0]
-            dur[coll_idx[miss]] = dur_single
+            dur[coll_idx[miss]] = lut[1]
         end_times = t + np.cumsum(dur)
         if collect_delays and single.any():
             delays.append(end_times[single])

@@ -84,6 +84,16 @@ class Reader:
         Misdetection policy, one of :data:`POLICIES`.
     max_slots:
         Hard safety bound on inventory length (default ``10^7``).
+    packed:
+        uint64 superposition fast path: instead of composing per-tag
+        :class:`BitVector` objects, each slot ORs packed ≤64-bit payloads
+        (``np.bitwise_or.reduce``).  ``None`` (default) auto-selects: the
+        fast path runs whenever the detector and channel support it *and*
+        neither tracing nor invariant checking is enabled (both need the
+        composed object signal).  ``True`` requires support (ValueError
+        otherwise) but still yields to enabled instrumentation; ``False``
+        always uses the object path.  Verdicts, RNG streams, and channel
+        statistics are identical on both paths.
     """
 
     def __init__(
@@ -93,6 +103,7 @@ class Reader:
         channel: Channel | None = None,
         policy: str = "paper",
         max_slots: int = 10_000_000,
+        packed: bool | None = None,
     ) -> None:
         if policy not in POLICIES:
             raise ValueError(f"policy must be one of {POLICIES}, got {policy!r}")
@@ -101,10 +112,37 @@ class Reader:
         self.channel = channel if channel is not None else Channel()
         self.policy = policy
         self.max_slots = max_slots
+        self.packed = packed
+        if packed and not self._packed_supported():
+            raise ValueError(
+                f"packed=True but {self.detector.name} / the channel "
+                "cannot run the uint64 path (detector.packed_bits is None "
+                "or the channel has noise/capture enabled)"
+            )
         if policy == "crc_guard" and not self.timing.guard_id_phase:
             raise ValueError(
                 "crc_guard policy requires TimingModel(guard_id_phase=True)"
             )
+
+    def _packed_supported(self) -> bool:
+        return (
+            self.detector.packed_bits is not None
+            and self.channel.supports_packed
+        )
+
+    def _use_packed(self) -> bool:
+        """Resolve the fast-path gate for one inventory.
+
+        Tracing and invariant checks observe the composed signal object,
+        so enabling either forces the object path regardless of
+        ``packed`` -- with identical slot verdicts, since both paths
+        consume the same RNG draws and compute the same superposition.
+        """
+        if self.packed is False:
+            return False
+        if _OBS.enabled or _INV.enabled:
+            return False
+        return self._packed_supported()
 
     # ------------------------------------------------------------------
 
@@ -163,6 +201,7 @@ class Reader:
                     "run_inventory() instead"
                 ) from exc
         obs_on = _OBS.enabled
+        packed = self._use_packed()
         if obs_on:
             _OBS.tracer.start_span(
                 "inventory",
@@ -191,7 +230,8 @@ class Reader:
                             _OBS.tracer.start_span("frame", frame=frame)
                             current_frame = frame
                     time, record = self._run_slot(
-                        index, time, protocol, responders, identified, lost
+                        index, time, protocol, responders, identified, lost,
+                        packed,
                     )
                     trace.append(record)
                     protocol.feedback(
@@ -238,16 +278,32 @@ class Reader:
         responders: list[Tag],
         identified: list[int],
         lost: list[int],
+        packed: bool = False,
     ) -> tuple[float, SlotRecord]:
         detector = self.detector
-        payloads = [
-            detector.contention_payload(t.tag_id, t.rng) for t in responders
-        ]
-        signal = self.channel.transmit(payloads)
-        if isinstance(detector, IdealDetector):
-            sole = responders[0].tag_id if len(responders) == 1 else None
-            detector.observe_transmitters(len(responders), sole)
-        outcome = detector.classify(signal)
+        if packed:
+            # uint64 fast path: packed payloads, machine-word OR, integer
+            # classification.  Same RNG draws, same verdicts, same channel
+            # statistics as the object path below.
+            values = [
+                detector.contention_payload_packed(t.tag_id, t.rng)
+                for t in responders
+            ]
+            signal = None
+            value = self.channel.transmit_packed(
+                values, detector.packed_bits
+            )
+            outcome = detector.classify_packed(value)
+        else:
+            payloads = [
+                detector.contention_payload(t.tag_id, t.rng)
+                for t in responders
+            ]
+            signal = self.channel.transmit(payloads)
+            if isinstance(detector, IdealDetector):
+                sole = responders[0].tag_id if len(responders) == 1 else None
+                detector.observe_transmitters(len(responders), sole)
+            outcome = detector.classify(signal)
         true_type = _true_type(len(responders))
         detected = outcome.slot_type
         duration = self.timing.slot_duration(detector, detected)
@@ -294,7 +350,10 @@ class Reader:
             lost_tags=lost_count,
             captured=captured,
         )
-        if _INV.enabled:
+        if _INV.enabled and not packed:
+            # (The packed gate re-resolves per inventory, so a flag flip
+            # mid-run takes effect from the next inventory; the checker
+            # needs the composed object signal.)
             _check_slot(record, detector, self.timing, signal)
         if _OBS.enabled:
             _inst.record_slot(record)

@@ -22,6 +22,7 @@ from repro.verify.oracles import (
 EXPECTED = {
     "fsa-kernel-vs-reader": "kernel-reader",
     "bt-kernel-vs-reader": "kernel-reader",
+    "batch-vs-streamed": "kernel-kernel",
     "fsa-frame-vs-theory": "sim-theory",
     "bt-slots-vs-theory": "sim-theory",
     "fsa-ei-vs-theory": "sim-theory",
@@ -48,6 +49,7 @@ class TestRegistry:
         assert kinds == EXPECTED
         by_kind = list(kinds.values())
         assert by_kind.count("kernel-reader") == 2
+        assert by_kind.count("kernel-kernel") == 1
         assert by_kind.count("sim-theory") >= 3
         assert by_kind.count("invariant") == 1
 
