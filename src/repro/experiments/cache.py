@@ -18,19 +18,35 @@ point, under the directory handed to ``--cache-dir``:
 Writes are atomic (temp file + ``os.replace``) so concurrent runners
 sharing a cache directory never observe torn entries; unreadable,
 mismatched or stale-schema entries read as misses, never as errors.
+The temp-file name is unique per *call* (pid + per-process counter), not
+just per process, so two threads storing the same key concurrently can
+never clobber each other's half-written temp file; a crashed writer's
+orphaned ``*.tmp.*`` files are swept on the next cache open (only ones
+old enough that no live writer can still own them).
 """
 
 from __future__ import annotations
 
 import hashlib
+import itertools
 import json
 import os
+import time
 from pathlib import Path
 from typing import Mapping
 
 from repro.sim.export import nan_to_none
 
 __all__ = ["SCHEMA_VERSION", "ResultCache", "cache_key"]
+
+#: Orphaned temp files younger than this many seconds are left alone on
+#: cache open: they may belong to a concurrent writer that is still
+#: between ``write_text`` and ``os.replace``.
+STALE_TMP_SECONDS = 3600.0
+
+#: Per-process monotonic id: combined with the pid it makes every store()
+#: call's temp file unique, even across threads racing on one key.
+_TMP_IDS = itertools.count()
 
 #: Bump when the cached payload's meaning changes (new AggregateStats
 #: fields, different aggregation semantics, ...); every existing entry
@@ -52,6 +68,25 @@ class ResultCache:
     def __init__(self, root: str | Path) -> None:
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
+        self._sweep_orphaned_tmp()
+
+    def _sweep_orphaned_tmp(self, max_age_s: float = STALE_TMP_SECONDS) -> int:
+        """Delete ``*.tmp.*`` files older than ``max_age_s``; return count.
+
+        Recent temp files are spared: a concurrent writer in another
+        process may be about to ``os.replace`` one of them.  Only files a
+        crashed writer left behind long ago are reclaimed.
+        """
+        removed = 0
+        cutoff = time.time() - max_age_s
+        for tmp in self.root.glob("*.tmp.*"):
+            try:
+                if tmp.stat().st_mtime < cutoff:
+                    tmp.unlink()
+                    removed += 1
+            except OSError:
+                continue  # raced with another sweeper or the owner
+        return removed
 
     def path_for(self, params: Mapping[str, object]) -> Path:
         return self.root / f"{cache_key(params)[:32]}.json"
@@ -89,7 +124,15 @@ class ResultCache:
             "stats": nan_to_none(dict(stats)),
         }
         payload = json.dumps(doc, indent=2, sort_keys=True, allow_nan=False)
-        tmp = path.with_suffix(f".tmp.{os.getpid()}")
-        tmp.write_text(payload + "\n")
-        os.replace(tmp, path)
+        # pid + per-process counter: unique per call, so threads racing on
+        # one key each write (and atomically promote) their own temp file.
+        tmp = path.with_name(
+            f"{path.name}.tmp.{os.getpid()}.{next(_TMP_IDS)}"
+        )
+        try:
+            tmp.write_text(payload + "\n")
+            os.replace(tmp, path)
+        except BaseException:
+            tmp.unlink(missing_ok=True)
+            raise
         return path

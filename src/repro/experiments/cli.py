@@ -242,55 +242,59 @@ def main(argv: list[str] | None = None) -> int:
     )
     args = parser.parse_args(argv)
 
-    suite = ExperimentSuite(
-        rounds=args.rounds,
-        seed=args.seed,
-        workers=args.workers,
-        cache_dir=None if args.no_cache else args.cache_dir,
-    )
     observing = (
         args.metrics_out is not None
         or args.trace_out is not None
         or args.experiment == "obs-report"
     )
-    if observing:
-        obs.reset()
-        sink = obs.JsonlSink(args.trace_out) if args.trace_out else None
-        obs.enable(sink=sink)
-    try:
-        if args.experiment == "obs-report":
-            rows = run_obs_report(suite)
-            print(
-                render_table(
-                    rows,
-                    title="Observability self-check "
-                    "(registry vs trace ground truth)",
+    # The suite context-manages the executor pool: every exit path below
+    # (including a failing JsonlSink or a raising experiment) releases
+    # the worker processes.
+    with ExperimentSuite(
+        rounds=args.rounds,
+        seed=args.seed,
+        workers=args.workers,
+        cache_dir=None if args.no_cache else args.cache_dir,
+    ) as suite:
+        enabled = False
+        try:
+            if observing:
+                obs.reset()
+                sink = obs.JsonlSink(args.trace_out) if args.trace_out else None
+                obs.enable(sink=sink)
+                enabled = True
+            if args.experiment == "obs-report":
+                rows = run_obs_report(suite)
+                print(
+                    render_table(
+                        rows,
+                        title="Observability self-check "
+                        "(registry vs trace ground truth)",
+                    )
                 )
-            )
-            print()
-            print(obs.STATE.registry.to_prometheus())
-            if not all(r["match"] == "yes" for r in rows):
-                return 1
-        else:
-            if args.experiment == "all":
-                ids = list(EXPERIMENTS)
-            elif args.experiment == "extensions":
-                ids = list(EXTENSIONS)
-            else:
-                ids = [args.experiment]
-            for exp_id in ids:
-                rows = run_experiment(exp_id, suite)
-                print(render_table(rows, title=_title(exp_id)))
                 print()
-    finally:
-        suite.close()
-        if observing:
-            if args.metrics_out is not None:
-                json_path, prom_path = _dump_metrics(args.metrics_out)
-                print(f"metrics written to {json_path} and {prom_path}")
-            if args.trace_out is not None:
-                print(f"trace written to {args.trace_out}")
-            obs.disable(close_sink=args.trace_out is not None)
+                print(obs.STATE.registry.to_prometheus())
+                if not all(r["match"] == "yes" for r in rows):
+                    return 1
+            else:
+                if args.experiment == "all":
+                    ids = list(EXPERIMENTS)
+                elif args.experiment == "extensions":
+                    ids = list(EXTENSIONS)
+                else:
+                    ids = [args.experiment]
+                for exp_id in ids:
+                    rows = run_experiment(exp_id, suite)
+                    print(render_table(rows, title=_title(exp_id)))
+                    print()
+        finally:
+            if enabled:
+                if args.metrics_out is not None:
+                    json_path, prom_path = _dump_metrics(args.metrics_out)
+                    print(f"metrics written to {json_path} and {prom_path}")
+                if args.trace_out is not None:
+                    print(f"trace written to {args.trace_out}")
+                obs.disable(close_sink=args.trace_out is not None)
     return 0
 
 

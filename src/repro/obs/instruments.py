@@ -39,6 +39,14 @@ __all__ = [
     "GRID_POINTS",
     "MC_ROUNDS",
     "INVARIANT_VIOLATIONS",
+    "SERVE_REQUESTS",
+    "SERVE_REQUEST_SECONDS",
+    "SERVE_REJECTS",
+    "SERVE_QUEUE_DEPTH",
+    "SERVE_INFLIGHT",
+    "SERVE_COALESCE_HITS",
+    "SERVE_POINTS",
+    "SERVE_JOBS",
     "record_slot",
     "record_inventory",
     "record_kernel_stats",
@@ -62,6 +70,16 @@ JAMMED = "repro_jammed_tags_total"
 GRID_POINTS = "repro_grid_points_total"
 MC_ROUNDS = "repro_mc_rounds_total"
 INVARIANT_VIOLATIONS = "repro_invariant_violations_total"
+
+# -- repro.serve (the simulation service; see docs/SERVING.md) ---------
+SERVE_REQUESTS = "repro_serve_requests_total"
+SERVE_REQUEST_SECONDS = "repro_serve_request_seconds"
+SERVE_REJECTS = "repro_serve_rejects_total"
+SERVE_QUEUE_DEPTH = "repro_serve_queue_depth"
+SERVE_INFLIGHT = "repro_serve_inflight_points"
+SERVE_COALESCE_HITS = "repro_serve_coalesce_hits_total"
+SERVE_POINTS = "repro_serve_points_total"
+SERVE_JOBS = "repro_serve_jobs_total"
 
 #: Airtime histogram buckets (units of tau): decade ladder wide enough
 #: for a 10-tag toy run and the paper's 50 000-tag case IV.

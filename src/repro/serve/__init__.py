@@ -1,0 +1,56 @@
+"""repro.serve -- asyncio inventory-simulation service.
+
+A dependency-free (stdlib asyncio) HTTP service exposing the
+:mod:`repro.experiments` grid runner over the network, built around
+three load-shaping mechanisms:
+
+* **admission control** (:mod:`repro.serve.queue`) -- a bounded priority
+  queue with per-client fair-share quotas; overload is shed as
+  ``429 Too Many Requests`` plus a ``Retry-After`` estimate instead of
+  melting down;
+* **request coalescing** (:mod:`repro.serve.coalesce`) -- identical
+  in-flight grid points (same result-cache content hash) compute once,
+  with every duplicate request fed from the leader's future;
+* **streaming results** (:mod:`repro.serve.server`) -- async jobs stream
+  per-point results as NDJSON the moment they complete.
+
+The remaining modules: :mod:`repro.serve.protocol` (versioned wire
+schema and typed error envelopes), :mod:`repro.serve.workers` (the
+asyncio/thread bridge onto ``ExperimentSuite`` + the shared executor and
+result cache), :mod:`repro.serve.client` (blocking client with
+Retry-After-aware backoff) and :mod:`repro.serve.loadgen` (open-loop
+load generator behind the ``BENCH_serve`` baseline).
+
+Run the server with ``repro-serve`` or ``python -m repro.serve``; see
+``docs/SERVING.md`` for the API reference.
+
+Submodules load lazily, mirroring :mod:`repro.verify`: ``workers``
+imports the simulation stack and the client/loadgen are pure-stdlib --
+eager imports would make ``import repro.serve`` pay for all of it.
+"""
+
+from __future__ import annotations
+
+import importlib
+
+_SUBMODULES = (
+    "client",
+    "coalesce",
+    "loadgen",
+    "protocol",
+    "queue",
+    "server",
+    "workers",
+)
+
+__all__ = list(_SUBMODULES)
+
+
+def __getattr__(name: str):
+    if name in _SUBMODULES:
+        return importlib.import_module(f"repro.serve.{name}")
+    raise AttributeError(f"module 'repro.serve' has no attribute {name!r}")
+
+
+def __dir__() -> list[str]:
+    return sorted(set(globals()) | set(_SUBMODULES))

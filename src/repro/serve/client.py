@@ -1,0 +1,207 @@
+"""Blocking HTTP client for ``repro-serve``.
+
+Stdlib-only (``http.client``), one connection per request (the server
+speaks ``Connection: close``).  Retries are built in and honor the
+server's backpressure contract:
+
+* **429 / 503** -- wait the server's ``Retry-After`` (or an exponential
+  backoff) plus decorrelating jitter, then retry, up to ``retries``
+  attempts;
+* **connection errors** -- same backoff schedule (the server may be
+  restarting);
+* **other 4xx** -- never retried; surfaced as :class:`ServeError` with
+  the typed error envelope attached.
+
+The jitter source is an injectable ``random.Random`` so tests are
+deterministic.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import random
+import time
+from typing import Iterator
+from urllib.parse import urlsplit
+
+__all__ = ["ServeError", "ServeClient"]
+
+
+class ServeError(Exception):
+    """A non-retryable (or retry-exhausted) service response."""
+
+    def __init__(
+        self,
+        status: int,
+        code: str,
+        message: str,
+        envelope: dict | None = None,
+    ) -> None:
+        super().__init__(f"{status} {code}: {message}")
+        self.status = status
+        self.code = code
+        self.envelope = envelope or {}
+
+
+def _parse_error(status: int, body: bytes) -> ServeError:
+    try:
+        doc = json.loads(body.decode("utf-8"))
+        error = doc.get("error", {})
+        return ServeError(
+            status,
+            str(error.get("code", "unknown")),
+            str(error.get("message", "")),
+            doc,
+        )
+    except (ValueError, AttributeError, UnicodeDecodeError):
+        return ServeError(status, "unknown", body[:200].decode("latin-1"))
+
+
+class ServeClient:
+    """Minimal blocking client with Retry-After-aware backoff."""
+
+    def __init__(
+        self,
+        base_url: str,
+        *,
+        retries: int = 5,
+        backoff_s: float = 0.1,
+        backoff_cap_s: float = 10.0,
+        timeout_s: float = 120.0,
+        jitter: float = 0.5,
+        rng: random.Random | None = None,
+        sleep=time.sleep,
+    ) -> None:
+        parts = urlsplit(base_url if "//" in base_url else f"http://{base_url}")
+        if parts.scheme != "http":
+            raise ValueError("only http:// endpoints are supported")
+        self.host = parts.hostname or "127.0.0.1"
+        self.port = parts.port or 80
+        self.retries = retries
+        self.backoff_s = backoff_s
+        self.backoff_cap_s = backoff_cap_s
+        self.timeout_s = timeout_s
+        self.jitter = jitter
+        self._rng = rng if rng is not None else random.Random()
+        self._sleep = sleep
+        self.attempts = 0  # total HTTP attempts, for tests/reporting
+
+    # -- low-level ------------------------------------------------------
+
+    def _once(
+        self, method: str, path: str, body: bytes | None
+    ) -> tuple[int, dict, bytes]:
+        conn = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout_s
+        )
+        try:
+            headers = {"Connection": "close"}
+            if body is not None:
+                headers["Content-Type"] = "application/json"
+            conn.request(method, path, body=body, headers=headers)
+            resp = conn.getresponse()
+            payload = resp.read()
+            return resp.status, dict(resp.getheaders()), payload
+        finally:
+            conn.close()
+
+    def _delay(self, attempt: int, retry_after: str | None) -> float:
+        if retry_after is not None:
+            try:
+                base = float(retry_after)
+            except ValueError:
+                base = self.backoff_s * (2**attempt)
+        else:
+            base = self.backoff_s * (2**attempt)
+        base = min(base, self.backoff_cap_s)
+        return base * (1.0 + self.jitter * self._rng.random())
+
+    def request(
+        self, method: str, path: str, doc: dict | None = None
+    ) -> tuple[int, dict, bytes]:
+        """One call with the retry policy; returns (status, headers, body)."""
+        body = (
+            json.dumps(doc).encode("utf-8") if doc is not None else None
+        )
+        last_exc: Exception | None = None
+        for attempt in range(self.retries + 1):
+            self.attempts += 1
+            try:
+                status, headers, payload = self._once(method, path, body)
+            except (ConnectionError, OSError, http.client.HTTPException) as exc:
+                last_exc = exc
+                if attempt == self.retries:
+                    raise
+                self._sleep(self._delay(attempt, None))
+                continue
+            if status in (429, 503) and attempt < self.retries:
+                retry_after = {
+                    k.lower(): v for k, v in headers.items()
+                }.get("retry-after")
+                self._sleep(self._delay(attempt, retry_after))
+                continue
+            return status, headers, payload
+        raise last_exc if last_exc else RuntimeError("unreachable")
+
+    def request_json(
+        self, method: str, path: str, doc: dict | None = None
+    ) -> dict:
+        status, _headers, payload = self.request(method, path, doc)
+        if status >= 400:
+            raise _parse_error(status, payload)
+        return json.loads(payload.decode("utf-8"))
+
+    # -- endpoints ------------------------------------------------------
+
+    def healthz(self) -> dict:
+        return self.request_json("GET", "/healthz")
+
+    def metrics_text(self) -> str:
+        status, _headers, payload = self.request("GET", "/metrics")
+        if status != 200:
+            raise _parse_error(status, payload)
+        return payload.decode("utf-8")
+
+    def simulate(self, doc: dict) -> dict:
+        """``POST /v1/simulate`` (sync or async body; parsed JSON back)."""
+        return self.request_json("POST", "/v1/simulate", doc)
+
+    def stream_job(self, job_id: str) -> Iterator[dict]:
+        """Yield the parsed NDJSON lines of ``GET /v1/jobs/<id>``.
+
+        Streams incrementally (one connection, line by line); raises
+        :class:`ServeError` on a non-200 status.
+        """
+        conn = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout_s
+        )
+        try:
+            conn.request(
+                "GET", f"/v1/jobs/{job_id}", headers={"Connection": "close"}
+            )
+            resp = conn.getresponse()
+            if resp.status != 200:
+                raise _parse_error(resp.status, resp.read())
+            for raw in resp:
+                raw = raw.strip()
+                if raw:
+                    yield json.loads(raw.decode("utf-8"))
+        finally:
+            conn.close()
+
+    def run(self, doc: dict) -> list[dict]:
+        """Submit async and stream to completion; returns result lines.
+
+        Raises :class:`ServeError` if the job ends in ``failed``.
+        """
+        submitted = self.simulate(dict(doc, mode="async"))
+        results: list[dict] = []
+        for line in self.stream_job(submitted["job_id"]):
+            if line.get("type") == "result":
+                results.append(line)
+            elif line.get("type") == "done" and line.get("state") != "done":
+                raise ServeError(
+                    500, "internal", line.get("error") or "job failed"
+                )
+        return results

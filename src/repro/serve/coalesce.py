@@ -1,0 +1,88 @@
+"""Request coalescing: identical in-flight grid points compute once.
+
+A thundering herd of clients asking for the same grid point (same case,
+protocol, scheme, rounds, seed, timing -- i.e. the same
+:func:`repro.experiments.cache.cache_key` content hash) should cost one
+kernel run, not N.  The on-disk :class:`~repro.experiments.cache.ResultCache`
+already deduplicates *sequential* repeats; this module deduplicates the
+*concurrent* window before the first computation lands:
+
+* the first worker to lease a key becomes the **leader** and computes;
+* every other worker leasing the same key while the leader is in flight
+  becomes a **follower** and awaits the leader's future;
+* the leader ``resolve``\\ s the future (result or exception) and the key
+  leaves the table -- afterwards the disk cache / suite memo take over.
+
+Single event loop only: leases are taken and resolved on the loop
+thread (the blocking compute itself runs in a worker thread), so no
+locking is needed.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Callable
+
+__all__ = ["Coalescer"]
+
+
+def _mark_retrieved(fut: asyncio.Future) -> None:
+    # Touch the exception so a leader-only failure (no followers ever
+    # awaited) does not log "exception was never retrieved".
+    if not fut.cancelled():
+        fut.exception()
+
+
+class Coalescer:
+    """Table of in-flight computations keyed by content hash."""
+
+    def __init__(self) -> None:
+        self._inflight: dict[str, asyncio.Future] = {}
+        self.hits = 0  # follower leases served since construction
+        self.leads = 0  # leader leases granted since construction
+
+    def in_flight(self) -> int:
+        return len(self._inflight)
+
+    def lease(self, key: str) -> tuple[bool, asyncio.Future]:
+        """``(leader, future)`` for ``key``.
+
+        The leader must eventually call :meth:`resolve` exactly once;
+        followers just await the future (which never leaves this table
+        unresolved).
+        """
+        fut = self._inflight.get(key)
+        if fut is not None:
+            self.hits += 1
+            return False, fut
+        fut = asyncio.get_running_loop().create_future()
+        fut.add_done_callback(_mark_retrieved)
+        self._inflight[key] = fut
+        self.leads += 1
+        return True, fut
+
+    def resolve(
+        self, key: str, result: object = None, error: BaseException | None = None
+    ) -> None:
+        """Publish the leader's outcome to every follower and clear the key."""
+        fut = self._inflight.pop(key)
+        if fut.done():  # pragma: no cover - defensive; resolve is once-only
+            return
+        if error is not None:
+            fut.set_exception(error)
+        else:
+            fut.set_result(result)
+
+    async def compute(self, key: str, thunk: Callable[[], object]) -> tuple[object, bool]:
+        """Convenience: run ``thunk`` (an awaitable factory) under the
+        lease protocol.  Returns ``(result, coalesced)``."""
+        leader, fut = self.lease(key)
+        if not leader:
+            return await asyncio.shield(fut), True
+        try:
+            result = await thunk()
+        except BaseException as exc:
+            self.resolve(key, error=exc)
+            raise
+        self.resolve(key, result)
+        return result, False

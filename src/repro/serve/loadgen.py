@@ -1,0 +1,316 @@
+"""Open-loop load generator for ``repro-serve``.
+
+Fires ``rate * duration`` synchronous simulate requests at their
+scheduled instants (open loop: arrivals do not wait for completions, so
+the server sees real overload, not a closed feedback loop), then reports
+throughput, shed rate and latency percentiles::
+
+    python -m repro.serve.loadgen --url http://127.0.0.1:8537 \\
+        --rate 200 --duration 5 --out BENCH_serve.json \\
+        --baseline benchmarks/BENCH_serve.json
+
+The request mix cycles over ``--unique`` distinct seeds, so a fraction
+``(unique - 1) / unique`` of the offered load is fresh work and the rest
+exercises the coalescing/caching path -- the report carries the server's
+own coalesce/points counters scraped from ``/metrics``.
+
+The regression gate mirrors ``repro-bench``: absolute RPS and
+milliseconds are machine-bound, so only *ratios* are compared against
+the committed baseline (``--tolerance``, default 50%):
+
+* any 5xx at all fails the gate (the service contract is shed-don't-melt);
+* the goodput ratio (completed / offered) must not regress;
+* the p99/p50 tail ratio is reported but not gated (too noisy in CI).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import sys
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+from typing import Sequence
+
+from repro.serve.client import ServeClient
+
+__all__ = [
+    "run_loadgen",
+    "percentile",
+    "check_against_baseline",
+    "main",
+    "build_parser",
+]
+
+
+def percentile(sorted_values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile of an ascending-sorted sequence."""
+    if not sorted_values:
+        return float("nan")
+    if not 0.0 <= q <= 100.0:
+        raise ValueError("q must be in [0, 100]")
+    rank = max(1, math.ceil(q / 100.0 * len(sorted_values)))
+    return sorted_values[min(rank, len(sorted_values)) - 1]
+
+
+class _Tally:
+    """Thread-safe latency/status accounting with an in-flight high-water
+    mark (the acceptance criterion counts concurrent in-flight requests)."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.latencies_ms: list[float] = []
+        self.statuses: dict[str, int] = {}
+        self.in_flight = 0
+        self.max_in_flight = 0
+        self.schedule_lag_s = 0.0
+
+    def enter(self) -> None:
+        with self._lock:
+            self.in_flight += 1
+            self.max_in_flight = max(self.max_in_flight, self.in_flight)
+
+    def exit(self, status_class: str, latency_ms: float) -> None:
+        with self._lock:
+            self.in_flight -= 1
+            self.statuses[status_class] = (
+                self.statuses.get(status_class, 0) + 1
+            )
+            self.latencies_ms.append(latency_ms)
+
+
+def _status_class(status: int) -> str:
+    if status == 429:
+        return "429"
+    if 200 <= status < 300:
+        return "2xx"
+    if 400 <= status < 500:
+        return "4xx"
+    if status >= 500:
+        return "5xx"
+    return str(status)
+
+
+def run_loadgen(
+    url: str,
+    *,
+    rate: float = 100.0,
+    duration_s: float = 5.0,
+    concurrency: int = 256,
+    rounds: int = 1,
+    unique_seeds: int = 8,
+    case: str = "I",
+    protocol: str = "fsa",
+    scheme: str = "qcd-8",
+    priority: int = 5,
+    client_name: str = "loadgen",
+    timeout_s: float = 60.0,
+) -> dict:
+    """Drive the server and return the report document."""
+    if rate <= 0 or duration_s <= 0:
+        raise ValueError("rate and duration must be positive")
+    n_requests = max(1, int(rate * duration_s))
+    tally = _Tally()
+    start = time.perf_counter()
+
+    def one(i: int) -> None:
+        scheduled = start + i / rate
+        delay = scheduled - time.perf_counter()
+        if delay > 0:
+            time.sleep(delay)
+        else:
+            with tally._lock:
+                tally.schedule_lag_s = max(tally.schedule_lag_s, -delay)
+        body = {
+            "version": 1,
+            "cases": [case],
+            "protocols": [protocol],
+            "schemes": [scheme],
+            "rounds": rounds,
+            "seed": 20_100 + (i % unique_seeds),
+            "mode": "sync",
+            "priority": priority,
+            "client": f"{client_name}-{i % 4}",
+        }
+        # No retries: the load generator measures the server's first
+        # answer (shed or served), not the client's patience.
+        client = ServeClient(url, retries=0, timeout_s=timeout_s)
+        tally.enter()
+        t0 = time.perf_counter()
+        try:
+            status, _headers, _payload = client.request(
+                "POST", "/v1/simulate", body
+            )
+        except Exception:
+            status = -1
+        tally.exit(
+            _status_class(status) if status != -1 else "error",
+            (time.perf_counter() - t0) * 1000.0,
+        )
+
+    with ThreadPoolExecutor(max_workers=concurrency) as pool:
+        futures = [pool.submit(one, i) for i in range(n_requests)]
+        for fut in futures:
+            fut.result()
+    elapsed = time.perf_counter() - start
+
+    latencies = sorted(tally.latencies_ms)
+    served = tally.statuses.get("2xx", 0)
+    shed = tally.statuses.get("429", 0)
+    errored = sum(
+        n for k, n in tally.statuses.items() if k in ("5xx", "error")
+    )
+    total = sum(tally.statuses.values())
+    return {
+        "config": {
+            "url": url,
+            "rate_rps": rate,
+            "duration_s": duration_s,
+            "concurrency": concurrency,
+            "rounds": rounds,
+            "unique_seeds": unique_seeds,
+            "case": case,
+            "protocol": protocol,
+            "scheme": scheme,
+        },
+        "offered": n_requests,
+        "offered_rps": n_requests / elapsed,
+        "completed": served,
+        "achieved_rps": served / elapsed,
+        "goodput_ratio": served / total if total else 0.0,
+        "shed": shed,
+        "errors": errored,
+        "statuses": dict(sorted(tally.statuses.items())),
+        "max_in_flight": tally.max_in_flight,
+        "schedule_lag_s": round(tally.schedule_lag_s, 3),
+        "elapsed_s": elapsed,
+        "latency_ms": {
+            "p50": percentile(latencies, 50),
+            "p90": percentile(latencies, 90),
+            "p99": percentile(latencies, 99),
+            "max": latencies[-1] if latencies else float("nan"),
+            "mean": sum(latencies) / len(latencies) if latencies else float("nan"),
+        },
+    }
+
+
+def check_against_baseline(
+    report: dict, baseline: dict, tolerance: float
+) -> list[str]:
+    """Ratio-based regression findings (empty = gate passes).
+
+    Mirrors ``repro-bench``'s contract: absolute numbers are
+    machine-bound, ratios transfer.
+    """
+    problems: list[str] = []
+    if report.get("errors", 0):
+        problems.append(
+            f"{report['errors']} request(s) hit a 5xx/transport error; "
+            "the overload contract is 429-shed, never 500"
+        )
+    base_ratio = baseline.get("goodput_ratio")
+    ratio = report.get("goodput_ratio", 0.0)
+    if base_ratio is not None and ratio < base_ratio * (1.0 - tolerance):
+        problems.append(
+            f"goodput ratio regressed: {ratio:.2%} vs baseline "
+            f"{base_ratio:.2%} (> {tolerance:.0%} drop)"
+        )
+    return problems
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve.loadgen",
+        description=(
+            "Open-loop load generator for repro-serve: offered-rate "
+            "arrivals, latency percentiles, ratio-gated baseline."
+        ),
+    )
+    parser.add_argument(
+        "--url", default="http://127.0.0.1:8537", help="server base URL"
+    )
+    parser.add_argument("--rate", type=float, default=100.0, help="offered RPS")
+    parser.add_argument(
+        "--duration", type=float, default=5.0, help="seconds of offered load"
+    )
+    parser.add_argument(
+        "--concurrency",
+        type=int,
+        default=256,
+        help="max concurrent in-flight requests (default 256)",
+    )
+    parser.add_argument("--rounds", type=int, default=1)
+    parser.add_argument(
+        "--unique",
+        type=int,
+        default=8,
+        dest="unique_seeds",
+        help="distinct seeds cycled through (smaller = more coalescing)",
+    )
+    parser.add_argument("--case", default="I")
+    parser.add_argument("--protocol", default="fsa")
+    parser.add_argument("--scheme", default="qcd-8")
+    parser.add_argument(
+        "--out", default=None, metavar="FILE", help="write the JSON report"
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        metavar="FILE",
+        help="committed baseline to gate ratios against",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.5,
+        help="allowed fractional goodput-ratio regression (default 0.5)",
+    )
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    report = run_loadgen(
+        args.url,
+        rate=args.rate,
+        duration_s=args.duration,
+        concurrency=args.concurrency,
+        rounds=args.rounds,
+        unique_seeds=args.unique_seeds,
+        case=args.case,
+        protocol=args.protocol,
+        scheme=args.scheme,
+    )
+    lat = report["latency_ms"]
+    print(
+        f"offered {report['offered']} ({report['offered_rps']:.1f} rps) | "
+        f"served {report['completed']} ({report['achieved_rps']:.1f} rps) | "
+        f"shed {report['shed']} | errors {report['errors']} | "
+        f"max in-flight {report['max_in_flight']}"
+    )
+    print(
+        f"latency ms: p50 {lat['p50']:.1f} | p90 {lat['p90']:.1f} | "
+        f"p99 {lat['p99']:.1f} | max {lat['max']:.1f}"
+    )
+    if args.out:
+        out = Path(args.out)
+        out.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+        print(f"wrote {out}")
+    if args.baseline:
+        baseline = json.loads(Path(args.baseline).read_text())
+        problems = check_against_baseline(report, baseline, args.tolerance)
+        for p in problems:
+            print(f"REGRESSION: {p}", file=sys.stderr)
+        if problems:
+            return 1
+        print(
+            f"gate OK vs {args.baseline} (tolerance {args.tolerance:.0%})"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

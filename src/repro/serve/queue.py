@@ -1,0 +1,223 @@
+"""Bounded admission queue: priorities, per-client fairness, backpressure.
+
+The service admits work *all-or-nothing* per request: either every grid
+point of a job fits under the queue's capacity (and the client's quota),
+or the whole request is rejected with a typed 429 carrying a
+``Retry-After`` estimate.  Overload therefore sheds load at the front
+door instead of queueing unboundedly and melting down.
+
+Ordering within the queue:
+
+* **priority first** -- higher ``priority`` (0..9) dequeues sooner;
+* **fair within a priority** -- entries are ranked by how many items the
+  submitting client already had queued at that priority, so two clients
+  interleave round-robin instead of the first burst starving the second
+  (weighted fair queueing with unit weights);
+* **FIFO as the tiebreak** -- equal (priority, rank) falls back to
+  arrival order.
+
+The queue is asyncio-native (``get`` suspends; ``put_batch`` wakes one
+waiter per item) but keeps no loop reference, so it can be built before
+the loop starts and unit-tested with short ``asyncio.run`` snippets.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import heapq
+import itertools
+import math
+from typing import Iterator, Sequence
+
+__all__ = [
+    "AdmissionError",
+    "QueueFull",
+    "ClientQuotaExceeded",
+    "QueueClosed",
+    "AdmissionQueue",
+]
+
+
+class AdmissionError(Exception):
+    """A rejected admission; ``retry_after_s`` backs the 429 header."""
+
+    def __init__(self, message: str, retry_after_s: float) -> None:
+        super().__init__(message)
+        self.retry_after_s = retry_after_s
+
+
+class QueueFull(AdmissionError):
+    """The batch does not fit under the queue's total capacity."""
+
+
+class ClientQuotaExceeded(AdmissionError):
+    """The batch would push one client past its fair-share quota."""
+
+
+class QueueClosed(Exception):
+    """Raised by ``get`` once the queue is closed *and* fully drained,
+    and by ``put_batch`` immediately after ``close`` (drain mode)."""
+
+
+class AdmissionQueue:
+    """Priority queue with capacity, per-client quotas and fair ordering.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum queued items (grid points) across all clients.
+    per_client:
+        Maximum queued items any single client may hold; defaults to
+        ``max(1, capacity // 4)`` so one client can never occupy the
+        whole queue.
+    """
+
+    def __init__(self, capacity: int = 512, per_client: int | None = None):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self.per_client = (
+            per_client if per_client is not None else max(1, capacity // 4)
+        )
+        if self.per_client < 1:
+            raise ValueError("per_client must be >= 1")
+        # Entries are (-priority, rank, seq, client, item); the client is
+        # carried in the tuple so ``get`` can release quota bookkeeping.
+        self._heap: list[tuple[int, int, int, str, object]] = []
+        self._seq = itertools.count()
+        self._queued_per_client: dict[str, int] = {}
+        # (priority, client) -> next fairness rank.  Reset for a client
+        # when its queued count returns to zero, so ranks stay small.
+        self._ranks: dict[tuple[int, str], int] = {}
+        self._waiters: list[asyncio.Future] = []
+        self._closed = False
+
+    # -- introspection --------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def depth(self) -> int:
+        return len(self._heap)
+
+    def client_depth(self, client: str) -> int:
+        return self._queued_per_client.get(client, 0)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def estimate_wait_s(self, per_item_s: float, workers: int) -> float:
+        """Rough seconds until new work would start draining.
+
+        ``depth * per_item_s / workers``, floored at 1 second so the
+        ``Retry-After`` header is never 0 (clients should always back
+        off a beat when rejected).  NaN/zero service-time estimates fall
+        back to the floor.
+        """
+        workers = max(1, workers)
+        if not per_item_s or math.isnan(per_item_s):
+            return 1.0
+        return max(1.0, len(self._heap) * per_item_s / workers)
+
+    # -- producing ------------------------------------------------------
+
+    def put_batch(
+        self, items: Sequence[object], *, client: str, priority: int
+    ) -> None:
+        """Admit every item or none.
+
+        Raises :class:`QueueFull` / :class:`ClientQuotaExceeded` with a
+        retry hint (the caller turns either into a 429), or
+        :class:`QueueClosed` once draining has begun.
+        """
+        if self._closed:
+            raise QueueClosed("queue is draining; not admitting new work")
+        if not items:
+            return
+        if len(self._heap) + len(items) > self.capacity:
+            raise QueueFull(
+                f"queue full ({len(self._heap)}/{self.capacity} queued, "
+                f"batch of {len(items)} rejected)",
+                retry_after_s=1.0,
+            )
+        held = self._queued_per_client.get(client, 0)
+        if held + len(items) > self.per_client:
+            raise ClientQuotaExceeded(
+                f"client {client!r} holds {held} queued items; admitting "
+                f"{len(items)} more would exceed the per-client quota "
+                f"of {self.per_client}",
+                retry_after_s=1.0,
+            )
+        rank_key = (priority, client)
+        rank = self._ranks.get(rank_key, 0)
+        for item in items:
+            heapq.heappush(
+                self._heap, (-priority, rank, next(self._seq), client, item)
+            )
+            rank += 1
+        self._ranks[rank_key] = rank
+        self._queued_per_client[client] = held + len(items)
+        self._wake(len(items))
+
+    def _wake(self, n: int) -> None:
+        while n > 0 and self._waiters:
+            fut = self._waiters.pop(0)
+            if not fut.done():
+                fut.set_result(None)
+                n -= 1
+
+    # -- consuming ------------------------------------------------------
+
+    def _pop(self) -> object:
+        _, _, _, client, item = heapq.heappop(self._heap)
+        if client in self._queued_per_client:
+            left = self._queued_per_client[client] - 1
+            if left <= 0:
+                del self._queued_per_client[client]
+                # Client fully drained: forget its fairness ranks so the
+                # counters cannot grow without bound.
+                for key in [k for k in self._ranks if k[1] == client]:
+                    del self._ranks[key]
+            else:
+                self._queued_per_client[client] = left
+        return item
+
+    async def get(self) -> object:
+        """Next item by (priority, fairness, arrival); suspends if empty.
+
+        Raises :class:`QueueClosed` when the queue is closed and empty --
+        the worker-pool shutdown signal.
+        """
+        while True:
+            if self._heap:
+                return self._pop()
+            if self._closed:
+                raise QueueClosed("queue closed and drained")
+            fut: asyncio.Future = (
+                asyncio.get_running_loop().create_future()
+            )
+            self._waiters.append(fut)
+            try:
+                await fut
+            except asyncio.CancelledError:
+                if fut in self._waiters:
+                    self._waiters.remove(fut)
+                raise
+
+    def drain_items(self) -> Iterator[object]:
+        """Pop everything synchronously (used by tests and hard aborts)."""
+        while self._heap:
+            yield self._pop()
+
+    # -- lifecycle ------------------------------------------------------
+
+    def close(self) -> None:
+        """Enter drain mode: reject new work, let ``get`` empty the heap,
+        then raise :class:`QueueClosed` to every (current and future)
+        waiter."""
+        self._closed = True
+        for fut in self._waiters:
+            if not fut.done():
+                fut.set_result(None)  # wake; get() re-checks and raises
+        self._waiters.clear()

@@ -1,0 +1,717 @@
+"""``repro-serve`` -- the asyncio HTTP/1.1 simulation service.
+
+Dependency-free (stdlib ``asyncio`` streams; no web framework).  Routes:
+
+==========================  ==========================================
+``POST /v1/simulate``       run a grid (``mode: sync`` waits and returns
+                            every result; ``mode: async`` returns 202 +
+                            a job id immediately)
+``GET /v1/jobs/<id>``       NDJSON stream: a job header line, one line
+                            per grid point as it completes, a terminal
+                            ``done`` line
+``GET /healthz``            liveness + queue/drain snapshot
+``GET /metrics``            Prometheus text exposition of the process
+                            registry (server + engine + folded worker
+                            metrics)
+==========================  ==========================================
+
+Overload never 500s: a request that does not fit under the admission
+queue's capacity (or the client's fair-share quota) is rejected with
+``429`` + ``Retry-After``; SIGTERM/SIGINT enter *drain* mode -- new
+simulate calls get ``503 draining`` while queued and in-flight jobs run
+to completion, then the process exits 0.
+
+Connections are one-request-per-connection (``Connection: close``),
+which keeps the HTTP layer small and makes EOF-delimited NDJSON
+streaming trivially correct.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import signal
+import sys
+import time
+from collections import OrderedDict
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Sequence
+
+from repro import obs
+from repro.obs import instruments as _inst
+from repro.obs.state import STATE as _OBS
+from repro.sim.export import nan_to_none
+from repro.serve import protocol as proto
+from repro.serve.coalesce import Coalescer
+from repro.serve.queue import AdmissionError, AdmissionQueue, QueueClosed
+from repro.serve.workers import (
+    JOB_DONE,
+    Job,
+    SimulationEngine,
+    WorkItem,
+    WorkerPool,
+)
+
+__all__ = ["ServeConfig", "ServeApp", "main", "build_parser"]
+
+#: HTTP parsing limits: past any of them the request is rejected, never
+#: buffered unboundedly.
+MAX_REQUEST_LINE = 8 * 1024
+MAX_HEADER_COUNT = 100
+MAX_HEADER_LINE = 8 * 1024
+MAX_BODY_BYTES = 1024 * 1024
+
+#: A client must deliver its whole request within this window; an idle
+#: half-open connection can otherwise pin the drain sequence forever.
+REQUEST_READ_TIMEOUT = 30.0
+
+#: Finished jobs kept for late ``GET /v1/jobs/<id>`` readers.
+FINISHED_JOB_BACKLOG = 1024
+
+_REASONS = {
+    200: "OK",
+    202: "Accepted",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    408: "Request Timeout",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+class _HttpError(Exception):
+    """Transport-level malformation (before the JSON protocol layer)."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+@dataclass
+class _HttpRequest:
+    method: str
+    path: str
+    headers: dict[str, str]
+    body: bytes
+
+
+@dataclass
+class ServeConfig:
+    """Everything ``repro-serve`` can be told from the command line."""
+
+    host: str = "127.0.0.1"
+    port: int = 8537
+    concurrency: int = 4  # asyncio workers draining the queue
+    queue_capacity: int = 512
+    per_client: int | None = None  # default: capacity // 4
+    mc_workers: int = 1  # processes per grid point (PR-2 executor)
+    cache_dir: str | None = None  # on-disk ResultCache directory
+    compute_floor_s: float = 0.0  # min service time per computed point
+    drain_grace_s: float = 30.0  # max seconds to wait for drain
+
+
+class ServeApp:
+    """The wired service: queue -> coalescer -> engine -> workers + HTTP."""
+
+    def __init__(self, config: ServeConfig | None = None) -> None:
+        self.config = config if config is not None else ServeConfig()
+        self.queue = AdmissionQueue(
+            capacity=self.config.queue_capacity,
+            per_client=self.config.per_client,
+        )
+        self.coalescer = Coalescer()
+        self.engine = SimulationEngine(
+            mc_workers=self.config.mc_workers,
+            cache_dir=self.config.cache_dir,
+            compute_floor_s=self.config.compute_floor_s,
+        )
+        self.pool = WorkerPool(
+            self.queue,
+            self.coalescer,
+            self.engine,
+            concurrency=self.config.concurrency,
+        )
+        self.jobs: OrderedDict[str, Job] = OrderedDict()
+        self.draining = False
+        self.started_s = time.monotonic()
+        self.port: int | None = None
+        self._server: asyncio.base_events.Server | None = None
+        self._closed = asyncio.Event()
+        self._drain_task: asyncio.Task | None = None
+        self._handlers: set[asyncio.Task] = set()
+
+    # -- lifecycle ------------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind the listener and start the worker pool."""
+        obs.enable()
+        await self.pool.start()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.config.host, self.config.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def wait_closed(self) -> None:
+        await self._closed.wait()
+
+    def begin_drain(self) -> None:
+        """Stop admitting work; finish what is queued/in flight; exit.
+
+        Idempotent; safe to call from a signal handler on the loop.
+        """
+        if self._drain_task is not None:
+            return
+        self.draining = True
+        self.queue.close()
+        self._drain_task = asyncio.get_running_loop().create_task(
+            self._drain()
+        )
+
+    async def _drain(self) -> None:
+        try:
+            await asyncio.wait_for(
+                self.pool.join(), timeout=self.config.drain_grace_s
+            )
+        except asyncio.TimeoutError:  # pragma: no cover - pathological jobs
+            await self.pool.abort()
+        # Workers are done, so every admitted job has finished; give the
+        # open response streams a beat to flush, then drop the listener.
+        if self._handlers:
+            _done, pending = await asyncio.wait(
+                self._handlers, timeout=self.config.drain_grace_s
+            )
+            for task in pending:  # stragglers holding idle connections
+                task.cancel()
+            if pending:
+                await asyncio.gather(*pending, return_exceptions=True)
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        self.engine.close()
+        self._closed.set()
+
+    async def aclose(self) -> None:
+        """Drain and wait until fully closed (test/embedding helper)."""
+        self.begin_drain()
+        await self.wait_closed()
+
+    # -- HTTP plumbing --------------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._handlers.add(task)
+            task.add_done_callback(self._handlers.discard)
+        t0 = time.perf_counter()
+        route = "unmatched"
+        status = 500
+        try:
+            try:
+                request = await asyncio.wait_for(
+                    self._read_request(reader), timeout=REQUEST_READ_TIMEOUT
+                )
+            except asyncio.TimeoutError:
+                status = 408
+                await self._send_json(
+                    writer,
+                    408,
+                    proto.error_envelope(
+                        proto.ProtocolError(
+                            "invalid_request",
+                            "timed out waiting for the request",
+                        )
+                    ),
+                )
+                return
+            except _HttpError as exc:
+                status = exc.status
+                err = proto.ProtocolError(
+                    "invalid_request"
+                    if exc.status < 500
+                    else "internal",
+                    str(exc),
+                )
+                await self._send_json(
+                    writer, exc.status, proto.error_envelope(err)
+                )
+                return
+            route, status = await self._dispatch(request, writer)
+        except (ConnectionError, asyncio.IncompleteReadError):
+            status = 0  # client went away; nothing to send
+        except Exception as exc:  # last-resort 500, never a crash
+            status = 500
+            try:
+                await self._send_json(
+                    writer,
+                    500,
+                    proto.error_envelope(
+                        proto.ProtocolError(
+                            "internal", f"{type(exc).__name__}: {exc}"
+                        )
+                    ),
+                )
+            except ConnectionError:  # pragma: no cover
+                pass
+        finally:
+            if _OBS.enabled and status:
+                reg = _OBS.registry
+                reg.counter(
+                    _inst.SERVE_REQUESTS,
+                    "HTTP requests served, by route and status",
+                    labelnames=("route", "status"),
+                ).labels(route=route, status=status).inc()
+                reg.histogram(
+                    _inst.SERVE_REQUEST_SECONDS,
+                    "Wall time per HTTP request",
+                    labelnames=("route",),
+                ).labels(route=route).observe(time.perf_counter() - t0)
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover
+                pass
+
+    async def _read_request(self, reader: asyncio.StreamReader) -> _HttpRequest:
+        try:
+            line = await reader.readuntil(b"\r\n")
+        except asyncio.LimitOverrunError:
+            raise _HttpError(400, "request line too long")
+        except asyncio.IncompleteReadError:
+            raise _HttpError(400, "empty request")
+        if len(line) > MAX_REQUEST_LINE:
+            raise _HttpError(400, "request line too long")
+        parts = line.decode("latin-1").rstrip("\r\n").split(" ")
+        if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+            raise _HttpError(400, "malformed request line")
+        method, target, _version = parts
+        headers: dict[str, str] = {}
+        for _ in range(MAX_HEADER_COUNT + 1):
+            try:
+                raw = await reader.readuntil(b"\r\n")
+            except (asyncio.LimitOverrunError, asyncio.IncompleteReadError):
+                raise _HttpError(400, "malformed headers")
+            if raw == b"\r\n":
+                break
+            if len(raw) > MAX_HEADER_LINE:
+                raise _HttpError(400, "header line too long")
+            name, sep, value = raw.decode("latin-1").partition(":")
+            if not sep:
+                raise _HttpError(400, "malformed header line")
+            headers[name.strip().lower()] = value.strip()
+        else:
+            raise _HttpError(400, "too many headers")
+        body = b""
+        if "content-length" in headers:
+            try:
+                length = int(headers["content-length"])
+            except ValueError:
+                raise _HttpError(400, "malformed Content-Length")
+            if length < 0:
+                raise _HttpError(400, "malformed Content-Length")
+            if length > MAX_BODY_BYTES:
+                raise _HttpError(413, "request body too large")
+            try:
+                body = await reader.readexactly(length)
+            except asyncio.IncompleteReadError:
+                raise _HttpError(400, "truncated request body")
+        elif headers.get("transfer-encoding"):
+            raise _HttpError(400, "chunked request bodies are not supported")
+        return _HttpRequest(
+            method=method, path=target.split("?", 1)[0], headers=headers,
+            body=body,
+        )
+
+    async def _send_response(
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        content_type: str,
+        payload: bytes,
+        extra_headers: Sequence[tuple[str, str]] = (),
+    ) -> None:
+        reason = _REASONS.get(status, "Unknown")
+        head = [f"HTTP/1.1 {status} {reason}"]
+        head.append(f"Content-Type: {content_type}")
+        head.append(f"Content-Length: {len(payload)}")
+        for name, value in extra_headers:
+            head.append(f"{name}: {value}")
+        head.append("Connection: close")
+        writer.write(("\r\n".join(head) + "\r\n\r\n").encode("latin-1"))
+        writer.write(payload)
+        await writer.drain()
+
+    async def _send_json(
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        doc: dict,
+        extra_headers: Sequence[tuple[str, str]] = (),
+    ) -> None:
+        payload = json.dumps(
+            nan_to_none(doc), allow_nan=False, separators=(",", ":")
+        ).encode("utf-8") + b"\n"
+        await self._send_response(
+            writer, status, "application/json", payload, extra_headers
+        )
+
+    async def _send_error(
+        self, writer: asyncio.StreamWriter, exc: proto.ProtocolError
+    ) -> int:
+        headers: list[tuple[str, str]] = []
+        if exc.retry_after_s is not None:
+            headers.append(
+                ("Retry-After", str(max(1, round(exc.retry_after_s))))
+            )
+        if _OBS.enabled and exc.code in ("overloaded", "draining"):
+            _OBS.registry.counter(
+                _inst.SERVE_REJECTS,
+                "Admission rejections, by reason",
+                labelnames=("reason",),
+            ).labels(reason=getattr(exc, "reject_reason", exc.code)).inc()
+        await self._send_json(
+            writer, exc.status, proto.error_envelope(exc), headers
+        )
+        return exc.status
+
+    # -- routing --------------------------------------------------------
+
+    async def _dispatch(
+        self, request: _HttpRequest, writer: asyncio.StreamWriter
+    ) -> tuple[str, int]:
+        """Returns ``(route label, status)`` for the metrics."""
+        path = request.path
+        if path == "/healthz":
+            if request.method != "GET":
+                return "healthz", await self._method_not_allowed(writer, "GET")
+            return "healthz", await self._handle_healthz(writer)
+        if path == "/metrics":
+            if request.method != "GET":
+                return "metrics", await self._method_not_allowed(writer, "GET")
+            return "metrics", await self._handle_metrics(writer)
+        if path == "/v1/simulate":
+            if request.method != "POST":
+                return "simulate", await self._method_not_allowed(
+                    writer, "POST"
+                )
+            return "simulate", await self._handle_simulate(request, writer)
+        if path.startswith("/v1/jobs/"):
+            if request.method != "GET":
+                return "jobs", await self._method_not_allowed(writer, "GET")
+            job_id = path[len("/v1/jobs/"):]
+            return "jobs", await self._handle_job_stream(job_id, writer)
+        return "unmatched", await self._send_error(
+            writer,
+            proto.ProtocolError("not_found", f"no route for {path}"),
+        )
+
+    async def _method_not_allowed(
+        self, writer: asyncio.StreamWriter, allowed: str
+    ) -> int:
+        exc = proto.ProtocolError(
+            "method_not_allowed", f"only {allowed} is allowed here"
+        )
+        await self._send_json(
+            writer, exc.status, proto.error_envelope(exc),
+            [("Allow", allowed)],
+        )
+        return exc.status
+
+    # -- endpoints ------------------------------------------------------
+
+    async def _handle_healthz(self, writer: asyncio.StreamWriter) -> int:
+        doc = {
+            "status": "draining" if self.draining else "ok",
+            "uptime_s": round(time.monotonic() - self.started_s, 3),
+            "queued_points": self.queue.depth(),
+            "inflight_points": self.pool.in_flight,
+            "coalesced_inflight": self.coalescer.in_flight(),
+            "jobs": len(self.jobs),
+            "protocol_version": proto.PROTOCOL_VERSION,
+        }
+        await self._send_json(writer, 200, doc)
+        return 200
+
+    async def _handle_metrics(self, writer: asyncio.StreamWriter) -> int:
+        text = _OBS.registry.to_prometheus()
+        await self._send_response(
+            writer,
+            200,
+            "text/plain; version=0.0.4; charset=utf-8",
+            text.encode("utf-8"),
+        )
+        return 200
+
+    async def _handle_simulate(
+        self, request: _HttpRequest, writer: asyncio.StreamWriter
+    ) -> int:
+        try:
+            doc = json.loads(request.body.decode("utf-8"))
+        except (UnicodeDecodeError, ValueError):
+            return await self._send_error(
+                writer,
+                proto.ProtocolError(
+                    "invalid_request", "request body is not valid JSON"
+                ),
+            )
+        try:
+            sim = proto.parse_simulate_request(doc)
+        except proto.ProtocolError as exc:
+            return await self._send_error(writer, exc)
+        if self.draining:
+            return await self._send_error(
+                writer,
+                proto.ProtocolError(
+                    "draining",
+                    "server is draining; retry against a healthy instance",
+                    retry_after_s=self.config.drain_grace_s,
+                ),
+            )
+        job = Job(sim)
+        items = [WorkItem(job=job, point=p) for p in sim.points]
+        try:
+            self.queue.put_batch(
+                items, client=sim.client, priority=sim.priority
+            )
+        except QueueClosed:
+            return await self._send_error(
+                writer,
+                proto.ProtocolError(
+                    "draining",
+                    "server is draining; retry against a healthy instance",
+                    retry_after_s=self.config.drain_grace_s,
+                ),
+            )
+        except AdmissionError as exc:
+            retry_after = self.queue.estimate_wait_s(
+                self.engine.point_seconds_ewma, self.pool.concurrency
+            )
+            err = proto.ProtocolError(
+                "overloaded", str(exc), retry_after_s=retry_after
+            )
+            err.reject_reason = (
+                "client_quota"
+                if "quota" in str(exc)
+                else "queue_full"
+            )
+            return await self._send_error(writer, err)
+        self._remember_job(job)
+        if _OBS.enabled:
+            _OBS.registry.gauge(
+                _inst.SERVE_QUEUE_DEPTH, "Grid points awaiting a worker"
+            ).set(self.queue.depth())
+        if sim.mode == "async":
+            await self._send_json(
+                writer,
+                202,
+                proto.job_envelope(job.id, job.state, job.n_points, 0),
+            )
+            return 202
+        await job.wait_done()
+        if job.state != JOB_DONE:
+            return await self._send_error(
+                writer,
+                proto.ProtocolError(
+                    "internal", job.error or "job failed"
+                ),
+            )
+        results = [
+            proto.result_line(r.point, r.stats, r.source)
+            for r in job.results
+        ]
+        await self._send_json(
+            writer,
+            200,
+            proto.sync_response(
+                job.id, job.state, results, round(job.elapsed_s, 6)
+            ),
+        )
+        return 200
+
+    def _remember_job(self, job: Job) -> None:
+        self.jobs[job.id] = job
+        while len(self.jobs) > FINISHED_JOB_BACKLOG:
+            # Evict the oldest *finished* job; never drop a live one.
+            for job_id, held in self.jobs.items():
+                if held.done:
+                    del self.jobs[job_id]
+                    break
+            else:
+                break
+
+    async def _handle_job_stream(
+        self, job_id: str, writer: asyncio.StreamWriter
+    ) -> int:
+        job = self.jobs.get(job_id)
+        if job is None:
+            return await self._send_error(
+                writer,
+                proto.ProtocolError(
+                    "not_found", f"no job {job_id!r} on this server"
+                ),
+            )
+        # EOF-delimited NDJSON: no Content-Length, Connection: close.
+        head = (
+            "HTTP/1.1 200 OK\r\n"
+            "Content-Type: application/x-ndjson\r\n"
+            "Cache-Control: no-store\r\n"
+            "Connection: close\r\n\r\n"
+        )
+        writer.write(head.encode("latin-1"))
+
+        def line(doc: dict) -> bytes:
+            return (
+                json.dumps(
+                    nan_to_none(doc), allow_nan=False, separators=(",", ":")
+                )
+                + "\n"
+            ).encode("utf-8")
+
+        writer.write(
+            line(
+                proto.job_envelope(
+                    job.id, job.state, job.n_points, len(job.results)
+                )
+            )
+        )
+        await writer.drain()
+        async for result in job.stream():
+            writer.write(
+                line(proto.result_line(result.point, result.stats, result.source))
+            )
+            await writer.drain()
+        writer.write(
+            line(
+                proto.done_line(
+                    job.id, job.state, round(job.elapsed_s, 6), job.error
+                )
+            )
+        )
+        await writer.drain()
+        return 200
+
+
+# ----------------------------------------------------------------------
+# Entry point
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-serve",
+        description=(
+            "Serve the paper's QCD-vs-CRC-CD simulation grid over HTTP "
+            "with admission control, request coalescing and NDJSON "
+            "streaming (see docs/SERVING.md)."
+        ),
+    )
+    cfg = ServeConfig()
+    parser.add_argument("--host", default=cfg.host)
+    parser.add_argument(
+        "--port",
+        type=int,
+        default=cfg.port,
+        help=f"TCP port; 0 picks a free one (default {cfg.port})",
+    )
+    parser.add_argument(
+        "--concurrency",
+        type=int,
+        default=cfg.concurrency,
+        help="asyncio workers executing grid points "
+        f"(default {cfg.concurrency})",
+    )
+    parser.add_argument(
+        "--queue-capacity",
+        type=int,
+        default=cfg.queue_capacity,
+        help="max queued grid points before 429s "
+        f"(default {cfg.queue_capacity})",
+    )
+    parser.add_argument(
+        "--per-client",
+        type=int,
+        default=None,
+        help="max queued grid points per client "
+        "(default: queue capacity / 4)",
+    )
+    parser.add_argument(
+        "--mc-workers",
+        type=int,
+        default=cfg.mc_workers,
+        help="processes sharding each grid point's Monte-Carlo rounds "
+        f"(default {cfg.mc_workers})",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        type=Path,
+        default=None,
+        help="on-disk result-cache directory shared by all requests",
+    )
+    parser.add_argument(
+        "--compute-floor",
+        type=float,
+        default=cfg.compute_floor_s,
+        metavar="SECONDS",
+        dest="compute_floor_s",
+        help="minimum service time per computed grid point (capacity "
+        "experiments and drain tests; default 0)",
+    )
+    parser.add_argument(
+        "--drain-grace",
+        type=float,
+        default=cfg.drain_grace_s,
+        metavar="SECONDS",
+        dest="drain_grace_s",
+        help="max seconds to wait for in-flight work on SIGTERM "
+        f"(default {cfg.drain_grace_s:.0f})",
+    )
+    return parser
+
+
+async def _amain(config: ServeConfig) -> int:
+    app = ServeApp(config)
+    await app.start()
+    loop = asyncio.get_running_loop()
+    for sig in (signal.SIGTERM, signal.SIGINT):
+        try:
+            loop.add_signal_handler(sig, app.begin_drain)
+        except NotImplementedError:  # pragma: no cover - non-POSIX loops
+            pass
+    print(
+        f"repro-serve listening on {config.host}:{app.port} "
+        f"(concurrency={config.concurrency}, "
+        f"queue={config.queue_capacity}, mc-workers={config.mc_workers})",
+        flush=True,
+    )
+    await app.wait_closed()
+    print("repro-serve drained; exiting", flush=True)
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        concurrency=args.concurrency,
+        queue_capacity=args.queue_capacity,
+        per_client=args.per_client,
+        mc_workers=args.mc_workers,
+        cache_dir=str(args.cache_dir) if args.cache_dir else None,
+        compute_floor_s=args.compute_floor_s,
+        drain_grace_s=args.drain_grace_s,
+    )
+    obs.reset()
+    try:
+        return asyncio.run(_amain(config))
+    except KeyboardInterrupt:  # pragma: no cover - double ^C
+        return 130
+
+
+if __name__ == "__main__":
+    sys.exit(main())

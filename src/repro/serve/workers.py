@@ -1,0 +1,365 @@
+"""Job model, simulation engine bridge, and the asyncio worker pool.
+
+This is the seam between the asyncio service and the synchronous
+Monte-Carlo machinery of :mod:`repro.experiments`:
+
+* :class:`Job` -- one admitted simulate request: its grid points, its
+  per-point results (published as they complete, consumable as an async
+  stream for NDJSON responses), and its terminal state;
+* :class:`SimulationEngine` -- the blocking compute bridge.  It owns one
+  shared :func:`repro.experiments.parallel.make_executor` pool and a
+  table of :class:`~repro.experiments.runner.ExperimentSuite` instances
+  keyed by ``(rounds, seed)``, so every request reuses the same process
+  pool, the same in-memory memo and the same on-disk
+  :class:`~repro.experiments.cache.ResultCache`.  Worker-process obs
+  registries fold into the server registry through the executor's
+  existing merge path;
+* :class:`WorkerPool` -- N asyncio tasks pulling grid points off the
+  admission queue, running the engine in worker threads
+  (``asyncio.to_thread``) so the event loop never blocks, and
+  deduplicating identical in-flight points through the
+  :class:`~repro.serve.coalesce.Coalescer`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import secrets
+import threading
+import time
+from dataclasses import asdict, dataclass
+
+from repro.experiments.cache import cache_key
+from repro.experiments.runner import ExperimentSuite
+from repro.experiments.parallel import make_executor
+from repro.obs import instruments as _inst
+from repro.obs.state import STATE as _OBS
+from repro.serve.coalesce import Coalescer
+from repro.serve.protocol import GridPoint, SimulateRequest
+from repro.serve.queue import AdmissionQueue, QueueClosed
+
+__all__ = [
+    "Job",
+    "PointResult",
+    "WorkItem",
+    "SimulationEngine",
+    "WorkerPool",
+    "new_job_id",
+]
+
+#: Engine keeps at most this many (rounds, seed) suites memoized; beyond
+#: it the least-recently-used suite's in-memory memo is dropped (the
+#: on-disk cache still serves its grid points).
+MAX_SUITES = 64
+
+JOB_QUEUED = "queued"
+JOB_RUNNING = "running"
+JOB_DONE = "done"
+JOB_FAILED = "failed"
+
+
+def new_job_id() -> str:
+    return f"job-{secrets.token_hex(8)}"
+
+
+@dataclass
+class PointResult:
+    """One completed grid point of a job."""
+
+    point: GridPoint
+    stats: dict
+    source: str  # computed | cache | memo | coalesced
+
+
+@dataclass
+class WorkItem:
+    """One queued grid point, tagged with its owning job."""
+
+    job: "Job"
+    point: GridPoint
+
+    @property
+    def client(self) -> str:
+        return self.job.request.client
+
+
+class Job:
+    """An admitted simulate request and its (streamed) results.
+
+    Results are appended on the event-loop thread; readers either block
+    on :meth:`wait_done` (sync responses) or iterate :meth:`stream`
+    (NDJSON), which replays completed points and then follows live ones.
+    """
+
+    def __init__(self, request: SimulateRequest, job_id: str | None = None):
+        self.id = job_id if job_id is not None else new_job_id()
+        self.request = request
+        self.state = JOB_QUEUED
+        self.results: list[PointResult] = []
+        self.error: str | None = None
+        self.created_s = time.monotonic()
+        self.finished_s: float | None = None
+        self._done = asyncio.Event()
+        self._wakeup = asyncio.Event()
+
+    @property
+    def n_points(self) -> int:
+        return len(self.request.points)
+
+    @property
+    def elapsed_s(self) -> float:
+        end = self.finished_s if self.finished_s is not None else time.monotonic()
+        return end - self.created_s
+
+    def _broadcast(self) -> None:
+        # Swap-and-set: every reader awaiting the *old* event wakes, new
+        # readers park on the fresh one.
+        wakeup, self._wakeup = self._wakeup, asyncio.Event()
+        wakeup.set()
+
+    def publish(self, result: PointResult) -> None:
+        if self.state == JOB_QUEUED:
+            self.state = JOB_RUNNING
+        self.results.append(result)
+        self._broadcast()
+
+    def finish(self, state: str, error: str | None = None) -> None:
+        if self.state in (JOB_DONE, JOB_FAILED):
+            return
+        self.state = state
+        self.error = error
+        self.finished_s = time.monotonic()
+        self._done.set()
+        self._broadcast()
+
+    @property
+    def done(self) -> bool:
+        return self.state in (JOB_DONE, JOB_FAILED)
+
+    async def wait_done(self) -> None:
+        await self._done.wait()
+
+    async def stream(self):
+        """Async-iterate every :class:`PointResult`, past and future."""
+        i = 0
+        while True:
+            while i < len(self.results):
+                yield self.results[i]
+                i += 1
+            if self.done:
+                return
+            wakeup = self._wakeup
+            if i < len(self.results) or self.done:
+                continue  # published between the checks and the grab
+            await wakeup.wait()
+
+
+class SimulationEngine:
+    """Thread-side bridge from grid points to ``ExperimentSuite`` runs.
+
+    One engine per server.  All suites share one executor (so ``workers``
+    processes total, regardless of how many distinct (rounds, seed)
+    combinations clients ask for) and one cache directory.  Safe to call
+    from multiple worker threads: suite creation is locked, and the
+    underlying executors/caches are already concurrency-safe.
+    """
+
+    def __init__(
+        self,
+        mc_workers: int = 1,
+        cache_dir=None,
+        compute_floor_s: float = 0.0,
+    ) -> None:
+        self._executor = make_executor(mc_workers)
+        self.mc_workers = self._executor.workers
+        self._cache_dir = cache_dir
+        self.compute_floor_s = compute_floor_s
+        self._suites: dict[tuple[int, int], ExperimentSuite] = {}
+        self._lock = threading.Lock()
+        #: EWMA of seconds per *computed* point; seeds Retry-After
+        #: estimates before the first computation lands.
+        self.point_seconds_ewma = 0.05
+
+    def _suite(self, rounds: int, seed: int) -> ExperimentSuite:
+        key = (rounds, seed)
+        with self._lock:
+            suite = self._suites.get(key)
+            if suite is None:
+                suite = ExperimentSuite(
+                    rounds=rounds,
+                    seed=seed,
+                    executor=self._executor,
+                    cache_dir=self._cache_dir,
+                )
+                self._suites[key] = suite
+                # LRU-ish bound: drop the oldest suite's memo.  Never
+                # suite.close() here -- the executor is shared.
+                while len(self._suites) > MAX_SUITES:
+                    self._suites.pop(next(iter(self._suites)))
+            else:
+                self._suites[key] = self._suites.pop(key)  # mark recent
+            return suite
+
+    def key_for(self, rounds: int, seed: int, point: GridPoint) -> str:
+        """The PR-2 result-cache content hash of one grid point."""
+        suite = self._suite(rounds, seed)
+        return cache_key(
+            suite._cache_params(point.case, point.protocol, point.scheme)
+        )
+
+    def compute_point(
+        self, rounds: int, seed: int, point: GridPoint
+    ) -> tuple[dict, str]:
+        """Run (or fetch) one grid point; blocking, thread-safe.
+
+        Returns ``(stats_dict, source)`` with source ``memo`` (suite
+        in-memory memo), ``cache`` (on-disk result cache) or ``computed``
+        (a kernel run, counted into the EWMA and subject to the optional
+        compute floor).
+        """
+        suite = self._suite(rounds, seed)
+        memo_key = (point.case, point.protocol, point.scheme)
+        if memo_key in suite._cache:
+            return asdict(suite.run(*memo_key)), "memo"
+        params = suite._cache_params(*memo_key)
+        cached = suite._load_cached(params)
+        if cached is not None:
+            suite._cache[memo_key] = cached
+            return asdict(cached), "cache"
+        t0 = time.perf_counter()
+        stats = suite.run(*memo_key)
+        elapsed = time.perf_counter() - t0
+        self.point_seconds_ewma = (
+            0.8 * self.point_seconds_ewma + 0.2 * elapsed
+        )
+        if self.compute_floor_s > elapsed:
+            # Load-testing aid: enforce a minimum service time per
+            # computed point so capacity experiments (and the drain /
+            # backpressure tests) see deterministic queueing.
+            time.sleep(self.compute_floor_s - elapsed)
+        return asdict(stats), "computed"
+
+    def close(self) -> None:
+        self._executor.close()
+
+
+def _count(name: str, help_: str, amount: float = 1, **labels) -> None:
+    if not _OBS.enabled:
+        return
+    family = _OBS.registry.counter(
+        name, help_, labelnames=tuple(labels) if labels else ()
+    )
+    (family.labels(**labels) if labels else family).inc(amount)
+
+
+def _gauge_set(name: str, help_: str, value: float) -> None:
+    if not _OBS.enabled:
+        return
+    _OBS.registry.gauge(name, help_).set(value)
+
+
+class WorkerPool:
+    """N asyncio workers draining the admission queue through the engine."""
+
+    def __init__(
+        self,
+        queue: AdmissionQueue,
+        coalescer: Coalescer,
+        engine: SimulationEngine,
+        concurrency: int = 4,
+    ) -> None:
+        if concurrency < 1:
+            raise ValueError("concurrency must be >= 1")
+        self.queue = queue
+        self.coalescer = coalescer
+        self.engine = engine
+        self.concurrency = concurrency
+        self._tasks: list[asyncio.Task] = []
+        self.in_flight = 0
+
+    async def start(self) -> None:
+        self._tasks = [
+            asyncio.create_task(self._worker(), name=f"serve-worker-{i}")
+            for i in range(self.concurrency)
+        ]
+
+    async def join(self) -> None:
+        """Wait for every worker to exit (the queue must be closed)."""
+        if self._tasks:
+            await asyncio.gather(*self._tasks)
+
+    async def abort(self) -> None:
+        for task in self._tasks:
+            task.cancel()
+        await asyncio.gather(*self._tasks, return_exceptions=True)
+
+    # -- the worker loop ------------------------------------------------
+
+    async def _worker(self) -> None:
+        while True:
+            try:
+                item = await self.queue.get()
+            except QueueClosed:
+                return
+            _gauge_set(
+                _inst.SERVE_QUEUE_DEPTH,
+                "Grid points awaiting a worker",
+                self.queue.depth(),
+            )
+            await self._process(item)
+
+    async def _process(self, item: WorkItem) -> None:
+        job = item.job
+        if job.done:
+            return  # a sibling point already failed the whole job
+        request = job.request
+        self.in_flight += 1
+        _gauge_set(
+            _inst.SERVE_INFLIGHT,
+            "Grid points currently executing",
+            self.in_flight,
+        )
+        try:
+            key = self.engine.key_for(request.rounds, request.seed, item.point)
+            leader, fut = self.coalescer.lease(key)
+            if leader:
+                try:
+                    stats, source = await asyncio.to_thread(
+                        self.engine.compute_point,
+                        request.rounds,
+                        request.seed,
+                        item.point,
+                    )
+                except BaseException as exc:
+                    self.coalescer.resolve(key, error=exc)
+                    raise
+                self.coalescer.resolve(key, (stats, source))
+            else:
+                _count(
+                    _inst.SERVE_COALESCE_HITS,
+                    "Grid points deduplicated onto an in-flight computation",
+                )
+                stats, _ = await asyncio.shield(fut)
+                source = "coalesced"
+            _count(
+                _inst.SERVE_POINTS,
+                "Grid points served, by result source",
+                source=source,
+            )
+            job.publish(PointResult(point=item.point, stats=stats, source=source))
+            if len(job.results) == job.n_points:
+                job.finish(JOB_DONE)
+                _count(_inst.SERVE_JOBS, "Jobs finished, by state", state=JOB_DONE)
+        except asyncio.CancelledError:
+            job.finish(JOB_FAILED, "server aborted")
+            raise
+        except BaseException as exc:
+            job.finish(JOB_FAILED, f"{type(exc).__name__}: {exc}")
+            _count(_inst.SERVE_JOBS, "Jobs finished, by state", state=JOB_FAILED)
+        finally:
+            self.in_flight -= 1
+            _gauge_set(
+                _inst.SERVE_INFLIGHT,
+                "Grid points currently executing",
+                self.in_flight,
+            )

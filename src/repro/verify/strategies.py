@@ -36,6 +36,8 @@ __all__ = [
     "frame_slacks",
     "detectors",
     "timing_models",
+    "simulate_requests",
+    "malformed_simulate_requests",
 ]
 
 #: Strength values the paper's evaluation sweeps (plus the miss-prone 2).
@@ -160,3 +162,185 @@ def timing_models() -> st.SearchStrategy:
         id_bits=st.sampled_from((16, 64, 96)),
         crc_bits=st.sampled_from((16, 32)),
     )
+
+
+# ----------------------------------------------------------------------
+# repro.serve wire documents
+
+
+def _inline_case_docs() -> st.SearchStrategy:
+    """Inline case objects whose names cannot collide with the paper's
+    named cases (uniqueness is judged on the parsed SimulationCase)."""
+    return st.builds(
+        lambda n_tags, frame_size: {
+            "name": f"inline-{n_tags}x{frame_size}",
+            "n_tags": n_tags,
+            "frame_size": frame_size,
+        },
+        n_tags=st.integers(0, 500),
+        frame_size=st.integers(1, 500),
+    )
+
+
+def _case_axis() -> st.SearchStrategy:
+    """Nonempty, duplicate-free ``cases`` axes mixing named and inline
+    entries (an inline doc equal to a named case would parse to the same
+    SimulationCase, so inline names are kept out of the named namespace)."""
+    from repro.experiments.config import CASES
+
+    named = st.lists(
+        st.sampled_from(sorted(CASES)), min_size=0, max_size=4, unique=True
+    )
+    inline = st.lists(
+        _inline_case_docs(),
+        min_size=0,
+        max_size=3,
+        unique_by=lambda d: (d["n_tags"], d["frame_size"]),
+    )
+    return st.tuples(named, inline).map(
+        lambda pair: list(pair[0]) + list(pair[1])
+    ).filter(bool)
+
+
+def _scheme_axis() -> st.SearchStrategy:
+    schemes = st.one_of(
+        st.just("crc"),
+        st.integers(1, 64).map(lambda s: f"qcd-{s}"),
+    )
+    return st.lists(schemes, min_size=1, max_size=4, unique=True)
+
+
+@st.composite
+def simulate_requests(draw, max_points: int = 16) -> dict:
+    """Valid ``POST /v1/simulate`` wire documents.
+
+    Every draw satisfies :func:`repro.serve.protocol.parse_simulate_request`
+    by construction: unique axis entries, cross product within
+    ``max_points``, optional keys present or defaulted at random.
+    """
+    from repro.serve import protocol as proto
+
+    cases = draw(_case_axis())
+    protocols = draw(
+        st.lists(
+            st.sampled_from(proto.PROTOCOLS),
+            min_size=1,
+            max_size=len(proto.PROTOCOLS),
+            unique=True,
+        )
+    )
+    schemes = draw(_scheme_axis())
+    # Shrink axes (never below one entry) until the grid fits.
+    while len(cases) * len(protocols) * len(schemes) > max_points:
+        longest = max((cases, protocols, schemes), key=len)
+        longest.pop()
+    doc: dict = {
+        "version": proto.PROTOCOL_VERSION,
+        "cases": cases,
+        "protocols": protocols,
+        "schemes": schemes,
+    }
+    if draw(st.booleans()):
+        doc["rounds"] = draw(st.integers(1, proto.MAX_ROUNDS))
+    if draw(st.booleans()):
+        doc["seed"] = draw(st.integers(0, proto.MAX_SEED))
+    if draw(st.booleans()):
+        doc["mode"] = draw(st.sampled_from(proto.MODES))
+    if draw(st.booleans()):
+        doc["priority"] = draw(
+            st.integers(proto.MIN_PRIORITY, proto.MAX_PRIORITY)
+        )
+    if draw(st.booleans()):
+        doc["client"] = draw(
+            st.text(
+                alphabet=st.characters(
+                    whitelist_categories=("L", "N"), max_codepoint=0x7E
+                ),
+                min_size=1,
+                max_size=proto.MAX_CLIENT_LEN,
+            )
+        )
+    return doc
+
+
+#: One targeted corruption per malformed draw; the label names the rule
+#: being violated so failures shrink to a readable counterexample.
+_MUTATIONS: tuple[tuple[str, object], ...] = (
+    ("unknown_key", lambda doc: {**doc, "bogus": 1}),
+    ("missing_cases", lambda doc: {k: v for k, v in doc.items() if k != "cases"}),
+    ("missing_version", lambda doc: {k: v for k, v in doc.items() if k != "version"}),
+    ("future_version", lambda doc: {**doc, "version": 2}),
+    ("string_version", lambda doc: {**doc, "version": "1"}),
+    ("bool_version", lambda doc: {**doc, "version": True}),
+    ("empty_cases", lambda doc: {**doc, "cases": []}),
+    ("non_list_cases", lambda doc: {**doc, "cases": "I"}),
+    ("unknown_case", lambda doc: {**doc, "cases": ["V"]}),
+    (
+        "case_extra_key",
+        lambda doc: {
+            **doc,
+            "cases": [{"name": "x", "n_tags": 1, "frame_size": 1, "tau": 2}],
+        },
+    ),
+    (
+        "case_missing_key",
+        lambda doc: {**doc, "cases": [{"name": "x", "n_tags": 1}]},
+    ),
+    (
+        "case_bool_tags",
+        lambda doc: {
+            **doc,
+            "cases": [{"name": "x", "n_tags": True, "frame_size": 1}],
+        },
+    ),
+    ("duplicate_cases", lambda doc: {**doc, "cases": ["I", "I"]}),
+    ("unknown_protocol", lambda doc: {**doc, "protocols": ["aloha"]}),
+    ("duplicate_protocols", lambda doc: {**doc, "protocols": ["fsa", "fsa"]}),
+    ("empty_schemes", lambda doc: {**doc, "schemes": []}),
+    ("zero_strength", lambda doc: {**doc, "schemes": ["qcd-0"]}),
+    ("huge_strength", lambda doc: {**doc, "schemes": ["qcd-65"]}),
+    ("leading_zero_strength", lambda doc: {**doc, "schemes": ["qcd-08"]}),
+    ("bare_qcd", lambda doc: {**doc, "schemes": ["qcd-"]}),
+    ("uppercase_scheme", lambda doc: {**doc, "schemes": ["CRC"]}),
+    ("duplicate_schemes", lambda doc: {**doc, "schemes": ["crc", "crc"]}),
+    ("zero_rounds", lambda doc: {**doc, "rounds": 0}),
+    ("bool_rounds", lambda doc: {**doc, "rounds": True}),
+    ("string_rounds", lambda doc: {**doc, "rounds": "10"}),
+    ("huge_rounds", lambda doc: {**doc, "rounds": 10_001}),
+    ("negative_seed", lambda doc: {**doc, "seed": -1}),
+    ("float_seed", lambda doc: {**doc, "seed": 1.5}),
+    ("bad_mode", lambda doc: {**doc, "mode": "batch"}),
+    ("priority_too_high", lambda doc: {**doc, "priority": 10}),
+    ("priority_negative", lambda doc: {**doc, "priority": -1}),
+    ("empty_client", lambda doc: {**doc, "client": ""}),
+    ("long_client", lambda doc: {**doc, "client": "c" * 65}),
+    ("unprintable_client", lambda doc: {**doc, "client": "a\nb"}),
+    (
+        "grid_too_large",
+        lambda doc: {
+            **doc,
+            "cases": [
+                {"name": f"g{i}", "n_tags": i, "frame_size": 1}
+                for i in range(33)
+            ],
+            "protocols": ["fsa", "bt"],
+            "schemes": ["crc"],
+        },
+    ),
+    ("not_an_object", lambda doc: [doc]),
+    ("null_body", lambda doc: None),
+)
+
+
+@st.composite
+def malformed_simulate_requests(draw) -> tuple[str, object]:
+    """``(rule, doc)`` pairs where ``doc`` violates exactly one protocol
+    rule of an otherwise-valid simulate request.
+
+    The contract under test: every draw must raise
+    :class:`~repro.serve.protocol.ProtocolError` (a 4xx) -- never any
+    other exception, and never parse.
+    """
+    base = draw(simulate_requests())
+    rule, mutate = draw(st.sampled_from(_MUTATIONS))
+    return rule, mutate(base)

@@ -138,3 +138,107 @@ class TestSuiteIntegration:
     def test_no_cache_dir_writes_nothing(self, tmp_path):
         ExperimentSuite(rounds=2, seed=1).run("I", "fsa", "qcd-8")
         assert list(tmp_path.iterdir()) == []
+
+
+class TestConcurrentWriters:
+    def test_same_key_concurrent_stores_never_corrupt(self, tmp_path):
+        """16 threads hammering one key: every store survives, every load
+        is either a miss (before the first replace) or the full document,
+        and no temp files are left behind (the PR-5 race fix)."""
+        import threading
+
+        cache = ResultCache(tmp_path)
+        stats = {"x": 1.5, "n": 3, "delay_mean": None}
+        barrier = threading.Barrier(16)
+        errors: list[BaseException] = []
+
+        def writer():
+            try:
+                barrier.wait(timeout=10)
+                for _ in range(25):
+                    cache.store(PARAMS, stats)
+                    loaded = cache.load(PARAMS)
+                    assert loaded == stats, loaded
+            except BaseException as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=writer) for _ in range(16)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60)
+        assert not errors, errors
+        assert cache.load(PARAMS) == stats
+        assert list(tmp_path.glob("*.tmp.*")) == []
+
+    def test_distinct_keys_concurrent_stores(self, tmp_path):
+        import threading
+
+        cache = ResultCache(tmp_path)
+        barrier = threading.Barrier(8)
+        errors: list[BaseException] = []
+
+        def writer(seed: int):
+            params = dict(PARAMS, seed=seed)
+            try:
+                barrier.wait(timeout=10)
+                for i in range(20):
+                    cache.store(params, {"seed": seed, "i": i})
+                assert cache.load(params) == {"seed": seed, "i": 19}
+            except BaseException as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=writer, args=(s,)) for s in range(8)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60)
+        assert not errors, errors
+        assert list(tmp_path.glob("*.tmp.*")) == []
+
+    def test_tmp_names_are_unique_per_call(self, tmp_path, monkeypatch):
+        """Two stores of one key in one process must use different temp
+        files (the old per-pid suffix made them collide)."""
+        cache = ResultCache(tmp_path)
+        seen = []
+        real_replace = cache_mod.os.replace
+
+        def recording_replace(src, dst):
+            seen.append(str(src))
+            return real_replace(src, dst)
+
+        monkeypatch.setattr(cache_mod.os, "replace", recording_replace)
+        cache.store(PARAMS, {"x": 1})
+        cache.store(PARAMS, {"x": 2})
+        assert len(seen) == 2 and seen[0] != seen[1]
+
+
+class TestOrphanSweep:
+    def test_stale_tmp_files_are_swept_on_open(self, tmp_path):
+        import os as _os
+
+        stale = tmp_path / "deadbeef.json.tmp.1234.0"
+        stale.write_text("{half a document")
+        old = _os.path.getmtime(stale) - 2 * cache_mod.STALE_TMP_SECONDS
+        _os.utime(stale, (old, old))
+        ResultCache(tmp_path)
+        assert not stale.exists()
+
+    def test_fresh_tmp_files_survive_open(self, tmp_path):
+        fresh = tmp_path / "deadbeef.json.tmp.1234.0"
+        fresh.write_text("{half a document")
+        ResultCache(tmp_path)
+        assert fresh.exists()
+
+    def test_failed_write_cleans_its_tmp(self, tmp_path, monkeypatch):
+        cache = ResultCache(tmp_path)
+
+        def boom(src, dst):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(cache_mod.os, "replace", boom)
+        with pytest.raises(OSError):
+            cache.store(PARAMS, {"x": 1})
+        assert list(tmp_path.glob("*.tmp.*")) == []

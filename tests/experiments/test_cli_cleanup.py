@@ -1,0 +1,138 @@
+"""Executor-release regression tests for the CLI entry points.
+
+A crashing experiment (or a failing trace sink) must never leak the
+suite's worker pool: ``main`` context-manages the suite around the
+entire run, including the observability setup.  These tests monkeypatch
+a spy suite/runner in place of the real one and assert ``close`` fires
+on every error path.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro.experiments.cli as exp_cli
+import repro.verify.cli as verify_cli
+
+
+class SpySuite:
+    """Stands in for ExperimentSuite; records lifecycle calls."""
+
+    instances: list["SpySuite"] = []
+
+    def __init__(self, **kwargs):
+        self.kwargs = kwargs
+        self.seed = kwargs.get("seed", 2010)
+        self.closed = 0
+        SpySuite.instances.append(self)
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+
+    def close(self):
+        self.closed += 1
+
+
+@pytest.fixture(autouse=True)
+def _reset_spies():
+    SpySuite.instances.clear()
+    yield
+    SpySuite.instances.clear()
+
+
+@pytest.fixture
+def spy_suite(monkeypatch):
+    monkeypatch.setattr(exp_cli, "ExperimentSuite", SpySuite)
+    return SpySuite
+
+
+def _single_suite():
+    assert len(SpySuite.instances) == 1
+    return SpySuite.instances[0]
+
+
+class TestExperimentsCliCleanup:
+    def test_happy_path_closes_suite(self, spy_suite, monkeypatch, capsys):
+        monkeypatch.setattr(
+            exp_cli, "run_experiment", lambda exp_id, suite: [{"k": "v"}]
+        )
+        assert exp_cli.main(["table7"]) == 0
+        assert _single_suite().closed == 1
+
+    def test_raising_experiment_closes_suite(self, spy_suite, monkeypatch):
+        def boom(exp_id, suite):
+            raise RuntimeError("kernel exploded")
+
+        monkeypatch.setattr(exp_cli, "run_experiment", boom)
+        with pytest.raises(RuntimeError, match="kernel exploded"):
+            exp_cli.main(["table7"])
+        assert _single_suite().closed == 1
+
+    def test_failing_trace_sink_closes_suite(
+        self, spy_suite, monkeypatch, tmp_path
+    ):
+        # JsonlSink construction runs *after* the suite exists; a bad
+        # path must not strand the pool.
+        def bad_sink(path):
+            raise OSError("unwritable trace path")
+
+        monkeypatch.setattr(exp_cli.obs, "JsonlSink", bad_sink)
+        monkeypatch.setattr(
+            exp_cli, "run_experiment", lambda exp_id, suite: [{"k": "v"}]
+        )
+        with pytest.raises(OSError, match="unwritable trace path"):
+            exp_cli.main(
+                ["table7", "--trace-out", str(tmp_path / "x" / "t.jsonl")]
+            )
+        assert _single_suite().closed == 1
+
+    def test_failing_sink_does_not_leave_obs_enabled(
+        self, spy_suite, monkeypatch, tmp_path
+    ):
+        from repro import obs
+
+        def bad_sink(path):
+            raise OSError("unwritable trace path")
+
+        monkeypatch.setattr(exp_cli.obs, "JsonlSink", bad_sink)
+        with pytest.raises(OSError):
+            exp_cli.main(
+                ["table7", "--trace-out", str(tmp_path / "x" / "t.jsonl")]
+            )
+        assert not obs.STATE.enabled
+
+    def test_metrics_dump_failure_still_closes_suite(
+        self, spy_suite, monkeypatch, tmp_path
+    ):
+        monkeypatch.setattr(
+            exp_cli, "run_experiment", lambda exp_id, suite: [{"k": "v"}]
+        )
+
+        def bad_dump(path):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(exp_cli, "_dump_metrics", bad_dump)
+        with pytest.raises(OSError, match="disk full"):
+            exp_cli.main(
+                ["table7", "--metrics-out", str(tmp_path / "m.json")]
+            )
+        assert _single_suite().closed == 1
+
+
+class SpyRunner(SpySuite):
+    """Stands in for VerificationRunner."""
+
+    def run(self, oracles):
+        raise RuntimeError("oracle exploded")
+
+
+class TestVerifyCliCleanup:
+    def test_raising_runner_is_closed(self, monkeypatch):
+        monkeypatch.setattr(verify_cli, "VerificationRunner", SpyRunner)
+        with pytest.raises(RuntimeError, match="oracle exploded"):
+            verify_cli.main(["--quick"])
+        assert len(SpyRunner.instances) == 1
+        assert SpyRunner.instances[0].closed == 1

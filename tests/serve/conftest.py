@@ -1,0 +1,105 @@
+"""Shared fixtures for the serve suite.
+
+The server enables the process-global observability state on start, so
+every test here begins and ends clean, and an in-process app fixture
+runs the full asyncio stack on a background thread with an ephemeral
+port (the client side is blocking, which is exactly how real clients
+hit the service).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+
+import pytest
+
+from repro import obs
+from repro.serve.client import ServeClient
+from repro.serve.server import ServeApp, ServeConfig
+
+
+@pytest.fixture(autouse=True)
+def clean_obs():
+    obs.disable()
+    obs.reset()
+    yield
+    obs.disable()
+    obs.reset()
+
+
+class AppHandle:
+    """A running ServeApp on its own event-loop thread."""
+
+    def __init__(self, config: ServeConfig) -> None:
+        self._ready = threading.Event()
+        self._failure: BaseException | None = None
+        self.app: ServeApp | None = None
+        self.loop: asyncio.AbstractEventLoop | None = None
+        self.port: int | None = None
+        self._thread = threading.Thread(
+            target=self._run, args=(config,), daemon=True
+        )
+        self._thread.start()
+        if not self._ready.wait(20):
+            raise RuntimeError("server did not start within 20s")
+        if self._failure is not None:
+            raise self._failure
+
+    def _run(self, config: ServeConfig) -> None:
+        async def amain() -> None:
+            try:
+                app = ServeApp(config)
+                await app.start()
+                self.app = app
+                self.loop = asyncio.get_running_loop()
+                self.port = app.port
+            except BaseException as exc:  # surface startup failures
+                self._failure = exc
+                self._ready.set()
+                raise
+            self._ready.set()
+            await app.wait_closed()
+
+        asyncio.run(amain())
+
+    @property
+    def url(self) -> str:
+        return f"http://127.0.0.1:{self.port}"
+
+    def client(self, **kwargs) -> ServeClient:
+        return ServeClient(self.url, **kwargs)
+
+    def call_soon(self, fn, *args) -> None:
+        assert self.loop is not None
+        self.loop.call_soon_threadsafe(fn, *args)
+
+    def shutdown(self, timeout: float = 30.0) -> None:
+        if self.app is not None and self.loop is not None:
+            if not self._thread.is_alive():
+                return
+            self.loop.call_soon_threadsafe(self.app.begin_drain)
+        self._thread.join(timeout)
+        assert not self._thread.is_alive(), "server thread failed to drain"
+
+
+@pytest.fixture
+def make_app():
+    """Factory fixture: start apps with custom configs; all drained on exit."""
+    handles: list[AppHandle] = []
+
+    def factory(**overrides) -> AppHandle:
+        config = ServeConfig(port=0, **overrides)
+        handle = AppHandle(config)
+        handles.append(handle)
+        return handle
+
+    yield factory
+    for handle in handles:
+        handle.shutdown()
+
+
+@pytest.fixture
+def app(make_app) -> AppHandle:
+    """A default small server: 2 workers, serial MC execution."""
+    return make_app(concurrency=2, mc_workers=1)

@@ -1,0 +1,257 @@
+"""ServeClient retry/backoff tests against a scripted stub HTTP server.
+
+The stub answers each connection from a prearranged list of responses,
+so the tests pin exactly how many attempts the client makes and how the
+server's ``Retry-After`` drives the sleep schedule (the sleep function
+is injected -- no real waiting)."""
+
+from __future__ import annotations
+
+import json
+import random
+import socket
+import threading
+
+import pytest
+
+from repro.serve.client import ServeClient, ServeError
+
+
+class StubServer:
+    """One scripted HTTP response per connection, in order."""
+
+    def __init__(self, responses: list[bytes]) -> None:
+        self._responses = list(responses)
+        self._sock = socket.create_server(("127.0.0.1", 0))
+        self.port = self._sock.getsockname()[1]
+        self.requests: list[bytes] = []
+        self._thread = threading.Thread(target=self._serve, daemon=True)
+        self._thread.start()
+
+    def _serve(self) -> None:
+        try:
+            while self._responses:
+                conn, _ = self._sock.accept()
+                with conn:
+                    conn.settimeout(5)
+                    data = b""
+                    while b"\r\n\r\n" not in data:
+                        chunk = conn.recv(4096)
+                        if not chunk:
+                            break
+                        data += chunk
+                    # Read any body the headers promise.
+                    if b"content-length" in data.lower():
+                        head, _, tail = data.partition(b"\r\n\r\n")
+                        for line in head.split(b"\r\n"):
+                            if line.lower().startswith(b"content-length"):
+                                need = int(line.split(b":")[1])
+                                while len(tail) < need:
+                                    tail += conn.recv(4096)
+                    self.requests.append(data)
+                    conn.sendall(self._responses.pop(0))
+        except OSError:
+            pass
+
+    def close(self) -> None:
+        self._sock.close()
+
+
+def http_response(
+    status: int, body: dict, extra_headers: tuple[str, ...] = ()
+) -> bytes:
+    payload = json.dumps(body).encode()
+    reason = {200: "OK", 429: "Too Many Requests", 400: "Bad Request",
+              503: "Service Unavailable"}[status]
+    head = [f"HTTP/1.1 {status} {reason}",
+            "Content-Type: application/json",
+            f"Content-Length: {len(payload)}",
+            *extra_headers,
+            "Connection: close"]
+    return ("\r\n".join(head) + "\r\n\r\n").encode() + payload
+
+
+@pytest.fixture
+def recorded_sleeps():
+    return []
+
+
+def make_client(port: int, sleeps: list, **kwargs) -> ServeClient:
+    kwargs.setdefault("jitter", 0.0)
+    kwargs.setdefault("rng", random.Random(0))
+    return ServeClient(
+        f"http://127.0.0.1:{port}", sleep=sleeps.append, **kwargs
+    )
+
+
+class TestRetries:
+    def test_retries_429_until_success(self, recorded_sleeps):
+        server = StubServer(
+            [
+                http_response(429, {"error": {"code": "overloaded"}},
+                              ("Retry-After: 7",)),
+                http_response(429, {"error": {"code": "overloaded"}},
+                              ("Retry-After: 3",)),
+                http_response(200, {"status": "ok"}),
+            ]
+        )
+        try:
+            client = make_client(server.port, recorded_sleeps, retries=5)
+            doc = client.request_json("GET", "/healthz")
+        finally:
+            server.close()
+        assert doc == {"status": "ok"}
+        assert client.attempts == 3
+        # Retry-After drives the waits verbatim (jitter pinned to 0).
+        assert recorded_sleeps == [7.0, 3.0]
+
+    def test_exponential_backoff_without_retry_after(self, recorded_sleeps):
+        server = StubServer(
+            [
+                http_response(503, {"error": {"code": "draining"}}),
+                http_response(503, {"error": {"code": "draining"}}),
+                http_response(200, {"status": "ok"}),
+            ]
+        )
+        try:
+            client = make_client(
+                server.port, recorded_sleeps, retries=5, backoff_s=0.5
+            )
+            client.request_json("GET", "/healthz")
+        finally:
+            server.close()
+        assert recorded_sleeps == [0.5, 1.0]  # 0.5 * 2**attempt
+
+    def test_backoff_capped(self, recorded_sleeps):
+        server = StubServer(
+            [http_response(429, {"error": {}}, ("Retry-After: 600",)),
+             http_response(200, {"status": "ok"})]
+        )
+        try:
+            client = make_client(
+                server.port, recorded_sleeps, retries=2, backoff_cap_s=10.0
+            )
+            client.request_json("GET", "/healthz")
+        finally:
+            server.close()
+        assert recorded_sleeps == [10.0]
+
+    def test_jitter_stretches_delay_deterministically(self, recorded_sleeps):
+        server = StubServer(
+            [http_response(429, {"error": {}}, ("Retry-After: 4",)),
+             http_response(200, {"status": "ok"})]
+        )
+
+        class FixedRng:
+            def random(self):
+                return 1.0
+
+        try:
+            client = ServeClient(
+                f"http://127.0.0.1:{server.port}",
+                retries=2,
+                jitter=0.5,
+                rng=FixedRng(),
+                sleep=recorded_sleeps.append,
+            )
+            client.request_json("GET", "/healthz")
+        finally:
+            server.close()
+        assert recorded_sleeps == [4.0 * 1.5]
+
+    def test_retries_exhausted_returns_final_429(self, recorded_sleeps):
+        server = StubServer(
+            [http_response(429, {"error": {"code": "overloaded"}})
+             for _ in range(3)]
+        )
+        try:
+            client = make_client(server.port, recorded_sleeps, retries=2)
+            with pytest.raises(ServeError) as excinfo:
+                client.request_json("GET", "/healthz")
+        finally:
+            server.close()
+        assert excinfo.value.status == 429
+        assert client.attempts == 3
+
+    def test_4xx_other_than_429_never_retried(self, recorded_sleeps):
+        server = StubServer(
+            [http_response(
+                400,
+                {"error": {"code": "invalid_request", "message": "bad",
+                           "field": "rounds"}},
+            )]
+        )
+        try:
+            client = make_client(server.port, recorded_sleeps, retries=5)
+            with pytest.raises(ServeError) as excinfo:
+                client.request_json("POST", "/v1/simulate", {"version": 1})
+        finally:
+            server.close()
+        assert excinfo.value.code == "invalid_request"
+        assert client.attempts == 1
+        assert recorded_sleeps == []
+
+    def test_connection_refused_retries_then_raises(self, recorded_sleeps):
+        # Grab a port with no listener.
+        probe = socket.create_server(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+        client = make_client(port, recorded_sleeps, retries=2, backoff_s=0.1)
+        with pytest.raises(OSError):
+            client.request("GET", "/healthz")
+        assert client.attempts == 3
+        assert recorded_sleeps == [0.1, 0.2]
+
+    def test_zero_retries_surfaces_429_immediately(self, recorded_sleeps):
+        server = StubServer(
+            [http_response(429, {"error": {"code": "overloaded"}})]
+        )
+        try:
+            client = make_client(server.port, recorded_sleeps, retries=0)
+            status, _, _ = client.request("GET", "/healthz")
+        finally:
+            server.close()
+        assert status == 429
+        assert client.attempts == 1
+        assert recorded_sleeps == []
+
+
+class TestParsing:
+    def test_rejects_non_http_urls(self):
+        with pytest.raises(ValueError):
+            ServeClient("https://example.com")
+
+    def test_bare_host_port_accepted(self):
+        client = ServeClient("127.0.0.1:9999")
+        assert (client.host, client.port) == ("127.0.0.1", 9999)
+
+    def test_error_envelope_attached(self, recorded_sleeps):
+        server = StubServer(
+            [http_response(
+                400, {"error": {"code": "invalid_request", "message": "m"}}
+            )]
+        )
+        try:
+            client = make_client(server.port, recorded_sleeps)
+            with pytest.raises(ServeError) as excinfo:
+                client.request_json("GET", "/healthz")
+        finally:
+            server.close()
+        assert excinfo.value.envelope["error"]["code"] == "invalid_request"
+
+    def test_non_json_error_body_degrades_gracefully(self, recorded_sleeps):
+        payload = b"<html>gateway error</html>"
+        raw = (
+            b"HTTP/1.1 400 Bad Request\r\nContent-Length: "
+            + str(len(payload)).encode()
+            + b"\r\nConnection: close\r\n\r\n"
+            + payload
+        )
+        server = StubServer([raw])
+        try:
+            client = make_client(server.port, recorded_sleeps)
+            with pytest.raises(ServeError) as excinfo:
+                client.request_json("GET", "/healthz")
+        finally:
+            server.close()
+        assert excinfo.value.code == "unknown"

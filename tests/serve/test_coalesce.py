@@ -1,0 +1,113 @@
+"""Coalescer unit tests: leader election, follower fan-out, error paths."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.serve.coalesce import Coalescer
+
+
+class TestLease:
+    def test_first_lease_is_leader(self):
+        async def scenario():
+            c = Coalescer()
+            leader, fut = c.lease("k")
+            assert leader and not fut.done()
+            assert c.in_flight() == 1
+            c.resolve("k", "value")
+            return await fut
+
+        assert asyncio.run(scenario()) == "value"
+
+    def test_second_lease_is_follower_on_same_future(self):
+        async def scenario():
+            c = Coalescer()
+            _, fut1 = c.lease("k")
+            leader2, fut2 = c.lease("k")
+            assert not leader2 and fut2 is fut1
+            assert (c.leads, c.hits) == (1, 1)
+            c.resolve("k", 42)
+            return await asyncio.gather(fut1, fut2)
+
+        assert asyncio.run(scenario()) == [42, 42]
+
+    def test_distinct_keys_do_not_coalesce(self):
+        async def scenario():
+            c = Coalescer()
+            leader_a, _ = c.lease("a")
+            leader_b, _ = c.lease("b")
+            assert leader_a and leader_b
+            assert c.in_flight() == 2
+            c.resolve("a", 1)
+            c.resolve("b", 2)
+            assert c.in_flight() == 0
+
+        asyncio.run(scenario())
+
+    def test_resolve_clears_key_for_next_round(self):
+        async def scenario():
+            c = Coalescer()
+            c.lease("k")
+            c.resolve("k", "first")
+            leader, fut = c.lease("k")  # key left the table: new leader
+            assert leader
+            c.resolve("k", "second")
+            assert c.leads == 2
+            return await fut
+
+        assert asyncio.run(scenario()) == "second"
+
+    def test_error_propagates_to_every_follower(self):
+        async def scenario():
+            c = Coalescer()
+            _, fut1 = c.lease("k")
+            _, fut2 = c.lease("k")
+            c.resolve("k", error=RuntimeError("kernel died"))
+            for fut in (fut1, fut2):
+                with pytest.raises(RuntimeError, match="kernel died"):
+                    await fut
+
+        asyncio.run(scenario())
+
+
+class TestCompute:
+    def test_concurrent_computes_run_thunk_once(self):
+        calls = 0
+
+        async def thunk():
+            nonlocal calls
+            calls += 1
+            await asyncio.sleep(0.01)
+            return "result"
+
+        async def scenario():
+            c = Coalescer()
+            outcomes = await asyncio.gather(
+                *(c.compute("k", thunk) for _ in range(5))
+            )
+            return outcomes
+
+        outcomes = asyncio.run(scenario())
+        assert calls == 1
+        assert all(value == "result" for value, _ in outcomes)
+        assert sorted(coalesced for _, coalesced in outcomes) == [
+            False, True, True, True, True,
+        ]
+
+    def test_thunk_error_reaches_leader_and_followers(self):
+        async def thunk():
+            await asyncio.sleep(0.01)
+            raise ValueError("boom")
+
+        async def scenario():
+            c = Coalescer()
+            results = await asyncio.gather(
+                *(c.compute("k", thunk) for _ in range(3)),
+                return_exceptions=True,
+            )
+            assert all(isinstance(r, ValueError) for r in results)
+            assert c.in_flight() == 0
+
+        asyncio.run(scenario())

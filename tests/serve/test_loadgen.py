@@ -1,0 +1,127 @@
+"""Load-generator tests: percentile math, the report schema against a
+live server, and the ratio-based baseline gate."""
+
+from __future__ import annotations
+
+import json
+import math
+
+import pytest
+
+from repro.serve.loadgen import (
+    check_against_baseline,
+    main,
+    percentile,
+    run_loadgen,
+)
+
+
+class TestPercentile:
+    def test_nearest_rank(self):
+        values = [float(v) for v in range(1, 101)]  # 1..100
+        assert percentile(values, 50) == 50.0
+        assert percentile(values, 90) == 90.0
+        assert percentile(values, 99) == 99.0
+        assert percentile(values, 100) == 100.0
+
+    def test_single_value(self):
+        assert percentile([42.0], 50) == 42.0
+        assert percentile([42.0], 99) == 42.0
+
+    def test_empty_is_nan(self):
+        assert math.isnan(percentile([], 50))
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], 101)
+
+
+class TestGate:
+    BASELINE = {"goodput_ratio": 0.9}
+
+    def test_clean_report_passes(self):
+        report = {"errors": 0, "goodput_ratio": 0.85}
+        assert check_against_baseline(report, self.BASELINE, 0.5) == []
+
+    def test_any_5xx_fails(self):
+        report = {"errors": 1, "goodput_ratio": 0.99}
+        problems = check_against_baseline(report, self.BASELINE, 0.5)
+        assert len(problems) == 1 and "5xx" in problems[0]
+
+    def test_goodput_collapse_fails(self):
+        report = {"errors": 0, "goodput_ratio": 0.3}
+        problems = check_against_baseline(report, self.BASELINE, 0.5)
+        assert len(problems) == 1 and "goodput" in problems[0]
+
+    def test_tolerance_is_ratio_based(self):
+        report = {"errors": 0, "goodput_ratio": 0.46}
+        # 0.46 > 0.9 * (1 - 0.5) = 0.45: inside tolerance.
+        assert check_against_baseline(report, self.BASELINE, 0.5) == []
+
+    def test_missing_baseline_ratio_skips_that_check(self):
+        report = {"errors": 0, "goodput_ratio": 0.01}
+        assert check_against_baseline(report, {}, 0.5) == []
+
+
+class TestAgainstLiveServer:
+    def test_report_schema_and_zero_errors(self, make_app):
+        app = make_app(concurrency=4, mc_workers=1)
+        report = run_loadgen(
+            app.url,
+            rate=40.0,
+            duration_s=1.0,
+            concurrency=64,
+            rounds=1,
+            unique_seeds=4,
+        )
+        assert report["offered"] == 40
+        assert report["errors"] == 0
+        assert report["completed"] + report["shed"] == report["offered"]
+        assert 0.0 <= report["goodput_ratio"] <= 1.0
+        lat = report["latency_ms"]
+        assert lat["p50"] <= lat["p90"] <= lat["p99"] <= lat["max"]
+        assert report["max_in_flight"] >= 1
+        json.dumps(report)  # report is JSON-serializable as-is
+
+    def test_main_writes_report_and_gates(self, make_app, tmp_path, capsys):
+        app = make_app(concurrency=4, mc_workers=1)
+        baseline_path = tmp_path / "baseline.json"
+        baseline_path.write_text(json.dumps({"goodput_ratio": 0.05}))
+        out_path = tmp_path / "report.json"
+        rc = main(
+            [
+                "--url", app.url,
+                "--rate", "25",
+                "--duration", "1",
+                "--rounds", "1",
+                "--out", str(out_path),
+                "--baseline", str(baseline_path),
+                "--tolerance", "0.9",
+            ]
+        )
+        assert rc == 0
+        report = json.loads(out_path.read_text())
+        assert report["offered"] == 25
+        captured = capsys.readouterr()
+        assert "gate OK" in captured.out
+
+    def test_main_fails_gate_on_impossible_baseline(
+        self, make_app, tmp_path, capsys
+    ):
+        app = make_app(concurrency=4, mc_workers=1)
+        baseline_path = tmp_path / "baseline.json"
+        # goodput_ratio 50 is unattainable; with tolerance 0 any real
+        # run regresses against it.
+        baseline_path.write_text(json.dumps({"goodput_ratio": 50.0}))
+        rc = main(
+            [
+                "--url", app.url,
+                "--rate", "10",
+                "--duration", "1",
+                "--rounds", "1",
+                "--baseline", str(baseline_path),
+                "--tolerance", "0.0",
+            ]
+        )
+        assert rc == 1
+        assert "REGRESSION" in capsys.readouterr().err

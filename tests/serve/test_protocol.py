@@ -1,0 +1,285 @@
+"""Wire-schema tests: golden round-trips plus malformed-input properties.
+
+The golden file pins the canonical wire form of representative simulate
+requests and the exact error (code, field, HTTP status) for a catalog of
+malformed bodies.  Any schema change -- renamed field, changed default,
+loosened validation -- fails here first.
+
+Regenerate after an *intentional* schema change with::
+
+    PYTHONPATH=src python tests/serve/test_protocol.py
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+from hypothesis import given
+
+from repro.serve.protocol import (
+    ERROR_STATUS,
+    PROTOCOL_VERSION,
+    GridPoint,
+    ProtocolError,
+    SimulateRequest,
+    done_line,
+    error_envelope,
+    job_envelope,
+    parse_scheme,
+    parse_simulate_request,
+    result_line,
+    sync_response,
+)
+from repro.verify.strategies import (
+    malformed_simulate_requests,
+    simulate_requests,
+)
+
+GOLDEN_PATH = (
+    Path(__file__).resolve().parent.parent / "data" / "golden_serve_protocol.json"
+)
+
+#: Representative valid requests: minimal, fully-specified, inline case,
+#: multi-axis grid.  The golden file stores each one's canonical form.
+VALID_DOCS: list[dict] = [
+    {
+        "version": 1,
+        "cases": ["I"],
+        "protocols": ["fsa"],
+        "schemes": ["crc"],
+    },
+    {
+        "version": 1,
+        "cases": ["I", "II"],
+        "protocols": ["fsa", "bt"],
+        "schemes": ["crc", "qcd-8"],
+        "rounds": 25,
+        "seed": 7,
+        "mode": "async",
+        "priority": 9,
+        "client": "golden-suite",
+    },
+    {
+        "version": 1,
+        "cases": [{"name": "tiny", "n_tags": 3, "frame_size": 4}],
+        "protocols": ["bt"],
+        "schemes": ["qcd-16"],
+        "rounds": 1,
+        "seed": 0,
+    },
+]
+
+#: Malformed body -> the exact typed error we promise for it.
+MALFORMED_DOCS: list[dict] = [
+    {"doc": None, "label": "null body"},
+    {"doc": ["not", "an", "object"], "label": "array body"},
+    {"doc": {"version": 1, "cases": ["I"]}, "label": "missing axes"},
+    {
+        "doc": {
+            "version": 2,
+            "cases": ["I"],
+            "protocols": ["fsa"],
+            "schemes": ["crc"],
+        },
+        "label": "future version",
+    },
+    {
+        "doc": {
+            "version": 1,
+            "cases": ["V"],
+            "protocols": ["fsa"],
+            "schemes": ["crc"],
+        },
+        "label": "unknown named case",
+    },
+    {
+        "doc": {
+            "version": 1,
+            "cases": ["I"],
+            "protocols": ["fsa"],
+            "schemes": ["qcd-08"],
+        },
+        "label": "non-canonical scheme",
+    },
+    {
+        "doc": {
+            "version": 1,
+            "cases": ["I"],
+            "protocols": ["fsa"],
+            "schemes": ["crc"],
+            "rounds": True,
+        },
+        "label": "boolean rounds",
+    },
+    {
+        "doc": {
+            "version": 1,
+            "cases": ["I"],
+            "protocols": ["fsa"],
+            "schemes": ["crc"],
+            "shard": 4,
+        },
+        "label": "unknown key",
+    },
+]
+
+
+def _canonical(doc: dict) -> dict:
+    return parse_simulate_request(doc).to_wire()
+
+
+def _error_record(doc: object) -> dict:
+    with pytest.raises(ProtocolError) as excinfo:
+        parse_simulate_request(doc)
+    exc = excinfo.value
+    return {
+        "code": exc.code,
+        "status": exc.status,
+        "field": exc.field,
+        "envelope": error_envelope(exc),
+    }
+
+
+def _build_golden() -> dict:
+    records = []
+    for doc in VALID_DOCS:
+        canonical = _canonical(doc)
+        records.append({"request": doc, "canonical": canonical})
+    errors = []
+    for entry in MALFORMED_DOCS:
+        exc = None
+        try:
+            parse_simulate_request(entry["doc"])
+        except ProtocolError as e:
+            exc = e
+        assert exc is not None, f"{entry['label']} unexpectedly parsed"
+        errors.append(
+            {
+                "label": entry["label"],
+                "doc": entry["doc"],
+                "code": exc.code,
+                "status": exc.status,
+                "field": exc.field,
+                "envelope": error_envelope(exc),
+            }
+        )
+    return {"version": PROTOCOL_VERSION, "valid": records, "errors": errors}
+
+
+class TestGolden:
+    def test_golden_file_current(self):
+        golden = json.loads(GOLDEN_PATH.read_text())
+        assert golden == _build_golden(), (
+            "wire schema drifted from tests/data/golden_serve_protocol.json; "
+            "if intentional, regenerate with "
+            "`PYTHONPATH=src python tests/serve/test_protocol.py`"
+        )
+
+    def test_canonical_form_is_idempotent(self):
+        golden = json.loads(GOLDEN_PATH.read_text())
+        for record in golden["valid"]:
+            assert _canonical(record["canonical"]) == record["canonical"]
+
+
+class TestParsing:
+    def test_defaults(self):
+        req = parse_simulate_request(VALID_DOCS[0])
+        assert (req.rounds, req.seed, req.mode, req.priority, req.client) == (
+            10,
+            2010,
+            "sync",
+            5,
+            "anonymous",
+        )
+
+    def test_grid_is_cross_product_in_axis_order(self):
+        req = parse_simulate_request(VALID_DOCS[1])
+        labels = [(p.case.name, p.protocol, p.scheme) for p in req.points]
+        assert labels == [
+            (c, p, s)
+            for c in ("I", "II")
+            for p in ("fsa", "bt")
+            for s in ("crc", "qcd-8")
+        ]
+
+    def test_named_and_inline_duplicate_rejected(self):
+        doc = {
+            "version": 1,
+            "cases": ["I", {"name": "I", "n_tags": 50, "frame_size": 30}],
+            "protocols": ["fsa"],
+            "schemes": ["crc"],
+        }
+        with pytest.raises(ProtocolError) as excinfo:
+            parse_simulate_request(doc)
+        assert excinfo.value.code == "invalid_request"
+
+    @pytest.mark.parametrize("scheme", ["crc", "qcd-1", "qcd-8", "qcd-64"])
+    def test_scheme_accepts_canonical(self, scheme):
+        assert parse_scheme(scheme) == scheme
+
+    @pytest.mark.parametrize(
+        "scheme", ["qcd-0", "qcd-65", "qcd-08", "qcd-", "qcd", "CRC", "", "qcd-8 "]
+    )
+    def test_scheme_rejects_non_canonical(self, scheme):
+        with pytest.raises(ProtocolError):
+            parse_scheme(scheme)
+
+    def test_error_codes_map_to_4xx_or_5xx(self):
+        for code, status in ERROR_STATUS.items():
+            assert 400 <= status < 600, code
+
+
+class TestEnvelopes:
+    def test_result_line_scrubs_nan(self):
+        point = parse_simulate_request(VALID_DOCS[0]).points[0]
+        line = result_line(point, {"throughput": float("nan")}, "computed")
+        assert line["stats"]["throughput"] is None
+        json.dumps(line, allow_nan=False)  # RFC 8259 clean
+
+    def test_done_line_scrubs_nan_elapsed(self):
+        line = done_line("job-1", "done", float("nan"))
+        assert line["elapsed_s"] is None
+
+    def test_job_envelope_location(self):
+        env = job_envelope("job-abc", "queued", 4, 0)
+        assert env["location"] == "/v1/jobs/job-abc"
+        assert env["version"] == PROTOCOL_VERSION
+
+    def test_sync_response_shape(self):
+        resp = sync_response("job-1", "done", [], 0.5)
+        assert set(resp) == {"version", "job_id", "state", "results", "elapsed_s"}
+
+
+class TestProperties:
+    @given(doc=simulate_requests())
+    def test_valid_requests_parse_and_round_trip(self, doc):
+        req = parse_simulate_request(doc)
+        assert isinstance(req, SimulateRequest)
+        assert 1 <= len(req.points) <= 16
+        assert all(isinstance(p, GridPoint) for p in req.points)
+        # Canonical form re-parses to the identical request.
+        canonical = req.to_wire()
+        assert parse_simulate_request(canonical) == req
+        json.dumps(canonical, allow_nan=False)
+
+    @given(case=malformed_simulate_requests())
+    def test_malformed_requests_raise_typed_400s_only(self, case):
+        rule, doc = case
+        try:
+            parse_simulate_request(doc)
+        except ProtocolError as exc:
+            assert 400 <= exc.status < 500, rule
+            envelope = error_envelope(exc)
+            assert envelope["error"]["code"] == exc.code
+            json.dumps(envelope, allow_nan=False)
+        else:  # pragma: no cover - a parse here is the bug being hunted
+            pytest.fail(f"malformed request ({rule}) parsed successfully")
+
+
+if __name__ == "__main__":  # regenerate the golden file
+    GOLDEN_PATH.write_text(
+        json.dumps(_build_golden(), indent=2, sort_keys=True) + "\n"
+    )
+    print(f"wrote {GOLDEN_PATH}")

@@ -1,0 +1,192 @@
+"""AdmissionQueue unit tests: ordering, fairness, backpressure, lifecycle."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.serve.queue import (
+    AdmissionQueue,
+    ClientQuotaExceeded,
+    QueueClosed,
+    QueueFull,
+)
+
+
+def drain(queue: AdmissionQueue) -> list:
+    return list(queue.drain_items())
+
+
+class TestOrdering:
+    def test_higher_priority_dequeues_first(self):
+        q = AdmissionQueue(capacity=16)
+        q.put_batch(["low-1", "low-2"], client="a", priority=1)
+        q.put_batch(["high"], client="a", priority=9)
+        q.put_batch(["mid"], client="a", priority=5)
+        assert drain(q) == ["high", "mid", "low-1", "low-2"]
+
+    def test_fifo_within_one_client_and_priority(self):
+        q = AdmissionQueue(capacity=16)
+        q.put_batch(["1", "2", "3"], client="a", priority=5)
+        assert drain(q) == ["1", "2", "3"]
+
+    def test_two_clients_interleave_round_robin(self):
+        # Client a bursts 3 items, then b submits 3: fairness ranks make
+        # them alternate instead of a's burst running first.
+        q = AdmissionQueue(capacity=16)
+        q.put_batch(["a1", "a2", "a3"], client="a", priority=5)
+        q.put_batch(["b1", "b2", "b3"], client="b", priority=5)
+        assert drain(q) == ["a1", "b1", "a2", "b2", "a3", "b3"]
+
+    def test_fairness_is_per_priority(self):
+        q = AdmissionQueue(capacity=16)
+        q.put_batch(["a-low"], client="a", priority=1)
+        q.put_batch(["b-high1", "b-high2"], client="b", priority=8)
+        assert drain(q) == ["b-high1", "b-high2", "a-low"]
+
+    def test_ranks_reset_when_client_drains(self):
+        q = AdmissionQueue(capacity=16)
+        q.put_batch(["a1", "a2"], client="a", priority=5)
+        assert drain(q) == ["a1", "a2"]
+        # a drained fully; a fresh burst must not carry stale rank debt.
+        q.put_batch(["a3"], client="a", priority=5)
+        q.put_batch(["b1"], client="b", priority=5)
+        assert drain(q) == ["a3", "b1"]
+
+
+class TestAdmission:
+    def test_batch_is_all_or_nothing_on_capacity(self):
+        q = AdmissionQueue(capacity=4, per_client=4)
+        q.put_batch(["1", "2", "3"], client="a", priority=5)
+        with pytest.raises(QueueFull):
+            q.put_batch(["4", "5"], client="b", priority=5)
+        # Nothing from the rejected batch leaked in.
+        assert q.depth() == 3
+        q.put_batch(["4"], client="b", priority=5)
+        assert q.depth() == 4
+
+    def test_per_client_quota(self):
+        q = AdmissionQueue(capacity=100, per_client=3)
+        q.put_batch(["1", "2", "3"], client="a", priority=5)
+        with pytest.raises(ClientQuotaExceeded):
+            q.put_batch(["4"], client="a", priority=5)
+        # Another client still has room.
+        q.put_batch(["b1"], client="b", priority=5)
+        assert q.client_depth("a") == 3
+        assert q.client_depth("b") == 1
+
+    def test_quota_releases_as_items_dequeue(self):
+        q = AdmissionQueue(capacity=100, per_client=2)
+        q.put_batch(["1", "2"], client="a", priority=5)
+        assert drain(q) == ["1", "2"]
+        q.put_batch(["3", "4"], client="a", priority=5)  # no quota error
+        assert q.client_depth("a") == 2
+
+    def test_default_per_client_is_quarter_capacity(self):
+        assert AdmissionQueue(capacity=100).per_client == 25
+        assert AdmissionQueue(capacity=2).per_client == 1
+
+    def test_rejections_carry_retry_hint(self):
+        q = AdmissionQueue(capacity=1)
+        q.put_batch(["1"], client="a", priority=5)
+        with pytest.raises(QueueFull) as excinfo:
+            q.put_batch(["2"], client="b", priority=5)
+        assert excinfo.value.retry_after_s >= 1.0
+
+    def test_empty_batch_is_a_noop(self):
+        q = AdmissionQueue(capacity=1)
+        q.put_batch([], client="a", priority=5)
+        assert q.depth() == 0
+
+
+class TestEstimateWait:
+    def test_scales_with_depth_and_workers(self):
+        q = AdmissionQueue(capacity=100)
+        q.put_batch([str(i) for i in range(20)], client="a", priority=5)
+        assert q.estimate_wait_s(1.0, workers=2) == pytest.approx(10.0)
+
+    def test_floored_at_one_second(self):
+        q = AdmissionQueue(capacity=100)
+        assert q.estimate_wait_s(0.001, workers=4) == 1.0
+        assert q.estimate_wait_s(0.0, workers=4) == 1.0
+        assert q.estimate_wait_s(float("nan"), workers=4) == 1.0
+
+
+class TestAsyncConsumption:
+    def test_get_returns_queued_item(self):
+        async def scenario():
+            q = AdmissionQueue(capacity=4)
+            q.put_batch(["x"], client="a", priority=5)
+            return await q.get()
+
+        assert asyncio.run(scenario()) == "x"
+
+    def test_get_suspends_until_put_wakes_it(self):
+        async def scenario():
+            q = AdmissionQueue(capacity=4)
+            getter = asyncio.create_task(q.get())
+            await asyncio.sleep(0)  # park the getter on a waiter future
+            q.put_batch(["late"], client="a", priority=5)
+            return await asyncio.wait_for(getter, timeout=5)
+
+        assert asyncio.run(scenario()) == "late"
+
+    def test_each_item_wakes_one_waiter(self):
+        async def scenario():
+            q = AdmissionQueue(capacity=8, per_client=8)
+            getters = [asyncio.create_task(q.get()) for _ in range(3)]
+            await asyncio.sleep(0)
+            q.put_batch(["1", "2", "3"], client="a", priority=5)
+            return sorted(
+                await asyncio.wait_for(asyncio.gather(*getters), timeout=5)
+            )
+
+        assert asyncio.run(scenario()) == ["1", "2", "3"]
+
+    def test_cancelled_getter_leaves_no_stale_waiter(self):
+        async def scenario():
+            q = AdmissionQueue(capacity=4)
+            getter = asyncio.create_task(q.get())
+            await asyncio.sleep(0)
+            getter.cancel()
+            with pytest.raises(asyncio.CancelledError):
+                await getter
+            # The slot freed by the cancelled waiter must not swallow a
+            # wake-up: a fresh getter still gets the item.
+            q.put_batch(["x"], client="a", priority=5)
+            return await asyncio.wait_for(q.get(), timeout=5)
+
+        assert asyncio.run(scenario()) == "x"
+
+
+class TestClose:
+    def test_put_after_close_raises_queue_closed(self):
+        q = AdmissionQueue(capacity=4)
+        q.close()
+        with pytest.raises(QueueClosed):
+            q.put_batch(["x"], client="a", priority=5)
+
+    def test_close_drains_before_raising(self):
+        async def scenario():
+            q = AdmissionQueue(capacity=4, per_client=4)
+            q.put_batch(["1", "2"], client="a", priority=5)
+            q.close()
+            first = await q.get()
+            second = await q.get()
+            with pytest.raises(QueueClosed):
+                await q.get()
+            return [first, second]
+
+        assert asyncio.run(scenario()) == ["1", "2"]
+
+    def test_close_wakes_parked_getters(self):
+        async def scenario():
+            q = AdmissionQueue(capacity=4)
+            getter = asyncio.create_task(q.get())
+            await asyncio.sleep(0)
+            q.close()
+            with pytest.raises(QueueClosed):
+                await asyncio.wait_for(getter, timeout=5)
+
+        asyncio.run(scenario())

@@ -1,0 +1,382 @@
+"""End-to-end service tests against a live in-process server.
+
+Each test talks to a real ``ServeApp`` (ephemeral port, background
+event-loop thread -- see ``conftest.AppHandle``) through the blocking
+:class:`~repro.serve.client.ServeClient`, exactly the way external
+clients do.  The drain test runs ``python -m repro.serve`` as a real
+subprocess and SIGTERMs it mid-request.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import asdict
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.runner import ExperimentSuite
+from repro.serve.client import ServeClient, ServeError
+from repro.sim.export import nan_to_none
+
+SIM_DOC = {
+    "version": 1,
+    "cases": ["I"],
+    "protocols": ["fsa"],
+    "schemes": ["crc", "qcd-8"],
+    "rounds": 3,
+    "seed": 42,
+    "mode": "sync",
+}
+
+
+def _metric_value(text: str, name: str, **labels) -> float:
+    """Sum a counter/gauge from Prometheus exposition text."""
+    total = 0.0
+    for line in text.splitlines():
+        if line.startswith("#") or not line.startswith(name):
+            continue
+        metric, _, value = line.rpartition(" ")
+        if all(f'{k}="{v}"' in metric for k, v in labels.items()):
+            total += float(value)
+    return total
+
+
+class TestBasics:
+    def test_healthz(self, app):
+        doc = app.client().healthz()
+        assert doc["status"] == "ok"
+        assert doc["protocol_version"] == 1
+
+    def test_unknown_route_is_404(self, app):
+        with pytest.raises(ServeError) as excinfo:
+            app.client().request_json("GET", "/nope")
+        assert (excinfo.value.status, excinfo.value.code) == (404, "not_found")
+
+    def test_wrong_method_is_405_with_allow(self, app):
+        status, headers, _body = app.client().request("PUT", "/healthz")
+        assert status == 405
+        assert {k.lower(): v for k, v in headers.items()}["allow"] == "GET"
+
+    def test_bad_json_body_is_400(self, app):
+        status, _headers, body = app.client().request(
+            "POST", "/v1/simulate", None
+        )
+        # No body at all: not valid JSON either.
+        assert status == 400
+        assert json.loads(body)["error"]["code"] == "invalid_request"
+
+    def test_malformed_request_is_typed_400(self, app):
+        with pytest.raises(ServeError) as excinfo:
+            app.client().simulate(dict(SIM_DOC, rounds=True))
+        assert excinfo.value.status == 400
+        assert excinfo.value.code == "invalid_request"
+        assert excinfo.value.envelope["error"]["field"] == "rounds"
+
+    def test_metrics_exposition(self, app):
+        client = app.client()
+        client.healthz()
+        text = client.metrics_text()
+        assert "# TYPE repro_serve_requests_total counter" in text
+        assert (
+            _metric_value(text, "repro_serve_requests_total", route="healthz")
+            >= 1
+        )
+
+
+class TestSimulate:
+    def test_sync_results_field_identical_to_suite(self, app):
+        resp = app.client().simulate(SIM_DOC)
+        assert resp["state"] == "done"
+        assert len(resp["results"]) == 2
+        with ExperimentSuite(rounds=3, seed=42) as suite:
+            for line in resp["results"]:
+                expected = nan_to_none(
+                    asdict(
+                        suite.run("I", line["point"]["protocol"], line["point"]["scheme"])
+                    )
+                )
+                assert line["stats"] == expected
+
+    def test_async_stream_matches_sync_results(self, app):
+        client = app.client()
+        sync = client.simulate(dict(SIM_DOC, seed=77))
+        lines = client.run(dict(SIM_DOC, seed=77))
+        by_point_stream = {
+            json.dumps(l["point"], sort_keys=True): l["stats"] for l in lines
+        }
+        by_point_sync = {
+            json.dumps(l["point"], sort_keys=True): l["stats"]
+            for l in sync["results"]
+        }
+        assert by_point_stream == by_point_sync
+
+    def test_stream_shape(self, app):
+        client = app.client()
+        submitted = client.simulate(dict(SIM_DOC, mode="async", seed=5))
+        assert submitted["location"] == f"/v1/jobs/{submitted['job_id']}"
+        lines = list(client.stream_job(submitted["job_id"]))
+        assert lines[0]["type"] == "job"
+        assert [l["type"] for l in lines[1:-1]] == ["result"] * 2
+        assert lines[-1]["type"] == "done"
+        assert lines[-1]["state"] == "done"
+        assert lines[-1]["elapsed_s"] is not None
+
+    def test_unknown_job_is_404(self, app):
+        with pytest.raises(ServeError) as excinfo:
+            list(app.client().stream_job("job-ffffffffffffffff"))
+        assert excinfo.value.status == 404
+
+    def test_repeat_request_served_from_memo(self, app):
+        client = app.client()
+        doc = dict(SIM_DOC, seed=123)
+        first = client.simulate(doc)
+        second = client.simulate(doc)
+        assert {r["source"] for r in first["results"]} == {"computed"}
+        assert {r["source"] for r in second["results"]} == {"memo"}
+        # Results arrive in completion order, which is nondeterministic
+        # across concurrent workers -- compare keyed by grid point.
+        def by_point(resp):
+            return {
+                json.dumps(r["point"], sort_keys=True): r["stats"]
+                for r in resp["results"]
+            }
+
+        assert by_point(first) == by_point(second)
+
+
+class TestCoalescing:
+    def test_identical_concurrent_requests_compute_once(self, make_app):
+        """The acceptance criterion: N identical concurrent requests for
+        one grid point trigger exactly one kernel computation.
+
+        The compute floor keeps the leader in flight long enough for
+        every duplicate to arrive, so the Monte-Carlo rounds counter
+        (exact, folded from the engine) must equal ``rounds`` -- one
+        kernel run total -- and the coalesce-hit counter picks up the
+        rest.
+        """
+        app = make_app(concurrency=16, compute_floor_s=0.5)
+        n_clients, rounds = 8, 3
+        doc = {
+            "version": 1,
+            "cases": ["I"],
+            "protocols": ["fsa"],
+            "schemes": ["qcd-8"],
+            "rounds": rounds,
+            "seed": 999,
+            "mode": "sync",
+        }
+        barrier = threading.Barrier(n_clients)
+
+        def call(i: int) -> dict:
+            client = app.client(retries=0, timeout_s=60.0)
+            barrier.wait(timeout=20)
+            return client.simulate(dict(doc, client=f"c{i}"))
+
+        with ThreadPoolExecutor(max_workers=n_clients) as pool:
+            responses = [f.result() for f in [pool.submit(call, i) for i in range(n_clients)]]
+
+        stats = [r["results"][0]["stats"] for r in responses]
+        assert all(s == stats[0] for s in stats)
+        sources = sorted(r["results"][0]["source"] for r in responses)
+        text = app.client().metrics_text()
+        mc_rounds = _metric_value(text, "repro_mc_rounds_total")
+        assert mc_rounds == rounds, (
+            f"expected exactly one kernel computation ({rounds} MC rounds), "
+            f"saw {mc_rounds}; sources={sources}"
+        )
+        assert _metric_value(text, "repro_serve_coalesce_hits_total") >= 1
+        assert sources.count("computed") == 1
+
+
+class TestBackpressure:
+    def test_overload_sheds_429_with_retry_after(self, make_app):
+        # One slow worker, a 2-point queue: the third-plus concurrent
+        # request must shed as 429 + Retry-After, never 500.
+        app = make_app(
+            concurrency=1,
+            queue_capacity=2,
+            per_client=2,
+            compute_floor_s=1.0,
+        )
+        barrier = threading.Barrier(8)
+
+        def call(i: int):
+            client = app.client(retries=0, timeout_s=60.0)
+            barrier.wait(timeout=20)
+            doc = {
+                "version": 1,
+                "cases": ["I"],
+                "protocols": ["fsa"],
+                "schemes": ["qcd-4"],
+                "rounds": 1,
+                "seed": 4000 + i,  # distinct grid points: no coalescing
+                "mode": "sync",
+                "client": f"c{i}",
+            }
+            return client.request("POST", "/v1/simulate", doc)
+
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            outcomes = [f.result() for f in [pool.submit(call, i) for i in range(8)]]
+
+        statuses = sorted(status for status, _, _ in outcomes)
+        assert 429 in statuses
+        assert all(status in (200, 429) for status in statuses), statuses
+        rejected = next(o for o in outcomes if o[0] == 429)
+        headers = {k.lower(): v for k, v in rejected[1].items()}
+        assert int(headers["retry-after"]) >= 1
+        body = json.loads(rejected[2])
+        assert body["error"]["code"] == "overloaded"
+
+    def test_client_quota_is_per_client(self, make_app):
+        app = make_app(
+            concurrency=1,
+            queue_capacity=100,
+            per_client=1,
+            compute_floor_s=1.0,
+        )
+        client = app.client(retries=0, timeout_s=60.0)
+        doc = {
+            "version": 1,
+            "cases": ["I", "II"],  # 2 points > per-client quota of 1
+            "protocols": ["fsa"],
+            "schemes": ["crc"],
+            "rounds": 1,
+            "mode": "async",
+            "client": "greedy",
+        }
+        status, headers, body = client.request("POST", "/v1/simulate", doc)
+        assert status == 429
+        assert "quota" in json.loads(body)["error"]["message"]
+
+    def test_hundred_concurrent_inflight_zero_5xx(self, make_app):
+        """The acceptance criterion: >= 100 concurrent in-flight simulate
+        requests, all answered, zero 500s."""
+        app = make_app(
+            concurrency=8,
+            queue_capacity=256,
+            per_client=256,
+            mc_workers=1,
+        )
+        n = 120
+        barrier = threading.Barrier(n)
+        statuses: list[int] = []
+        lock = threading.Lock()
+
+        def call(i: int) -> None:
+            client = app.client(retries=0, timeout_s=120.0)
+            doc = {
+                "version": 1,
+                "cases": ["I"],
+                "protocols": ["fsa"],
+                "schemes": ["qcd-8"],
+                "rounds": 2,
+                "seed": i % 10,  # mix of fresh and coalescable points
+                "mode": "sync",
+                "client": f"c{i % 16}",
+            }
+            barrier.wait(timeout=60)
+            status, _, _ = client.request("POST", "/v1/simulate", doc)
+            with lock:
+                statuses.append(status)
+
+        with ThreadPoolExecutor(max_workers=n) as pool:
+            futures = [pool.submit(call, i) for i in range(n)]
+            for fut in futures:
+                fut.result()
+
+        assert len(statuses) == n
+        assert not [s for s in statuses if s >= 500], sorted(set(statuses))
+        assert statuses.count(200) >= 100
+
+
+@pytest.mark.slow
+class TestDrain:
+    def test_sigterm_drains_inflight_and_exits_zero(self, tmp_path):
+        env = dict(os.environ)
+        src = str(Path(__file__).resolve().parent.parent.parent / "src")
+        existing = env.get("PYTHONPATH")
+        env["PYTHONPATH"] = src + (os.pathsep + existing if existing else "")
+        process = subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro.serve",
+                "--port",
+                "0",
+                "--concurrency",
+                "2",
+                "--compute-floor",
+                "1.0",
+                "--drain-grace",
+                "30",
+            ],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            env=env,
+            text=True,
+        )
+        try:
+            banner = process.stdout.readline()
+            assert "repro-serve listening on" in banner, banner
+            host_port = banner.split("listening on ")[1].split(" ")[0]
+            url = f"http://{host_port}"
+
+            result_box: dict = {}
+
+            def slow_request():
+                client = ServeClient(url, retries=0, timeout_s=60.0)
+                result_box["resp"] = client.simulate(
+                    {
+                        "version": 1,
+                        "cases": ["I"],
+                        "protocols": ["fsa"],
+                        "schemes": ["qcd-8"],
+                        "rounds": 1,
+                        "seed": 31337,
+                        "mode": "sync",
+                    }
+                )
+
+            t = threading.Thread(target=slow_request)
+            t.start()
+            time.sleep(0.4)  # request admitted; compute floor holds it
+            process.send_signal(signal.SIGTERM)
+
+            # New work during the drain is shed with 503 draining.
+            shed = ServeClient(url, retries=0, timeout_s=10.0)
+            status, headers, body = shed.request(
+                "POST",
+                "/v1/simulate",
+                {
+                    "version": 1,
+                    "cases": ["I"],
+                    "protocols": ["fsa"],
+                    "schemes": ["crc"],
+                    "rounds": 1,
+                    "mode": "sync",
+                },
+            )
+            assert status == 503
+            assert json.loads(body)["error"]["code"] == "draining"
+
+            t.join(timeout=60)
+            assert not t.is_alive(), "in-flight request never completed"
+            assert result_box["resp"]["state"] == "done"
+
+            process.wait(timeout=60)
+            assert process.returncode == 0
+            tail = process.stdout.read()
+            assert "repro-serve drained; exiting" in tail
+        finally:
+            if process.poll() is None:
+                process.kill()
+                process.wait(timeout=10)
