@@ -35,6 +35,7 @@ from pathlib import Path
 from typing import Callable, Mapping, Sequence
 
 from repro import obs
+from repro.obs.report import metrics_percentile_rows
 from repro.experiments import extensions, figures, tables
 from repro.experiments.config import DEFAULT_ROUNDS
 from repro.experiments.report import render_table
@@ -274,6 +275,17 @@ def main(argv: list[str] | None = None) -> int:
                 )
                 print()
                 print(obs.STATE.registry.to_prometheus())
+                pct_rows = metrics_percentile_rows(
+                    obs.STATE.registry.to_dict()
+                )
+                if pct_rows:
+                    print(
+                        render_table(
+                            pct_rows,
+                            title="Histogram percentiles "
+                            "(bucket interpolation)",
+                        )
+                    )
                 if not all(r["match"] == "yes" for r in rows):
                     return 1
             else:

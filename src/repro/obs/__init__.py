@@ -36,6 +36,12 @@ from __future__ import annotations
 
 from typing import Mapping
 
+from repro.obs.context import (
+    bound_context,
+    current_request_id,
+    current_tracer,
+    new_request_id,
+)
 from repro.obs.instruments import SLOTS
 from repro.obs.profiling import PROFILE_METRIC, profile, profiled
 from repro.obs.registry import (
@@ -80,6 +86,10 @@ __all__ = [
     "profiled",
     "PROFILE_METRIC",
     "slot_totals",
+    "bound_context",
+    "current_request_id",
+    "current_tracer",
+    "new_request_id",
 ]
 
 

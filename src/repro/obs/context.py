@@ -1,0 +1,103 @@
+"""Request-scoped trace context: the bridge from servers to the tracer.
+
+:mod:`repro.obs` was built for single-threaded simulation drivers -- one
+process-wide :class:`~repro.obs.tracing.Tracer` with one span stack.
+A server breaks that model twice over: many requests are in flight on
+one event loop, and each request's blocking compute runs on a worker
+thread (``asyncio.to_thread``).  This module restores the "one tracer
+per logical execution" invariant with two :mod:`contextvars` variables:
+
+* :data:`CURRENT_TRACER` -- the tracer the *current* task/thread should
+  emit spans to.  :class:`repro.obs.state.ObsState` consults it first,
+  so every ``_OBS.tracer.start_span(...)`` call site in the simulation
+  stack transparently lands on the request's tracer when one is bound;
+* :data:`REQUEST_ID` -- the id of the request the current task serves
+  (the ``X-Request-Id`` header contract; see ``docs/OBSERVABILITY.md``).
+
+Because ``asyncio.to_thread`` runs its callable under a *copy* of the
+calling task's context, a tracer bound before the thread hop is visible
+inside it -- the PR-1 ``grid_point -> inventory -> frame -> slot`` spans
+emitted by the engine therefore nest under the serve request's span tree
+with no plumbing through the compute API.
+
+Binding is token-based (set/reset), mirroring raw ``contextvars`` usage,
+plus a context-manager convenience::
+
+    with bound_context(tracer=request_tracer, request_id=rid):
+        ... every span emitted here (or in a to_thread hop) joins rid ...
+
+The variables are process-global but context-local; binding in one task
+never leaks into another.  Everything here is stdlib-only and cheap
+enough to run even with observability disabled (one ContextVar.set per
+request), which is what keeps ``X-Request-Id`` available on untraced
+servers.
+"""
+
+from __future__ import annotations
+
+import secrets
+from contextlib import contextmanager
+from contextvars import ContextVar
+from typing import TYPE_CHECKING, Iterator
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (state -> context)
+    from repro.obs.tracing import Tracer
+
+__all__ = [
+    "CURRENT_TRACER",
+    "REQUEST_ID",
+    "current_tracer",
+    "current_request_id",
+    "new_request_id",
+    "bound_context",
+]
+
+#: The tracer bound to the current execution context, or ``None`` to use
+#: the process-wide default (``STATE``'s base tracer).
+CURRENT_TRACER: ContextVar["Tracer | None"] = ContextVar(
+    "repro_obs_current_tracer", default=None
+)
+
+#: The request id owning the current execution context, or ``None``
+#: outside any request scope.
+REQUEST_ID: ContextVar[str | None] = ContextVar(
+    "repro_obs_request_id", default=None
+)
+
+
+def current_tracer() -> "Tracer | None":
+    """The context-bound tracer, or ``None`` if none is bound."""
+    return CURRENT_TRACER.get()
+
+
+def current_request_id() -> str | None:
+    """The request id bound to the current context, if any."""
+    return REQUEST_ID.get()
+
+
+def new_request_id() -> str:
+    """A fresh globally unique request id (``req-`` + 16 hex chars)."""
+    return f"req-{secrets.token_hex(8)}"
+
+
+@contextmanager
+def bound_context(
+    tracer: "Tracer | None" = None, request_id: str | None = None
+) -> Iterator[None]:
+    """Bind ``tracer`` and/or ``request_id`` for the enclosed block.
+
+    ``None`` arguments leave the corresponding variable untouched, so
+    a worker task can re-bind just the tracer while inheriting the
+    request id its parent bound.
+    """
+    tracer_token = (
+        CURRENT_TRACER.set(tracer) if tracer is not None else None
+    )
+    rid_token = REQUEST_ID.set(request_id) if request_id is not None else None
+    try:
+        yield
+    finally:
+        if rid_token is not None:
+            REQUEST_ID.reset(rid_token)
+        if tracer_token is not None:
+            CURRENT_TRACER.reset(tracer_token)

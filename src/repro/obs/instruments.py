@@ -41,6 +41,7 @@ __all__ = [
     "INVARIANT_VIOLATIONS",
     "SERVE_REQUESTS",
     "SERVE_REQUEST_SECONDS",
+    "SERVE_STAGE_SECONDS",
     "SERVE_REJECTS",
     "SERVE_QUEUE_DEPTH",
     "SERVE_INFLIGHT",
@@ -74,6 +75,10 @@ INVARIANT_VIOLATIONS = "repro_invariant_violations_total"
 # -- repro.serve (the simulation service; see docs/SERVING.md) ---------
 SERVE_REQUESTS = "repro_serve_requests_total"
 SERVE_REQUEST_SECONDS = "repro_serve_request_seconds"
+#: Histogram of per-request stage latencies, labelled ``stage`` --
+#: ``queue_wait`` / ``coalesce`` / ``compute`` / ``stream`` -- mirroring
+#: the ``serve.<stage>`` span names (docs/OBSERVABILITY.md).
+SERVE_STAGE_SECONDS = "repro_serve_stage_seconds"
 SERVE_REJECTS = "repro_serve_rejects_total"
 SERVE_QUEUE_DEPTH = "repro_serve_queue_depth"
 SERVE_INFLIGHT = "repro_serve_inflight_points"

@@ -29,6 +29,7 @@ from __future__ import annotations
 
 import json
 import math
+import threading
 from typing import Iterable, Mapping, Sequence
 
 __all__ = [
@@ -38,6 +39,18 @@ __all__ = [
     "MetricsRegistry",
     "DEFAULT_TIME_BUCKETS",
 ]
+
+#: One process-wide lock serializes every metric mutation, child/family
+#: creation and export snapshot.  The serve layer increments counters
+#: and observes histograms from ``asyncio.to_thread`` worker threads
+#: while the event loop renders ``/metrics``; without the lock,
+#: ``value += amount`` (three bytecodes) can lose increments under
+#: preemption and an export can iterate a dict another thread is
+#: growing.  The lock lives at module level -- not on the instances --
+#: so metric objects stay ``__slots__``-small and picklable (worker
+#: processes ship whole registries back to be merged).  Reentrant
+#: because exports and merges call locked child operations.
+_LOCK = threading.RLock()
 
 #: Default histogram buckets for wall-time observations, in seconds.
 #: Geometric 1-2.5-5 ladder from 10 µs to 10 s -- wide enough for both a
@@ -97,11 +110,13 @@ class Counter:
         """Add ``amount`` (must be >= 0)."""
         if amount < 0:
             raise ValueError("counters can only increase")
-        self.value += amount
+        with _LOCK:
+            self.value += amount
 
     def merge(self, other: "Counter") -> None:
         """Fold another counter in (totals add)."""
-        self.value += other.value
+        with _LOCK:
+            self.value += other.value
 
 
 class Gauge:
@@ -113,13 +128,16 @@ class Gauge:
         self.value: float = 0
 
     def set(self, value: float) -> None:
-        self.value = value
+        with _LOCK:
+            self.value = value
 
     def inc(self, amount: float = 1) -> None:
-        self.value += amount
+        with _LOCK:
+            self.value += amount
 
     def dec(self, amount: float = 1) -> None:
-        self.value -= amount
+        with _LOCK:
+            self.value -= amount
 
     def merge(self, other: "Gauge") -> None:
         """Fold another gauge in.
@@ -129,7 +147,8 @@ class Gauge:
         value is the sum (there is no meaningful "last write" across
         processes).
         """
-        self.value += other.value
+        with _LOCK:
+            self.value += other.value
 
 
 class Histogram:
@@ -153,13 +172,14 @@ class Histogram:
         self.count = 0
 
     def observe(self, value: float) -> None:
-        self.sum += value
-        self.count += 1
-        for i, bound in enumerate(self.upper_bounds):
-            if value <= bound:
-                self.bucket_counts[i] += 1
-                return
-        self.inf_count += 1
+        with _LOCK:
+            self.sum += value
+            self.count += 1
+            for i, bound in enumerate(self.upper_bounds):
+                if value <= bound:
+                    self.bucket_counts[i] += 1
+                    return
+            self.inf_count += 1
 
     def merge(self, other: "Histogram") -> None:
         """Fold another histogram in (bucket-wise; schemas must match)."""
@@ -168,21 +188,23 @@ class Histogram:
                 "cannot merge histograms with different buckets: "
                 f"{self.upper_bounds} vs {other.upper_bounds}"
             )
-        for i, n in enumerate(other.bucket_counts):
-            self.bucket_counts[i] += n
-        self.inf_count += other.inf_count
-        self.sum += other.sum
-        self.count += other.count
+        with _LOCK:
+            for i, n in enumerate(other.bucket_counts):
+                self.bucket_counts[i] += n
+            self.inf_count += other.inf_count
+            self.sum += other.sum
+            self.count += other.count
 
     def cumulative_buckets(self) -> list[tuple[float, int]]:
         """``[(le, cumulative_count), ...]`` ending with (+Inf, count)."""
-        out: list[tuple[float, int]] = []
-        running = 0
-        for bound, n in zip(self.upper_bounds, self.bucket_counts):
-            running += n
-            out.append((bound, running))
-        out.append((math.inf, self.count))
-        return out
+        with _LOCK:
+            out: list[tuple[float, int]] = []
+            running = 0
+            for bound, n in zip(self.upper_bounds, self.bucket_counts):
+                running += n
+                out.append((bound, running))
+            out.append((math.inf, self.count))
+            return out
 
 
 _CHILD_TYPES = {"counter": Counter, "gauge": Gauge}
@@ -231,8 +253,11 @@ class MetricFamily:
         key = tuple(str(labelvalues[k]) for k in self.labelnames)
         child = self._children.get(key)
         if child is None:
-            child = self._make_child()
-            self._children[key] = child
+            with _LOCK:
+                child = self._children.get(key)
+                if child is None:
+                    child = self._make_child()
+                    self._children[key] = child
         return child
 
     def _make_child(self):
@@ -247,8 +272,11 @@ class MetricFamily:
             )
         child = self._children.get(())
         if child is None:
-            child = self._make_child()
-            self._children[()] = child
+            with _LOCK:
+                child = self._children.get(())
+                if child is None:
+                    child = self._make_child()
+                    self._children[()] = child
         return child
 
     # -- label-free conveniences ---------------------------------------
@@ -273,16 +301,18 @@ class MetricFamily:
 
     def samples(self) -> list[tuple[dict[str, str], object]]:
         """``[(labels_dict, child), ...]`` in insertion order."""
-        return [
-            (dict(zip(self.labelnames, key)), child)
-            for key, child in self._children.items()
-        ]
+        with _LOCK:
+            return [
+                (dict(zip(self.labelnames, key)), child)
+                for key, child in self._children.items()
+            ]
 
     def total(self) -> float:
         """Sum of all children (counter/gauge families only)."""
         if self.type == "histogram":
             raise ValueError("total() is not defined for histograms")
-        return sum(c.value for c in self._children.values())
+        with _LOCK:
+            return sum(c.value for c in self._children.values())
 
     # -- merging --------------------------------------------------------
 
@@ -334,9 +364,14 @@ class MetricsRegistry:
     ) -> MetricFamily:
         family = self._families.get(name)
         if family is None:
-            family = MetricFamily(name, type_, help_, labelnames, buckets)
-            self._families[name] = family
-            return family
+            with _LOCK:
+                family = self._families.get(name)
+                if family is None:
+                    family = MetricFamily(
+                        name, type_, help_, labelnames, buckets
+                    )
+                    self._families[name] = family
+                    return family
         if family.type != type_:
             raise ValueError(
                 f"{name} already registered as {family.type}, not {type_}"
@@ -376,7 +411,8 @@ class MetricsRegistry:
 
     def reset(self) -> None:
         """Drop every family (names, schemas and values)."""
-        self._families.clear()
+        with _LOCK:
+            self._families.clear()
 
     def merge(self, other: "MetricsRegistry") -> "MetricsRegistry":
         """Fold another registry's metrics into this one; returns ``self``.
@@ -389,24 +425,35 @@ class MetricsRegistry:
         registered with a conflicting type/label schema raises
         ``ValueError``.
         """
-        for family in other.families():
-            mine = self._families.get(family.name)
-            if mine is None:
-                mine = MetricFamily(
-                    family.name,
-                    family.type,
-                    family.help,
-                    family.labelnames,
-                    family.buckets,
-                )
-                self._families[family.name] = mine
-            mine.merge_from(family)
-        return self
+        with _LOCK:
+            for family in other.families():
+                mine = self._families.get(family.name)
+                if mine is None:
+                    mine = MetricFamily(
+                        family.name,
+                        family.type,
+                        family.help,
+                        family.labelnames,
+                        family.buckets,
+                    )
+                    self._families[family.name] = mine
+                mine.merge_from(family)
+            return self
 
     # -- export ---------------------------------------------------------
 
     def to_prometheus(self) -> str:
-        """Prometheus text exposition format (version 0.0.4)."""
+        """Prometheus text exposition format (version 0.0.4).
+
+        The snapshot is taken under the registry lock, so a render
+        racing concurrent increments is internally consistent: within
+        one exposition, every histogram's ``_count`` equals its +Inf
+        bucket and no family is half-rendered.
+        """
+        with _LOCK:
+            return self._to_prometheus_locked()
+
+    def _to_prometheus_locked(self) -> str:
         lines: list[str] = []
         for family in self._families.values():
             if family.help:
@@ -436,6 +483,10 @@ class MetricsRegistry:
 
     def to_dict(self) -> dict[str, object]:
         """JSON-ready snapshot: {name: {type, help, labelnames, samples}}."""
+        with _LOCK:
+            return self._to_dict_locked()
+
+    def _to_dict_locked(self) -> dict[str, object]:
         out: dict[str, object] = {}
         for family in self._families.values():
             samples: list[dict[str, object]] = []

@@ -1,0 +1,452 @@
+"""Offline trace/metrics analysis: ``repro-obs-report``.
+
+Reads the artifacts the live system writes -- span JSONL files
+(``repro-serve --trace-out`` / ``repro-experiments --trace-out``) and
+registry JSON dumps (``--metrics-out``) -- and answers the questions an
+operator asks after the fact:
+
+* ``repro-obs-report serve TRACE.jsonl`` -- per-stage latency
+  percentiles across every request in the trace, critical-path
+  attribution (which stage dominated request wall time), and the
+  slowest requests; ``--request-id`` prints one request's full span
+  tree (the serve spans with the engine's grid_point -> inventory ->
+  frame spans nested under them);
+* ``repro-obs-report metrics METRICS.json`` -- p50/p90/p99 summaries
+  for every histogram family in a registry dump, estimated by linear
+  interpolation over the cumulative buckets (the standard
+  ``histogram_quantile`` estimator).
+
+Everything here is pure over the input files, so the analysis is
+reproducible and unit-testable without a server.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import sys
+from pathlib import Path
+from typing import Iterable, Mapping, Sequence
+
+__all__ = [
+    "histogram_quantile",
+    "histogram_percentiles",
+    "load_trace",
+    "spans_for_request",
+    "span_tree_lines",
+    "serve_stage_stats",
+    "serve_attribution",
+    "metrics_percentile_rows",
+    "render_serve_report",
+    "main",
+    "build_parser",
+]
+
+#: The serve pipeline's stage span names, in pipeline order.
+#: ``serve.compute`` nests inside ``serve.coalesce`` (the leader's
+#: compute happens under its coalesce lease), so attribution sums
+#: queue_wait + coalesce + stream and reports compute separately.
+SERVE_STAGES = (
+    "serve.queue_wait",
+    "serve.coalesce",
+    "serve.compute",
+    "serve.stream",
+)
+_ADDITIVE_STAGES = ("serve.queue_wait", "serve.coalesce", "serve.stream")
+
+
+# ----------------------------------------------------------------------
+# Percentiles
+
+
+def histogram_quantile(
+    buckets: Sequence[tuple[float, float]], q: float
+) -> float:
+    """Estimate the ``q``-th percentile from cumulative buckets.
+
+    ``buckets`` is ascending ``[(le, cumulative_count), ...]``, the last
+    entry usually ``(inf, total)`` -- exactly what
+    :meth:`repro.obs.registry.Histogram.cumulative_buckets` returns.
+    Linear interpolation inside the containing bucket (lower edge of the
+    first bucket taken as 0); a percentile landing in the +Inf bucket
+    returns the highest finite bound (the estimate saturates, as
+    Prometheus's ``histogram_quantile`` does).
+    """
+    if not 0.0 <= q <= 100.0:
+        raise ValueError("q must be in [0, 100]")
+    if not buckets:
+        return float("nan")
+    total = buckets[-1][1]
+    if total <= 0:
+        return float("nan")
+    target = (q / 100.0) * total
+    prev_le, prev_cum = 0.0, 0.0
+    for le, cum in buckets:
+        if cum >= target:
+            if math.isinf(le):
+                return prev_le
+            if cum == prev_cum:
+                return le
+            return prev_le + (le - prev_le) * (target - prev_cum) / (
+                cum - prev_cum
+            )
+        prev_le, prev_cum = le, cum
+    return prev_le
+
+
+def histogram_percentiles(
+    buckets: Sequence[tuple[float, float]],
+    qs: Sequence[float] = (50.0, 90.0, 99.0),
+) -> dict[str, float]:
+    """``{"p50": ..., "p90": ..., "p99": ...}`` via bucket interpolation."""
+    return {f"p{q:g}": histogram_quantile(buckets, q) for q in qs}
+
+
+def _exact_percentile(sorted_values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile of ascending values (spans carry exact
+    durations, so no bucket estimation is needed offline)."""
+    if not sorted_values:
+        return float("nan")
+    rank = max(1, math.ceil(q / 100.0 * len(sorted_values)))
+    return sorted_values[min(rank, len(sorted_values)) - 1]
+
+
+# ----------------------------------------------------------------------
+# Trace loading and per-request views
+
+
+def load_trace(path: str | Path) -> list[dict]:
+    """Parse a span/event JSONL file; malformed lines are skipped."""
+    records: list[dict] = []
+    with Path(path).open() as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError:
+                continue
+            if isinstance(record, dict):
+                records.append(record)
+    return records
+
+
+def spans_for_request(
+    records: Iterable[dict], request_id: str
+) -> list[dict]:
+    """Every span stamped with ``request_id``, in emission order."""
+    return [
+        r
+        for r in records
+        if r.get("type") == "span" and r.get("trace_id") == request_id
+    ]
+
+
+def span_tree_lines(spans: Sequence[dict]) -> list[str]:
+    """Render spans as an indented tree (children under parents).
+
+    Spans whose parent is absent from ``spans`` (e.g. grid points of an
+    async job whose ``serve.request`` root closed at the 202) root the
+    tree alongside genuine roots, so the reconstruction never drops
+    records.
+    """
+    by_id = {s["span_id"]: s for s in spans}
+    children: dict[object, list[dict]] = {}
+    roots: list[dict] = []
+    for span in spans:
+        parent = span.get("parent_id")
+        if parent in by_id:
+            children.setdefault(parent, []).append(span)
+        else:
+            roots.append(span)
+    lines: list[str] = []
+
+    def walk(span: dict, depth: int) -> None:
+        duration = span.get("duration")
+        dur = (
+            f"{duration * 1000.0:9.3f} ms"
+            if isinstance(duration, (int, float))
+            else "         --"
+        )
+        lines.append(f"{dur}  {'  ' * depth}{span['name']}")
+        kids = children.get(span["span_id"], [])
+        kids.sort(key=lambda s: s.get("start", 0.0))
+        for kid in kids:
+            walk(kid, depth + 1)
+
+    roots.sort(key=lambda s: s.get("start", 0.0))
+    for root in roots:
+        walk(root, 0)
+    return lines
+
+
+def _group_by_trace(records: Iterable[dict]) -> dict[str, list[dict]]:
+    grouped: dict[str, list[dict]] = {}
+    for r in records:
+        if r.get("type") != "span":
+            continue
+        trace_id = r.get("trace_id")
+        if isinstance(trace_id, str):
+            grouped.setdefault(trace_id, []).append(r)
+    return grouped
+
+
+def serve_stage_stats(records: Iterable[dict]) -> dict[str, dict[str, float]]:
+    """Per-stage latency stats over every serve span in the trace.
+
+    ``{span_name: {"n", "p50", "p90", "p99", "max"}}`` (seconds), for
+    ``serve.request`` plus each pipeline stage observed.
+    """
+    durations: dict[str, list[float]] = {}
+    for r in records:
+        if r.get("type") != "span":
+            continue
+        name = r.get("name")
+        duration = r.get("duration")
+        if (
+            isinstance(name, str)
+            and name.startswith("serve.")
+            and isinstance(duration, (int, float))
+        ):
+            durations.setdefault(name, []).append(float(duration))
+    stats: dict[str, dict[str, float]] = {}
+    for name, values in durations.items():
+        values.sort()
+        stats[name] = {
+            "n": len(values),
+            "p50": _exact_percentile(values, 50),
+            "p90": _exact_percentile(values, 90),
+            "p99": _exact_percentile(values, 99),
+            "max": values[-1],
+        }
+    return stats
+
+
+def serve_attribution(records: Iterable[dict]) -> list[dict]:
+    """Critical-path attribution per request, slowest first.
+
+    For each request with a ``serve.request`` span: its wall time, the
+    max duration per stage across its grid points (points run
+    concurrently, so the max approximates the critical path), and the
+    unattributed remainder (parse/validate/response time outside any
+    stage span).
+    """
+    out: list[dict] = []
+    for trace_id, spans in _group_by_trace(records).items():
+        roots = [s for s in spans if s["name"] == "serve.request"]
+        if not roots:
+            continue
+        total = float(roots[0].get("duration") or 0.0)
+        stages: dict[str, float] = {}
+        for span in spans:
+            name = span["name"]
+            if name in SERVE_STAGES:
+                duration = float(span.get("duration") or 0.0)
+                if duration > stages.get(name, 0.0):
+                    stages[name] = duration
+        attributed = sum(stages.get(n, 0.0) for n in _ADDITIVE_STAGES)
+        out.append(
+            {
+                "request_id": trace_id,
+                "total_s": total,
+                "stages_s": stages,
+                "unattributed_s": max(0.0, total - attributed),
+            }
+        )
+    out.sort(key=lambda entry: entry["total_s"], reverse=True)
+    return out
+
+
+def render_serve_report(records: list[dict], slowest: int = 10) -> str:
+    """The human-readable ``serve`` report over a loaded trace."""
+    lines: list[str] = []
+    stats = serve_stage_stats(records)
+    if not stats:
+        return "no serve.* spans found in the trace\n"
+    lines.append("stage latency (seconds):")
+    lines.append(
+        f"  {'span':<18} {'n':>6} {'p50':>10} {'p90':>10} "
+        f"{'p99':>10} {'max':>10}"
+    )
+    for name in ("serve.request", *SERVE_STAGES):
+        s = stats.get(name)
+        if s is None:
+            continue
+        lines.append(
+            f"  {name:<18} {int(s['n']):>6} {s['p50']:>10.6f} "
+            f"{s['p90']:>10.6f} {s['p99']:>10.6f} {s['max']:>10.6f}"
+        )
+    requests = serve_attribution(records)
+    if requests:
+        totals = sum(r["total_s"] for r in requests) or 1.0
+        shares: dict[str, float] = {}
+        for r in requests:
+            for name in _ADDITIVE_STAGES:
+                shares[name] = shares.get(name, 0.0) + r["stages_s"].get(
+                    name, 0.0
+                )
+            shares["unattributed"] = (
+                shares.get("unattributed", 0.0) + r["unattributed_s"]
+            )
+        lines.append("")
+        lines.append(
+            f"critical-path attribution over {len(requests)} request(s):"
+        )
+        for name in (*_ADDITIVE_STAGES, "unattributed"):
+            lines.append(
+                f"  {name:<18} {shares.get(name, 0.0) / totals:>7.1%}"
+            )
+        lines.append("")
+        lines.append(f"slowest {min(slowest, len(requests))} request(s):")
+        for r in requests[:slowest]:
+            breakdown = ", ".join(
+                f"{name.removeprefix('serve.')}={seconds:.6f}s"
+                for name, seconds in sorted(r["stages_s"].items())
+            )
+            lines.append(
+                f"  {r['total_s']:>10.6f}s  {r['request_id']}"
+                + (f"  ({breakdown})" if breakdown else "")
+            )
+    return "\n".join(lines) + "\n"
+
+
+# ----------------------------------------------------------------------
+# Metrics dumps
+
+
+def metrics_percentile_rows(
+    dump: Mapping[str, object], names: Sequence[str] | None = None
+) -> list[dict[str, str]]:
+    """Percentile rows for every histogram family in a registry dump.
+
+    ``dump`` is :meth:`repro.obs.registry.MetricsRegistry.to_dict` (or
+    its JSON file); each labelled child becomes one row with p50/p90/p99
+    estimated by bucket interpolation.  ``names`` restricts the
+    families.
+    """
+    rows: list[dict[str, str]] = []
+    for name in sorted(dump):
+        family = dump[name]
+        if not isinstance(family, Mapping) or family.get("type") != "histogram":
+            continue
+        if names is not None and name not in names:
+            continue
+        for sample in family.get("samples", ()):  # type: ignore[union-attr]
+            buckets = [
+                (float(le), float(cum))
+                for le, cum in sorted(
+                    sample["buckets"].items(), key=lambda kv: float(kv[0])
+                )
+            ]
+            labels = sample.get("labels") or {}
+            label_text = ",".join(
+                f"{k}={v}" for k, v in sorted(labels.items())
+            )
+            pct = histogram_percentiles(buckets)
+            count = buckets[-1][1] if buckets else 0
+            rows.append(
+                {
+                    "histogram": f"{name}{{{label_text}}}"
+                    if label_text
+                    else name,
+                    "count": str(int(count)),
+                    "p50": f"{pct['p50']:.6g}",
+                    "p90": f"{pct['p90']:.6g}",
+                    "p99": f"{pct['p99']:.6g}",
+                }
+            )
+    return rows
+
+
+def _render_rows(rows: list[dict[str, str]]) -> str:
+    if not rows:
+        return "no histogram families found\n"
+    headers = list(rows[0])
+    widths = {
+        h: max(len(h), *(len(r[h]) for r in rows)) for h in headers
+    }
+    lines = [
+        "  ".join(h.ljust(widths[h]) for h in headers),
+        "  ".join("-" * widths[h] for h in headers),
+    ]
+    for r in rows:
+        lines.append("  ".join(r[h].ljust(widths[h]) for h in headers))
+    return "\n".join(lines) + "\n"
+
+
+# ----------------------------------------------------------------------
+# CLI
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-obs-report",
+        description="Offline analysis of repro.obs trace JSONL files "
+        "and metrics dumps (docs/OBSERVABILITY.md).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    serve = sub.add_parser(
+        "serve",
+        help="per-stage percentiles + critical-path attribution over a "
+        "serve trace",
+    )
+    serve.add_argument("trace", type=Path, help="span JSONL file")
+    serve.add_argument(
+        "--request-id",
+        default=None,
+        help="print this request's full span tree instead of the summary",
+    )
+    serve.add_argument(
+        "--slowest",
+        type=int,
+        default=10,
+        help="requests listed in the slow table (default 10)",
+    )
+    metrics = sub.add_parser(
+        "metrics",
+        help="p50/p90/p99 (bucket interpolation) for every histogram in "
+        "a registry JSON dump",
+    )
+    metrics.add_argument("dump", type=Path, help="registry JSON dump")
+    metrics.add_argument(
+        "--name",
+        action="append",
+        default=None,
+        metavar="FAMILY",
+        help="restrict to this histogram family (repeatable)",
+    )
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "serve":
+        records = load_trace(args.trace)
+        if args.request_id:
+            spans = spans_for_request(records, args.request_id)
+            if not spans:
+                print(
+                    f"no spans for request {args.request_id!r}",
+                    file=sys.stderr,
+                )
+                return 1
+            print(f"span tree for {args.request_id}:")
+            for line in span_tree_lines(spans):
+                print(line)
+            return 0
+        sys.stdout.write(
+            render_serve_report(records, slowest=args.slowest)
+        )
+        return 0
+    dump = json.loads(Path(args.dump).read_text())
+    rows = metrics_percentile_rows(
+        dump, names=args.name if args.name else None
+    )
+    sys.stdout.write(_render_rows(rows))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

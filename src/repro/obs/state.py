@@ -18,6 +18,7 @@ including building label dicts and f-strings -- must sit behind the guard.
 
 from __future__ import annotations
 
+from repro.obs.context import CURRENT_TRACER
 from repro.obs.registry import MetricsRegistry
 from repro.obs.tracing import NullSink, Tracer, TraceSink
 
@@ -25,14 +26,32 @@ __all__ = ["ObsState", "STATE", "enable", "disable", "reset", "is_enabled"]
 
 
 class ObsState:
-    """The flag, the registry and the tracer, in one attribute load."""
+    """The flag, the registry and the tracer, in one attribute load.
 
-    __slots__ = ("enabled", "registry", "tracer")
+    ``tracer`` is context-aware: when :data:`repro.obs.context.
+    CURRENT_TRACER` is bound (the serve layer binds one tracer per
+    request), it wins; otherwise the process-wide base tracer set by
+    :func:`enable`/:func:`reset` is returned.  The lookup only happens
+    on the *enabled* path -- disabled hot loops never touch ``tracer``,
+    so the overhead contract (one attribute load + branch per slot) is
+    untouched.
+    """
+
+    __slots__ = ("enabled", "registry", "_base_tracer")
 
     def __init__(self) -> None:
         self.enabled: bool = False
         self.registry = MetricsRegistry()
-        self.tracer = Tracer(NullSink())
+        self._base_tracer = Tracer(NullSink())
+
+    @property
+    def tracer(self) -> Tracer:
+        bound = CURRENT_TRACER.get()
+        return bound if bound is not None else self._base_tracer
+
+    @tracer.setter
+    def tracer(self, tracer: Tracer) -> None:
+        self._base_tracer = tracer
 
 
 #: The process-wide instance every instrumented module guards on.

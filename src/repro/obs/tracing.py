@@ -32,7 +32,9 @@ matter to a span (airtime, slot counts) travel in ``attrs``.
 
 from __future__ import annotations
 
+import itertools
 import json
+import threading
 import time
 from collections import deque
 from contextlib import contextmanager
@@ -40,6 +42,13 @@ from pathlib import Path
 from typing import Iterator
 
 __all__ = ["Tracer", "TraceSink", "NullSink", "RingBufferSink", "JsonlSink"]
+
+#: Process-wide span-id allocator.  Span ids must stay unique across
+#: *all* tracers sharing a sink (the serve layer runs one short-lived
+#: tracer per request, all appending to one JSONL file), so ids come
+#: from one shared counter -- ``itertools.count.__next__`` is atomic
+#: under the GIL, which makes allocation thread-safe for free.
+_SPAN_IDS = itertools.count(1)
 
 
 class TraceSink:
@@ -86,18 +95,27 @@ class RingBufferSink(TraceSink):
 
 
 class JsonlSink(TraceSink):
-    """Appends records as JSON lines to ``path``."""
+    """Appends records as JSON lines to ``path``.
+
+    Emission is locked: the serve layer shares one sink between the
+    event loop and its ``to_thread`` compute workers, and two half
+    written lines interleaved would corrupt the whole file.
+    """
 
     def __init__(self, path: str | Path) -> None:
         self.path = Path(path)
         self._fh = self.path.open("a")
+        self._lock = threading.Lock()
 
     def emit(self, record: dict[str, object]) -> None:
-        self._fh.write(json.dumps(record, allow_nan=True) + "\n")
+        line = json.dumps(record, allow_nan=True) + "\n"
+        with self._lock:
+            self._fh.write(line)
 
     def close(self) -> None:
-        self._fh.flush()
-        self._fh.close()
+        with self._lock:
+            self._fh.flush()
+            self._fh.close()
 
 
 class Tracer:
@@ -111,32 +129,91 @@ class Tracer:
       a frame ended when the *next* frame's first slot arrives).
 
     Not thread-safe by design: one tracer per driving thread (the
-    simulators are single-threaded).
+    simulators are single-threaded; the serve layer binds one tracer
+    per request via :mod:`repro.obs.context`, and hands it across the
+    ``to_thread`` boundary only while the owning task is suspended).
+
+    ``trace_id`` stamps every record this tracer emits, so records from
+    many tracers can share one sink and still be regrouped offline (the
+    serve layer uses the request id).  ``root_parent_id`` grafts this
+    tracer's top-level spans under a span owned by *another* tracer --
+    how a grid point's spans nest under the admitting request's
+    ``serve.request`` span even though the two are emitted from
+    different tasks.  Span ids come from a process-wide counter, so
+    ``(trace_id, span_id)`` -- and in one process ``span_id`` alone --
+    is unique across tracers.
     """
 
-    def __init__(self, sink: TraceSink | None = None) -> None:
+    def __init__(
+        self,
+        sink: TraceSink | None = None,
+        *,
+        trace_id: str | None = None,
+        root_parent_id: int | None = None,
+    ) -> None:
         self.sink = sink if sink is not None else NullSink()
+        self.trace_id = trace_id
+        self.root_parent_id = root_parent_id
         self._stack: list[dict[str, object]] = []
-        self._next_id = 1
 
     # -- spans ----------------------------------------------------------
 
     def start_span(self, name: str, **attrs: object) -> int:
         """Open a span; returns its id.  Close with :meth:`end_span`."""
-        span_id = self._next_id
-        self._next_id += 1
-        self._stack.append(
-            {
-                "type": "span",
-                "name": name,
-                "span_id": span_id,
-                "parent_id": (
-                    self._stack[-1]["span_id"] if self._stack else None
-                ),
-                "start": time.perf_counter(),
-                "attrs": dict(attrs),
-            }
-        )
+        span_id = next(_SPAN_IDS)
+        record: dict[str, object] = {
+            "type": "span",
+            "name": name,
+            "span_id": span_id,
+            "parent_id": (
+                self._stack[-1]["span_id"]
+                if self._stack
+                else self.root_parent_id
+            ),
+            "start": time.perf_counter(),
+            "attrs": dict(attrs),
+        }
+        if self.trace_id is not None:
+            record["trace_id"] = self.trace_id
+        self._stack.append(record)
+        return span_id
+
+    def emit_span(
+        self,
+        name: str,
+        start: float,
+        end: float,
+        *,
+        parent_id: int | None = None,
+        **attrs: object,
+    ) -> int:
+        """Emit a retroactive span whose boundaries are already known.
+
+        For phases observed only after the fact -- e.g. queue wait,
+        measured when a worker dequeues the item it was enqueued with.
+        The span does not touch the stack; ``parent_id`` defaults to the
+        innermost open span (or ``root_parent_id``).
+        """
+        span_id = next(_SPAN_IDS)
+        if parent_id is None:
+            parent_id = (
+                self._stack[-1]["span_id"]  # type: ignore[assignment]
+                if self._stack
+                else self.root_parent_id
+            )
+        record: dict[str, object] = {
+            "type": "span",
+            "name": name,
+            "span_id": span_id,
+            "parent_id": parent_id,
+            "start": start,
+            "end": end,
+            "duration": end - start,
+            "attrs": dict(attrs),
+        }
+        if self.trace_id is not None:
+            record["trace_id"] = self.trace_id
+        self.sink.emit(record)
         return span_id
 
     def end_span(self, **attrs: object) -> None:
@@ -166,17 +243,20 @@ class Tracer:
 
     def event(self, name: str, **attrs: object) -> None:
         """Point-in-time record parented to the innermost open span."""
-        self.sink.emit(
-            {
-                "type": "event",
-                "name": name,
-                "span_id": (
-                    self._stack[-1]["span_id"] if self._stack else None
-                ),
-                "time": time.perf_counter(),
-                "attrs": attrs,
-            }
-        )
+        record: dict[str, object] = {
+            "type": "event",
+            "name": name,
+            "span_id": (
+                self._stack[-1]["span_id"]
+                if self._stack
+                else self.root_parent_id
+            ),
+            "time": time.perf_counter(),
+            "attrs": attrs,
+        }
+        if self.trace_id is not None:
+            record["trace_id"] = self.trace_id
+        self.sink.emit(record)
 
     # -- housekeeping ---------------------------------------------------
 

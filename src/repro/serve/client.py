@@ -21,11 +21,23 @@ from __future__ import annotations
 import http.client
 import json
 import random
+import secrets
 import time
 from typing import Iterator
 from urllib.parse import urlsplit
 
-__all__ = ["ServeError", "ServeClient"]
+from repro.serve.protocol import (
+    REQUEST_ID_HEADER,
+    SERVER_TIMING_HEADER,
+    parse_server_timing,
+)
+
+__all__ = ["ServeError", "ServeClient", "new_client_request_id"]
+
+
+def new_client_request_id() -> str:
+    """A client-generated ``X-Request-Id`` (``cli-`` + 16 hex chars)."""
+    return f"cli-{secrets.token_hex(8)}"
 
 
 class ServeError(Exception):
@@ -86,17 +98,28 @@ class ServeClient:
         self._rng = rng if rng is not None else random.Random()
         self._sleep = sleep
         self.attempts = 0  # total HTTP attempts, for tests/reporting
+        #: The id sent with the most recent logical request, and the
+        #: parsed ``Server-Timing`` stage breakdown (``{stage: seconds}``)
+        #: of its final response, for per-request latency attribution.
+        self.last_request_id: str | None = None
+        self.last_server_timing: dict[str, float] = {}
 
     # -- low-level ------------------------------------------------------
 
     def _once(
-        self, method: str, path: str, body: bytes | None
+        self,
+        method: str,
+        path: str,
+        body: bytes | None,
+        request_id: str | None = None,
     ) -> tuple[int, dict, bytes]:
         conn = http.client.HTTPConnection(
             self.host, self.port, timeout=self.timeout_s
         )
         try:
             headers = {"Connection": "close"}
+            if request_id is not None:
+                headers[REQUEST_ID_HEADER] = request_id
             if body is not None:
                 headers["Content-Type"] = "application/json"
             conn.request(method, path, body=body, headers=headers)
@@ -118,29 +141,45 @@ class ServeClient:
         return base * (1.0 + self.jitter * self._rng.random())
 
     def request(
-        self, method: str, path: str, doc: dict | None = None
+        self,
+        method: str,
+        path: str,
+        doc: dict | None = None,
+        *,
+        request_id: str | None = None,
     ) -> tuple[int, dict, bytes]:
-        """One call with the retry policy; returns (status, headers, body)."""
+        """One call with the retry policy; returns (status, headers, body).
+
+        The request id is generated *up front* and reused across every
+        429/503/transport retry, so one logical request stays one trace
+        on the server no matter how many attempts it took.
+        """
         body = (
             json.dumps(doc).encode("utf-8") if doc is not None else None
         )
+        rid = request_id if request_id is not None else new_client_request_id()
+        self.last_request_id = rid
         last_exc: Exception | None = None
         for attempt in range(self.retries + 1):
             self.attempts += 1
             try:
-                status, headers, payload = self._once(method, path, body)
+                status, headers, payload = self._once(
+                    method, path, body, request_id=rid
+                )
             except (ConnectionError, OSError, http.client.HTTPException) as exc:
                 last_exc = exc
                 if attempt == self.retries:
                     raise
                 self._sleep(self._delay(attempt, None))
                 continue
+            lower = {k.lower(): v for k, v in headers.items()}
             if status in (429, 503) and attempt < self.retries:
-                retry_after = {
-                    k.lower(): v for k, v in headers.items()
-                }.get("retry-after")
-                self._sleep(self._delay(attempt, retry_after))
+                self._sleep(self._delay(attempt, lower.get("retry-after")))
                 continue
+            timing = lower.get(SERVER_TIMING_HEADER.lower())
+            self.last_server_timing = (
+                parse_server_timing(timing) if timing else {}
+            )
             return status, headers, payload
         raise last_exc if last_exc else RuntimeError("unreachable")
 
@@ -176,9 +215,13 @@ class ServeClient:
         conn = http.client.HTTPConnection(
             self.host, self.port, timeout=self.timeout_s
         )
+        rid = new_client_request_id()
+        self.last_request_id = rid
         try:
             conn.request(
-                "GET", f"/v1/jobs/{job_id}", headers={"Connection": "close"}
+                "GET",
+                f"/v1/jobs/{job_id}",
+                headers={"Connection": "close", REQUEST_ID_HEADER: rid},
             )
             resp = conn.getresponse()
             if resp.status != 200:

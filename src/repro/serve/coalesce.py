@@ -44,6 +44,16 @@ class Coalescer:
     def in_flight(self) -> int:
         return len(self._inflight)
 
+    def snapshot(self) -> dict:
+        """Live coalesce table for ``/debugz``: keys currently leased,
+        plus lifetime leader/follower counts."""
+        return {
+            "in_flight": len(self._inflight),
+            "keys": sorted(self._inflight),
+            "hits": self.hits,
+            "leads": self.leads,
+        }
+
     def lease(self, key: str) -> tuple[bool, asyncio.Future]:
         """``(leader, future)`` for ``key``.
 

@@ -67,19 +67,32 @@ class _Tally:
         self.in_flight = 0
         self.max_in_flight = 0
         self.schedule_lag_s = 0.0
+        #: Server-reported per-stage latencies (``Server-Timing``
+        #: header), milliseconds per stage across served requests.
+        self.stage_ms: dict[str, list[float]] = {}
 
     def enter(self) -> None:
         with self._lock:
             self.in_flight += 1
             self.max_in_flight = max(self.max_in_flight, self.in_flight)
 
-    def exit(self, status_class: str, latency_ms: float) -> None:
+    def exit(
+        self,
+        status_class: str,
+        latency_ms: float,
+        stages_s: dict[str, float] | None = None,
+    ) -> None:
         with self._lock:
             self.in_flight -= 1
             self.statuses[status_class] = (
                 self.statuses.get(status_class, 0) + 1
             )
             self.latencies_ms.append(latency_ms)
+            if stages_s:
+                for stage, seconds in stages_s.items():
+                    self.stage_ms.setdefault(stage, []).append(
+                        seconds * 1000.0
+                    )
 
 
 def _status_class(status: int) -> str:
@@ -149,6 +162,7 @@ def run_loadgen(
         tally.exit(
             _status_class(status) if status != -1 else "error",
             (time.perf_counter() - t0) * 1000.0,
+            client.last_server_timing if status == 200 else None,
         )
 
     with ThreadPoolExecutor(max_workers=concurrency) as pool:
@@ -193,6 +207,18 @@ def run_loadgen(
             "p99": percentile(latencies, 99),
             "max": latencies[-1] if latencies else float("nan"),
             "mean": sum(latencies) / len(latencies) if latencies else float("nan"),
+        },
+        # Server-side attribution from the Server-Timing header: where
+        # did served requests spend their time, by pipeline stage.
+        "server_timing_ms": {
+            stage: {
+                "n": len(values),
+                "p50": percentile(sorted(values), 50),
+                "p90": percentile(sorted(values), 90),
+                "p99": percentile(sorted(values), 99),
+                "mean": sum(values) / len(values),
+            }
+            for stage, values in sorted(tally.stage_ms.items())
         },
     }
 
@@ -295,6 +321,12 @@ def main(argv: Sequence[str] | None = None) -> int:
         f"latency ms: p50 {lat['p50']:.1f} | p90 {lat['p90']:.1f} | "
         f"p99 {lat['p99']:.1f} | max {lat['max']:.1f}"
     )
+    for stage, s in report["server_timing_ms"].items():
+        print(
+            f"  stage {stage}: p50 {s['p50']:.1f} ms | "
+            f"p90 {s['p90']:.1f} ms | p99 {s['p99']:.1f} ms "
+            f"(n={s['n']})"
+        )
     if args.out:
         out = Path(args.out)
         out.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")

@@ -38,6 +38,12 @@ from repro.sim.export import nan_to_none
 
 __all__ = [
     "PROTOCOL_VERSION",
+    "REQUEST_ID_HEADER",
+    "SERVER_TIMING_HEADER",
+    "MAX_REQUEST_ID_LEN",
+    "valid_request_id",
+    "server_timing_value",
+    "parse_server_timing",
     "MAX_GRID_POINTS",
     "MAX_ROUNDS",
     "MAX_TAGS",
@@ -64,6 +70,73 @@ __all__ = [
 
 #: Version of every ``/v1`` document; bump on incompatible schema change.
 PROTOCOL_VERSION = 1
+
+# -- request identity / timing headers ---------------------------------
+#
+# Every request is identified by an ``X-Request-Id``: the server honors
+# a well-formed client-supplied value (so one logical request stays one
+# trace across retries) or generates one, and echoes it on *every*
+# response, including typed error envelopes.  ``Server-Timing`` carries
+# the per-stage latency breakdown (milliseconds, per the header's spec)
+# so clients can attribute slowness without server-side access.
+
+REQUEST_ID_HEADER = "X-Request-Id"
+SERVER_TIMING_HEADER = "Server-Timing"
+MAX_REQUEST_ID_LEN = 128
+
+#: Characters allowed in a client-supplied request id: URL/header-safe
+#: tokens only, so ids can be grepped through logs and used in paths.
+_REQUEST_ID_CHARS = frozenset(
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789-_."
+)
+
+
+def valid_request_id(value: object) -> bool:
+    """True if ``value`` is acceptable as a client-supplied request id."""
+    return (
+        isinstance(value, str)
+        and 1 <= len(value) <= MAX_REQUEST_ID_LEN
+        and all(c in _REQUEST_ID_CHARS for c in value)
+    )
+
+
+def server_timing_value(stage_s: Mapping[str, float]) -> str:
+    """Render stage durations (seconds) as a ``Server-Timing`` value.
+
+    ``{"queue_wait": 0.0123, "compute": 0.5}`` becomes
+    ``queue_wait;dur=12.3, compute;dur=500.0`` (``dur`` is milliseconds
+    per the Server-Timing specification).
+    """
+    return ", ".join(
+        f"{stage};dur={seconds * 1000.0:.3f}"
+        for stage, seconds in stage_s.items()
+        if not math.isnan(seconds)
+    )
+
+
+def parse_server_timing(value: str) -> dict[str, float]:
+    """Parse a ``Server-Timing`` header value into ``{stage: seconds}``.
+
+    Tolerant by design (the header is advisory): entries without a
+    parsable ``dur`` parameter are skipped rather than raising.
+    """
+    out: dict[str, float] = {}
+    for entry in value.split(","):
+        entry = entry.strip()
+        if not entry:
+            continue
+        name, *params = [p.strip() for p in entry.split(";")]
+        if not name:
+            continue
+        for param in params:
+            key, sep, raw = param.partition("=")
+            if sep and key.strip().lower() == "dur":
+                try:
+                    out[name] = float(raw.strip()) / 1000.0
+                except ValueError:
+                    pass
+                break
+    return out
 
 # Resource ceilings: a single request may not describe more work than one
 # operator-sized experiment.  All are validation errors, not truncation.
@@ -375,21 +448,41 @@ def parse_simulate_request(doc: object) -> SimulateRequest:
 # Response envelopes
 
 
-def error_envelope(exc: ProtocolError) -> dict:
-    """The JSON error document every non-2xx response carries."""
+def error_envelope(
+    exc: ProtocolError, request_id: str | None = None
+) -> dict:
+    """The JSON error document every non-2xx response carries.
+
+    ``request_id`` mirrors the ``X-Request-Id`` response header into the
+    body, so error envelopes stay joinable to traces even when a proxy
+    strips custom headers.
+    """
     error: dict[str, object] = {"code": exc.code, "message": exc.message}
     if exc.field is not None:
         error["field"] = exc.field
     if exc.retry_after_s is not None:
         error["retry_after_s"] = exc.retry_after_s
-    return {"version": PROTOCOL_VERSION, "error": error}
+    doc: dict[str, object] = {"version": PROTOCOL_VERSION, "error": error}
+    if request_id is not None:
+        doc["request_id"] = request_id
+    return doc
 
 
 def job_envelope(
-    job_id: str, state: str, n_points: int, completed: int
+    job_id: str,
+    state: str,
+    n_points: int,
+    completed: int,
+    request_id: str | None = None,
 ) -> dict:
-    """The ``202 Accepted`` body (and the NDJSON stream's header line)."""
-    return {
+    """The ``202 Accepted`` body (and the NDJSON stream's header line).
+
+    ``request_id`` joins the job to the admitting request's trace: the
+    NDJSON output of an async job can then be correlated offline with
+    the access log, span tree and stage histograms of the ``POST
+    /v1/simulate`` that created it.
+    """
+    doc: dict[str, object] = {
         "version": PROTOCOL_VERSION,
         "type": "job",
         "job_id": job_id,
@@ -398,6 +491,9 @@ def job_envelope(
         "completed": completed,
         "location": f"/v1/jobs/{job_id}",
     }
+    if request_id is not None:
+        doc["request_id"] = request_id
+    return doc
 
 
 def result_line(
@@ -438,12 +534,16 @@ def sync_response(
     state: str,
     results: Sequence[dict],
     elapsed_s: float,
+    request_id: str | None = None,
 ) -> dict:
     """The ``200 OK`` body of a synchronous simulate call."""
-    return {
+    doc: dict[str, object] = {
         "version": PROTOCOL_VERSION,
         "job_id": job_id,
         "state": state,
         "results": list(results),
         "elapsed_s": elapsed_s,
     }
+    if request_id is not None:
+        doc["request_id"] = request_id
+    return doc

@@ -103,6 +103,27 @@ class AdmissionQueue:
     def client_depth(self, client: str) -> int:
         return self._queued_per_client.get(client, 0)
 
+    def snapshot(self) -> dict:
+        """Live introspection document for ``/debugz``.
+
+        Walks the heap (O(depth), bounded by ``capacity``) to break the
+        queued population down by priority; the per-client breakdown
+        reuses the quota bookkeeping.  Keys are strings so the document
+        is JSON-clean as-is.
+        """
+        by_priority: dict[str, int] = {}
+        for neg_priority, _rank, _seq, _client, _item in self._heap:
+            key = str(-neg_priority)
+            by_priority[key] = by_priority.get(key, 0) + 1
+        return {
+            "depth": len(self._heap),
+            "capacity": self.capacity,
+            "per_client_quota": self.per_client,
+            "closed": self._closed,
+            "by_priority": dict(sorted(by_priority.items())),
+            "by_client": dict(sorted(self._queued_per_client.items())),
+        }
+
     @property
     def closed(self) -> bool:
         return self._closed

@@ -10,10 +10,22 @@ Dependency-free (stdlib ``asyncio`` streams; no web framework).  Routes:
                             per grid point as it completes, a terminal
                             ``done`` line
 ``GET /healthz``            liveness + queue/drain snapshot
+``GET /debugz``             live introspection: queue depths per
+                            priority/client, in-flight points with age
+                            and stage, the coalesce table, and the
+                            slowest recent requests
 ``GET /metrics``            Prometheus text exposition of the process
                             registry (server + engine + folded worker
                             metrics)
 ==========================  ==========================================
+
+Every request carries an ``X-Request-Id`` (client-supplied when well
+formed, generated otherwise), echoed on every response -- including
+typed error envelopes -- and stamped on the request's span tree
+(``serve.request`` -> ``serve.queue_wait`` / ``serve.coalesce`` /
+``serve.compute`` / ``serve.stream``) plus the structured access log,
+so one slow request is fully reconstructible offline
+(``repro-obs-report serve``; docs/OBSERVABILITY.md).
 
 Overload never 500s: a request that does not fit under the admission
 queue's capacity (or the client's fair-share quota) is rejected with
@@ -31,17 +43,20 @@ from __future__ import annotations
 import argparse
 import asyncio
 import json
+import logging
 import signal
 import sys
 import time
-from collections import OrderedDict
-from dataclasses import dataclass
+from collections import OrderedDict, deque
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Sequence
 
 from repro import obs
+from repro.obs import context as _ctx
 from repro.obs import instruments as _inst
 from repro.obs.state import STATE as _OBS
+from repro.obs.tracing import JsonlSink, NullSink, Tracer
 from repro.sim.export import nan_to_none
 from repro.serve import protocol as proto
 from repro.serve.coalesce import Coalescer
@@ -52,6 +67,7 @@ from repro.serve.workers import (
     SimulationEngine,
     WorkItem,
     WorkerPool,
+    observe_stage,
 )
 
 __all__ = ["ServeConfig", "ServeApp", "main", "build_parser"]
@@ -69,6 +85,16 @@ REQUEST_READ_TIMEOUT = 30.0
 
 #: Finished jobs kept for late ``GET /v1/jobs/<id>`` readers.
 FINISHED_JOB_BACKLOG = 1024
+
+#: Completed requests remembered for ``/debugz``'s slow-request ring,
+#: and how many of them (slowest-first) the endpoint reports.
+RECENT_REQUESTS = 256
+RECENT_SLOWEST = 16
+
+#: Structured JSON access log (one JSON object per line, stdlib
+#: ``logging``).  ``--access-log`` attaches a stderr handler; embedders
+#: and tests attach their own handler to this logger instead.
+_ACCESS_LOG = logging.getLogger("repro.serve.access")
 
 _REASONS = {
     200: "OK",
@@ -101,6 +127,21 @@ class _HttpRequest:
 
 
 @dataclass
+class _RequestScope:
+    """Per-request observability state threaded through dispatch.
+
+    ``tracer``/``root_span_id`` anchor the request's span tree;
+    ``access`` accumulates the fields the access-log line and the
+    slow-request ring report after the response is sent.
+    """
+
+    request_id: str
+    tracer: Tracer | None = None
+    root_span_id: int | None = None
+    access: dict = field(default_factory=dict)
+
+
+@dataclass
 class ServeConfig:
     """Everything ``repro-serve`` can be told from the command line."""
 
@@ -113,6 +154,9 @@ class ServeConfig:
     cache_dir: str | None = None  # on-disk ResultCache directory
     compute_floor_s: float = 0.0  # min service time per computed point
     drain_grace_s: float = 30.0  # max seconds to wait for drain
+    access_log: bool = False  # JSON access-log lines to stderr
+    trace_out: str | None = None  # span JSONL file (enables tracing sink)
+    obs_enabled: bool = True  # --no-obs: skip metrics/tracing entirely
 
 
 class ServeApp:
@@ -144,12 +188,26 @@ class ServeApp:
         self._closed = asyncio.Event()
         self._drain_task: asyncio.Task | None = None
         self._handlers: set[asyncio.Task] = set()
+        #: Last ``RECENT_REQUESTS`` completed requests; ``/debugz``
+        #: reports the slowest of them.  Event-loop only.
+        self._recent: deque[dict] = deque(maxlen=RECENT_REQUESTS)
+        self._trace_sink: JsonlSink | None = None
 
     # -- lifecycle ------------------------------------------------------
 
     async def start(self) -> None:
         """Bind the listener and start the worker pool."""
-        obs.enable()
+        if self.config.obs_enabled:
+            if self.config.trace_out:
+                self._trace_sink = JsonlSink(self.config.trace_out)
+                obs.enable(sink=self._trace_sink)
+            else:
+                obs.enable()
+        if self.config.access_log and not _ACCESS_LOG.handlers:
+            handler = logging.StreamHandler(sys.stderr)
+            handler.setFormatter(logging.Formatter("%(message)s"))
+            _ACCESS_LOG.addHandler(handler)
+            _ACCESS_LOG.setLevel(logging.INFO)
         await self.pool.start()
         self._server = await asyncio.start_server(
             self._handle_connection, self.config.host, self.config.port
@@ -193,6 +251,12 @@ class ServeApp:
             self._server.close()
             await self._server.wait_closed()
         self.engine.close()
+        if self._trace_sink is not None:
+            # Detach before closing so a late emit from shared obs state
+            # cannot hit a closed file handle.
+            if _OBS.tracer.sink is self._trace_sink:
+                _OBS.tracer = Tracer(NullSink())
+            self._trace_sink.close()
         self._closed.set()
 
     async def aclose(self) -> None:
@@ -212,6 +276,8 @@ class ServeApp:
         t0 = time.perf_counter()
         route = "unmatched"
         status = 500
+        request: _HttpRequest | None = None
+        scope = _RequestScope(request_id=_ctx.new_request_id())
         try:
             try:
                 request = await asyncio.wait_for(
@@ -219,16 +285,18 @@ class ServeApp:
                 )
             except asyncio.TimeoutError:
                 status = 408
-                await self._send_json(
-                    writer,
-                    408,
-                    proto.error_envelope(
-                        proto.ProtocolError(
-                            "invalid_request",
-                            "timed out waiting for the request",
-                        )
-                    ),
-                )
+                with _ctx.bound_context(request_id=scope.request_id):
+                    await self._send_json(
+                        writer,
+                        408,
+                        proto.error_envelope(
+                            proto.ProtocolError(
+                                "invalid_request",
+                                "timed out waiting for the request",
+                            ),
+                            request_id=scope.request_id,
+                        ),
+                    )
                 return
             except _HttpError as exc:
                 status = exc.status
@@ -238,28 +306,60 @@ class ServeApp:
                     else "internal",
                     str(exc),
                 )
-                await self._send_json(
-                    writer, exc.status, proto.error_envelope(err)
-                )
+                with _ctx.bound_context(request_id=scope.request_id):
+                    await self._send_json(
+                        writer,
+                        exc.status,
+                        proto.error_envelope(
+                            err, request_id=scope.request_id
+                        ),
+                    )
                 return
-            route, status = await self._dispatch(request, writer)
+            # Honor a well-formed client-supplied X-Request-Id (retries
+            # keep one logical request one trace); generate otherwise.
+            supplied = request.headers.get("x-request-id")
+            if proto.valid_request_id(supplied):
+                scope.request_id = supplied
+            if _OBS.enabled:
+                scope.tracer = Tracer(
+                    _OBS.tracer.sink, trace_id=scope.request_id
+                )
+            with _ctx.bound_context(
+                tracer=scope.tracer, request_id=scope.request_id
+            ):
+                if scope.tracer is not None:
+                    scope.root_span_id = scope.tracer.start_span(
+                        "serve.request",
+                        method=request.method,
+                        path=request.path,
+                    )
+                try:
+                    route, status = await self._dispatch(
+                        request, writer, scope
+                    )
+                finally:
+                    if scope.tracer is not None:
+                        scope.tracer.end_span(route=route, status=status)
         except (ConnectionError, asyncio.IncompleteReadError):
             status = 0  # client went away; nothing to send
         except Exception as exc:  # last-resort 500, never a crash
             status = 500
             try:
-                await self._send_json(
-                    writer,
-                    500,
-                    proto.error_envelope(
-                        proto.ProtocolError(
-                            "internal", f"{type(exc).__name__}: {exc}"
-                        )
-                    ),
-                )
+                with _ctx.bound_context(request_id=scope.request_id):
+                    await self._send_json(
+                        writer,
+                        500,
+                        proto.error_envelope(
+                            proto.ProtocolError(
+                                "internal", f"{type(exc).__name__}: {exc}"
+                            ),
+                            request_id=scope.request_id,
+                        ),
+                    )
             except ConnectionError:  # pragma: no cover
                 pass
         finally:
+            elapsed = time.perf_counter() - t0
             if _OBS.enabled and status:
                 reg = _OBS.registry
                 reg.counter(
@@ -271,12 +371,59 @@ class ServeApp:
                     _inst.SERVE_REQUEST_SECONDS,
                     "Wall time per HTTP request",
                     labelnames=("route",),
-                ).labels(route=route).observe(time.perf_counter() - t0)
+                ).labels(route=route).observe(elapsed)
+            if status:
+                self._finish_request(scope, request, route, status, elapsed)
             try:
                 writer.close()
                 await writer.wait_closed()
             except (ConnectionError, OSError):  # pragma: no cover
                 pass
+
+    def _finish_request(
+        self,
+        scope: _RequestScope,
+        request: _HttpRequest | None,
+        route: str,
+        status: int,
+        elapsed: float,
+    ) -> None:
+        """Post-response bookkeeping: access-log line + slow ring."""
+        entry = {
+            "request_id": scope.request_id,
+            "route": route,
+            "status": status,
+            "duration_s": round(elapsed, 6),
+            "client": scope.access.get("client"),
+        }
+        self._recent.append(entry)
+        if not (self.config.access_log or _ACCESS_LOG.handlers):
+            return
+        record: dict[str, object] = {
+            "ts": time.time(),
+            "request_id": scope.request_id,
+            "method": request.method if request is not None else None,
+            "path": request.path if request is not None else None,
+            "route": route,
+            "status": status,
+            "duration_s": round(elapsed, 6),
+        }
+        for key in ("client", "priority", "mode", "job_id"):
+            if key in scope.access:
+                record[key] = scope.access[key]
+        stages = scope.access.get("stages_s")
+        if stages:
+            record["stages_s"] = {
+                k: round(v, 6) for k, v in stages.items()
+            }
+        coalesce = scope.access.get("coalesce")
+        if coalesce:
+            record["coalesce"] = coalesce
+        _ACCESS_LOG.info(
+            json.dumps(
+                nan_to_none(record), allow_nan=False, separators=(",", ":")
+            )
+        )
 
     async def _read_request(self, reader: asyncio.StreamReader) -> _HttpRequest:
         try:
@@ -340,6 +487,11 @@ class ServeApp:
         head = [f"HTTP/1.1 {status} {reason}"]
         head.append(f"Content-Type: {content_type}")
         head.append(f"Content-Length: {len(payload)}")
+        # Every response echoes the request id bound to this context --
+        # success, error envelope or 500 alike (the header contract).
+        rid = _ctx.current_request_id()
+        if rid is not None:
+            head.append(f"{proto.REQUEST_ID_HEADER}: {rid}")
         for name, value in extra_headers:
             head.append(f"{name}: {value}")
         head.append("Connection: close")
@@ -376,14 +528,20 @@ class ServeApp:
                 labelnames=("reason",),
             ).labels(reason=getattr(exc, "reject_reason", exc.code)).inc()
         await self._send_json(
-            writer, exc.status, proto.error_envelope(exc), headers
+            writer,
+            exc.status,
+            proto.error_envelope(exc, request_id=_ctx.current_request_id()),
+            headers,
         )
         return exc.status
 
     # -- routing --------------------------------------------------------
 
     async def _dispatch(
-        self, request: _HttpRequest, writer: asyncio.StreamWriter
+        self,
+        request: _HttpRequest,
+        writer: asyncio.StreamWriter,
+        scope: _RequestScope,
     ) -> tuple[str, int]:
         """Returns ``(route label, status)`` for the metrics."""
         path = request.path
@@ -391,6 +549,10 @@ class ServeApp:
             if request.method != "GET":
                 return "healthz", await self._method_not_allowed(writer, "GET")
             return "healthz", await self._handle_healthz(writer)
+        if path == "/debugz":
+            if request.method != "GET":
+                return "debugz", await self._method_not_allowed(writer, "GET")
+            return "debugz", await self._handle_debugz(writer)
         if path == "/metrics":
             if request.method != "GET":
                 return "metrics", await self._method_not_allowed(writer, "GET")
@@ -400,12 +562,16 @@ class ServeApp:
                 return "simulate", await self._method_not_allowed(
                     writer, "POST"
                 )
-            return "simulate", await self._handle_simulate(request, writer)
+            return "simulate", await self._handle_simulate(
+                request, writer, scope
+            )
         if path.startswith("/v1/jobs/"):
             if request.method != "GET":
                 return "jobs", await self._method_not_allowed(writer, "GET")
             job_id = path[len("/v1/jobs/"):]
-            return "jobs", await self._handle_job_stream(job_id, writer)
+            return "jobs", await self._handle_job_stream(
+                job_id, writer, scope
+            )
         return "unmatched", await self._send_error(
             writer,
             proto.ProtocolError("not_found", f"no route for {path}"),
@@ -418,7 +584,9 @@ class ServeApp:
             "method_not_allowed", f"only {allowed} is allowed here"
         )
         await self._send_json(
-            writer, exc.status, proto.error_envelope(exc),
+            writer,
+            exc.status,
+            proto.error_envelope(exc, request_id=_ctx.current_request_id()),
             [("Allow", allowed)],
         )
         return exc.status
@@ -438,6 +606,30 @@ class ServeApp:
         await self._send_json(writer, 200, doc)
         return 200
 
+    async def _handle_debugz(self, writer: asyncio.StreamWriter) -> int:
+        """Live introspection: queue, in-flight, coalesce table, jobs,
+        and the slowest recent requests.  Everything is a snapshot taken
+        on the event loop, so the document is internally consistent."""
+        jobs_by_state: dict[str, int] = {}
+        for job in self.jobs.values():
+            jobs_by_state[job.state] = jobs_by_state.get(job.state, 0) + 1
+        doc = {
+            "status": "draining" if self.draining else "ok",
+            "uptime_s": round(time.monotonic() - self.started_s, 3),
+            "obs_enabled": _OBS.enabled,
+            "queue": self.queue.snapshot(),
+            "inflight": self.pool.inflight_snapshot(),
+            "coalesce": self.coalescer.snapshot(),
+            "jobs": {"held": len(self.jobs), "by_state": jobs_by_state},
+            "recent_slowest": sorted(
+                self._recent,
+                key=lambda entry: entry["duration_s"],
+                reverse=True,
+            )[:RECENT_SLOWEST],
+        }
+        await self._send_json(writer, 200, doc)
+        return 200
+
     async def _handle_metrics(self, writer: asyncio.StreamWriter) -> int:
         text = _OBS.registry.to_prometheus()
         await self._send_response(
@@ -449,7 +641,10 @@ class ServeApp:
         return 200
 
     async def _handle_simulate(
-        self, request: _HttpRequest, writer: asyncio.StreamWriter
+        self,
+        request: _HttpRequest,
+        writer: asyncio.StreamWriter,
+        scope: _RequestScope,
     ) -> int:
         try:
             doc = json.loads(request.body.decode("utf-8"))
@@ -464,6 +659,9 @@ class ServeApp:
             sim = proto.parse_simulate_request(doc)
         except proto.ProtocolError as exc:
             return await self._send_error(writer, exc)
+        scope.access["client"] = sim.client
+        scope.access["priority"] = sim.priority
+        scope.access["mode"] = sim.mode
         if self.draining:
             return await self._send_error(
                 writer,
@@ -473,8 +671,13 @@ class ServeApp:
                     retry_after_s=self.config.drain_grace_s,
                 ),
             )
-        job = Job(sim)
-        items = [WorkItem(job=job, point=p) for p in sim.points]
+        job = Job(sim, request_id=scope.request_id)
+        job.root_span_id = scope.root_span_id
+        scope.access["job_id"] = job.id
+        now = time.perf_counter()
+        items = [
+            WorkItem(job=job, point=p, enqueued_s=now) for p in sim.points
+        ]
         try:
             self.queue.put_batch(
                 items, client=sim.client, priority=sim.priority
@@ -510,10 +713,18 @@ class ServeApp:
             await self._send_json(
                 writer,
                 202,
-                proto.job_envelope(job.id, job.state, job.n_points, 0),
+                proto.job_envelope(
+                    job.id,
+                    job.state,
+                    job.n_points,
+                    0,
+                    request_id=scope.request_id,
+                ),
             )
             return 202
         await job.wait_done()
+        scope.access["stages_s"] = job.stage_s
+        scope.access["coalesce"] = job.source_counts
         if job.state != JOB_DONE:
             return await self._send_error(
                 writer,
@@ -525,13 +736,31 @@ class ServeApp:
             proto.result_line(r.point, r.stats, r.source)
             for r in job.results
         ]
-        await self._send_json(
-            writer,
-            200,
-            proto.sync_response(
-                job.id, job.state, results, round(job.elapsed_s, 6)
-            ),
-        )
+        # The response write is the job's "stream" stage: span it on the
+        # request tracer and fold it into the Server-Timing breakdown.
+        t_stream = time.perf_counter()
+        if scope.tracer is not None:
+            scope.tracer.start_span("serve.stream", mode="sync")
+        try:
+            timing = proto.server_timing_value(job.stage_s)
+            await self._send_json(
+                writer,
+                200,
+                proto.sync_response(
+                    job.id,
+                    job.state,
+                    results,
+                    round(job.elapsed_s, 6),
+                    request_id=scope.request_id,
+                ),
+                [(proto.SERVER_TIMING_HEADER, timing)] if timing else (),
+            )
+        finally:
+            if scope.tracer is not None:
+                scope.tracer.end_span()
+            observe_stage(
+                "stream", time.perf_counter() - t_stream, job
+            )
         return 200
 
     def _remember_job(self, job: Job) -> None:
@@ -546,7 +775,7 @@ class ServeApp:
                 break
 
     async def _handle_job_stream(
-        self, job_id: str, writer: asyncio.StreamWriter
+        self, job_id: str, writer: asyncio.StreamWriter, scope: _RequestScope
     ) -> int:
         job = self.jobs.get(job_id)
         if job is None:
@@ -556,11 +785,14 @@ class ServeApp:
                     "not_found", f"no job {job_id!r} on this server"
                 ),
             )
+        scope.access["client"] = job.request.client
+        scope.access["job_id"] = job.id
         # EOF-delimited NDJSON: no Content-Length, Connection: close.
         head = (
             "HTTP/1.1 200 OK\r\n"
             "Content-Type: application/x-ndjson\r\n"
             "Cache-Control: no-store\r\n"
+            f"{proto.REQUEST_ID_HEADER}: {scope.request_id}\r\n"
             "Connection: close\r\n\r\n"
         )
         writer.write(head.encode("latin-1"))
@@ -573,27 +805,47 @@ class ServeApp:
                 + "\n"
             ).encode("utf-8")
 
+        # The header line carries the *admitting* request's id, joining
+        # an async job's NDJSON output to the trace of the POST that
+        # created it (this GET has its own id, echoed in the header).
         writer.write(
             line(
                 proto.job_envelope(
-                    job.id, job.state, job.n_points, len(job.results)
+                    job.id,
+                    job.state,
+                    job.n_points,
+                    len(job.results),
+                    request_id=job.request_id,
                 )
             )
         )
         await writer.drain()
-        async for result in job.stream():
+        t_stream = time.perf_counter()
+        if scope.tracer is not None:
+            scope.tracer.start_span("serve.stream", job_id=job.id)
+        try:
+            async for result in job.stream():
+                writer.write(
+                    line(
+                        proto.result_line(
+                            result.point, result.stats, result.source
+                        )
+                    )
+                )
+                await writer.drain()
             writer.write(
-                line(proto.result_line(result.point, result.stats, result.source))
+                line(
+                    proto.done_line(
+                        job.id, job.state, round(job.elapsed_s, 6), job.error
+                    )
+                )
             )
             await writer.drain()
-        writer.write(
-            line(
-                proto.done_line(
-                    job.id, job.state, round(job.elapsed_s, 6), job.error
-                )
-            )
-        )
-        await writer.drain()
+        finally:
+            if scope.tracer is not None:
+                scope.tracer.end_span(results=len(job.results))
+            observe_stage("stream", time.perf_counter() - t_stream)
+        scope.access["coalesce"] = job.source_counts
         return 200
 
 
@@ -670,6 +922,29 @@ def build_parser() -> argparse.ArgumentParser:
         help="max seconds to wait for in-flight work on SIGTERM "
         f"(default {cfg.drain_grace_s:.0f})",
     )
+    parser.add_argument(
+        "--access-log",
+        action="store_true",
+        dest="access_log",
+        help="emit one structured JSON access-log line per request "
+        "to stderr",
+    )
+    parser.add_argument(
+        "--trace-out",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        dest="trace_out",
+        help="append span/event trace records as JSONL to PATH "
+        "(analyze offline with 'repro-obs-report serve')",
+    )
+    parser.add_argument(
+        "--no-obs",
+        action="store_false",
+        dest="obs_enabled",
+        help="disable metrics and tracing entirely (the <5%% overhead "
+        "ablation baseline; /metrics renders empty)",
+    )
     return parser
 
 
@@ -705,6 +980,9 @@ def main(argv: Sequence[str] | None = None) -> int:
         cache_dir=str(args.cache_dir) if args.cache_dir else None,
         compute_floor_s=args.compute_floor_s,
         drain_grace_s=args.drain_grace_s,
+        access_log=args.access_log,
+        trace_out=str(args.trace_out) if args.trace_out else None,
+        obs_enabled=args.obs_enabled,
     )
     obs.reset()
     try:

@@ -24,16 +24,19 @@ Monte-Carlo machinery of :mod:`repro.experiments`:
 from __future__ import annotations
 
 import asyncio
+import itertools
 import secrets
 import threading
 import time
-from dataclasses import asdict, dataclass
+from dataclasses import asdict, dataclass, field
 
 from repro.experiments.cache import cache_key
 from repro.experiments.runner import ExperimentSuite
 from repro.experiments.parallel import make_executor
+from repro.obs import context as _ctx
 from repro.obs import instruments as _inst
 from repro.obs.state import STATE as _OBS
+from repro.obs.tracing import Tracer
 from repro.serve.coalesce import Coalescer
 from repro.serve.protocol import GridPoint, SimulateRequest
 from repro.serve.queue import AdmissionQueue, QueueClosed
@@ -73,10 +76,17 @@ class PointResult:
 
 @dataclass
 class WorkItem:
-    """One queued grid point, tagged with its owning job."""
+    """One queued grid point, tagged with its owning job.
+
+    ``enqueued_s`` (``time.perf_counter`` at admission) feeds the
+    ``serve.queue_wait`` span and stage histogram when a worker finally
+    dequeues the item; trace identity (request id, root span) lives on
+    the owning job.
+    """
 
     job: "Job"
     point: GridPoint
+    enqueued_s: float = 0.0
 
     @property
     def client(self) -> str:
@@ -91,16 +101,47 @@ class Job:
     (NDJSON), which replays completed points and then follows live ones.
     """
 
-    def __init__(self, request: SimulateRequest, job_id: str | None = None):
+    def __init__(
+        self,
+        request: SimulateRequest,
+        job_id: str | None = None,
+        request_id: str | None = None,
+    ):
         self.id = job_id if job_id is not None else new_job_id()
         self.request = request
+        #: The admitting HTTP request's ``X-Request-Id`` -- the join key
+        #: between this job's NDJSON output, the access log and the
+        #: serve span tree.
+        self.request_id = request_id
+        #: Span id of the admitting request's ``serve.request`` span,
+        #: so per-point spans (possibly emitted after an async 202 has
+        #: already closed that span) still parent under it.
+        self.root_span_id: int | None = None
         self.state = JOB_QUEUED
         self.results: list[PointResult] = []
         self.error: str | None = None
+        #: Per-stage wall-time attribution, aggregated max-over-points
+        #: (points run concurrently, so the max approximates the
+        #: critical path; backs the ``Server-Timing`` response header).
+        self.stage_s: dict[str, float] = {}
         self.created_s = time.monotonic()
         self.finished_s: float | None = None
         self._done = asyncio.Event()
         self._wakeup = asyncio.Event()
+
+    def note_stage(self, stage: str, seconds: float) -> None:
+        """Fold one point's stage duration into the job's attribution."""
+        held = self.stage_s.get(stage)
+        if held is None or seconds > held:
+            self.stage_s[stage] = seconds
+
+    @property
+    def source_counts(self) -> dict[str, int]:
+        """``{source: n_points}`` over the results published so far."""
+        counts: dict[str, int] = {}
+        for result in self.results:
+            counts[result.source] = counts.get(result.source, 0) + 1
+        return counts
 
     @property
     def n_points(self) -> int:
@@ -258,6 +299,23 @@ def _gauge_set(name: str, help_: str, value: float) -> None:
     _OBS.registry.gauge(name, help_).set(value)
 
 
+def observe_stage(stage: str, seconds: float, job: "Job | None" = None) -> None:
+    """Record one stage duration: histogram + (optionally) the job.
+
+    The histogram lands only when observability is enabled; the job's
+    ``Server-Timing`` attribution is always kept (the header is part of
+    the wire contract, not the tracing ablation).
+    """
+    if job is not None:
+        job.note_stage(stage, seconds)
+    if _OBS.enabled:
+        _OBS.registry.histogram(
+            _inst.SERVE_STAGE_SECONDS,
+            "Wall time per serve pipeline stage",
+            labelnames=("stage",),
+        ).labels(stage=stage).observe(seconds)
+
+
 class WorkerPool:
     """N asyncio workers draining the admission queue through the engine."""
 
@@ -276,6 +334,11 @@ class WorkerPool:
         self.concurrency = concurrency
         self._tasks: list[asyncio.Task] = []
         self.in_flight = 0
+        #: Live per-point progress for ``/debugz``: token -> info dict
+        #: whose ``stage`` field is updated in place as the point moves
+        #: through the pipeline.  Event-loop only; no locking.
+        self._inflight_info: dict[int, dict] = {}
+        self._inflight_tokens = itertools.count(1)
 
     async def start(self) -> None:
         self._tasks = [
@@ -308,11 +371,60 @@ class WorkerPool:
             )
             await self._process(item)
 
+    def inflight_snapshot(self) -> list[dict]:
+        """Live per-point progress (``/debugz``): stage + age per point."""
+        now = time.perf_counter()
+        return [
+            {
+                "request_id": info["request_id"],
+                "job_id": info["job_id"],
+                "client": info["client"],
+                "point": info["point"],
+                "stage": info["stage"],
+                "age_s": round(now - info["since"], 6),
+            }
+            for info in self._inflight_info.values()
+        ]
+
     async def _process(self, item: WorkItem) -> None:
         job = item.job
         if job.done:
             return  # a sibling point already failed the whole job
         request = job.request
+        dequeued = time.perf_counter()
+        if item.enqueued_s:
+            observe_stage("queue_wait", dequeued - item.enqueued_s, job)
+        # Request-scoped tracer: shares the process sink but parents its
+        # spans under the admitting request's ``serve.request`` span and
+        # stamps every record with the request id.  Bound via
+        # contextvars so the ``to_thread`` compute below inherits it --
+        # that is what nests the engine's grid_point -> inventory ->
+        # frame -> slot spans inside this request's tree.
+        obs_on = _OBS.enabled
+        tracer: Tracer | None = None
+        if obs_on and job.request_id is not None:
+            tracer = Tracer(
+                _OBS.tracer.sink,
+                trace_id=job.request_id,
+                root_parent_id=job.root_span_id,
+            )
+            if item.enqueued_s:
+                tracer.emit_span(
+                    "serve.queue_wait",
+                    item.enqueued_s,
+                    dequeued,
+                    point=item.point.to_wire(),
+                )
+        token = next(self._inflight_tokens)
+        info = {
+            "request_id": job.request_id,
+            "job_id": job.id,
+            "client": request.client,
+            "point": item.point.to_wire(),
+            "stage": "keying",
+            "since": dequeued,
+        }
+        self._inflight_info[token] = info
         self.in_flight += 1
         _gauge_set(
             _inst.SERVE_INFLIGHT,
@@ -320,32 +432,66 @@ class WorkerPool:
             self.in_flight,
         )
         try:
-            key = self.engine.key_for(request.rounds, request.seed, item.point)
-            leader, fut = self.coalescer.lease(key)
-            if leader:
-                try:
-                    stats, source = await asyncio.to_thread(
-                        self.engine.compute_point,
-                        request.rounds,
-                        request.seed,
-                        item.point,
-                    )
-                except BaseException as exc:
-                    self.coalescer.resolve(key, error=exc)
-                    raise
-                self.coalescer.resolve(key, (stats, source))
-            else:
-                _count(
-                    _inst.SERVE_COALESCE_HITS,
-                    "Grid points deduplicated onto an in-flight computation",
+            with _ctx.bound_context(tracer=tracer, request_id=job.request_id):
+                key = self.engine.key_for(
+                    request.rounds, request.seed, item.point
                 )
-                stats, _ = await asyncio.shield(fut)
-                source = "coalesced"
+                leader, fut = self.coalescer.lease(key)
+                role = "leader" if leader else "follower"
+                if tracer is not None:
+                    tracer.start_span(
+                        "serve.coalesce",
+                        role=role,
+                        key=key,
+                        point=item.point.to_wire(),
+                    )
+                t_stage = time.perf_counter()
+                try:
+                    if leader:
+                        info["stage"] = "compute"
+                        if tracer is not None:
+                            tracer.start_span("serve.compute", key=key)
+                        t_compute = time.perf_counter()
+                        try:
+                            stats, source = await asyncio.to_thread(
+                                self.engine.compute_point,
+                                request.rounds,
+                                request.seed,
+                                item.point,
+                            )
+                        except BaseException as exc:
+                            self.coalescer.resolve(key, error=exc)
+                            raise
+                        finally:
+                            if tracer is not None:
+                                tracer.end_span()  # serve.compute
+                            observe_stage(
+                                "compute",
+                                time.perf_counter() - t_compute,
+                                job,
+                            )
+                        self.coalescer.resolve(key, (stats, source))
+                    else:
+                        info["stage"] = "coalesce_wait"
+                        _count(
+                            _inst.SERVE_COALESCE_HITS,
+                            "Grid points deduplicated onto an in-flight "
+                            "computation",
+                        )
+                        stats, _ = await asyncio.shield(fut)
+                        source = "coalesced"
+                finally:
+                    if tracer is not None:
+                        tracer.end_span(role=role)  # serve.coalesce
+                    observe_stage(
+                        "coalesce", time.perf_counter() - t_stage, job
+                    )
             _count(
                 _inst.SERVE_POINTS,
                 "Grid points served, by result source",
                 source=source,
             )
+            info["stage"] = "publish"
             job.publish(PointResult(point=item.point, stats=stats, source=source))
             if len(job.results) == job.n_points:
                 job.finish(JOB_DONE)
@@ -357,6 +503,7 @@ class WorkerPool:
             job.finish(JOB_FAILED, f"{type(exc).__name__}: {exc}")
             _count(_inst.SERVE_JOBS, "Jobs finished, by state", state=JOB_FAILED)
         finally:
+            del self._inflight_info[token]
             self.in_flight -= 1
             _gauge_set(
                 _inst.SERVE_INFLIGHT,

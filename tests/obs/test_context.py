@@ -1,0 +1,150 @@
+"""Request-scoped trace context: binding, nesting, thread propagation."""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro.obs import (
+    RingBufferSink,
+    STATE,
+    Tracer,
+    bound_context,
+    current_request_id,
+    current_tracer,
+    new_request_id,
+)
+
+
+class TestBinding:
+    def test_unbound_defaults(self):
+        assert current_tracer() is None
+        assert current_request_id() is None
+
+    def test_bound_context_sets_and_restores(self):
+        tracer = Tracer(RingBufferSink())
+        with bound_context(tracer=tracer, request_id="req-1"):
+            assert current_tracer() is tracer
+            assert current_request_id() == "req-1"
+        assert current_tracer() is None
+        assert current_request_id() is None
+
+    def test_partial_binding_leaves_other_variable(self):
+        with bound_context(request_id="req-outer"):
+            tracer = Tracer(RingBufferSink())
+            with bound_context(tracer=tracer):
+                assert current_request_id() == "req-outer"
+                assert current_tracer() is tracer
+            assert current_tracer() is None
+            assert current_request_id() == "req-outer"
+
+    def test_nested_bindings_unwind_in_order(self):
+        with bound_context(request_id="a"):
+            with bound_context(request_id="b"):
+                assert current_request_id() == "b"
+            assert current_request_id() == "a"
+
+    def test_new_request_id_shape_and_uniqueness(self):
+        ids = {new_request_id() for _ in range(100)}
+        assert len(ids) == 100
+        assert all(rid.startswith("req-") for rid in ids)
+
+
+class TestStateTracerProperty:
+    def test_state_tracer_prefers_bound(self):
+        base = STATE.tracer
+        bound = Tracer(RingBufferSink())
+        with bound_context(tracer=bound):
+            assert STATE.tracer is bound
+        assert STATE.tracer is base
+
+    def test_state_tracer_setter_sets_base(self):
+        original = STATE.tracer
+        replacement = Tracer(RingBufferSink())
+        try:
+            STATE.tracer = replacement
+            assert STATE.tracer is replacement
+            with bound_context(tracer=Tracer(RingBufferSink())):
+                assert STATE.tracer is not replacement
+            assert STATE.tracer is replacement
+        finally:
+            STATE.tracer = original
+
+
+class TestThreadPropagation:
+    def test_to_thread_inherits_bound_tracer(self):
+        """``asyncio.to_thread`` copies the caller's context, so spans
+        emitted on the worker thread land on the request's tracer --
+        the mechanism nesting engine spans under serve spans."""
+        sink = RingBufferSink()
+        tracer = Tracer(sink, trace_id="req-thread")
+
+        def blocking_work():
+            bound = current_tracer()
+            assert bound is tracer
+            with bound.span("inner"):
+                pass
+            return current_request_id()
+
+        async def main():
+            with bound_context(tracer=tracer, request_id="req-thread"):
+                with tracer.span("outer"):
+                    return await asyncio.to_thread(blocking_work)
+
+        rid = asyncio.run(main())
+        assert rid == "req-thread"
+        spans = sink.spans()
+        names = [s["name"] for s in spans]
+        assert names == ["inner", "outer"]  # inner closes first
+        inner = spans[0]
+        outer = spans[1]
+        assert inner["parent_id"] == outer["span_id"]
+        assert inner["trace_id"] == "req-thread"
+
+    def test_concurrent_tasks_do_not_leak_bindings(self):
+        async def task(rid: str, results: dict):
+            with bound_context(request_id=rid):
+                await asyncio.sleep(0)
+                results[rid] = current_request_id()
+
+        async def main():
+            results: dict = {}
+            await asyncio.gather(
+                task("req-a", results), task("req-b", results)
+            )
+            return results
+
+        results = asyncio.run(main())
+        assert results == {"req-a": "req-a", "req-b": "req-b"}
+
+
+class TestTracerIdentity:
+    def test_span_ids_unique_across_tracers(self):
+        sink = RingBufferSink()
+        t1 = Tracer(sink, trace_id="req-1")
+        t2 = Tracer(sink, trace_id="req-2")
+        with t1.span("a"):
+            pass
+        with t2.span("b"):
+            pass
+        ids = [s["span_id"] for s in sink.spans()]
+        assert len(set(ids)) == len(ids)
+
+    def test_root_parent_id_grafts_top_level_spans(self):
+        sink = RingBufferSink()
+        tracer = Tracer(sink, trace_id="req-1", root_parent_id=777)
+        with tracer.span("child"):
+            pass
+        (span,) = sink.spans()
+        assert span["parent_id"] == 777
+        assert span["trace_id"] == "req-1"
+
+    def test_emit_span_retroactive(self):
+        sink = RingBufferSink()
+        tracer = Tracer(sink, trace_id="req-1", root_parent_id=5)
+        span_id = tracer.emit_span("serve.queue_wait", 10.0, 10.25, k="v")
+        (span,) = sink.spans()
+        assert span["span_id"] == span_id
+        assert span["parent_id"] == 5
+        assert span["duration"] == 0.25
+        assert span["attrs"] == {"k": "v"}
+        assert tracer.depth == 0  # never touched the stack

@@ -1,0 +1,198 @@
+"""MetricsRegistry thread-safety under the serve layer's access pattern.
+
+The server increments counters/histograms from ``asyncio.to_thread``
+workers while ``/metrics`` renders on the event loop.  These tests hammer
+that pattern directly: concurrent writers must lose no increments, and a
+concurrent render must never produce torn Prometheus output (a histogram
+whose ``_count`` disagrees with its +Inf bucket, or a half-created
+child)."""
+
+from __future__ import annotations
+
+import re
+import threading
+
+from repro.obs.registry import MetricsRegistry
+
+N_THREADS = 8
+N_INCS = 2_000
+
+
+def _run_threads(target, n=N_THREADS):
+    start = threading.Barrier(n)
+
+    def wrapped(i):
+        start.wait()
+        target(i)
+
+    threads = [
+        threading.Thread(target=wrapped, args=(i,)) for i in range(n)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+
+
+class TestNoLostUpdates:
+    def test_counter_concurrent_increments(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("c_total", "c")
+
+        def work(_i):
+            for _ in range(N_INCS):
+                counter.inc()
+
+        _run_threads(work)
+        assert counter.total() == N_THREADS * N_INCS
+
+    def test_labelled_counter_concurrent_child_creation(self):
+        """All threads race to create the same children on first use."""
+        registry = MetricsRegistry()
+
+        def work(i):
+            for k in range(N_INCS):
+                registry.counter(
+                    "c_total", "c", labelnames=("worker",)
+                ).labels(worker=str(k % 4)).inc()
+
+        _run_threads(work)
+        family = registry.get("c_total")
+        assert family.total() == N_THREADS * N_INCS
+        assert len(list(family.samples())) == 4
+
+    def test_histogram_concurrent_observes(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("h_seconds", "h", buckets=(0.5, 1.0))
+
+        def work(i):
+            for k in range(N_INCS):
+                hist.observe(0.25 if k % 2 else 0.75)
+
+        _run_threads(work)
+        (_, child), = registry.get("h_seconds").samples()
+        assert child.count == N_THREADS * N_INCS
+        assert child.cumulative_buckets()[-1][1] == N_THREADS * N_INCS
+
+    def test_gauge_inc_dec_balance(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("g", "g")
+
+        def work(_i):
+            for _ in range(N_INCS):
+                gauge.inc()
+                gauge.dec()
+
+        _run_threads(work)
+        (_, child), = registry.get("g").samples()
+        assert child.value == 0
+
+
+class TestNoTornRenders:
+    def _assert_consistent(self, text: str) -> None:
+        """Within one exposition every histogram child's ``_count``
+        equals its +Inf bucket and its bucket counts are monotone."""
+        buckets: dict[tuple[str, str], list[tuple[str, int]]] = {}
+        counts: dict[tuple[str, str], int] = {}
+        for line in text.splitlines():
+            match = re.match(
+                r'(\w+)_bucket\{(.*)le="([^"]+)"\} (\d+)$', line
+            )
+            if match:
+                name, labels, le, value = match.groups()
+                buckets.setdefault((name, labels), []).append(
+                    (le, int(value))
+                )
+                continue
+            match = re.match(r"(\w+)_count(?:\{([^}]*)\})? (\d+)$", line)
+            if match:
+                name, labels, value = match.groups()
+                counts[(name, (labels or "") and labels + ",")] = int(value)
+        assert counts, "no histogram children rendered"
+        for key, count in counts.items():
+            child_buckets = buckets[key]
+            values = [v for _, v in child_buckets]
+            assert values == sorted(values), "bucket counts not monotone"
+            assert child_buckets[-1][0] == "+Inf"
+            assert child_buckets[-1][1] == count, (
+                f"{key}: +Inf bucket {child_buckets[-1][1]} != "
+                f"_count {count}"
+            )
+
+    def test_render_during_writes_is_internally_consistent(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram(
+            "h_seconds", "h", labelnames=("stage",), buckets=(0.5, 1.0)
+        )
+        stop = threading.Event()
+        renders: list[str] = []
+
+        def writer(i):
+            k = 0
+            while not stop.is_set():
+                hist.labels(stage=str(i % 2)).observe((k % 3) * 0.4)
+                k += 1
+
+        threads = [
+            threading.Thread(target=writer, args=(i,)) for i in range(4)
+        ]
+        for t in threads:
+            t.start()
+        try:
+            for _ in range(50):
+                renders.append(registry.to_prometheus())
+        finally:
+            stop.set()
+            for t in threads:
+                t.join()
+        for text in renders:
+            self._assert_consistent(text)
+
+    def test_to_dict_snapshot_consistent(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("h_seconds", "h", buckets=(1.0,))
+        stop = threading.Event()
+
+        def writer(_i):
+            while not stop.is_set():
+                hist.observe(0.5)
+
+        thread = threading.Thread(target=writer, args=(0,))
+        thread.start()
+        try:
+            for _ in range(200):
+                dump = registry.to_dict()
+                sample = dump["h_seconds"]["samples"][0]
+                assert sample["buckets"]["+Inf"] == sample["count"]
+        finally:
+            stop.set()
+            thread.join()
+
+    def test_merge_during_writes_takes_consistent_snapshots(self):
+        """Merging a worker registry (the cross-process fold path) while
+        the worker keeps writing must capture internally consistent
+        histograms and never more than was actually written."""
+        worker = MetricsRegistry()
+        hist = worker.histogram("h_seconds", "h", buckets=(1.0,))
+        stop = threading.Event()
+        merged_counts: list[int] = []
+
+        def writer(_i):
+            while not stop.is_set():
+                hist.observe(0.5)
+
+        thread = threading.Thread(target=writer, args=(0,))
+        thread.start()
+        try:
+            for _ in range(30):
+                server = MetricsRegistry()
+                server.merge(worker)
+                (_, child), = server.get("h_seconds").samples()
+                assert child.cumulative_buckets()[-1][1] == child.count
+                merged_counts.append(child.count)
+        finally:
+            stop.set()
+            thread.join()
+        (_, final), = worker.get("h_seconds").samples()
+        assert merged_counts == sorted(merged_counts)
+        assert merged_counts[-1] <= final.count

@@ -1,0 +1,228 @@
+"""Offline analyzer tests: bucket percentiles, trace summaries, CLI."""
+
+from __future__ import annotations
+
+import json
+import math
+
+import pytest
+
+from repro.obs.registry import MetricsRegistry
+from repro.obs.report import (
+    histogram_percentiles,
+    histogram_quantile,
+    load_trace,
+    main,
+    metrics_percentile_rows,
+    render_serve_report,
+    serve_attribution,
+    serve_stage_stats,
+    span_tree_lines,
+    spans_for_request,
+)
+
+INF = float("inf")
+
+
+class TestHistogramQuantile:
+    def test_empty_and_zero_total_are_nan(self):
+        assert math.isnan(histogram_quantile([], 50))
+        assert math.isnan(histogram_quantile([(1.0, 0), (INF, 0)], 50))
+
+    def test_interpolates_within_bucket(self):
+        # 100 observations uniformly inside (0, 1]: p50 ~ 0.5.
+        buckets = [(1.0, 100), (INF, 100)]
+        assert histogram_quantile(buckets, 50) == pytest.approx(0.5)
+        assert histogram_quantile(buckets, 90) == pytest.approx(0.9)
+
+    def test_interpolates_between_edges(self):
+        # 50 in (0,1], 50 in (1,3]: p75 is halfway through (1,3].
+        buckets = [(1.0, 50), (3.0, 100), (INF, 100)]
+        assert histogram_quantile(buckets, 75) == pytest.approx(2.0)
+        assert histogram_quantile(buckets, 50) == pytest.approx(1.0)
+
+    def test_inf_bucket_saturates_to_last_finite_edge(self):
+        buckets = [(1.0, 10), (INF, 20)]
+        assert histogram_quantile(buckets, 99) == 1.0
+
+    def test_out_of_range_q_raises(self):
+        with pytest.raises(ValueError):
+            histogram_quantile([(1.0, 1), (INF, 1)], 101)
+
+    def test_percentile_dict_shape(self):
+        pct = histogram_percentiles([(2.0, 4), (INF, 4)])
+        assert set(pct) == {"p50", "p90", "p99"}
+
+    def test_matches_exact_on_dense_buckets(self):
+        # With one bucket per distinct value the estimator is exact at
+        # bucket edges.
+        values = [0.1 * i for i in range(1, 101)]
+        edges = sorted(set(values))
+        cum = []
+        count = 0
+        for edge in edges:
+            count += sum(1 for v in values if v <= edge) - count
+            cum.append((edge, count))
+        cum.append((INF, count))
+        assert histogram_quantile(cum, 100) == pytest.approx(10.0)
+
+
+class TestMetricsRows:
+    def test_rows_from_registry_dump(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram(
+            "repro_serve_stage_seconds",
+            "stage time",
+            labelnames=("stage",),
+            buckets=(0.1, 1.0),
+        )
+        for _ in range(10):
+            hist.labels(stage="compute").observe(0.05)
+        registry.counter("repro_slots_total", "slots").inc()
+        rows = metrics_percentile_rows(registry.to_dict())
+        assert len(rows) == 1  # counters are skipped
+        (row,) = rows
+        assert row["histogram"] == "repro_serve_stage_seconds{stage=compute}"
+        assert row["count"] == "10"
+        assert float(row["p50"]) == pytest.approx(0.05)
+
+    def test_name_filter(self):
+        registry = MetricsRegistry()
+        registry.histogram("repro_a_seconds", "a").observe(1.0)
+        registry.histogram("repro_b_seconds", "b").observe(1.0)
+        rows = metrics_percentile_rows(
+            registry.to_dict(), names=["repro_b_seconds"]
+        )
+        assert [r["histogram"] for r in rows] == ["repro_b_seconds"]
+
+
+def _span(
+    name, span_id, parent_id, start, end, trace_id="req-x", **attrs
+):
+    return {
+        "type": "span",
+        "name": name,
+        "span_id": span_id,
+        "parent_id": parent_id,
+        "start": start,
+        "end": end,
+        "duration": end - start,
+        "attrs": attrs,
+        "trace_id": trace_id,
+    }
+
+
+@pytest.fixture
+def trace_records():
+    """One sync request: request > queue_wait + coalesce(compute) + stream."""
+    return [
+        _span("serve.request", 1, None, 0.0, 1.0),
+        _span("serve.queue_wait", 2, 1, 0.0, 0.1),
+        _span("serve.coalesce", 3, 1, 0.1, 0.8),
+        _span("serve.compute", 4, 3, 0.1, 0.75),
+        _span("grid_point", 5, 4, 0.11, 0.74),
+        _span("serve.stream", 6, 1, 0.8, 0.95),
+        {"type": "event", "name": "slot", "span_id": 5, "time": 0.5,
+         "attrs": {}, "trace_id": "req-x"},
+    ]
+
+
+class TestTraceAnalysis:
+    def test_spans_for_request_filters_events_and_other_traces(
+        self, trace_records
+    ):
+        other = _span("serve.request", 9, None, 0.0, 0.1, trace_id="req-y")
+        spans = spans_for_request([*trace_records, other], "req-x")
+        assert len(spans) == 6
+        assert all(s["trace_id"] == "req-x" for s in spans)
+
+    def test_span_tree_lines_nest(self, trace_records):
+        lines = span_tree_lines(spans_for_request(trace_records, "req-x"))
+        assert len(lines) == 6
+        assert lines[0].endswith("serve.request")
+        # grid_point sits under compute under coalesce under request.
+        grid = next(line for line in lines if "grid_point" in line)
+        assert grid.endswith("      grid_point")
+
+    def test_span_tree_keeps_orphans(self):
+        # An async job's point spans parent to a span id that is not in
+        # the file window; they must still render as roots.
+        spans = [_span("serve.coalesce", 10, 999, 0.0, 0.5)]
+        lines = span_tree_lines(spans)
+        assert len(lines) == 1 and "serve.coalesce" in lines[0]
+
+    def test_stage_stats(self, trace_records):
+        stats = serve_stage_stats(trace_records)
+        assert stats["serve.request"]["n"] == 1
+        assert stats["serve.coalesce"]["p50"] == pytest.approx(0.7)
+        assert "grid_point" not in stats  # only serve.* spans
+
+    def test_attribution_max_over_points_and_unattributed(
+        self, trace_records
+    ):
+        (entry,) = serve_attribution(trace_records)
+        assert entry["request_id"] == "req-x"
+        assert entry["total_s"] == pytest.approx(1.0)
+        assert entry["stages_s"]["serve.coalesce"] == pytest.approx(0.7)
+        # 1.0 - (0.1 + 0.7 + 0.15) = 0.05 outside any stage span.
+        assert entry["unattributed_s"] == pytest.approx(0.05)
+
+    def test_attribution_sorts_slowest_first(self, trace_records):
+        fast = [
+            _span("serve.request", 20, None, 0.0, 0.2, trace_id="req-f")
+        ]
+        entries = serve_attribution([*fast, *trace_records])
+        assert [e["request_id"] for e in entries] == ["req-x", "req-f"]
+
+    def test_render_report_mentions_stages(self, trace_records):
+        text = render_serve_report(trace_records)
+        assert "serve.coalesce" in text
+        assert "critical-path attribution" in text
+        assert "req-x" in text
+
+    def test_render_report_empty(self):
+        assert "no serve.* spans" in render_serve_report([])
+
+
+class TestCli:
+    def _write_trace(self, path, records):
+        path.write_text(
+            "".join(json.dumps(r) + "\n" for r in records) + "not json\n"
+        )
+
+    def test_serve_summary(self, tmp_path, capsys, trace_records):
+        trace = tmp_path / "trace.jsonl"
+        self._write_trace(trace, trace_records)
+        assert main(["serve", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "serve.request" in out
+
+    def test_serve_request_tree(self, tmp_path, capsys, trace_records):
+        trace = tmp_path / "trace.jsonl"
+        self._write_trace(trace, trace_records)
+        assert main(["serve", str(trace), "--request-id", "req-x"]) == 0
+        out = capsys.readouterr().out
+        assert "span tree for req-x" in out
+        assert "grid_point" in out
+
+    def test_serve_unknown_request_id_fails(
+        self, tmp_path, capsys, trace_records
+    ):
+        trace = tmp_path / "trace.jsonl"
+        self._write_trace(trace, trace_records)
+        assert main(["serve", str(trace), "--request-id", "nope"]) == 1
+
+    def test_metrics_dump(self, tmp_path, capsys):
+        registry = MetricsRegistry()
+        registry.histogram("repro_profile_seconds", "p").observe(0.01)
+        dump = tmp_path / "metrics.json"
+        dump.write_text(registry.to_json())
+        assert main(["metrics", str(dump)]) == 0
+        out = capsys.readouterr().out
+        assert "repro_profile_seconds" in out
+
+    def test_load_trace_skips_malformed(self, tmp_path, trace_records):
+        trace = tmp_path / "trace.jsonl"
+        self._write_trace(trace, trace_records)
+        records = load_trace(trace)
+        assert len(records) == len(trace_records)

@@ -216,6 +216,131 @@ class TestRetries:
         assert recorded_sleeps == []
 
 
+def _request_id_headers(raw_requests: list[bytes]) -> list[str]:
+    """The X-Request-Id value each recorded raw request carried."""
+    rids = []
+    for raw in raw_requests:
+        for line in raw.split(b"\r\n"):
+            if line.lower().startswith(b"x-request-id:"):
+                rids.append(line.split(b":", 1)[1].strip().decode())
+    return rids
+
+
+class TestRequestId:
+    def test_rid_generated_up_front_and_reused_across_retries(
+        self, recorded_sleeps
+    ):
+        """One logical request is one id: every 429 retry resends the
+        same X-Request-Id, so the server sees a single trace."""
+        server = StubServer(
+            [
+                http_response(429, {"error": {"code": "overloaded"}},
+                              ("Retry-After: 1",)),
+                http_response(429, {"error": {"code": "overloaded"}},
+                              ("Retry-After: 1",)),
+                http_response(200, {"status": "ok"}),
+            ]
+        )
+        try:
+            client = make_client(server.port, recorded_sleeps, retries=5)
+            client.request_json("GET", "/healthz")
+        finally:
+            server.close()
+        rids = _request_id_headers(server.requests)
+        assert len(rids) == 3
+        assert len(set(rids)) == 1
+        assert rids[0] == client.last_request_id
+        assert rids[0].startswith("cli-")
+
+    def test_explicit_request_id_sent_verbatim(self, recorded_sleeps):
+        server = StubServer([http_response(200, {"status": "ok"})])
+        try:
+            client = make_client(server.port, recorded_sleeps)
+            client.request("GET", "/healthz", request_id="cli-pinned")
+        finally:
+            server.close()
+        assert _request_id_headers(server.requests) == ["cli-pinned"]
+        assert client.last_request_id == "cli-pinned"
+
+    def test_each_logical_request_gets_a_fresh_id(self, recorded_sleeps):
+        server = StubServer(
+            [http_response(200, {"a": 1}), http_response(200, {"a": 2})]
+        )
+        try:
+            client = make_client(server.port, recorded_sleeps)
+            client.request("GET", "/healthz")
+            first = client.last_request_id
+            client.request("GET", "/healthz")
+            second = client.last_request_id
+        finally:
+            server.close()
+        assert first != second
+        assert _request_id_headers(server.requests) == [first, second]
+
+    def test_server_timing_parsed_from_final_response(
+        self, recorded_sleeps
+    ):
+        """The retried 429 carries no timing; the final 200's breakdown
+        lands in last_server_timing as seconds."""
+        server = StubServer(
+            [
+                http_response(429, {"error": {"code": "overloaded"}},
+                              ("Retry-After: 1",)),
+                http_response(
+                    200,
+                    {"status": "ok"},
+                    ("Server-Timing: queue_wait;dur=12.5, "
+                     "compute;dur=500.0",),
+                ),
+            ]
+        )
+        try:
+            client = make_client(server.port, recorded_sleeps, retries=2)
+            client.request("GET", "/healthz")
+        finally:
+            server.close()
+        assert client.last_server_timing == {
+            "queue_wait": pytest.approx(0.0125),
+            "compute": pytest.approx(0.5),
+        }
+
+    def test_server_timing_reset_when_header_absent(self, recorded_sleeps):
+        server = StubServer(
+            [
+                http_response(200, {"a": 1}, ("Server-Timing: x;dur=1.0",)),
+                http_response(200, {"a": 2}),
+            ]
+        )
+        try:
+            client = make_client(server.port, recorded_sleeps)
+            client.request("GET", "/healthz")
+            assert client.last_server_timing == {"x": pytest.approx(0.001)}
+            client.request("GET", "/healthz")
+        finally:
+            server.close()
+        assert client.last_server_timing == {}
+
+    def test_stream_job_sends_its_own_request_id(self):
+        job_line = json.dumps({"type": "job", "job_id": "j1"})
+        done_line = json.dumps({"type": "done", "state": "done"})
+        body = (job_line + "\n" + done_line + "\n").encode()
+        raw = (
+            b"HTTP/1.1 200 OK\r\n"
+            b"Content-Type: application/x-ndjson\r\n"
+            b"Connection: close\r\n\r\n" + body
+        )
+        server = StubServer([raw])
+        try:
+            client = make_client(server.port, [])
+            lines = list(client.stream_job("j1"))
+        finally:
+            server.close()
+        assert [line["type"] for line in lines] == ["job", "done"]
+        (rid,) = _request_id_headers(server.requests)
+        assert rid == client.last_request_id
+        assert rid.startswith("cli-")
+
+
 class TestParsing:
     def test_rejects_non_http_urls(self):
         with pytest.raises(ValueError):

@@ -1,0 +1,363 @@
+"""The serve observability contract, end to end.
+
+Pins the header contract (X-Request-Id honored/generated/echoed on
+every response including error envelopes; Server-Timing on sync
+responses), the structured access log, ``/debugz``, and -- the
+acceptance test -- that a single ``POST /v1/simulate`` is fully
+reconstructible offline: its request id joins the access-log line, the
+span tree in the ``--trace-out`` JSONL (serve spans with the engine's
+``grid_point`` span nested under ``serve.compute``), the stage
+histograms in ``/metrics``, and the response body.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import time
+
+import pytest
+
+from repro.obs.report import (
+    load_trace,
+    serve_attribution,
+    serve_stage_stats,
+    span_tree_lines,
+    spans_for_request,
+)
+
+SERVE_SPAN_NAMES = {
+    "serve.request",
+    "serve.queue_wait",
+    "serve.coalesce",
+    "serve.compute",
+    "serve.stream",
+}
+
+
+def sim_doc(**overrides) -> dict:
+    doc = {
+        "version": 1,
+        "cases": ["I"],
+        "protocols": ["fsa"],
+        "schemes": ["crc"],
+        "rounds": 2,
+        "seed": 11,
+        "mode": "sync",
+        "client": "tester",
+    }
+    doc.update(overrides)
+    return doc
+
+
+def _lower(headers: dict) -> dict:
+    return {k.lower(): v for k, v in headers.items()}
+
+
+def _wait_for(predicate, timeout: float = 5.0) -> bool:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.01)
+    return predicate()
+
+
+class _ListHandler(logging.Handler):
+    def __init__(self) -> None:
+        super().__init__()
+        self.lines: list[str] = []
+
+    def emit(self, record: logging.LogRecord) -> None:
+        self.lines.append(record.getMessage())
+
+
+@pytest.fixture
+def access_lines():
+    """Capture the structured access log (attaching a handler enables it)."""
+    logger = logging.getLogger("repro.serve.access")
+    handler = _ListHandler()
+    logger.addHandler(handler)
+    logger.setLevel(logging.INFO)
+    try:
+        yield handler.lines
+    finally:
+        logger.removeHandler(handler)
+
+
+def _access_record(lines: list[str], request_id: str) -> dict:
+    assert _wait_for(
+        lambda: any(request_id in line for line in list(lines))
+    ), f"no access-log line for {request_id}"
+    for line in list(lines):
+        record = json.loads(line)
+        if record["request_id"] == request_id:
+            return record
+    raise AssertionError("unreachable")
+
+
+class TestRequestIdHeader:
+    def test_valid_client_id_honored_and_echoed(self, app):
+        status, headers, _ = app.client().request(
+            "GET", "/healthz", request_id="cli-mine.01"
+        )
+        assert status == 200
+        assert _lower(headers)["x-request-id"] == "cli-mine.01"
+
+    def test_invalid_client_id_replaced_with_generated(self, app):
+        status, headers, _ = app.client().request(
+            "GET", "/healthz", request_id="bad id with spaces!"
+        )
+        assert status == 200
+        rid = _lower(headers)["x-request-id"]
+        assert rid.startswith("req-")
+
+    def test_missing_id_generates_one(self, app):
+        # Bypass ServeClient's own id generation with a raw request.
+        import http.client
+
+        conn = http.client.HTTPConnection("127.0.0.1", app.port, timeout=30)
+        try:
+            conn.request("GET", "/healthz", headers={"Connection": "close"})
+            resp = conn.getresponse()
+            resp.read()
+            rid = resp.getheader("X-Request-Id")
+        finally:
+            conn.close()
+        assert rid is not None and rid.startswith("req-")
+
+    def test_echoed_on_404_error_envelope(self, app):
+        status, headers, payload = app.client().request(
+            "GET", "/nope", request_id="cli-err404"
+        )
+        assert status == 404
+        assert _lower(headers)["x-request-id"] == "cli-err404"
+        body = json.loads(payload)
+        assert body["request_id"] == "cli-err404"
+        assert body["error"]["code"] == "not_found"
+
+    def test_echoed_on_400_invalid_body(self, app):
+        client = app.client()
+        status, headers, payload = client.request(
+            "POST", "/v1/simulate", {"version": 99}, request_id="cli-err400"
+        )
+        assert status == 400
+        assert _lower(headers)["x-request-id"] == "cli-err400"
+        assert json.loads(payload)["request_id"] == "cli-err400"
+
+    def test_sync_response_body_carries_id(self, app):
+        status, _headers, payload = app.client().request(
+            "POST", "/v1/simulate", sim_doc(), request_id="cli-sync1"
+        )
+        assert status == 200
+        body = json.loads(payload)
+        assert body["request_id"] == "cli-sync1"
+        assert len(body["results"]) == 1
+
+
+class TestServerTiming:
+    def test_sync_simulate_reports_stage_breakdown(self, app):
+        client = app.client()
+        status, _headers, _ = client.request(
+            "POST", "/v1/simulate", sim_doc()
+        )
+        assert status == 200
+        timing = client.last_server_timing
+        # "stream" is measured while the response is written, so it can
+        # only appear in the access log, never in this header.
+        assert {"queue_wait", "coalesce", "compute"} <= set(timing)
+        assert all(seconds >= 0.0 for seconds in timing.values())
+        # compute happens inside the coalesce lease, never outside it.
+        assert timing["compute"] <= timing["coalesce"] + 0.05
+
+    def test_health_and_error_responses_carry_no_timing(self, app):
+        client = app.client()
+        client.request("GET", "/healthz")
+        assert client.last_server_timing == {}
+
+
+class TestDebugz:
+    def test_schema(self, app):
+        doc = app.client().request_json("GET", "/debugz")
+        assert set(doc) >= {
+            "status",
+            "uptime_s",
+            "obs_enabled",
+            "queue",
+            "inflight",
+            "coalesce",
+            "jobs",
+            "recent_slowest",
+        }
+        assert doc["status"] == "ok"
+        assert doc["obs_enabled"] is True
+        assert set(doc["queue"]) >= {"depth", "capacity", "by_priority",
+                                     "by_client", "closed"}
+        assert set(doc["coalesce"]) >= {"in_flight", "keys", "hits", "leads"}
+        assert doc["jobs"] == {"held": 0, "by_state": {}}
+        assert doc["inflight"] == []
+
+    def test_recent_slowest_names_finished_requests(self, app):
+        client = app.client()
+        client.request("POST", "/v1/simulate", sim_doc(),
+                       request_id="cli-slowme")
+        doc = client.request_json("GET", "/debugz")
+        recent = doc["recent_slowest"]
+        ours = [r for r in recent if r["request_id"] == "cli-slowme"]
+        assert ours, f"cli-slowme not in recent_slowest: {recent}"
+        assert ours[0]["route"] == "simulate"
+        assert ours[0]["status"] == 200
+        assert ours[0]["duration_s"] > 0
+        assert ours[0]["client"] == "tester"
+        assert doc["jobs"]["held"] == 1
+        assert doc["jobs"]["by_state"] == {"done": 1}
+
+    def test_works_with_obs_disabled(self, make_app):
+        handle = make_app(concurrency=1, mc_workers=1, obs_enabled=False)
+        client = handle.client()
+        doc = client.request_json("GET", "/debugz")
+        assert doc["obs_enabled"] is False
+        # The pipeline itself still serves and still reports timings
+        # (stage bookkeeping is request-local, not observability).
+        status, _h, _b = client.request("POST", "/v1/simulate", sim_doc())
+        assert status == 200
+        assert "compute" in client.last_server_timing
+
+
+class TestAccessLog:
+    def test_line_emitted_with_stages_and_coalesce(self, app, access_lines):
+        app.client().request("POST", "/v1/simulate", sim_doc(),
+                             request_id="cli-log1")
+        record = _access_record(access_lines, "cli-log1")
+        assert record["method"] == "POST"
+        assert record["path"] == "/v1/simulate"
+        assert record["route"] == "simulate"
+        assert record["status"] == 200
+        assert record["client"] == "tester"
+        assert record["priority"] == 5
+        assert record["mode"] == "sync"
+        assert record["duration_s"] > 0
+        assert {"queue_wait", "coalesce", "compute", "stream"} <= set(
+            record["stages_s"]
+        )
+        assert record["coalesce"] == {"computed": 1}
+
+    def test_error_requests_logged_too(self, app, access_lines):
+        app.client().request("GET", "/nope", request_id="cli-log404")
+        record = _access_record(access_lines, "cli-log404")
+        assert record["route"] == "unmatched"
+        assert record["status"] == 404
+
+
+class TestEndToEndReconstruction:
+    """The PR's acceptance criterion: one request, four joinable views."""
+
+    def test_sync_request_reconstructible_offline(
+        self, make_app, tmp_path, access_lines
+    ):
+        trace_path = tmp_path / "trace.jsonl"
+        handle = make_app(
+            concurrency=2, mc_workers=1, trace_out=str(trace_path)
+        )
+        rid = "cli-e2e-accept"
+        client = handle.client()
+        status, headers, payload = client.request(
+            "POST", "/v1/simulate", sim_doc(), request_id=rid
+        )
+
+        # View 1: the response itself (header + body + Server-Timing).
+        assert status == 200
+        assert _lower(headers)["x-request-id"] == rid
+        body = json.loads(payload)
+        assert body["request_id"] == rid
+        assert len(body["results"]) == 1
+        assert body["results"][0]["source"] == "computed"
+        timing = client.last_server_timing
+        assert {"queue_wait", "coalesce", "compute"} <= set(timing)
+
+        # View 2: the stage histograms in /metrics.
+        metrics = client.metrics_text()
+        for stage in ("queue_wait", "coalesce", "compute", "stream"):
+            assert (
+                f'repro_serve_stage_seconds_count{{stage="{stage}"}} 1'
+                in metrics
+            ), f"missing stage histogram for {stage}"
+
+        # View 3: the access log, joined on the request id.
+        record = _access_record(access_lines, rid)
+        assert record["status"] == 200
+        # The access line sees every header stage plus the stream stage
+        # (measured while the response body was being written).
+        assert set(timing) <= set(record["stages_s"])
+        assert "stream" in record["stages_s"]
+
+        # Drain flushes the JSONL trace sink.
+        handle.shutdown()
+
+        # View 4: the span tree, joined on the same id.
+        records = load_trace(trace_path)
+        spans = spans_for_request(records, rid)
+        names = {s["name"] for s in spans}
+        assert SERVE_SPAN_NAMES <= names
+        assert "grid_point" in names, (
+            "engine spans did not nest under the request trace "
+            "(contextvar propagation across to_thread broke)"
+        )
+        tree = span_tree_lines(spans)
+
+        # serve.request roots the tree; the engine span nests under
+        # serve.compute which nests under serve.coalesce.  Tree lines
+        # are "<duration> ms  <two spaces per depth><name>".
+        def depth(name: str) -> int:
+            (line,) = [l for l in tree if l.endswith(name)]
+            tail = line.split("ms  ", 1)[1]
+            return (len(tail) - len(name)) // 2
+
+        assert depth("serve.request") == 0
+        assert depth("serve.queue_wait") == 1
+        assert depth("serve.coalesce") == 1
+        assert depth("serve.compute") == 2
+        assert depth("grid_point") == 3
+        assert depth("serve.stream") == 1
+
+        # And the analyzer's summary views agree.
+        stats = serve_stage_stats(records)
+        assert stats["serve.request"]["n"] >= 1
+        entries = [
+            e for e in serve_attribution(records) if e["request_id"] == rid
+        ]
+        assert entries and entries[0]["total_s"] > 0
+        assert entries[0]["stages_s"]["serve.compute"] > 0
+
+    def test_async_job_joins_admitting_request(self, make_app, tmp_path):
+        trace_path = tmp_path / "trace.jsonl"
+        handle = make_app(
+            concurrency=2, mc_workers=1, trace_out=str(trace_path)
+        )
+        rid = "cli-e2e-async"
+        client = handle.client()
+        status, headers, payload = client.request(
+            "POST", "/v1/simulate", sim_doc(mode="async"), request_id=rid
+        )
+        assert status == 202
+        assert _lower(headers)["x-request-id"] == rid
+        submitted = json.loads(payload)
+        assert submitted["request_id"] == rid
+
+        # The NDJSON header line carries the *admitting* request's id --
+        # the offline join key -- while the GET echoes its own id.
+        lines = list(client.stream_job(submitted["job_id"]))
+        assert lines[0]["type"] == "job"
+        assert lines[0]["request_id"] == rid
+        assert lines[-1]["type"] == "done"
+        assert lines[-1]["state"] == "done"
+        results = [line for line in lines if line.get("type") == "result"]
+        assert len(results) == 1
+
+        handle.shutdown()
+        records = load_trace(trace_path)
+        spans = spans_for_request(records, rid)
+        names = {s["name"] for s in spans}
+        # The point's pipeline spans are stamped with the admitting id
+        # even though the 202 closed serve.request before compute ran.
+        assert {"serve.request", "serve.coalesce", "serve.compute"} <= names
