@@ -240,32 +240,45 @@ def test_bt_batched_vs_round_loop(benchmark):
 
 @pytest.mark.benchmark(group="batch-ablation")
 def test_reader_packed_beats_object_path(benchmark):
-    """The uint64 fast path on a 1 000-tag QCD-8 inventory."""
+    """The uint64 tiers on a 1 000-tag QCD-8 inventory: per-slot packed
+    must beat the object path, and frame batching must beat per-slot."""
     n = 1_000
 
-    def once(packed: bool) -> float:
+    def once(packed: bool, frame_batched: bool = True) -> float:
         pop = TagPopulation(n, id_bits=TIMING.id_bits, rng=make_rng(7))
-        reader = Reader(QCDDetector(8), TIMING, packed=packed)
+        reader = Reader(
+            QCDDetector(8), TIMING, packed=packed,
+            frame_batched=frame_batched,
+        )
         t0 = time.perf_counter()
         reader.run_inventory(pop.tags, FramedSlottedAloha(n))
         return time.perf_counter() - t0
 
-    t_obj = t_packed = float("inf")
+    t_obj = t_packed = t_batched = float("inf")
     for _ in range(8):
         t_obj = min(t_obj, once(False))
-        t_packed = min(t_packed, once(True))
+        t_packed = min(t_packed, once(True, frame_batched=False))
+        t_batched = min(t_batched, once(True))
     speedup = t_obj / t_packed
+    batched_speedup = t_obj / t_batched
     benchmark.extra_info.update(
         {"object_ms": t_obj * 1e3, "packed_ms": t_packed * 1e3,
-         "speedup": speedup}
+         "batched_ms": t_batched * 1e3, "speedup": speedup,
+         "batched_speedup": batched_speedup}
     )
     benchmark.pedantic(lambda: once(True), rounds=1, iterations=1)
     _results["reader"] = {
         "object_ms": t_obj * 1e3,
         "packed_ms": t_packed * 1e3,
+        "batched_ms": t_batched * 1e3,
         "packed_speedup": speedup,
+        "batched_speedup": batched_speedup,
     }
     assert speedup > 1.0, (
         f"packed path slower than object path: {speedup:.2f}x "
         f"({t_packed * 1e3:.1f} ms vs {t_obj * 1e3:.1f} ms)"
+    )
+    assert t_batched < t_packed, (
+        f"frame batching slower than the per-slot packed path "
+        f"({t_batched * 1e3:.1f} ms vs {t_packed * 1e3:.1f} ms)"
     )

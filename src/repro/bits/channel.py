@@ -167,6 +167,42 @@ class Channel:
             np.bitwise_or.reduce(np.fromiter(values, np.uint64, count=n))
         )
 
+    def transmit_packed_many(
+        self, values: np.ndarray, counts: np.ndarray, bits: int
+    ) -> np.ndarray:
+        """Superpose every slot of a frame in one call.
+
+        ``values`` holds all of the frame's packed payloads slot-major
+        (slot 0's transmitters first) as uint64; ``counts[s]`` is slot
+        ``s``'s transmitter count.  Returns one uint64 per slot -- the
+        segmented OR-reduction of that slot's payloads, 0 for idle slots
+        (QCD payloads are strictly positive, so 0 is unambiguous there;
+        callers that need idle-vs-zero must consult ``counts``).
+
+        Statistics are updated exactly as ``len(counts)`` calls to
+        :meth:`transmit_packed` would.  Only valid with
+        :attr:`supports_packed`.
+        """
+        n_slots = len(counts)
+        total = len(values)
+        self.stats.slots += n_slots
+        self.stats.transmissions += total
+        self.stats.bits_on_air += bits * total
+        self.last_capture_index = None
+        superposed = np.zeros(n_slots, dtype=np.uint64)
+        if total:
+            occupied = counts > 0
+            # Exclusive prefix sum = each slot's segment start; keeping
+            # only occupied slots' starts makes the index list strictly
+            # increasing, which is what reduceat's segment semantics
+            # need (an empty segment would alias its neighbor).
+            starts = np.zeros(n_slots, dtype=np.intp)
+            np.cumsum(counts[:-1], out=starts[1:])
+            superposed[occupied] = np.bitwise_or.reduceat(
+                values, starts[occupied]
+            )
+        return superposed
+
     def _corrupt(self, signal: BitVector) -> BitVector:
         assert self.rng is not None
         flips = self.rng.random(signal.length) < self.bit_error_rate

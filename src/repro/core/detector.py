@@ -26,6 +26,8 @@ import enum
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.bits.bitvec import BitVector
 from repro.bits.rng import RngStream
 
@@ -127,6 +129,31 @@ class CollisionDetector(ABC):
         equivalent :class:`BitVector` signal.
         """
         raise NotImplementedError(f"{self.name} has no packed classifier")
+
+    def classify_packed_many(
+        self, values: "np.ndarray", counts: "np.ndarray"
+    ) -> "np.ndarray":
+        """Classify a whole frame of packed superpositions at once.
+
+        ``values[s]`` is slot ``s``'s superposed uint64 (0 when idle) and
+        ``counts[s]`` its ground-truth transmitter count -- needed to
+        distinguish an idle slot from an all-zero payload, since the
+        object channel reports idle as the *absence* of a signal.
+        Returns one ``SlotType`` value (as an int) per slot.
+
+        Verdicts and instrumentation counters must match ``len(counts)``
+        calls to :meth:`classify_packed`; this default delegates to it
+        slot by slot, so packed-capable detectors get the frame-batched
+        reader for free and override only for vectorized speed.
+        """
+        out = np.empty(len(counts), dtype=np.int64)
+        for i, (value, count) in enumerate(
+            zip(values.tolist(), counts.tolist())
+        ):
+            out[i] = int(
+                self.classify_packed(value if count else None).slot_type
+            )
+        return out
 
     def reset_instrumentation(self) -> None:
         """Clear any per-run counters.  Default: nothing to clear."""

@@ -2,15 +2,19 @@
 
 Measures wall-clock per Monte-Carlo round for the streamed kernels
 (:mod:`repro.sim.fast`), the round-batched kernels
-(:mod:`repro.sim.batch`) and the exact Reader's object vs uint64 packed
-paths, then writes a machine-readable ``BENCH_kernels.json``.
+(:mod:`repro.sim.batch`) and the exact Reader's three tiers -- object,
+per-slot uint64 packed, and frame-batched -- then writes a
+machine-readable ``BENCH_kernels.json`` (and, with ``--reader-out``, a
+reader-only document matching ``benchmarks/BENCH_reader.json``).
 
 Because absolute timings are machine-bound, the regression gate compares
-*within-run speedup ratios* (batched over streamed, packed over object),
-which transfer across machines::
+*within-run speedup ratios* (batched over streamed, packed/frame-batched
+over object), which transfer across machines::
 
     repro-bench --quick --out BENCH_kernels.json \\
-                --baseline benchmarks/BENCH_kernels.json
+                --baseline benchmarks/BENCH_kernels.json \\
+                --reader-out BENCH_reader.json \\
+                --reader-baseline benchmarks/BENCH_reader.json
 
 fails (exit 1) when a batched kernel drops below streamed throughput or
 when any speedup ratio regresses more than ``--tolerance`` (default 25%)
@@ -45,7 +49,13 @@ from repro.sim.reader import Reader
 from repro.tags.population import TagPopulation
 from repro.bits.rng import make_rng
 
-__all__ = ["main", "build_parser", "run_bench", "check_against_baseline"]
+__all__ = [
+    "main",
+    "build_parser",
+    "run_bench",
+    "check_against_baseline",
+    "check_reader_against_baseline",
+]
 
 #: Case IV of the paper's evaluation (50 000 tags), the ISSUE's reference
 #: point; ``--quick`` scales it down with the same n/F ratio for CI.
@@ -172,21 +182,30 @@ def run_bench(
             )
         kernels[proto] = entry
 
-    def reader_once(packed: bool):
+    def reader_once(packed: bool, frame_batched: bool = True) -> float:
+        # A fresh population per run is required (identification is
+        # destructive), but spawning its per-tag RNG streams is setup,
+        # not Reader work -- keep it outside the timed window so the
+        # tier ratios measure the inventory loop itself.
         pop = TagPopulation(
             reader_tags, id_bits=timing.id_bits, rng=make_rng(99)
         )
-        Reader(QCDDetector(8), timing, packed=packed).run_inventory(
-            pop.tags, FramedSlottedAloha(max(1, reader_tags))
+        reader = Reader(
+            QCDDetector(8), timing, packed=packed,
+            frame_batched=frame_batched,
         )
+        t0 = time.perf_counter()
+        reader.run_inventory(pop.tags, FramedSlottedAloha(max(1, reader_tags)))
+        return time.perf_counter() - t0
 
-    # Interleave the two reader paths within each repeat (and take at
-    # least best-of-5): the ratio is what the gate compares, and
-    # alternating keeps a sustained noise spike from biasing one side.
-    t_obj = t_packed = float("inf")
+    # Interleave the three reader tiers within each repeat (and take at
+    # least best-of-5): the ratios are what the gate compares, and
+    # alternating keeps a sustained noise spike from biasing one tier.
+    t_obj = t_packed = t_batched = float("inf")
     for _ in range(max(repeats, 5)):
-        t_obj = min(t_obj, _time(lambda: reader_once(False), 1))
-        t_packed = min(t_packed, _time(lambda: reader_once(True), 1))
+        t_obj = min(t_obj, reader_once(False))
+        t_packed = min(t_packed, reader_once(True, frame_batched=False))
+        t_batched = min(t_batched, reader_once(True))
     return {
         "config": {
             "n_tags": n_tags,
@@ -201,7 +220,10 @@ def run_bench(
         "reader": {
             "object_ms": t_obj * 1_000.0,
             "packed_ms": t_packed * 1_000.0,
+            "batched_ms": t_batched * 1_000.0,
             "packed_speedup": t_obj / t_packed,
+            "batched_speedup": t_obj / t_batched,
+            "batched_speedup_vs_packed": t_packed / t_batched,
         },
     }
 
@@ -226,13 +248,44 @@ def check_against_baseline(
                 f"{proto}: batch speedup regressed {ratio:.2f}x vs "
                 f"baseline {base:.2f}x (> {tolerance:.0%} drop)"
             )
-    base_r = baseline.get("reader", {}).get("packed_speedup")
-    cur_r = report["reader"]["packed_speedup"]
-    if base_r is not None and cur_r < base_r * (1.0 - tolerance):
+    problems.extend(
+        check_reader_against_baseline(report, baseline, tolerance)
+    )
+    cur_b = report["reader"].get("batched_speedup")
+    if cur_b is not None and cur_b < 1.0:
         problems.append(
-            f"reader: packed speedup regressed {cur_r:.2f}x vs "
-            f"baseline {base_r:.2f}x (> {tolerance:.0%} drop)"
+            "reader: frame-batched path is slower than the object path "
+            f"(speedup {cur_b:.2f}x < 1.0x)"
         )
+    return problems
+
+
+def check_reader_against_baseline(
+    report: dict, baseline: dict, tolerance: float
+) -> list[str]:
+    """Reader-tier ratio regressions vs a baseline document.
+
+    Accepts either the full kernel report or the reader-only
+    ``BENCH_reader.json`` document as ``baseline`` -- both carry a
+    ``"reader"`` mapping.  Ratios missing on either side are skipped, so
+    a pre-frame-batching baseline still gates the per-slot ratio.
+    """
+    problems: list[str] = []
+    base_reader = baseline.get("reader", {})
+    reader = report["reader"]
+    for key, label in (
+        ("packed_speedup", "packed"),
+        ("batched_speedup", "frame-batched"),
+    ):
+        base = base_reader.get(key)
+        cur = reader.get(key)
+        if base is not None and cur is not None and cur < base * (
+            1.0 - tolerance
+        ):
+            problems.append(
+                f"reader: {label} speedup regressed {cur:.2f}x vs "
+                f"baseline {base:.2f}x (> {tolerance:.0%} drop)"
+            )
     return problems
 
 
@@ -274,6 +327,24 @@ def build_parser() -> argparse.ArgumentParser:
         help="committed baseline to gate speedup ratios against",
     )
     parser.add_argument(
+        "--reader-out",
+        default=None,
+        metavar="FILE",
+        help=(
+            "also write a reader-only document (config + reader tiers), "
+            "the shape committed as benchmarks/BENCH_reader.json"
+        ),
+    )
+    parser.add_argument(
+        "--reader-baseline",
+        default=None,
+        metavar="FILE",
+        help=(
+            "committed reader baseline (BENCH_reader.json) to gate the "
+            "reader speedup ratios against"
+        ),
+    )
+    parser.add_argument(
         "--tolerance",
         type=float,
         default=0.25,
@@ -313,21 +384,42 @@ def main(argv: Sequence[str] | None = None) -> int:
     rd = report["reader"]
     print(
         f"reader: object {rd['object_ms']:8.2f} ms | packed "
-        f"{rd['packed_ms']:8.2f} ms | {rd['packed_speedup']:.2f}x"
+        f"{rd['packed_ms']:8.2f} ms | batched {rd['batched_ms']:8.2f} ms "
+        f"| {rd['packed_speedup']:.2f}x / {rd['batched_speedup']:.2f}x"
     )
 
     out = Path(args.out)
     out.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
     print(f"wrote {out}")
+    if args.reader_out:
+        reader_out = Path(args.reader_out)
+        reader_doc = {"config": report["config"], "reader": report["reader"]}
+        reader_out.write_text(
+            json.dumps(reader_doc, indent=2, sort_keys=True) + "\n"
+        )
+        print(f"wrote {reader_out}")
 
+    problems: list[str] = []
+    gates: list[str] = []
     if args.baseline:
         baseline = json.loads(Path(args.baseline).read_text())
-        problems = check_against_baseline(report, baseline, args.tolerance)
+        problems += check_against_baseline(report, baseline, args.tolerance)
+        gates.append(args.baseline)
+    if args.reader_baseline:
+        reader_baseline = json.loads(Path(args.reader_baseline).read_text())
+        problems += check_reader_against_baseline(
+            report, reader_baseline, args.tolerance
+        )
+        gates.append(args.reader_baseline)
+    if gates:
         for p in problems:
             print(f"REGRESSION: {p}", file=sys.stderr)
         if problems:
             return 1
-        print(f"gate OK vs {args.baseline} (tolerance {args.tolerance:.0%})")
+        print(
+            f"gate OK vs {', '.join(gates)} "
+            f"(tolerance {args.tolerance:.0%})"
+        )
     return 0
 
 

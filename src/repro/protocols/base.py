@@ -115,6 +115,44 @@ class AntiCollisionProtocol(ABC):
         is the *reader's* job; the protocol only updates its schedule.
         """
 
+    # -- frame-batched fast path ---------------------------------------
+
+    def frame_partition(self) -> list[Sequence[Tag]] | None:
+        """The responder buckets of the *entire* frame about to run.
+
+        Framed protocols with a frame-static schedule return one bucket
+        per slot (``len(result)`` = frame size, bucket ``s`` holding the
+        tags :meth:`responders` would return at slot ``s``), letting the
+        reader superpose and classify the whole frame in vectorized form.
+        A ``None`` return means "run this frame slot by slot": the
+        default for tree protocols, and required whenever the schedule
+        cannot be known upfront (mid-frame position, early-termination
+        modes, tags admitted but not yet scheduled).  Only valid at a
+        frame boundary; the buckets must cover every active tag exactly
+        once.
+        """
+        return None
+
+    def feedback_frame(
+        self,
+        effective: Sequence[int],
+        responder_counts: Sequence[int],
+        remaining: Sequence[int],
+    ) -> None:
+        """Deliver one whole frame's verdicts at once (reader fast path).
+
+        Arguments are per-slot arrays over the frame last returned by
+        :meth:`frame_partition`: the effective slot types (``SlotType``
+        values as ints), the ground-truth responder counts, and the
+        backlog left *after* each slot.  State updates must be identical
+        to feeding the same verdicts through :meth:`feedback` slot by
+        slot -- including ``slots_elapsed``, frame counters, and the RNG
+        draws that schedule the next frame.
+        """
+        raise NotImplementedError(
+            f"{self.name} does not support frame-batched feedback"
+        )
+
     @property
     @abstractmethod
     def finished(self) -> bool:

@@ -22,6 +22,9 @@ from repro.tags.tag import Tag
 
 __all__ = ["DynamicFSA"]
 
+#: Shared empty bucket for frame partitions (see ``fsa._NO_TAGS``).
+_NO_TAGS: tuple[Tag, ...] = ()
+
 
 class DynamicFSA(AntiCollisionProtocol):
     """Frame-by-frame adaptive FSA.
@@ -98,6 +101,42 @@ class DynamicFSA(AntiCollisionProtocol):
             for t in self._frame_slots.get(self._slot_in_frame, [])
             if not t.identified
         ]
+
+    def frame_partition(self):
+        """Whole-frame responder buckets, at a frame boundary only.
+
+        Same contract as :meth:`FramedSlottedAloha.frame_partition`; DFSA
+        frames always run to completion, so no termination mode needs
+        excluding.  The coverage check (scheduled == active) guards
+        against out-of-band identification/admission and falls back to
+        the per-slot path on any mismatch.
+        """
+        if self._done or self._slot_in_frame != 0:
+            return None
+        buckets: list[Sequence[Tag]] = [_NO_TAGS] * self.frame_size
+        scheduled = 0
+        for slot, bucket in self._frame_slots.items():
+            if bucket:
+                buckets[slot] = bucket
+                scheduled += len(bucket)
+        if scheduled != sum(1 for t in self._tags if not t.identified):
+            return None
+        return buckets
+
+    def feedback_frame(self, effective, responder_counts, remaining) -> None:
+        del responder_counts  # the estimator sees effective types only
+        frame = self.frame_size
+        self.slots_elapsed += frame
+        self._slot_in_frame = frame
+        counts = [0, 0, 0]
+        for kind in effective:
+            counts[kind] += 1
+        self._frame_counts = counts
+        if remaining[frame - 1]:
+            self._adapt()
+            self._begin_frame()
+        else:
+            self._done = True
 
     def feedback(self, effective: SlotType, responders: list[Tag]) -> None:
         self._note_slot()

@@ -30,6 +30,10 @@ from repro.tags.tag import Tag
 
 __all__ = ["FramedSlottedAloha", "TERMINATIONS"]
 
+#: Shared empty bucket for frame partitions (immutable: most slots of a
+#: late frame are idle, so one sentinel beats per-slot list allocation).
+_NO_TAGS: tuple[Tag, ...] = ()
+
 #: FSA termination policies:
 #: ``"confirm"``   -- stop after a frame with zero responders (the
 #:                    knowledge-free reader of the paper's Table VII);
@@ -113,6 +117,46 @@ class FramedSlottedAloha(AntiCollisionProtocol):
             for t in self._frame_slots.get(self._slot_in_frame, [])
             if not t.identified
         ]
+
+    def frame_partition(self):
+        """Whole-frame responder buckets, at a frame boundary only.
+
+        ``"immediate"`` termination is excluded: it can stop mid-frame,
+        and the batched reader charges channel/detector bookkeeping for
+        the full frame upfront.  The coverage check (scheduled == active)
+        guards against callers that identified or admitted tags outside
+        the reader loop; any mismatch falls back to the per-slot path.
+        """
+        if self._done or self._slot_in_frame != 0:
+            return None
+        if self.termination == "immediate":
+            return None
+        buckets: list[Sequence[Tag]] = [_NO_TAGS] * self.frame_size
+        scheduled = 0
+        for slot, bucket in self._frame_slots.items():
+            if bucket:
+                buckets[slot] = bucket
+                scheduled += len(bucket)
+        if scheduled != sum(1 for t in self._tags if not t.identified):
+            return None
+        return buckets
+
+    def feedback_frame(self, effective, responder_counts, remaining) -> None:
+        del effective  # fixed-frame FSA only needs occupancy, not types
+        frame = self.frame_size
+        self.slots_elapsed += frame
+        self._slot_in_frame = frame
+        self._frame_had_responder = any(responder_counts)
+        backlog = bool(remaining[frame - 1])
+        if self.termination == "confirm":
+            if not self._frame_had_responder and not backlog:
+                self._done = True
+            else:
+                self._begin_frame()
+        elif backlog:
+            self._begin_frame()
+        else:
+            self._done = True
 
     def feedback(self, effective: SlotType, responders: list[Tag]) -> None:
         self._note_slot()

@@ -70,9 +70,23 @@ class AdmissionQueue:
         Maximum queued items any single client may hold; defaults to
         ``max(1, capacity // 4)`` so one client can never occupy the
         whole queue.
+    service_time_s:
+        Estimated seconds one worker spends per item, as a float or a
+        zero-arg callable (the server passes the engine's live EWMA).
+        Backs the ``Retry-After`` hints :meth:`put_batch` attaches to
+        its rejections; ``None`` keeps the 1-second floor.
+    workers:
+        Number of consumers draining the queue, for the same estimate.
     """
 
-    def __init__(self, capacity: int = 512, per_client: int | None = None):
+    def __init__(
+        self,
+        capacity: int = 512,
+        per_client: int | None = None,
+        *,
+        service_time_s=None,
+        workers: int = 1,
+    ):
         if capacity < 1:
             raise ValueError("capacity must be >= 1")
         self.capacity = capacity
@@ -81,6 +95,8 @@ class AdmissionQueue:
         )
         if self.per_client < 1:
             raise ValueError("per_client must be >= 1")
+        self._service_time_s = service_time_s
+        self._workers = max(1, workers)
         # Entries are (-priority, rank, seq, client, item); the client is
         # carried in the tuple so ``get`` can release quota bookkeeping.
         self._heap: list[tuple[int, int, int, str, object]] = []
@@ -128,15 +144,23 @@ class AdmissionQueue:
     def closed(self) -> bool:
         return self._closed
 
-    def estimate_wait_s(self, per_item_s: float, workers: int) -> float:
+    def estimate_wait_s(
+        self, per_item_s: float | None = None, workers: int | None = None
+    ) -> float:
         """Rough seconds until new work would start draining.
 
         ``depth * per_item_s / workers``, floored at 1 second so the
         ``Retry-After`` header is never 0 (clients should always back
         off a beat when rejected).  NaN/zero service-time estimates fall
-        back to the floor.
+        back to the floor.  Arguments default to the values configured
+        at construction (resolving a callable ``service_time_s`` live),
+        which is what :meth:`put_batch` uses for its rejection hints.
         """
-        workers = max(1, workers)
+        if per_item_s is None:
+            per_item_s = self._service_time_s
+            if callable(per_item_s):
+                per_item_s = per_item_s()
+        workers = max(1, self._workers if workers is None else workers)
         if not per_item_s or math.isnan(per_item_s):
             return 1.0
         return max(1.0, len(self._heap) * per_item_s / workers)
@@ -160,7 +184,7 @@ class AdmissionQueue:
             raise QueueFull(
                 f"queue full ({len(self._heap)}/{self.capacity} queued, "
                 f"batch of {len(items)} rejected)",
-                retry_after_s=1.0,
+                retry_after_s=self.estimate_wait_s(),
             )
         held = self._queued_per_client.get(client, 0)
         if held + len(items) > self.per_client:
@@ -168,7 +192,7 @@ class AdmissionQueue:
                 f"client {client!r} holds {held} queued items; admitting "
                 f"{len(items)} more would exceed the per-client quota "
                 f"of {self.per_client}",
-                retry_after_s=1.0,
+                retry_after_s=self.estimate_wait_s(),
             )
         rank_key = (priority, client)
         rank = self._ranks.get(rank_key, 0)

@@ -167,6 +167,10 @@ class ServeApp:
         self.queue = AdmissionQueue(
             capacity=self.config.queue_capacity,
             per_client=self.config.per_client,
+            # Late-bound: the engine is constructed a few lines below,
+            # and the EWMA reads fresh on every rejection.
+            service_time_s=lambda: self.engine.point_seconds_ewma,
+            workers=self.config.concurrency,
         )
         self.coalescer = Coalescer()
         self.engine = SimulationEngine(
@@ -692,11 +696,10 @@ class ServeApp:
                 ),
             )
         except AdmissionError as exc:
-            retry_after = self.queue.estimate_wait_s(
-                self.engine.point_seconds_ewma, self.pool.concurrency
-            )
+            # The queue computed the hint at rejection time from its own
+            # depth and the engine's live service-time EWMA.
             err = proto.ProtocolError(
-                "overloaded", str(exc), retry_after_s=retry_after
+                "overloaded", str(exc), retry_after_s=exc.retry_after_s
             )
             err.reject_reason = (
                 "client_quota"

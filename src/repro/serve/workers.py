@@ -270,15 +270,25 @@ class SimulationEngine:
         t0 = time.perf_counter()
         stats = suite.run(*memo_key)
         elapsed = time.perf_counter() - t0
-        self.point_seconds_ewma = (
-            0.8 * self.point_seconds_ewma + 0.2 * elapsed
-        )
+        self._note_point_seconds(elapsed)
         if self.compute_floor_s > elapsed:
             # Load-testing aid: enforce a minimum service time per
             # computed point so capacity experiments (and the drain /
             # backpressure tests) see deterministic queueing.
             time.sleep(self.compute_floor_s - elapsed)
         return asdict(stats), "computed"
+
+    def _note_point_seconds(self, elapsed: float) -> None:
+        """Fold one computed point's wall time into the EWMA.
+
+        Worker threads land here concurrently via ``asyncio.to_thread``;
+        the read-modify-write must hold the engine lock or concurrent
+        updates silently drop each other's contributions.
+        """
+        with self._lock:
+            self.point_seconds_ewma = (
+                0.8 * self.point_seconds_ewma + 0.2 * elapsed
+            )
 
     def close(self) -> None:
         self._executor.close()

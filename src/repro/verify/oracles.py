@@ -19,6 +19,9 @@ bt-kernel-vs-reader        kernel-reader  ``bt_fast`` vs exact ``Reader``
 batch-vs-streamed          kernel-kernel  round-batched kernels bit-identical
                                           to the streamed per-round loop, for
                                           any shard split of the round streams
+batch-reader               reader-reader  frame-batched exact Reader trace-
+                                          identical to the object and per-slot
+                                          packed paths (records, IDs, counters)
 fsa-frame-vs-theory        sim-theory     first-frame slot counts vs the
                                           binomial model (Lemma 1's E[N1])
 bt-slots-vs-theory         sim-theory     BT slot totals vs the Lemma 2
@@ -447,6 +450,64 @@ def _batch_vs_streamed(ctx: OracleContext) -> list[Check]:
         )
     equal = sum(stats_equal(a, b) for a, b in zip(whole, parts))
     checks.append(check_exact("shard_split_invariance", equal, rounds))
+    return checks
+
+
+# ----------------------------------------------------------------------
+# reader <-> reader
+
+
+@oracle(
+    "batch-reader",
+    "reader-reader",
+    "frame-batched Reader trace-identical to the object and per-slot paths",
+)
+def _batch_reader(ctx: OracleContext) -> list[Check]:
+    """Trace identity needs no statistics: every ``SlotRecord``, the
+    identified/lost ID lists and the channel counters must match across
+    the Reader's three tiers (object, per-slot packed, frame-batched) on
+    the same population, so each round contributes to one exact count."""
+    rounds = max(3, min(ctx.rounds, 8))
+    base = ctx.seed * 1_000_003 + _stable_hash("batch-reader")
+    timing32 = TimingModel(id_bits=32)
+    configs = (
+        ("fsa_qcd8", lambda: FramedSlottedAloha(16),
+         lambda: QCDDetector(8), "paper", ctx.timing, 37),
+        ("fsa_qcd2_lost", lambda: FramedSlottedAloha(8),
+         lambda: QCDDetector(2), "lost", ctx.timing, 29),
+        ("dfsa_qcd8", lambda: DynamicFSA(initial_frame_size=8),
+         lambda: QCDDetector(8), "paper", ctx.timing, 37),
+        # CRC-CD packs id ⊕ crc(id); 32-bit IDs keep it in one word.
+        ("dfsa_crc", lambda: DynamicFSA(initial_frame_size=8),
+         lambda: CRCCDDetector(id_bits=32), "paper", timing32, 23),
+    )
+    checks = []
+    for c_i, (label, proto, det, policy, timing, n) in enumerate(configs):
+        equal = 0
+        for i in range(rounds):
+            seed = base + 10_000 * c_i + i
+            runs = []
+            for packed, frame_batched in (
+                (False, True), (True, False), (True, True)
+            ):
+                pop = TagPopulation(
+                    n, id_bits=timing.id_bits, rng=make_rng(seed)
+                )
+                reader = Reader(
+                    det(), timing, policy=policy, packed=packed,
+                    frame_batched=frame_batched,
+                )
+                res = reader.run_inventory(pop.tags, proto())
+                runs.append(
+                    (
+                        res.trace,
+                        res.identified_ids,
+                        res.lost_ids,
+                        reader.channel.stats,
+                    )
+                )
+            equal += all(run == runs[0] for run in runs[1:])
+        checks.append(check_exact(f"identical_rounds_{label}", equal, rounds))
     return checks
 
 

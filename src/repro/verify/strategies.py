@@ -32,6 +32,7 @@ __all__ = [
     "distinct_tag_ids",
     "seeds",
     "populations",
+    "population_factories",
     "adequate_frame",
     "frame_slacks",
     "detectors",
@@ -118,6 +119,23 @@ def populations(
     n = draw(st.integers(min_size, max_size))
     seed = draw(seeds())
     return TagPopulation(n, id_bits=id_bits, rng=make_rng(seed))
+
+
+@st.composite
+def population_factories(
+    draw, max_size: int = 40, id_bits: int = 16, min_size: int = 0
+):
+    """Zero-arg factories rebuilding one drawn population from scratch.
+
+    Differential suites that replay the same inventory through several
+    engine paths need a *fresh* copy per path -- an inventory mutates the
+    tags (identified/lost flags) and advances their private RNG streams
+    -- so they draw the population's parameters once and reconstruct it,
+    bit-identically, per run.  Same draw space as :func:`populations`.
+    """
+    n = draw(st.integers(min_size, max_size))
+    seed = draw(seeds())
+    return lambda: TagPopulation(n, id_bits=id_bits, rng=make_rng(seed))
 
 
 def adequate_frame(n_tags: int, slack: int = 0) -> int:

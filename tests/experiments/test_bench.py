@@ -9,6 +9,7 @@ import pytest
 from repro.experiments.bench import (
     build_parser,
     check_against_baseline,
+    check_reader_against_baseline,
     main,
     run_bench,
 )
@@ -29,7 +30,17 @@ class TestRunBench:
             assert entry["streamed_ms_per_round"] > 0
             assert entry["batched_ms_per_round"] > 0
             assert entry["batch_speedup_vs_streamed"] > 0
-        assert report["reader"]["packed_speedup"] > 0
+        reader = report["reader"]
+        assert set(reader) == {
+            "object_ms",
+            "packed_ms",
+            "batched_ms",
+            "packed_speedup",
+            "batched_speedup",
+            "batched_speedup_vs_packed",
+        }
+        assert reader["packed_speedup"] > 0
+        assert reader["batched_speedup"] > 0
         assert report["config"]["frozen_measured"] is False
 
     def test_frozen_engines_measured_when_module_given(self):
@@ -101,6 +112,32 @@ class TestGate:
             == []
         )
 
+    def test_flags_batched_reader_slower_than_object(self):
+        report = self._report()
+        report["reader"]["batched_speedup"] = 0.9
+        problems = check_against_baseline(report, self._report(), 0.25)
+        assert any("frame-batched path is slower" in p for p in problems)
+
+    def test_reader_gate_flags_batched_regression(self):
+        report = self._report()
+        report["reader"]["batched_speedup"] = 1.5
+        baseline = {"reader": {"batched_speedup": 2.6}}
+        problems = check_reader_against_baseline(report, baseline, 0.25)
+        assert any("frame-batched speedup regressed" in p for p in problems)
+
+    def test_reader_gate_passes_against_itself(self):
+        report = self._report()
+        report["reader"]["batched_speedup"] = 2.6
+        assert check_reader_against_baseline(report, report, 0.25) == []
+
+    def test_reader_gate_skips_ratios_missing_on_either_side(self):
+        # A pre-frame-batching baseline has no batched_speedup entry;
+        # only the per-slot ratio is gated then.
+        report = self._report(reader_ratio=1.3)
+        report["reader"]["batched_speedup"] = 2.6
+        baseline = {"reader": {"packed_speedup": 1.3}}
+        assert check_reader_against_baseline(report, baseline, 0.25) == []
+
 
 class TestCli:
     def test_writes_report(self, tmp_path):
@@ -144,8 +181,44 @@ class TestCli:
         )
         assert rc == 1
 
+    def test_writes_reader_report(self, tmp_path):
+        out = tmp_path / "bench.json"
+        reader_out = tmp_path / "reader.json"
+        rc = main(
+            [
+                "--n-tags", "120", "--frame-size", "64",
+                "--rounds", "2", "--repeats", "1", "--reader-tags", "40",
+                "--out", str(out),
+                "--reader-out", str(reader_out),
+                "--frozen-dir", str(tmp_path / "missing"),
+            ]
+        )
+        assert rc == 0
+        doc = json.loads(reader_out.read_text())
+        assert set(doc) == {"config", "reader"}
+        assert doc["reader"]["batched_ms"] > 0
+
+    def test_reader_baseline_gate_failure_exits_nonzero(self, tmp_path):
+        out = tmp_path / "bench.json"
+        baseline = tmp_path / "reader_baseline.json"
+        baseline.write_text(
+            json.dumps({"reader": {"batched_speedup": 1e9}})
+        )
+        rc = main(
+            [
+                "--n-tags", "120", "--frame-size", "64",
+                "--rounds", "2", "--repeats", "1", "--reader-tags", "40",
+                "--out", str(out),
+                "--reader-baseline", str(baseline),
+                "--frozen-dir", str(tmp_path / "missing"),
+            ]
+        )
+        assert rc == 1
+
     def test_parser_defaults(self):
         args = build_parser().parse_args([])
         assert args.out == "BENCH_kernels.json"
         assert args.tolerance == 0.25
+        assert args.reader_out is None
+        assert args.reader_baseline is None
         assert not args.quick

@@ -1,0 +1,91 @@
+"""SimulationEngine EWMA thread-safety under the serve worker pattern.
+
+``compute_point`` runs on ``asyncio.to_thread`` workers, so several
+threads fold elapsed times into ``point_seconds_ewma`` concurrently.  The
+read-modify-write must hold the engine lock: unguarded, two threads that
+read the same old value silently drop one contribution (a lost update),
+and the Retry-After estimates drift from the true service time.
+
+The hammer test exploits that EWMA applications with the *same* sample
+are applications of one affine function and therefore commute exactly,
+even in floating point: barrier-synchronised rounds in which every
+thread folds the same constant have a bit-exact expected result
+regardless of within-round order -- any deviation is a lost update.
+Per-opcode tracing makes each worker yield the GIL between bytecodes, so
+an unguarded read-modify-write interleaves (and loses updates) on the
+first contended round instead of relying on a lucky preemption."""
+
+from __future__ import annotations
+
+import sys
+import threading
+import time
+
+import pytest
+
+from repro.serve.workers import SimulationEngine
+
+N_THREADS = 4
+N_ROUNDS = 25
+
+
+@pytest.fixture
+def engine():
+    eng = SimulationEngine(mc_workers=1)
+    yield eng
+    eng.close()
+
+
+def _yield_every_opcode(frame, event, arg):
+    if event == "call":
+        frame.f_trace_opcodes = True
+    elif event == "opcode":
+        time.sleep(0)
+    return _yield_every_opcode
+
+
+def test_concurrent_ewma_updates_lose_nothing(engine):
+    """Every fold must land: the concurrent result equals the serial
+    left fold bit for bit.  Alternating samples keep the EWMA moving so
+    convergence can never mask a lost update."""
+    samples = [float(r % 2) for r in range(N_ROUNDS)]
+    start = threading.Barrier(N_THREADS)
+    done = threading.Barrier(N_THREADS)
+
+    def work():
+        for c in samples:
+            start.wait()
+            sys.settrace(_yield_every_opcode)
+            try:
+                engine._note_point_seconds(c)
+            finally:
+                sys.settrace(None)
+            done.wait()
+
+    threads = [threading.Thread(target=work) for _ in range(N_THREADS)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+
+    expected = 0.05
+    for c in samples:
+        for _ in range(N_THREADS):
+            expected = 0.8 * expected + 0.2 * c
+    assert engine.point_seconds_ewma == expected
+
+
+def test_ewma_update_holds_engine_lock(engine):
+    """The fold must serialize on the engine's own lock (the one suite
+    creation already takes), not on a private or absent one."""
+    before = engine.point_seconds_ewma
+    with engine._lock:
+        t = threading.Thread(
+            target=engine._note_point_seconds, args=(1.0,)
+        )
+        t.start()
+        t.join(timeout=0.2)
+        assert t.is_alive(), "update did not block on the engine lock"
+        assert engine.point_seconds_ewma == before
+    t.join()
+    assert engine.point_seconds_ewma == 0.8 * before + 0.2 * 1.0

@@ -94,6 +94,48 @@ class TestAdmission:
             q.put_batch(["2"], client="b", priority=5)
         assert excinfo.value.retry_after_s >= 1.0
 
+    def test_queue_full_hint_reflects_depth_and_service_time(self):
+        # 4 queued items x 2.0 s each over 2 workers = 4 s until drained.
+        q = AdmissionQueue(
+            capacity=4, per_client=4, service_time_s=2.0, workers=2
+        )
+        q.put_batch(["1", "2", "3", "4"], client="a", priority=5)
+        with pytest.raises(QueueFull) as excinfo:
+            q.put_batch(["5"], client="b", priority=5)
+        assert excinfo.value.retry_after_s == pytest.approx(4.0)
+
+    def test_quota_hint_reflects_depth_and_service_time(self):
+        q = AdmissionQueue(
+            capacity=100, per_client=3, service_time_s=2.0, workers=2
+        )
+        q.put_batch(["1", "2", "3"], client="a", priority=5)
+        with pytest.raises(ClientQuotaExceeded) as excinfo:
+            q.put_batch(["4"], client="a", priority=5)
+        assert excinfo.value.retry_after_s == pytest.approx(3.0)
+
+    def test_hints_resolve_callable_service_time_live(self):
+        # The server passes the engine's EWMA as a callable; the hint
+        # must read it at rejection time, not at construction.
+        ewma = {"value": 0.0}
+        q = AdmissionQueue(
+            capacity=2,
+            per_client=2,
+            service_time_s=lambda: ewma["value"],
+            workers=1,
+        )
+        q.put_batch(["1", "2"], client="a", priority=5)
+        ewma["value"] = 5.0
+        with pytest.raises(QueueFull) as excinfo:
+            q.put_batch(["3"], client="b", priority=5)
+        assert excinfo.value.retry_after_s == pytest.approx(10.0)
+
+    def test_hints_floor_at_one_second_without_service_time(self):
+        q = AdmissionQueue(capacity=1)
+        q.put_batch(["1"], client="a", priority=5)
+        with pytest.raises(QueueFull) as excinfo:
+            q.put_batch(["2"], client="b", priority=5)
+        assert excinfo.value.retry_after_s == 1.0
+
     def test_empty_batch_is_a_noop(self):
         q = AdmissionQueue(capacity=1)
         q.put_batch([], client="a", priority=5)

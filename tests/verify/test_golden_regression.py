@@ -21,6 +21,7 @@ from repro.bits.rng import make_rng
 from repro.core.qcd import QCDDetector
 from repro.core.timing import TimingModel
 from repro.protocols.bt import BinaryTree
+from repro.protocols.dfsa import DynamicFSA
 from repro.protocols.fsa import FramedSlottedAloha
 from repro.sim.fast import bt_fast, fsa_fast
 from repro.sim.reader import Reader
@@ -81,6 +82,28 @@ def generate() -> dict:
     )
     out["reader-bt"] = _counts(res.stats)
 
+    # The Reader's three tiers pinned separately: the object path, the
+    # per-slot uint64 path, and the frame-batched path must all land on
+    # these exact counts (the tier entries are identical by construction
+    # -- the equality itself is part of what the golden file pins).
+    for label, packed, frame_batched in (
+        ("object", False, True),
+        ("packed", True, False),
+        ("batched", True, True),
+    ):
+        res = Reader(
+            QCDDetector(STRENGTH), timing, packed=packed,
+            frame_batched=frame_batched,
+        ).run_inventory(_population().tags, FramedSlottedAloha(FRAME))
+        out[f"reader-fsa-{label}"] = _counts(res.stats)
+        res = Reader(
+            QCDDetector(STRENGTH), timing, packed=packed,
+            frame_batched=frame_batched,
+        ).run_inventory(
+            _population().tags, DynamicFSA(initial_frame_size=FRAME)
+        )
+        out[f"reader-dfsa-{label}"] = _counts(res.stats)
+
     out["fsa-fast"] = _counts(
         fsa_fast(
             N_TAGS,
@@ -105,10 +128,24 @@ class TestGoldenDistribution:
         """Sanity on the pinned numbers themselves: totals partition and
         every tag won exactly one true single under both backends."""
         golden = json.loads(GOLDEN_PATH.read_text())
-        for key in ("reader-fsa", "reader-bt", "fsa-fast", "bt-fast"):
+        keys = ("reader-fsa", "reader-bt", "fsa-fast", "bt-fast") + tuple(
+            f"reader-{proto}-{tier}"
+            for proto in ("fsa", "dfsa")
+            for tier in ("object", "packed", "batched")
+        )
+        for key in keys:
             entry = golden[key]
             assert entry["true"]["single"] == N_TAGS
             assert sum(entry["true"].values()) == sum(entry["detected"].values())
+
+    def test_golden_reader_tiers_agree(self):
+        """The pinned per-tier entries are mutually identical: the three
+        Reader paths may never drift apart, per protocol."""
+        golden = json.loads(GOLDEN_PATH.read_text())
+        for proto in ("fsa", "dfsa"):
+            object_entry = golden[f"reader-{proto}-object"]
+            assert golden[f"reader-{proto}-packed"] == object_entry
+            assert golden[f"reader-{proto}-batched"] == object_entry
 
 
 if __name__ == "__main__":

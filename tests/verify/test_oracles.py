@@ -23,6 +23,7 @@ EXPECTED = {
     "fsa-kernel-vs-reader": "kernel-reader",
     "bt-kernel-vs-reader": "kernel-reader",
     "batch-vs-streamed": "kernel-kernel",
+    "batch-reader": "reader-reader",
     "fsa-frame-vs-theory": "sim-theory",
     "bt-slots-vs-theory": "sim-theory",
     "fsa-ei-vs-theory": "sim-theory",
@@ -50,6 +51,7 @@ class TestRegistry:
         by_kind = list(kinds.values())
         assert by_kind.count("kernel-reader") == 2
         assert by_kind.count("kernel-kernel") == 1
+        assert by_kind.count("reader-reader") == 1
         assert by_kind.count("sim-theory") >= 3
         assert by_kind.count("invariant") == 1
 
