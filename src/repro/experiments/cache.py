@@ -37,7 +37,12 @@ from typing import Mapping
 
 from repro.sim.export import nan_to_none
 
-__all__ = ["SCHEMA_VERSION", "ResultCache", "cache_key"]
+__all__ = [
+    "SCHEMA_VERSION",
+    "ResultCache",
+    "cache_key",
+    "grid_point_params",
+]
 
 #: Orphaned temp files younger than this many seconds are left alone on
 #: cache open: they may belong to a concurrent writer that is still
@@ -60,6 +65,45 @@ def cache_key(params: Mapping[str, object]) -> str:
         nan_to_none(dict(params)), sort_keys=True, separators=(",", ":")
     )
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def grid_point_params(
+    *,
+    rounds: int,
+    seed: int,
+    tau: float,
+    id_bits: int,
+    crc_bits: int,
+    case_name: str,
+    n_tags: int,
+    frame_size: int,
+    protocol: str,
+    scheme: str,
+) -> dict[str, object]:
+    """The canonical cache-key parameter document of one grid point.
+
+    This is the *routing contract* of the fleet: the single-process
+    suite (:meth:`repro.experiments.runner.ExperimentSuite._cache_params`)
+    and the front router (:mod:`repro.serve.router`) both derive cache
+    keys through this one function, so a grid point's placement on the
+    consistent-hash ring always agrees with the backend's own memo/L2
+    key -- without the router having to build an ``ExperimentSuite``.
+    """
+    return {
+        "schema": SCHEMA_VERSION,
+        "rounds": rounds,
+        "seed": seed,
+        "tau": tau,
+        "id_bits": id_bits,
+        "crc_bits": crc_bits,
+        "case": {
+            "name": case_name,
+            "n_tags": n_tags,
+            "frame_size": frame_size,
+        },
+        "protocol": protocol,
+        "scheme": scheme,
+    }
 
 
 class ResultCache:

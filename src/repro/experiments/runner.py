@@ -32,7 +32,11 @@ from repro.core.timing import TimingModel
 from repro.obs import instruments as _inst
 from repro.obs.profiling import profile
 from repro.obs.state import STATE as _OBS
-from repro.experiments.cache import SCHEMA_VERSION, ResultCache
+from repro.experiments.cache import (
+    SCHEMA_VERSION,
+    ResultCache,
+    grid_point_params,
+)
 from repro.experiments.config import (
     CASES,
     CRC_BITS,
@@ -206,22 +210,24 @@ class ExperimentSuite:
     def _cache_params(
         self, case: SimulationCase, protocol: str, scheme: str
     ) -> dict[str, object]:
-        """Every input that determines a grid point's result."""
-        return {
-            "schema": SCHEMA_VERSION,
-            "rounds": self.rounds,
-            "seed": self.seed,
-            "tau": self.timing.tau,
-            "id_bits": self.timing.id_bits,
-            "crc_bits": self.timing.crc_bits,
-            "case": {
-                "name": case.name,
-                "n_tags": case.n_tags,
-                "frame_size": case.frame_size,
-            },
-            "protocol": protocol,
-            "scheme": scheme,
-        }
+        """Every input that determines a grid point's result.
+
+        Delegates to :func:`repro.experiments.cache.grid_point_params`,
+        the shared routing contract: the fleet router derives the same
+        keys without constructing a suite.
+        """
+        return grid_point_params(
+            rounds=self.rounds,
+            seed=self.seed,
+            tau=self.timing.tau,
+            id_bits=self.timing.id_bits,
+            crc_bits=self.timing.crc_bits,
+            case_name=case.name,
+            n_tags=case.n_tags,
+            frame_size=case.frame_size,
+            protocol=protocol,
+            scheme=scheme,
+        )
 
     def _load_cached(
         self, params: Mapping[str, object]

@@ -48,6 +48,13 @@ __all__ = [
     "SERVE_COALESCE_HITS",
     "SERVE_POINTS",
     "SERVE_JOBS",
+    "ROUTER_REQUESTS",
+    "ROUTER_FORWARDS",
+    "ROUTER_FORWARD_SECONDS",
+    "ROUTER_RETRIES",
+    "ROUTER_EJECTIONS",
+    "ROUTER_BACKENDS_HEALTHY",
+    "ROUTER_STREAM_RESUMES",
     "record_slot",
     "record_inventory",
     "record_kernel_stats",
@@ -85,6 +92,23 @@ SERVE_INFLIGHT = "repro_serve_inflight_points"
 SERVE_COALESCE_HITS = "repro_serve_coalesce_hits_total"
 SERVE_POINTS = "repro_serve_points_total"
 SERVE_JOBS = "repro_serve_jobs_total"
+
+# -- repro.serve.router (the fleet front door; docs/SERVING.md) --------
+#: Requests through the router, by route and final status.
+ROUTER_REQUESTS = "repro_router_requests_total"
+#: Router -> backend hops, labelled ``backend`` and ``outcome``
+#: (``ok`` / ``shed`` / ``error``).
+ROUTER_FORWARDS = "repro_router_forwards_total"
+#: Wall time of one backend hop, labelled ``backend``.
+ROUTER_FORWARD_SECONDS = "repro_router_forward_seconds"
+#: Points re-routed to a new owner after an ejection.
+ROUTER_RETRIES = "repro_router_retries_total"
+#: Ring ejections, by reason (``unreachable``/``draining``/``dead``...).
+ROUTER_EJECTIONS = "repro_router_ejections_total"
+#: Healthy backends currently on the ring (gauge).
+ROUTER_BACKENDS_HEALTHY = "repro_router_backends_healthy"
+#: NDJSON job streams transparently resumed on a surviving backend.
+ROUTER_STREAM_RESUMES = "repro_router_stream_resumes_total"
 
 #: Airtime histogram buckets (units of tau): decade ladder wide enough
 #: for a 10-tag toy run and the paper's 50 000-tag case IV.

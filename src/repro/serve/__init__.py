@@ -21,8 +21,16 @@ result cache), :mod:`repro.serve.client` (blocking client with
 Retry-After-aware backoff) and :mod:`repro.serve.loadgen` (open-loop
 load generator behind the ``BENCH_serve`` baseline).
 
-Run the server with ``repro-serve`` or ``python -m repro.serve``; see
-``docs/SERVING.md`` for the API reference.
+Above the single process sits the fleet tier: :mod:`repro.serve.http1`
+(the shared HTTP/1.1 transport), :mod:`repro.serve.ring` (consistent
+hashing), :mod:`repro.serve.backend` (subprocess supervision and health
+probing) and :mod:`repro.serve.router` (``repro-serve-router``), which
+consistent-hashes every grid point onto N backends so coalescing and the
+memo/L2 cache tiers become fleet-wide guarantees.
+
+Run the server with ``repro-serve`` or ``python -m repro.serve`` and the
+fleet with ``repro-serve-router``; see ``docs/SERVING.md`` for the API
+reference.
 
 Submodules load lazily, mirroring :mod:`repro.verify`: ``workers``
 imports the simulation stack and the client/loadgen are pure-stdlib --
@@ -34,11 +42,15 @@ from __future__ import annotations
 import importlib
 
 _SUBMODULES = (
+    "backend",
     "client",
     "coalesce",
+    "http1",
     "loadgen",
     "protocol",
     "queue",
+    "ring",
+    "router",
     "server",
     "workers",
 )

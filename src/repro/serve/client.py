@@ -211,27 +211,113 @@ class ServeClient:
 
         Streams incrementally (one connection, line by line); raises
         :class:`ServeError` on a non-200 status.
+
+        The stream is **churn-resilient**: a connection refused/reset --
+        before or mid-stream, as happens while a backend (or the router)
+        restarts -- re-fetches the stream after the usual backoff, up to
+        ``retries`` times.  The server replays completed results on
+        re-fetch, so the resumed iteration deduplicates by grid point
+        and suppresses the duplicate job-header line; callers see every
+        line exactly once.  429/503 during the re-fetch honor
+        ``Retry-After`` like :meth:`request` does.
         """
-        conn = http.client.HTTPConnection(
-            self.host, self.port, timeout=self.timeout_s
-        )
         rid = new_client_request_id()
         self.last_request_id = rid
-        try:
-            conn.request(
-                "GET",
-                f"/v1/jobs/{job_id}",
-                headers={"Connection": "close", REQUEST_ID_HEADER: rid},
+        seen_points: set[str] = set()
+        state = {"header_seen": False, "finished": False}
+        last_exc: Exception | None = None
+        for attempt in range(self.retries + 1):
+            self.attempts += 1
+            conn = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout_s
             )
-            resp = conn.getresponse()
-            if resp.status != 200:
-                raise _parse_error(resp.status, resp.read())
-            for raw in resp:
-                raw = raw.strip()
-                if raw:
-                    yield json.loads(raw.decode("utf-8"))
-        finally:
-            conn.close()
+            try:
+                try:
+                    conn.request(
+                        "GET",
+                        f"/v1/jobs/{job_id}",
+                        headers={
+                            "Connection": "close",
+                            REQUEST_ID_HEADER: rid,
+                        },
+                    )
+                    resp = conn.getresponse()
+                except (
+                    ConnectionError,
+                    OSError,
+                    http.client.HTTPException,
+                ) as exc:
+                    last_exc = exc
+                    if attempt == self.retries:
+                        raise
+                    self._sleep(self._delay(attempt, None))
+                    continue
+                if resp.status in (429, 503) and attempt < self.retries:
+                    payload = resp.read()
+                    headers = {
+                        k.lower(): v for k, v in resp.getheaders()
+                    }
+                    self._sleep(
+                        self._delay(attempt, headers.get("retry-after"))
+                    )
+                    continue
+                if resp.status != 200:
+                    raise _parse_error(resp.status, resp.read())
+                try:
+                    yield from self._stream_lines(resp, seen_points, state)
+                except (
+                    ConnectionError,
+                    OSError,
+                    http.client.HTTPException,
+                    ValueError,  # torn NDJSON line from a dying peer
+                ) as exc:
+                    last_exc = exc
+                    if attempt == self.retries:
+                        raise
+                    self._sleep(self._delay(attempt, None))
+                    continue
+                if state["finished"]:
+                    return
+                # Clean EOF without a done line: the peer died between
+                # lines; same retry path as a mid-line reset.
+                last_exc = ConnectionError(
+                    "job stream ended without a done line"
+                )
+                if attempt == self.retries:
+                    raise last_exc
+                self._sleep(self._delay(attempt, None))
+            finally:
+                conn.close()
+        raise last_exc if last_exc else RuntimeError("unreachable")
+
+    def _stream_lines(
+        self,
+        resp: http.client.HTTPResponse,
+        seen_points: set[str],
+        state: dict,
+    ) -> Iterator[dict]:
+        """Yield one attempt's deduplicated lines, mutating ``state``."""
+        for raw in resp:
+            raw = raw.strip()
+            if not raw:
+                continue
+            line = json.loads(raw.decode("utf-8"))
+            kind = line.get("type")
+            if kind == "job":
+                if state["header_seen"]:
+                    continue
+                state["header_seen"] = True
+            elif kind == "result":
+                fingerprint = json.dumps(
+                    line.get("point"), sort_keys=True, separators=(",", ":")
+                )
+                if fingerprint in seen_points:
+                    continue
+                seen_points.add(fingerprint)
+            elif kind == "done":
+                state["finished"] = True
+            yield line
+        return
 
     def run(self, doc: dict) -> list[dict]:
         """Submit async and stream to completion; returns result lines.

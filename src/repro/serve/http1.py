@@ -1,0 +1,346 @@
+"""Shared HTTP/1.1 transport for the serve tier.
+
+One module owns the wire plumbing both the single-process server
+(:mod:`repro.serve.server`) and the fleet router
+(:mod:`repro.serve.router`) speak, so parsing limits, error semantics
+and response framing cannot drift between the two hops:
+
+* **server side** -- :func:`read_request` (bounded request parsing that
+  raises :class:`HttpError`, never buffers unboundedly) and
+  :func:`send_response` / :func:`send_json` (``Connection: close``
+  framing that echoes the context-bound ``X-Request-Id`` on every
+  response);
+* **client side** -- :func:`fetch` (one buffered request/response round
+  trip over asyncio streams) and :func:`open_fetch` (a streaming
+  response handle for proxying NDJSON line by line), which is how the
+  router forwards work to its backends without growing a dependency on
+  a real HTTP client library.
+
+Everything is one-request-per-connection: the serve tier deliberately
+speaks ``Connection: close`` so EOF-delimited NDJSON streaming is
+trivially correct and a dead backend is indistinguishable from a
+finished response only *after* the terminal line -- which is exactly the
+signal the router's retry path keys on.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass
+from typing import AsyncIterator, Mapping, Sequence
+
+from repro.obs import context as _ctx
+from repro.serve import protocol as proto
+from repro.sim.export import nan_to_none
+
+__all__ = [
+    "MAX_REQUEST_LINE",
+    "MAX_HEADER_COUNT",
+    "MAX_HEADER_LINE",
+    "MAX_BODY_BYTES",
+    "REQUEST_READ_TIMEOUT",
+    "REASONS",
+    "HttpError",
+    "HttpRequest",
+    "read_request",
+    "send_response",
+    "send_json",
+    "json_payload",
+    "fetch",
+    "open_fetch",
+    "StreamingResponse",
+]
+
+#: HTTP parsing limits: past any of them the request is rejected, never
+#: buffered unboundedly.
+MAX_REQUEST_LINE = 8 * 1024
+MAX_HEADER_COUNT = 100
+MAX_HEADER_LINE = 8 * 1024
+MAX_BODY_BYTES = 1024 * 1024
+
+#: A client must deliver its whole request within this window; an idle
+#: half-open connection can otherwise pin the drain sequence forever.
+REQUEST_READ_TIMEOUT = 30.0
+
+REASONS = {
+    200: "OK",
+    202: "Accepted",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    408: "Request Timeout",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    502: "Bad Gateway",
+    503: "Service Unavailable",
+}
+
+
+class HttpError(Exception):
+    """Transport-level malformation (before the JSON protocol layer)."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+@dataclass
+class HttpRequest:
+    method: str
+    path: str
+    headers: dict[str, str]
+    body: bytes
+
+
+# ----------------------------------------------------------------------
+# Server side
+
+
+async def read_request(reader: asyncio.StreamReader) -> HttpRequest:
+    """Parse one bounded HTTP/1.1 request; raises :class:`HttpError`."""
+    try:
+        line = await reader.readuntil(b"\r\n")
+    except asyncio.LimitOverrunError:
+        raise HttpError(400, "request line too long")
+    except asyncio.IncompleteReadError:
+        raise HttpError(400, "empty request")
+    if len(line) > MAX_REQUEST_LINE:
+        raise HttpError(400, "request line too long")
+    parts = line.decode("latin-1").rstrip("\r\n").split(" ")
+    if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+        raise HttpError(400, "malformed request line")
+    method, target, _version = parts
+    headers: dict[str, str] = {}
+    for _ in range(MAX_HEADER_COUNT + 1):
+        try:
+            raw = await reader.readuntil(b"\r\n")
+        except (asyncio.LimitOverrunError, asyncio.IncompleteReadError):
+            raise HttpError(400, "malformed headers")
+        if raw == b"\r\n":
+            break
+        if len(raw) > MAX_HEADER_LINE:
+            raise HttpError(400, "header line too long")
+        name, sep, value = raw.decode("latin-1").partition(":")
+        if not sep:
+            raise HttpError(400, "malformed header line")
+        headers[name.strip().lower()] = value.strip()
+    else:
+        raise HttpError(400, "too many headers")
+    body = b""
+    if "content-length" in headers:
+        try:
+            length = int(headers["content-length"])
+        except ValueError:
+            raise HttpError(400, "malformed Content-Length")
+        if length < 0:
+            raise HttpError(400, "malformed Content-Length")
+        if length > MAX_BODY_BYTES:
+            raise HttpError(413, "request body too large")
+        try:
+            body = await reader.readexactly(length)
+        except asyncio.IncompleteReadError:
+            raise HttpError(400, "truncated request body")
+    elif headers.get("transfer-encoding"):
+        raise HttpError(400, "chunked request bodies are not supported")
+    return HttpRequest(
+        method=method,
+        path=target.split("?", 1)[0],
+        headers=headers,
+        body=body,
+    )
+
+
+async def send_response(
+    writer: asyncio.StreamWriter,
+    status: int,
+    content_type: str,
+    payload: bytes,
+    extra_headers: Sequence[tuple[str, str]] = (),
+) -> None:
+    """Write one buffered response (``Connection: close`` framing).
+
+    Every response echoes the request id bound to the current context --
+    success, error envelope or last-resort 500 alike (the header
+    contract shared by server and router).
+    """
+    reason = REASONS.get(status, "Unknown")
+    head = [f"HTTP/1.1 {status} {reason}"]
+    head.append(f"Content-Type: {content_type}")
+    head.append(f"Content-Length: {len(payload)}")
+    rid = _ctx.current_request_id()
+    if rid is not None:
+        head.append(f"{proto.REQUEST_ID_HEADER}: {rid}")
+    for name, value in extra_headers:
+        head.append(f"{name}: {value}")
+    head.append("Connection: close")
+    writer.write(("\r\n".join(head) + "\r\n\r\n").encode("latin-1"))
+    writer.write(payload)
+    await writer.drain()
+
+
+def json_payload(doc: Mapping[str, object]) -> bytes:
+    """RFC-8259-clean JSON body bytes (NaN scrubbed, trailing newline)."""
+    return (
+        json.dumps(
+            nan_to_none(dict(doc)), allow_nan=False, separators=(",", ":")
+        ).encode("utf-8")
+        + b"\n"
+    )
+
+
+async def send_json(
+    writer: asyncio.StreamWriter,
+    status: int,
+    doc: Mapping[str, object],
+    extra_headers: Sequence[tuple[str, str]] = (),
+) -> None:
+    await send_response(
+        writer, status, "application/json", json_payload(doc), extra_headers
+    )
+
+
+# ----------------------------------------------------------------------
+# Client side (the router -> backend hop)
+
+
+def _request_bytes(
+    method: str,
+    path: str,
+    host: str,
+    port: int,
+    body: bytes | None,
+    headers: Sequence[tuple[str, str]],
+) -> bytes:
+    head = [f"{method} {path} HTTP/1.1", f"Host: {host}:{port}"]
+    for name, value in headers:
+        head.append(f"{name}: {value}")
+    if body is not None:
+        head.append("Content-Type: application/json")
+        head.append(f"Content-Length: {len(body)}")
+    head.append("Connection: close")
+    return ("\r\n".join(head) + "\r\n\r\n").encode("latin-1") + (body or b"")
+
+
+async def _read_head(
+    reader: asyncio.StreamReader,
+) -> tuple[int, dict[str, str]]:
+    line = await reader.readuntil(b"\r\n")
+    parts = line.decode("latin-1").rstrip("\r\n").split(" ", 2)
+    if len(parts) < 2 or not parts[0].startswith("HTTP/1."):
+        raise HttpError(502, f"malformed status line from backend: {line!r}")
+    try:
+        status = int(parts[1])
+    except ValueError:
+        raise HttpError(502, f"malformed status code from backend: {line!r}")
+    headers: dict[str, str] = {}
+    for _ in range(MAX_HEADER_COUNT + 1):
+        raw = await reader.readuntil(b"\r\n")
+        if raw == b"\r\n":
+            break
+        name, sep, value = raw.decode("latin-1").partition(":")
+        if sep:
+            headers[name.strip().lower()] = value.strip()
+    else:
+        raise HttpError(502, "too many headers from backend")
+    return status, headers
+
+
+class StreamingResponse:
+    """An open backend response: status, headers and a line iterator."""
+
+    def __init__(
+        self,
+        status: int,
+        headers: dict[str, str],
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        self.status = status
+        self.headers = headers
+        self._reader = reader
+        self._writer = writer
+
+    async def read_body(self) -> bytes:
+        """The remaining body (Content-Length-bounded or EOF-delimited)."""
+        length = self.headers.get("content-length")
+        if length is not None:
+            return await self._reader.readexactly(int(length))
+        return await self._reader.read()
+
+    async def lines(self) -> AsyncIterator[bytes]:
+        """Yield NDJSON lines (newline stripped) until EOF.
+
+        A connection reset mid-stream surfaces as ``ConnectionError`` to
+        the caller -- the router's resume path depends on that, so it is
+        deliberately not swallowed here.
+        """
+        while True:
+            line = await self._reader.readline()
+            if not line:
+                return
+            line = line.rstrip(b"\r\n")
+            if line:
+                yield line
+
+    async def aclose(self) -> None:
+        try:
+            self._writer.close()
+            await self._writer.wait_closed()
+        except (ConnectionError, OSError):  # pragma: no cover - teardown
+            pass
+
+
+async def open_fetch(
+    host: str,
+    port: int,
+    method: str,
+    path: str,
+    *,
+    body: bytes | None = None,
+    headers: Sequence[tuple[str, str]] = (),
+    connect_timeout_s: float = 5.0,
+) -> StreamingResponse:
+    """Send one request and return the response with its stream open."""
+    reader, writer = await asyncio.wait_for(
+        asyncio.open_connection(host, port), timeout=connect_timeout_s
+    )
+    try:
+        writer.write(_request_bytes(method, path, host, port, body, headers))
+        await writer.drain()
+        status, resp_headers = await _read_head(reader)
+    except BaseException:
+        writer.close()
+        raise
+    return StreamingResponse(status, resp_headers, reader, writer)
+
+
+async def fetch(
+    host: str,
+    port: int,
+    method: str,
+    path: str,
+    *,
+    body: bytes | None = None,
+    headers: Sequence[tuple[str, str]] = (),
+    timeout_s: float = 120.0,
+    connect_timeout_s: float = 5.0,
+) -> tuple[int, dict[str, str], bytes]:
+    """One buffered request/response round trip; raises on transport
+    failure (``ConnectionError`` / ``OSError`` / ``asyncio.TimeoutError``)
+    so callers can treat an unreachable backend as a routing event."""
+    resp = await open_fetch(
+        host,
+        port,
+        method,
+        path,
+        body=body,
+        headers=headers,
+        connect_timeout_s=connect_timeout_s,
+    )
+    try:
+        payload = await asyncio.wait_for(resp.read_body(), timeout=timeout_s)
+    finally:
+        await resp.aclose()
+    return resp.status, resp.headers, payload

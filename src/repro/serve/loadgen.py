@@ -41,6 +41,7 @@ __all__ = [
     "run_loadgen",
     "percentile",
     "check_against_baseline",
+    "check_beats_baseline",
     "main",
     "build_parser",
 ]
@@ -121,11 +122,20 @@ def run_loadgen(
     priority: int = 5,
     client_name: str = "loadgen",
     timeout_s: float = 60.0,
+    router: bool = False,
 ) -> dict:
-    """Drive the server and return the report document."""
+    """Drive the server and return the report document.
+
+    With ``router=True`` the target is a ``repro-serve-router`` front
+    door: the report additionally snapshots the fleet (ring size and
+    per-backend state/restart counts from the router's ``/healthz``)
+    before and after the run, so a CI gate can assert the run really
+    exercised N backends -- and see whether any died under load.
+    """
     if rate <= 0 or duration_s <= 0:
         raise ValueError("rate and duration must be positive")
     n_requests = max(1, int(rate * duration_s))
+    fleet_before = _fleet_snapshot(url, timeout_s) if router else None
     tally = _Tally()
     start = time.perf_counter()
 
@@ -178,7 +188,7 @@ def run_loadgen(
         n for k, n in tally.statuses.items() if k in ("5xx", "error")
     )
     total = sum(tally.statuses.values())
-    return {
+    report: dict = {
         "config": {
             "url": url,
             "rate_rps": rate,
@@ -189,6 +199,7 @@ def run_loadgen(
             "case": case,
             "protocol": protocol,
             "scheme": scheme,
+            "router": router,
         },
         "offered": n_requests,
         "offered_rps": n_requests / elapsed,
@@ -221,6 +232,31 @@ def run_loadgen(
             for stage, values in sorted(tally.stage_ms.items())
         },
     }
+    if router:
+        report["fleet"] = {
+            "before": fleet_before,
+            "after": _fleet_snapshot(url, timeout_s),
+        }
+    return report
+
+
+def _fleet_snapshot(url: str, timeout_s: float) -> dict | None:
+    """Ring size + per-backend state from a router's ``/healthz``."""
+    try:
+        doc = ServeClient(url, retries=2, timeout_s=timeout_s).healthz()
+    except Exception as exc:  # advisory: a lost snapshot isn't a 5xx
+        return {"error": f"{type(exc).__name__}: {exc}"}
+    return {
+        "ring_nodes": doc.get("ring_nodes"),
+        "backends": [
+            {
+                "id": b.get("id"),
+                "state": b.get("state"),
+                "restarts": b.get("restarts"),
+            }
+            for b in doc.get("backends", [])
+        ],
+    }
 
 
 def check_against_baseline(
@@ -243,6 +279,34 @@ def check_against_baseline(
         problems.append(
             f"goodput ratio regressed: {ratio:.2%} vs baseline "
             f"{base_ratio:.2%} (> {tolerance:.0%} drop)"
+        )
+    return problems
+
+
+def check_beats_baseline(report: dict, single: dict) -> list[str]:
+    """Findings if this run does not *beat* a single-process baseline.
+
+    The fleet claim (``docs/SERVING.md``): a router over N backends
+    sustains a **higher offered rate** than one ``repro-serve`` process
+    at **no worse goodput ratio**.  Absolute RPS is machine-bound, so
+    the check is structural -- this run's *configured* offered rate must
+    exceed the single-process baseline's, while the goodput ratio (a
+    machine-independent ratio) holds up.
+    """
+    problems: list[str] = []
+    single_rate = single.get("config", {}).get("rate_rps")
+    rate = report.get("config", {}).get("rate_rps", 0.0)
+    if single_rate is not None and rate <= single_rate:
+        problems.append(
+            f"offered rate {rate:g} rps does not exceed the "
+            f"single-process baseline's {single_rate:g} rps"
+        )
+    single_ratio = single.get("goodput_ratio")
+    ratio = report.get("goodput_ratio", 0.0)
+    if single_ratio is not None and ratio < single_ratio:
+        problems.append(
+            f"goodput ratio {ratio:.2%} at the higher rate is below the "
+            f"single-process baseline's {single_ratio:.2%}"
         )
     return problems
 
@@ -280,6 +344,20 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--protocol", default="fsa")
     parser.add_argument("--scheme", default="qcd-8")
     parser.add_argument(
+        "--router",
+        action="store_true",
+        help="target is a repro-serve-router: snapshot the fleet "
+        "(ring size, backend states) into the report",
+    )
+    parser.add_argument(
+        "--beat-baseline",
+        default=None,
+        metavar="FILE",
+        dest="beat_baseline",
+        help="single-process baseline this run must beat: higher offered "
+        "rate at no worse goodput ratio (the fleet speedup gate)",
+    )
+    parser.add_argument(
         "--out", default=None, metavar="FILE", help="write the JSON report"
     )
     parser.add_argument(
@@ -309,6 +387,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         case=args.case,
         protocol=args.protocol,
         scheme=args.scheme,
+        router=args.router,
     )
     lat = report["latency_ms"]
     print(
@@ -327,6 +406,12 @@ def main(argv: Sequence[str] | None = None) -> int:
             f"p90 {s['p90']:.1f} ms | p99 {s['p99']:.1f} ms "
             f"(n={s['n']})"
         )
+    fleet = report.get("fleet", {}).get("after")
+    if fleet and "error" not in fleet:
+        states = ", ".join(
+            f"{b['id']}={b['state']}" for b in fleet["backends"]
+        )
+        print(f"fleet: ring={fleet['ring_nodes']} [{states}]")
     if args.out:
         out = Path(args.out)
         out.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
@@ -341,6 +426,14 @@ def main(argv: Sequence[str] | None = None) -> int:
         print(
             f"gate OK vs {args.baseline} (tolerance {args.tolerance:.0%})"
         )
+    if args.beat_baseline:
+        single = json.loads(Path(args.beat_baseline).read_text())
+        problems = check_beats_baseline(report, single)
+        for p in problems:
+            print(f"FLEET GATE: {p}", file=sys.stderr)
+        if problems:
+            return 1
+        print(f"fleet gate OK: beats {args.beat_baseline}")
     return 0
 
 

@@ -1,0 +1,155 @@
+"""Consistent-hash ring: stable key -> backend placement for the fleet.
+
+The router hashes every grid point's :func:`repro.experiments.cache.cache_key`
+content hash onto this ring, so one key always lands on one backend.
+That placement is what turns the single-process guarantees into
+fleet-wide ones:
+
+* **coalescing** -- N identical concurrent requests all route to the
+  same backend, whose in-process :class:`~repro.serve.coalesce.Coalescer`
+  dedupes them onto one kernel run;
+* **cache locality** -- a key's backend is its L1-memo home, and the
+  only routine *writer* of that key in the shared on-disk L2 (the
+  single-writer discipline: ownership changes only on ring membership
+  changes, and the PR-5 unique-temp-file protocol keeps even those
+  transitions safe);
+* **minimal disruption** -- ejecting or adding one of N backends remaps
+  only the keys whose arc moved (~K/N of them), never reshuffling the
+  whole fleet -- the property the Hypothesis suite in
+  ``tests/serve/test_ring.py`` pins.
+
+Implementation: each node contributes ``vnodes`` points ("virtual
+nodes") at ``sha256(node + "#" + i)`` positions on a 64-bit ring; a key
+is owned by the first node point at or clockwise after
+``sha256(key)``.  Everything is deterministic across processes and
+Python versions (no ``hash()``), so router restarts preserve placement.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Iterable, Iterator, Sequence
+
+__all__ = ["EmptyRingError", "HashRing", "DEFAULT_VNODES"]
+
+#: Virtual nodes per backend.  128 points keeps the max/mean load skew
+#: of a random key population within ~30% for small fleets while the
+#: ring stays tiny (N * 128 sorted 8-byte positions).
+DEFAULT_VNODES = 128
+
+
+class EmptyRingError(LookupError):
+    """No healthy backend on the ring -- the router sheds with 503."""
+
+
+def _position(data: str) -> int:
+    """A deterministic 64-bit ring position."""
+    return int.from_bytes(
+        hashlib.sha256(data.encode("utf-8")).digest()[:8], "big"
+    )
+
+
+class HashRing:
+    """Mutable consistent-hash ring of named nodes.
+
+    Nodes are opaque non-empty strings (the router uses backend ids).
+    ``add``/``remove`` are idempotent; ``owner`` is O(log(N * vnodes)).
+    """
+
+    def __init__(
+        self, nodes: Iterable[str] = (), vnodes: int = DEFAULT_VNODES
+    ) -> None:
+        if vnodes < 1:
+            raise ValueError("vnodes must be >= 1")
+        self.vnodes = vnodes
+        self._nodes: set[str] = set()
+        #: Sorted, parallel arrays: position -> owning node.
+        self._positions: list[int] = []
+        self._owners: list[str] = []
+        for node in nodes:
+            self.add(node)
+
+    # -- membership -----------------------------------------------------
+
+    def _points(self, node: str) -> Iterator[int]:
+        return (_position(f"{node}#{i}") for i in range(self.vnodes))
+
+    def add(self, node: str) -> bool:
+        """Add ``node``; returns True if it was not already present."""
+        if not node:
+            raise ValueError("node name must be non-empty")
+        if node in self._nodes:
+            return False
+        self._nodes.add(node)
+        for point in self._points(node):
+            at = bisect.bisect_left(self._positions, point)
+            # sha256 collisions between distinct vnode labels are not a
+            # realistic concern, but keep insertion deterministic anyway:
+            # ties resolve by node name so add order cannot matter.
+            while (
+                at < len(self._positions)
+                and self._positions[at] == point
+                and self._owners[at] < node
+            ):
+                at += 1
+            self._positions.insert(at, point)
+            self._owners.insert(at, node)
+        return True
+
+    def remove(self, node: str) -> bool:
+        """Remove ``node``; returns True if it was present."""
+        if node not in self._nodes:
+            return False
+        self._nodes.remove(node)
+        keep = [i for i, owner in enumerate(self._owners) if owner != node]
+        self._positions = [self._positions[i] for i in keep]
+        self._owners = [self._owners[i] for i in keep]
+        return True
+
+    def __contains__(self, node: str) -> bool:
+        return node in self._nodes
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    @property
+    def nodes(self) -> frozenset[str]:
+        return frozenset(self._nodes)
+
+    # -- placement ------------------------------------------------------
+
+    def owner(self, key: str) -> str:
+        """The node owning ``key``; raises :class:`EmptyRingError`."""
+        if not self._positions:
+            raise EmptyRingError("hash ring has no nodes")
+        at = bisect.bisect_right(self._positions, _position(key))
+        if at == len(self._positions):
+            at = 0  # wrap: first point clockwise from the top
+        return self._owners[at]
+
+    def owners(self, key: str, n: int) -> list[str]:
+        """Up to ``n`` distinct nodes in fallback (clockwise) order.
+
+        The first entry is :meth:`owner`; later entries are where the
+        key would land if every earlier owner were ejected -- the
+        router's retry order.
+        """
+        if not self._positions:
+            raise EmptyRingError("hash ring has no nodes")
+        found: list[str] = []
+        at = bisect.bisect_right(self._positions, _position(key))
+        for step in range(len(self._positions)):
+            node = self._owners[(at + step) % len(self._positions)]
+            if node not in found:
+                found.append(node)
+                if len(found) >= min(n, len(self._nodes)):
+                    break
+        return found
+
+    def spread(self, keys: Sequence[str]) -> dict[str, int]:
+        """``{node: owned keys}`` over ``keys`` (testing/introspection)."""
+        counts = {node: 0 for node in self._nodes}
+        for key in keys:
+            counts[self.owner(key)] += 1
+        return counts

@@ -1,0 +1,1135 @@
+"""``repro-serve-router`` -- the consistent-hash fleet front door.
+
+One router process sits in front of N ``repro-serve`` backends (spawned
+subprocesses or externally managed addresses) and makes the
+single-process serving guarantees *fleet-wide*:
+
+* **placement** -- every grid point is hashed on its
+  :func:`repro.experiments.cache.cache_key` content hash onto a
+  consistent-hash ring (:mod:`repro.serve.ring`), so identical points
+  from any number of clients always land on the same backend, whose
+  in-process coalescer and memo dedupe them: N identical requests still
+  cost one kernel run across the whole fleet;
+* **tiered cache** -- backends share one on-disk
+  :class:`~repro.experiments.cache.ResultCache` directory (L2) behind
+  their per-process memo (L1); ring placement makes each key's owner its
+  only routine L2 writer (single-writer discipline);
+* **failure routing** -- a backend failing its health probe, answering
+  ``503 draining``, or dropping a connection is ejected from the ring;
+  its keys remap to the survivors and the affected forward is retried
+  once on the new owner, so a SIGKILLed or draining backend never
+  surfaces as a client-visible 5xx;
+* **async jobs** -- ``mode: async`` jobs are homed on one backend; the
+  router proxies their NDJSON stream and, if the home dies mid-stream,
+  resubmits the job to the new owner and resumes the stream without
+  duplicating already-delivered result lines.
+
+Routes mirror ``repro-serve`` (``POST /v1/simulate``, ``GET
+/v1/jobs/<id>``, ``/healthz``, ``/metrics``); ``/healthz`` additionally
+reports per-backend state and URLs so operators (and the CI smoke job)
+can find the fleet members.  ``X-Request-Id`` is honored/generated
+exactly like the backend does and forwarded verbatim on every hop, so
+one logical request is one trace across both tiers; ``ROUTER_*``
+metrics and ``router.*`` spans cover the router's own pipeline.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import secrets
+import signal
+import sys
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, replace
+from pathlib import Path
+from typing import Sequence
+
+from repro import obs
+from repro.experiments.cache import cache_key, grid_point_params
+from repro.experiments.config import CRC_BITS, ID_BITS, TAU
+from repro.obs import context as _ctx
+from repro.obs import instruments as _inst
+from repro.obs.state import STATE as _OBS
+from repro.obs.tracing import JsonlSink, NullSink, Tracer
+from repro.serve import http1
+from repro.serve import protocol as proto
+from repro.serve.backend import (
+    Backend,
+    BackendSpawnConfig,
+    BackendSupervisor,
+)
+from repro.serve.ring import DEFAULT_VNODES, EmptyRingError, HashRing
+
+__all__ = ["RouterConfig", "RouterApp", "main", "build_parser"]
+
+#: Async jobs remembered for ``GET /v1/jobs/<id>`` proxying/resume.
+JOB_BACKLOG = 1024
+
+#: Transport failures that mean "this backend hop failed", as opposed to
+#: a parsed HTTP response.  ``http1.HttpError`` covers a malformed
+#: backend response (a dying process can truncate mid-head).
+_HOP_ERRORS = (
+    ConnectionError,
+    OSError,
+    asyncio.TimeoutError,
+    asyncio.IncompleteReadError,
+    http1.HttpError,
+)
+
+
+class _ClientGone(Exception):
+    """The *client* connection failed mid-response.
+
+    Client-side writes inside the job-stream proxy are wrapped into this
+    distinct type so a client hanging up is never mistaken for a backend
+    hop failure (which would wrongly eject a healthy backend).
+    """
+
+
+async def _client_write(writer: asyncio.StreamWriter, data: bytes) -> None:
+    try:
+        writer.write(data)
+        await writer.drain()
+    except (ConnectionError, OSError) as exc:
+        raise _ClientGone(str(exc)) from exc
+
+
+@dataclass
+class RouterConfig:
+    """Everything ``repro-serve-router`` can be told from the CLI."""
+
+    host: str = "127.0.0.1"
+    port: int = 8600
+    backends: int = 2  # spawned repro-serve processes
+    attach: tuple[str, ...] = ()  # "host:port" of external backends
+    backend_concurrency: int = 4
+    mc_workers: int = 1
+    queue_capacity: int = 512
+    cache_dir: str | None = None  # shared L2 ResultCache directory
+    compute_floor_s: float = 0.0
+    vnodes: int = DEFAULT_VNODES
+    retries: int = 1  # re-routes per forward after an ejection
+    health_interval_s: float = 0.5
+    health_timeout_s: float = 2.0
+    forward_timeout_s: float = 300.0
+    restart: bool = True  # respawn dead spawned backends
+    restart_backoff_s: float = 0.5
+    drain_grace_s: float = 30.0
+    trace_out: str | None = None
+    obs_enabled: bool = True
+
+
+@dataclass
+class RouterJob:
+    """One async job homed on a backend, resumable after its death."""
+
+    id: str  # the router-level job id clients see
+    doc: dict  # the validated simulate body (canonical wire form)
+    backend_id: str
+    backend_job_id: str
+    request_id: str | None
+    n_points: int
+    resumes: int = 0
+
+
+def new_router_job_id() -> str:
+    return f"rjob-{secrets.token_hex(8)}"
+
+
+def _point_json(point_doc: object) -> str:
+    return json.dumps(point_doc, sort_keys=True, separators=(",", ":"))
+
+
+class RouterApp:
+    """The wired router: ring + supervisor + HTTP front end."""
+
+    def __init__(self, config: RouterConfig | None = None) -> None:
+        self.config = config if config is not None else RouterConfig()
+        if self.config.backends < 0:
+            raise ValueError("backends must be >= 0")
+        if not self.config.backends and not self.config.attach:
+            raise ValueError("router needs at least one backend")
+        self.ring = HashRing(vnodes=self.config.vnodes)
+        backends: list[Backend] = []
+        spawn_config = BackendSpawnConfig(
+            concurrency=self.config.backend_concurrency,
+            mc_workers=self.config.mc_workers,
+            queue_capacity=self.config.queue_capacity,
+            cache_dir=self.config.cache_dir,
+            compute_floor_s=self.config.compute_floor_s,
+            drain_grace_s=self.config.drain_grace_s,
+        )
+        for i in range(self.config.backends):
+            backends.append(Backend(f"b{i}", spawn_config=replace(spawn_config)))
+        for i, addr in enumerate(self.config.attach):
+            host, _, port = addr.rpartition(":")
+            backends.append(
+                Backend(f"ext{i}", host=host or "127.0.0.1", port=int(port))
+            )
+        self.supervisor = BackendSupervisor(
+            backends,
+            on_up=self._backend_up,
+            on_down=self._backend_down,
+            health_interval_s=self.config.health_interval_s,
+            health_timeout_s=self.config.health_timeout_s,
+            restart=self.config.restart,
+            restart_backoff_s=self.config.restart_backoff_s,
+        )
+        self.jobs: OrderedDict[str, RouterJob] = OrderedDict()
+        self.draining = False
+        self.started_s = time.monotonic()
+        self.port: int | None = None
+        self._server: asyncio.base_events.Server | None = None
+        self._closed = asyncio.Event()
+        self._drain_task: asyncio.Task | None = None
+        self._handlers: set[asyncio.Task] = set()
+        self._trace_sink: JsonlSink | None = None
+        #: Set once at least one backend has joined the ring; simulate
+        #: calls arriving before that wait (briefly) instead of 503ing
+        #: during the fleet's first seconds.
+        self._ring_ready = asyncio.Event()
+
+    # -- ring membership ------------------------------------------------
+
+    def _backend_up(self, backend: Backend) -> None:
+        self.ring.add(backend.id)
+        self._ring_ready.set()
+        self._gauge_backends()
+
+    def _backend_down(self, backend: Backend, reason: str) -> None:
+        self.ring.remove(backend.id)
+        self._gauge_backends()
+        if _OBS.enabled:
+            _OBS.registry.counter(
+                _inst.ROUTER_EJECTIONS,
+                "Backends ejected from the ring, by reason",
+                labelnames=("reason",),
+            ).labels(reason=reason.split(":")[0].replace(" ", "_")).inc()
+
+    def _gauge_backends(self) -> None:
+        if _OBS.enabled:
+            _OBS.registry.gauge(
+                _inst.ROUTER_BACKENDS_HEALTHY,
+                "Healthy backends currently on the hash ring",
+            ).set(len(self.ring))
+
+    # -- lifecycle ------------------------------------------------------
+
+    async def start(self) -> None:
+        if self.config.obs_enabled:
+            if self.config.trace_out:
+                self._trace_sink = JsonlSink(self.config.trace_out)
+                obs.enable(sink=self._trace_sink)
+            else:
+                obs.enable()
+        await self.supervisor.start()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.config.host, self.config.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def wait_closed(self) -> None:
+        await self._closed.wait()
+
+    def begin_drain(self) -> None:
+        """Stop admitting; drain handlers; drain spawned backends; exit."""
+        if self._drain_task is not None:
+            return
+        self.draining = True
+        self._drain_task = asyncio.get_running_loop().create_task(
+            self._drain()
+        )
+
+    async def _drain(self) -> None:
+        if self._handlers:
+            _done, pending = await asyncio.wait(
+                self._handlers, timeout=self.config.drain_grace_s
+            )
+            for task in pending:
+                task.cancel()
+            if pending:
+                await asyncio.gather(*pending, return_exceptions=True)
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        await self.supervisor.stop(self.config.drain_grace_s)
+        if self._trace_sink is not None:
+            if _OBS.tracer.sink is self._trace_sink:
+                _OBS.tracer = Tracer(NullSink())
+            self._trace_sink.close()
+        self._closed.set()
+
+    async def aclose(self) -> None:
+        self.begin_drain()
+        await self.wait_closed()
+
+    # -- key derivation -------------------------------------------------
+
+    def point_key(
+        self, rounds: int, seed: int, point: proto.GridPoint
+    ) -> str:
+        """The PR-2 cache-key content hash -- the fleet routing key.
+
+        Uses :func:`grid_point_params` with the paper-default timing
+        model, which is exactly what every backend's suite hashes (the
+        serve tier exposes no timing overrides).
+        """
+        return cache_key(
+            grid_point_params(
+                rounds=rounds,
+                seed=seed,
+                tau=TAU,
+                id_bits=ID_BITS,
+                crc_bits=CRC_BITS,
+                case_name=point.case.name,
+                n_tags=point.case.n_tags,
+                frame_size=point.case.frame_size,
+                protocol=point.protocol,
+                scheme=point.scheme,
+            )
+        )
+
+    # -- HTTP plumbing (same stack as the backends) ---------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._handlers.add(task)
+            task.add_done_callback(self._handlers.discard)
+        route = "unmatched"
+        status = 500
+        scope_rid = _ctx.new_request_id()
+        tracer: Tracer | None = None
+        try:
+            try:
+                request = await asyncio.wait_for(
+                    http1.read_request(reader),
+                    timeout=http1.REQUEST_READ_TIMEOUT,
+                )
+            except asyncio.TimeoutError:
+                status = 408
+                with _ctx.bound_context(request_id=scope_rid):
+                    await http1.send_json(
+                        writer,
+                        408,
+                        proto.error_envelope(
+                            proto.ProtocolError(
+                                "invalid_request",
+                                "timed out waiting for the request",
+                            ),
+                            request_id=scope_rid,
+                        ),
+                    )
+                return
+            except http1.HttpError as exc:
+                status = exc.status
+                with _ctx.bound_context(request_id=scope_rid):
+                    await http1.send_json(
+                        writer,
+                        exc.status,
+                        proto.error_envelope(
+                            proto.ProtocolError(
+                                "invalid_request"
+                                if exc.status < 500
+                                else "internal",
+                                str(exc),
+                            ),
+                            request_id=scope_rid,
+                        ),
+                    )
+                return
+            supplied = request.headers.get("x-request-id")
+            if proto.valid_request_id(supplied):
+                scope_rid = supplied
+            if _OBS.enabled:
+                tracer = Tracer(_OBS.tracer.sink, trace_id=scope_rid)
+            with _ctx.bound_context(tracer=tracer, request_id=scope_rid):
+                if tracer is not None:
+                    tracer.start_span(
+                        "router.request",
+                        method=request.method,
+                        path=request.path,
+                    )
+                try:
+                    route, status = await self._dispatch(
+                        request, writer, scope_rid
+                    )
+                finally:
+                    if tracer is not None:
+                        tracer.end_span(route=route, status=status)
+        except (ConnectionError, asyncio.IncompleteReadError, _ClientGone):
+            status = 0  # client went away
+        except Exception as exc:  # last-resort 500, never a crash
+            status = 500
+            try:
+                with _ctx.bound_context(request_id=scope_rid):
+                    await http1.send_json(
+                        writer,
+                        500,
+                        proto.error_envelope(
+                            proto.ProtocolError(
+                                "internal", f"{type(exc).__name__}: {exc}"
+                            ),
+                            request_id=scope_rid,
+                        ),
+                    )
+            except ConnectionError:  # pragma: no cover
+                pass
+        finally:
+            if _OBS.enabled and status:
+                _OBS.registry.counter(
+                    _inst.ROUTER_REQUESTS,
+                    "Requests through the router, by route and status",
+                    labelnames=("route", "status"),
+                ).labels(route=route, status=status).inc()
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover
+                pass
+
+    async def _dispatch(
+        self,
+        request: http1.HttpRequest,
+        writer: asyncio.StreamWriter,
+        rid: str,
+    ) -> tuple[str, int]:
+        path = request.path
+        if path == "/healthz":
+            if request.method != "GET":
+                return "healthz", await self._method_not_allowed(writer, "GET")
+            return "healthz", await self._handle_healthz(writer)
+        if path == "/metrics":
+            if request.method != "GET":
+                return "metrics", await self._method_not_allowed(writer, "GET")
+            text = _OBS.registry.to_prometheus()
+            await http1.send_response(
+                writer,
+                200,
+                "text/plain; version=0.0.4; charset=utf-8",
+                text.encode("utf-8"),
+            )
+            return "metrics", 200
+        if path == "/v1/simulate":
+            if request.method != "POST":
+                return "simulate", await self._method_not_allowed(
+                    writer, "POST"
+                )
+            return "simulate", await self._handle_simulate(
+                request, writer, rid
+            )
+        if path.startswith("/v1/jobs/"):
+            if request.method != "GET":
+                return "jobs", await self._method_not_allowed(writer, "GET")
+            job_id = path[len("/v1/jobs/"):]
+            return "jobs", await self._handle_job_stream(job_id, writer, rid)
+        return "unmatched", await self._send_error(
+            writer,
+            proto.ProtocolError("not_found", f"no route for {path}"),
+        )
+
+    async def _method_not_allowed(
+        self, writer: asyncio.StreamWriter, allowed: str
+    ) -> int:
+        exc = proto.ProtocolError(
+            "method_not_allowed", f"only {allowed} is allowed here"
+        )
+        await http1.send_json(
+            writer,
+            exc.status,
+            proto.error_envelope(exc, request_id=_ctx.current_request_id()),
+            [("Allow", allowed)],
+        )
+        return exc.status
+
+    async def _send_error(
+        self, writer: asyncio.StreamWriter, exc: proto.ProtocolError
+    ) -> int:
+        headers: list[tuple[str, str]] = []
+        if exc.retry_after_s is not None:
+            headers.append(
+                ("Retry-After", str(max(1, round(exc.retry_after_s))))
+            )
+        await http1.send_json(
+            writer,
+            exc.status,
+            proto.error_envelope(exc, request_id=_ctx.current_request_id()),
+            headers,
+        )
+        return exc.status
+
+    # -- endpoints ------------------------------------------------------
+
+    async def _handle_healthz(self, writer: asyncio.StreamWriter) -> int:
+        doc = {
+            "status": "draining" if self.draining else "ok",
+            "router": True,
+            "uptime_s": round(time.monotonic() - self.started_s, 3),
+            "ring_nodes": len(self.ring),
+            "backends": [
+                b.snapshot() for b in self.supervisor.backends
+            ],
+            "jobs": len(self.jobs),
+            "protocol_version": proto.PROTOCOL_VERSION,
+        }
+        await http1.send_json(writer, 200, doc)
+        return 200
+
+    async def _handle_simulate(
+        self,
+        request: http1.HttpRequest,
+        writer: asyncio.StreamWriter,
+        rid: str,
+    ) -> int:
+        # Validate at the edge: a malformed request never crosses the
+        # backend hop (and therefore never counts against the fleet).
+        try:
+            doc = json.loads(request.body.decode("utf-8"))
+        except (UnicodeDecodeError, ValueError):
+            return await self._send_error(
+                writer,
+                proto.ProtocolError(
+                    "invalid_request", "request body is not valid JSON"
+                ),
+            )
+        try:
+            sim = proto.parse_simulate_request(doc)
+        except proto.ProtocolError as exc:
+            return await self._send_error(writer, exc)
+        if self.draining:
+            return await self._send_error(
+                writer,
+                proto.ProtocolError(
+                    "draining",
+                    "router is draining; retry against a healthy instance",
+                    retry_after_s=self.config.drain_grace_s,
+                ),
+            )
+        # Give the fleet a beat on cold start before shedding.
+        try:
+            await asyncio.wait_for(self._ring_ready.wait(), timeout=10.0)
+        except asyncio.TimeoutError:
+            pass
+        if not len(self.ring):
+            return await self._send_error(
+                writer,
+                proto.ProtocolError(
+                    "overloaded",
+                    "no healthy backend on the ring",
+                    retry_after_s=self.config.health_interval_s * 4,
+                ),
+            )
+        if sim.mode == "async":
+            return await self._simulate_async(sim, writer, rid)
+        return await self._simulate_sync(sim, writer, rid)
+
+    # -- forwarding core ------------------------------------------------
+
+    def _owner_for(self, key: str, tried: set[str]) -> Backend | None:
+        """The healthiest untried owner of ``key`` in ring fallback order."""
+        try:
+            order = self.ring.owners(key, len(self.ring))
+        except EmptyRingError:
+            return None
+        for backend_id in order:
+            if backend_id in tried:
+                continue
+            backend = self.supervisor.by_id(backend_id)
+            if backend is not None and backend.port is not None:
+                return backend
+        return None
+
+    async def _forward(
+        self,
+        key: str,
+        method: str,
+        path: str,
+        body: bytes | None,
+        rid: str,
+        *,
+        timeout_s: float | None = None,
+    ) -> tuple[int, dict[str, str], bytes, Backend]:
+        """One keyed hop with eject-and-retry-once routing.
+
+        Transport failures and ``503 draining`` eject the backend from
+        the ring and re-route to the key's next owner, up to
+        ``config.retries`` times; anything else (including 429) is the
+        caller's to interpret.  Raises :class:`proto.ProtocolError`
+        (``overloaded``) when every owner in reach has failed.
+        """
+        tried: set[str] = set()
+        attempts = self.config.retries + 1
+        last_reason = "no healthy backend on the ring"
+        for attempt in range(attempts):
+            backend = self._owner_for(key, tried)
+            if backend is None:
+                break
+            tried.add(backend.id)
+            tracer = _ctx.current_tracer()
+            if tracer is not None:
+                tracer.start_span(
+                    "router.forward",
+                    backend=backend.id,
+                    path=path,
+                    attempt=attempt,
+                )
+            t0 = time.perf_counter()
+            outcome = "error"
+            try:
+                status, headers, payload = await http1.fetch(
+                    backend.host,
+                    backend.port,
+                    method,
+                    path,
+                    body=body,
+                    headers=[(proto.REQUEST_ID_HEADER, rid)],
+                    timeout_s=(
+                        timeout_s
+                        if timeout_s is not None
+                        else self.config.forward_timeout_s
+                    ),
+                )
+            except _HOP_ERRORS as exc:
+                last_reason = f"{type(exc).__name__} from {backend.id}"
+                self.supervisor.eject(backend, "unreachable")
+                self._count_forward(backend.id, "error", t0)
+                self._count_retry()
+                continue
+            finally:
+                if tracer is not None:
+                    tracer.end_span(outcome=outcome)
+            if status == 503 and _error_code(payload) == "draining":
+                last_reason = f"backend {backend.id} draining"
+                self.supervisor.eject(backend, "draining")
+                self._count_forward(backend.id, "shed", t0)
+                self._count_retry()
+                continue
+            self._count_forward(
+                backend.id, "ok" if status < 500 else "error", t0
+            )
+            return status, headers, payload, backend
+        raise proto.ProtocolError(
+            "overloaded",
+            f"no backend could serve this point ({last_reason})",
+            retry_after_s=max(1.0, self.config.health_interval_s * 4),
+        )
+
+    def _count_forward(self, backend_id: str, outcome: str, t0: float) -> None:
+        if not _OBS.enabled:
+            return
+        reg = _OBS.registry
+        reg.counter(
+            _inst.ROUTER_FORWARDS,
+            "Router -> backend hops, by backend and outcome",
+            labelnames=("backend", "outcome"),
+        ).labels(backend=backend_id, outcome=outcome).inc()
+        reg.histogram(
+            _inst.ROUTER_FORWARD_SECONDS,
+            "Wall time per backend hop",
+            labelnames=("backend",),
+        ).labels(backend=backend_id).observe(time.perf_counter() - t0)
+
+    def _count_retry(self) -> None:
+        if _OBS.enabled:
+            _OBS.registry.counter(
+                _inst.ROUTER_RETRIES,
+                "Forwards re-routed to a new owner after an ejection",
+            ).inc()
+
+    # -- sync fan-out ---------------------------------------------------
+
+    @staticmethod
+    def _point_doc(sim: proto.SimulateRequest, point: proto.GridPoint) -> dict:
+        """A single-point sync sub-request (the unit of fleet routing)."""
+        return {
+            "version": proto.PROTOCOL_VERSION,
+            "cases": [proto.GridPoint.to_wire(point)["case"]],
+            "protocols": [point.protocol],
+            "schemes": [point.scheme],
+            "rounds": sim.rounds,
+            "seed": sim.seed,
+            "mode": "sync",
+            "priority": sim.priority,
+            "client": sim.client,
+        }
+
+    async def _simulate_sync(
+        self,
+        sim: proto.SimulateRequest,
+        writer: asyncio.StreamWriter,
+        rid: str,
+    ) -> int:
+        t0 = time.monotonic()
+
+        async def one(point: proto.GridPoint):
+            key = self.point_key(sim.rounds, sim.seed, point)
+            body = http1.json_payload(self._point_doc(sim, point))
+            return await self._forward(key, "POST", "/v1/simulate", body, rid)
+
+        outcomes = await asyncio.gather(
+            *(one(p) for p in sim.points), return_exceptions=True
+        )
+        results: list[dict] = []
+        served_by: dict[str, int] = {}
+        failure: tuple[int, dict[str, str], bytes] | None = None
+        shed: proto.ProtocolError | None = None
+        for outcome in outcomes:
+            if isinstance(outcome, proto.ProtocolError):
+                shed = outcome  # every reachable owner failed
+                continue
+            if isinstance(outcome, BaseException):
+                raise outcome  # unexpected: let the 500 guard report it
+            status, headers, payload, backend = outcome
+            if status == 200:
+                try:
+                    doc = json.loads(payload.decode("utf-8"))
+                    point_results = doc["results"]
+                except (ValueError, KeyError, TypeError):
+                    raise RuntimeError(
+                        f"backend {backend.id} returned an unparsable "
+                        "sync response"
+                    )
+                results.extend(point_results)
+                served_by[backend.id] = (
+                    served_by.get(backend.id, 0) + len(point_results)
+                )
+                continue
+            # Prefer reporting the most actionable failure: any hard
+            # failure beats a shed; among responses keep the worst.
+            if failure is None or status > failure[0]:
+                failure = (status, headers, payload)
+        if failure is not None:
+            status, headers, payload = failure
+            extra = []
+            retry_after = headers.get("retry-after")
+            if retry_after:
+                extra.append(("Retry-After", retry_after))
+            await http1.send_response(
+                writer, status, "application/json", payload, extra
+            )
+            return status
+        if shed is not None:
+            return await self._send_error(writer, shed)
+        doc = proto.sync_response(
+            new_router_job_id(),
+            "done",
+            results,
+            round(time.monotonic() - t0, 6),
+            request_id=rid,
+        )
+        doc["served_by"] = dict(sorted(served_by.items()))
+        await http1.send_json(writer, 200, doc)
+        return 200
+
+    # -- async jobs -----------------------------------------------------
+
+    async def _simulate_async(
+        self,
+        sim: proto.SimulateRequest,
+        writer: asyncio.StreamWriter,
+        rid: str,
+    ) -> int:
+        # Home the whole job on the owner of its first point's key: the
+        # job id must live on exactly one backend.  Per-point fleet
+        # coalescing still applies to the sync path; an async job's
+        # points coalesce within its home backend.
+        wire = sim.to_wire()
+        key = self.point_key(sim.rounds, sim.seed, sim.points[0])
+        try:
+            status, headers, payload, backend = await self._forward(
+                key, "POST", "/v1/simulate", http1.json_payload(wire), rid
+            )
+        except proto.ProtocolError as exc:
+            return await self._send_error(writer, exc)
+        if status != 202:
+            extra = []
+            retry_after = headers.get("retry-after")
+            if retry_after:
+                extra.append(("Retry-After", retry_after))
+            await http1.send_response(
+                writer, status, "application/json", payload, extra
+            )
+            return status
+        try:
+            backend_doc = json.loads(payload.decode("utf-8"))
+            backend_job_id = backend_doc["job_id"]
+        except (ValueError, KeyError, TypeError):
+            raise RuntimeError(
+                f"backend {backend.id} returned an unparsable 202"
+            )
+        job = RouterJob(
+            id=new_router_job_id(),
+            doc=wire,
+            backend_id=backend.id,
+            backend_job_id=backend_job_id,
+            request_id=rid,
+            n_points=len(sim.points),
+        )
+        self.jobs[job.id] = job
+        while len(self.jobs) > JOB_BACKLOG:
+            self.jobs.popitem(last=False)
+        await http1.send_json(
+            writer,
+            202,
+            proto.job_envelope(
+                job.id,
+                backend_doc.get("state", "queued"),
+                len(sim.points),
+                0,
+                request_id=rid,
+            ),
+        )
+        return 202
+
+    async def _handle_job_stream(
+        self, job_id: str, writer: asyncio.StreamWriter, rid: str
+    ) -> int:
+        job = self.jobs.get(job_id)
+        if job is None:
+            return await self._send_error(
+                writer,
+                proto.ProtocolError(
+                    "not_found", f"no job {job_id!r} on this router"
+                ),
+            )
+        head = (
+            "HTTP/1.1 200 OK\r\n"
+            "Content-Type: application/x-ndjson\r\n"
+            "Cache-Control: no-store\r\n"
+            f"{proto.REQUEST_ID_HEADER}: {rid}\r\n"
+            "Connection: close\r\n\r\n"
+        ).encode("latin-1")
+        head_written = False  # our 200 head (written lazily: see below)
+        header_sent = False  # the NDJSON "job" header line
+        #: Canonical point JSON of every result line already forwarded on
+        #: *this* client stream: a resumed backend stream replays from
+        #: the start, and the replayed lines must not reach the client
+        #: twice.  Local on purpose -- a separate client GET of the same
+        #: job gets the full replay.
+        forwarded: set[str] = set()
+        # One transparent resume per stream (mirrors the sync path's
+        # retry-once): attempt 0 streams from the job's home backend,
+        # attempt 1 resubmits to the new owner of the job's key.
+        for attempt in range(self.config.retries + 1):
+            backend = self.supervisor.by_id(job.backend_id)
+            if backend is None or backend.port is None:
+                break
+            resp: http1.StreamingResponse | None = None
+            done_doc: dict | None = None
+            try:
+                resp = await http1.open_fetch(
+                    backend.host,
+                    backend.port,
+                    "GET",
+                    f"/v1/jobs/{job.backend_job_id}",
+                    headers=[(proto.REQUEST_ID_HEADER, rid)],
+                )
+                if resp.status != 200:
+                    payload = await resp.read_body()
+                    if not head_written:
+                        # Nothing sent yet: surface the backend's own
+                        # envelope (and status) verbatim.
+                        await http1.send_response(
+                            writer, resp.status, "application/json", payload
+                        )
+                        return resp.status
+                    break
+                if not head_written:
+                    # The head goes out only once a backend actually
+                    # answered 200 -- a failing first hop can still get
+                    # a real error status line.
+                    await _client_write(writer, head)
+                    head_written = True
+                async for raw in resp.lines():
+                    try:
+                        line = json.loads(raw.decode("utf-8"))
+                    except ValueError:
+                        raise ConnectionError("torn NDJSON line")
+                    kind = line.get("type")
+                    if kind == "job":
+                        if header_sent:
+                            continue  # resumed stream: suppress duplicate
+                        line["job_id"] = job.id
+                        line["location"] = f"/v1/jobs/{job.id}"
+                        await _client_write(writer, http1.json_payload(line))
+                        header_sent = True
+                    elif kind == "result":
+                        fingerprint = _point_json(line.get("point"))
+                        if fingerprint in forwarded:
+                            continue
+                        forwarded.add(fingerprint)
+                        await _client_write(writer, http1.json_payload(line))
+                    elif kind == "done":
+                        line["job_id"] = job.id
+                        done_doc = line
+                if done_doc is not None:
+                    await _client_write(writer, http1.json_payload(done_doc))
+                    return 200
+                # EOF without a done line: the backend died mid-stream.
+                raise ConnectionError("stream ended without a done line")
+            except _HOP_ERRORS:
+                self.supervisor.eject(backend, "unreachable")
+                if attempt >= self.config.retries:
+                    break
+                if not await self._rehome_job(job, rid):
+                    break
+            finally:
+                if resp is not None:
+                    await resp.aclose()
+        if not head_written:
+            # Never reached a backend at all: a typed, retryable error.
+            return await self._send_error(
+                writer,
+                proto.ProtocolError(
+                    "overloaded",
+                    "the job's backend is gone and could not be replaced; "
+                    "retry shortly",
+                    retry_after_s=max(1.0, self.config.health_interval_s * 4),
+                ),
+            )
+        # The stream and its resume both failed mid-flight: emit a
+        # terminal failed line (valid NDJSON, never a torn connection) so
+        # clients see a typed job failure instead of a transport error.
+        await _client_write(
+            writer,
+            http1.json_payload(
+                proto.done_line(
+                    job.id,
+                    "failed",
+                    0.0,
+                    "backend lost mid-stream and resume failed",
+                )
+            ),
+        )
+        return 200
+
+    async def _rehome_job(self, job: RouterJob, rid: str) -> bool:
+        """Resubmit a lost job to the current owner of its key.
+
+        Completed points replay from the shared L2 cache (or recompute);
+        the stream proxy skips every line already forwarded.
+        """
+        key_source = job.doc
+        try:
+            sim = proto.parse_simulate_request(key_source)
+        except proto.ProtocolError:  # pragma: no cover - own wire form
+            return False
+        key = self.point_key(sim.rounds, sim.seed, sim.points[0])
+        try:
+            status, _headers, payload, backend = await self._forward(
+                key,
+                "POST",
+                "/v1/simulate",
+                http1.json_payload(job.doc),
+                rid,
+            )
+        except proto.ProtocolError:
+            return False
+        if status != 202:
+            return False
+        try:
+            backend_doc = json.loads(payload.decode("utf-8"))
+            job.backend_job_id = backend_doc["job_id"]
+        except (ValueError, KeyError, TypeError):
+            return False
+        job.backend_id = backend.id
+        job.resumes += 1
+        if _OBS.enabled:
+            _OBS.registry.counter(
+                _inst.ROUTER_STREAM_RESUMES,
+                "NDJSON job streams resumed on a surviving backend",
+            ).inc()
+        return True
+
+
+def _error_code(payload: bytes) -> str | None:
+    try:
+        doc = json.loads(payload.decode("utf-8"))
+        return doc.get("error", {}).get("code")
+    except (ValueError, AttributeError, UnicodeDecodeError):
+        return None
+
+
+# ----------------------------------------------------------------------
+# Entry point
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-serve-router",
+        description=(
+            "Consistent-hash front router over N repro-serve backends: "
+            "fleet-wide coalescing, a shared L2 result cache, health "
+            "checks with drain-aware routing (see docs/SERVING.md)."
+        ),
+    )
+    cfg = RouterConfig()
+    parser.add_argument("--host", default=cfg.host)
+    parser.add_argument(
+        "--port",
+        type=int,
+        default=cfg.port,
+        help=f"TCP port; 0 picks a free one (default {cfg.port})",
+    )
+    parser.add_argument(
+        "--backends",
+        type=int,
+        default=cfg.backends,
+        help=f"repro-serve subprocesses to spawn (default {cfg.backends})",
+    )
+    parser.add_argument(
+        "--attach",
+        default=None,
+        metavar="HOST:PORT[,HOST:PORT...]",
+        help="comma-separated externally managed backends to route to "
+        "instead of (or in addition to) spawning",
+    )
+    parser.add_argument(
+        "--backend-concurrency",
+        type=int,
+        default=cfg.backend_concurrency,
+        help="asyncio workers per spawned backend "
+        f"(default {cfg.backend_concurrency})",
+    )
+    parser.add_argument(
+        "--mc-workers",
+        type=int,
+        default=cfg.mc_workers,
+        help="MC worker processes per spawned backend "
+        f"(default {cfg.mc_workers})",
+    )
+    parser.add_argument(
+        "--queue-capacity",
+        type=int,
+        default=cfg.queue_capacity,
+        help="admission-queue capacity per spawned backend "
+        f"(default {cfg.queue_capacity})",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        type=Path,
+        default=None,
+        help="shared on-disk ResultCache directory (the L2 tier) handed "
+        "to every spawned backend",
+    )
+    parser.add_argument(
+        "--compute-floor",
+        type=float,
+        default=cfg.compute_floor_s,
+        metavar="SECONDS",
+        dest="compute_floor_s",
+        help="minimum service time per computed point on every spawned "
+        "backend (capacity experiments; default 0)",
+    )
+    parser.add_argument(
+        "--vnodes",
+        type=int,
+        default=cfg.vnodes,
+        help=f"virtual nodes per backend on the ring (default {cfg.vnodes})",
+    )
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=cfg.retries,
+        help="re-routes per forward after an ejection "
+        f"(default {cfg.retries})",
+    )
+    parser.add_argument(
+        "--health-interval",
+        type=float,
+        default=cfg.health_interval_s,
+        metavar="SECONDS",
+        dest="health_interval_s",
+        help=f"seconds between /healthz probes (default {cfg.health_interval_s})",
+    )
+    parser.add_argument(
+        "--no-restart",
+        action="store_false",
+        dest="restart",
+        help="do not respawn spawned backends that die",
+    )
+    parser.add_argument(
+        "--drain-grace",
+        type=float,
+        default=cfg.drain_grace_s,
+        metavar="SECONDS",
+        dest="drain_grace_s",
+        help="max seconds to wait for handlers/backends on SIGTERM "
+        f"(default {cfg.drain_grace_s:.0f})",
+    )
+    parser.add_argument(
+        "--trace-out",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        dest="trace_out",
+        help="append router span records as JSONL to PATH",
+    )
+    parser.add_argument(
+        "--no-obs",
+        action="store_false",
+        dest="obs_enabled",
+        help="disable router metrics and tracing",
+    )
+    return parser
+
+
+async def _amain(config: RouterConfig) -> int:
+    app = RouterApp(config)
+    await app.start()
+    loop = asyncio.get_running_loop()
+    for sig in (signal.SIGTERM, signal.SIGINT):
+        try:
+            loop.add_signal_handler(sig, app.begin_drain)
+        except NotImplementedError:  # pragma: no cover - non-POSIX loops
+            pass
+    print(
+        f"repro-serve-router listening on {config.host}:{app.port} "
+        f"(backends={len(app.supervisor.backends)}, "
+        f"vnodes={config.vnodes}, retries={config.retries})",
+        flush=True,
+    )
+    await app.wait_closed()
+    print("repro-serve-router drained; exiting", flush=True)
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    attach: tuple[str, ...] = ()
+    if args.attach:
+        attach = tuple(
+            part.strip() for part in args.attach.split(",") if part.strip()
+        )
+    config = RouterConfig(
+        host=args.host,
+        port=args.port,
+        backends=args.backends,
+        attach=attach,
+        backend_concurrency=args.backend_concurrency,
+        mc_workers=args.mc_workers,
+        queue_capacity=args.queue_capacity,
+        cache_dir=str(args.cache_dir) if args.cache_dir else None,
+        compute_floor_s=args.compute_floor_s,
+        vnodes=args.vnodes,
+        retries=args.retries,
+        health_interval_s=args.health_interval_s,
+        restart=args.restart,
+        drain_grace_s=args.drain_grace_s,
+        trace_out=str(args.trace_out) if args.trace_out else None,
+        obs_enabled=args.obs_enabled,
+    )
+    obs.reset()
+    try:
+        return asyncio.run(_amain(config))
+    except KeyboardInterrupt:  # pragma: no cover - double ^C
+        return 130
+
+
+if __name__ == "__main__":
+    sys.exit(main())

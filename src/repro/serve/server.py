@@ -58,6 +58,7 @@ from repro.obs import instruments as _inst
 from repro.obs.state import STATE as _OBS
 from repro.obs.tracing import JsonlSink, NullSink, Tracer
 from repro.sim.export import nan_to_none
+from repro.serve import http1
 from repro.serve import protocol as proto
 from repro.serve.coalesce import Coalescer
 from repro.serve.queue import AdmissionError, AdmissionQueue, QueueClosed
@@ -72,16 +73,10 @@ from repro.serve.workers import (
 
 __all__ = ["ServeConfig", "ServeApp", "main", "build_parser"]
 
-#: HTTP parsing limits: past any of them the request is rejected, never
-#: buffered unboundedly.
-MAX_REQUEST_LINE = 8 * 1024
-MAX_HEADER_COUNT = 100
-MAX_HEADER_LINE = 8 * 1024
-MAX_BODY_BYTES = 1024 * 1024
-
-#: A client must deliver its whole request within this window; an idle
-#: half-open connection can otherwise pin the drain sequence forever.
-REQUEST_READ_TIMEOUT = 30.0
+#: The HTTP wire plumbing (parsing limits, read timeout, response
+#: framing) lives in :mod:`repro.serve.http1`, shared with the fleet
+#: router so the two hops cannot drift.
+REQUEST_READ_TIMEOUT = http1.REQUEST_READ_TIMEOUT
 
 #: Finished jobs kept for late ``GET /v1/jobs/<id>`` readers.
 FINISHED_JOB_BACKLOG = 1024
@@ -96,34 +91,8 @@ RECENT_SLOWEST = 16
 #: and tests attach their own handler to this logger instead.
 _ACCESS_LOG = logging.getLogger("repro.serve.access")
 
-_REASONS = {
-    200: "OK",
-    202: "Accepted",
-    400: "Bad Request",
-    404: "Not Found",
-    405: "Method Not Allowed",
-    408: "Request Timeout",
-    413: "Payload Too Large",
-    429: "Too Many Requests",
-    500: "Internal Server Error",
-    503: "Service Unavailable",
-}
-
-
-class _HttpError(Exception):
-    """Transport-level malformation (before the JSON protocol layer)."""
-
-    def __init__(self, status: int, message: str) -> None:
-        super().__init__(message)
-        self.status = status
-
-
-@dataclass
-class _HttpRequest:
-    method: str
-    path: str
-    headers: dict[str, str]
-    body: bytes
+_HttpError = http1.HttpError
+_HttpRequest = http1.HttpRequest
 
 
 @dataclass
@@ -430,54 +399,7 @@ class ServeApp:
         )
 
     async def _read_request(self, reader: asyncio.StreamReader) -> _HttpRequest:
-        try:
-            line = await reader.readuntil(b"\r\n")
-        except asyncio.LimitOverrunError:
-            raise _HttpError(400, "request line too long")
-        except asyncio.IncompleteReadError:
-            raise _HttpError(400, "empty request")
-        if len(line) > MAX_REQUEST_LINE:
-            raise _HttpError(400, "request line too long")
-        parts = line.decode("latin-1").rstrip("\r\n").split(" ")
-        if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
-            raise _HttpError(400, "malformed request line")
-        method, target, _version = parts
-        headers: dict[str, str] = {}
-        for _ in range(MAX_HEADER_COUNT + 1):
-            try:
-                raw = await reader.readuntil(b"\r\n")
-            except (asyncio.LimitOverrunError, asyncio.IncompleteReadError):
-                raise _HttpError(400, "malformed headers")
-            if raw == b"\r\n":
-                break
-            if len(raw) > MAX_HEADER_LINE:
-                raise _HttpError(400, "header line too long")
-            name, sep, value = raw.decode("latin-1").partition(":")
-            if not sep:
-                raise _HttpError(400, "malformed header line")
-            headers[name.strip().lower()] = value.strip()
-        else:
-            raise _HttpError(400, "too many headers")
-        body = b""
-        if "content-length" in headers:
-            try:
-                length = int(headers["content-length"])
-            except ValueError:
-                raise _HttpError(400, "malformed Content-Length")
-            if length < 0:
-                raise _HttpError(400, "malformed Content-Length")
-            if length > MAX_BODY_BYTES:
-                raise _HttpError(413, "request body too large")
-            try:
-                body = await reader.readexactly(length)
-            except asyncio.IncompleteReadError:
-                raise _HttpError(400, "truncated request body")
-        elif headers.get("transfer-encoding"):
-            raise _HttpError(400, "chunked request bodies are not supported")
-        return _HttpRequest(
-            method=method, path=target.split("?", 1)[0], headers=headers,
-            body=body,
-        )
+        return await http1.read_request(reader)
 
     async def _send_response(
         self,
@@ -487,21 +409,9 @@ class ServeApp:
         payload: bytes,
         extra_headers: Sequence[tuple[str, str]] = (),
     ) -> None:
-        reason = _REASONS.get(status, "Unknown")
-        head = [f"HTTP/1.1 {status} {reason}"]
-        head.append(f"Content-Type: {content_type}")
-        head.append(f"Content-Length: {len(payload)}")
-        # Every response echoes the request id bound to this context --
-        # success, error envelope or 500 alike (the header contract).
-        rid = _ctx.current_request_id()
-        if rid is not None:
-            head.append(f"{proto.REQUEST_ID_HEADER}: {rid}")
-        for name, value in extra_headers:
-            head.append(f"{name}: {value}")
-        head.append("Connection: close")
-        writer.write(("\r\n".join(head) + "\r\n\r\n").encode("latin-1"))
-        writer.write(payload)
-        await writer.drain()
+        await http1.send_response(
+            writer, status, content_type, payload, extra_headers
+        )
 
     async def _send_json(
         self,
@@ -510,12 +420,7 @@ class ServeApp:
         doc: dict,
         extra_headers: Sequence[tuple[str, str]] = (),
     ) -> None:
-        payload = json.dumps(
-            nan_to_none(doc), allow_nan=False, separators=(",", ":")
-        ).encode("utf-8") + b"\n"
-        await self._send_response(
-            writer, status, "application/json", payload, extra_headers
-        )
+        await http1.send_json(writer, status, doc, extra_headers)
 
     async def _send_error(
         self, writer: asyncio.StreamWriter, exc: proto.ProtocolError

@@ -242,3 +242,97 @@ class TestOrphanSweep:
         with pytest.raises(OSError):
             cache.store(PARAMS, {"x": 1})
         assert list(tmp_path.glob("*.tmp.*")) == []
+
+
+class TestCrossProcess:
+    """The L2 tier's contract under *process*-level sharing: the fleet
+    runs one ``ResultCache`` directory behind N backend processes, so a
+    reader racing another process's writer must see either a miss or the
+    complete document -- never a torn read, never an exception."""
+
+    def test_mid_write_prefix_reads_as_clean_miss(self, tmp_path):
+        """Every proper prefix of a real entry's bytes is a miss.
+
+        ``os.replace`` makes this state unreachable through the cache's
+        own API; the test pins the defense-in-depth contract for files
+        torn by other means (crashed copy, partial scp of a cache dir).
+        """
+        cache = ResultCache(tmp_path)
+        path = cache.store(PARAMS, {"x": 1.5, "n": 3})
+        payload = path.read_bytes()
+        for cut in (0, 1, len(payload) // 2, len(payload) - 2):
+            path.write_bytes(payload[:cut])
+            assert cache.load(PARAMS) is None, f"prefix of {cut} bytes hit"
+        path.write_bytes(payload)
+        assert cache.load(PARAMS) == {"x": 1.5, "n": 3}
+
+    def test_two_process_stress_shared_directory(self, tmp_path):
+        """4 real processes hammer one cache directory -- half mostly
+        writing, half mostly reading, all on the same small key set.
+        Every load in every process must be a miss or a complete
+        document, and the directory must end clean of temp files."""
+        import subprocess
+        import sys
+
+        worker = tmp_path / "worker.py"
+        worker.write_text(
+            """
+import json, sys
+from repro.experiments.cache import ResultCache, cache_key
+
+root, role, rounds = sys.argv[1], sys.argv[2], int(sys.argv[3])
+cache = ResultCache(root)
+keys = [
+    {
+        "schema": 1,
+        "rounds": 4,
+        "seed": s,
+        "case": {"name": "I", "n_tags": 50, "frame_size": 30},
+        "protocol": "fsa",
+        "scheme": "qcd-8",
+    }
+    for s in range(3)
+]
+for i in range(rounds):
+    params = keys[i % len(keys)]
+    if role == "writer":
+        cache.store(params, {"seed": params["seed"], "i": i, "x": 1.5})
+        loaded = cache.load(params)
+    else:
+        loaded = cache.load(params)
+    if loaded is not None:
+        # A hit is always a *complete* store: all fields, right seed.
+        assert set(loaded) == {"seed", "i", "x"}, loaded
+        assert loaded["seed"] == params["seed"], loaded
+        assert loaded["x"] == 1.5, loaded
+print("ok")
+"""
+        )
+        cache_dir = tmp_path / "shared"
+        procs = [
+            subprocess.Popen(
+                [sys.executable, str(worker), str(cache_dir), role, "400"],
+                stdout=subprocess.PIPE,
+                stderr=subprocess.PIPE,
+                text=True,
+            )
+            for role in ("writer", "writer", "reader", "reader")
+        ]
+        for proc in procs:
+            out, err = proc.communicate(timeout=120)
+            assert proc.returncode == 0, err
+            assert out.strip() == "ok"
+        assert list(cache_dir.glob("*.tmp.*")) == []
+        # The survivors are real, loadable entries.
+        cache = ResultCache(cache_dir)
+        hit = cache.load(
+            {
+                "schema": 1,
+                "rounds": 4,
+                "seed": 0,
+                "case": {"name": "I", "n_tags": 50, "frame_size": 30},
+                "protocol": "fsa",
+                "scheme": "qcd-8",
+            }
+        )
+        assert hit is not None and hit["x"] == 1.5

@@ -10,12 +10,16 @@ hit the service).
 from __future__ import annotations
 
 import asyncio
+import os
+import signal
 import threading
+import time
 
 import pytest
 
 from repro import obs
 from repro.serve.client import ServeClient
+from repro.serve.router import RouterApp, RouterConfig
 from repro.serve.server import ServeApp, ServeConfig
 
 
@@ -103,3 +107,118 @@ def make_app():
 def app(make_app) -> AppHandle:
     """A default small server: 2 workers, serial MC execution."""
     return make_app(concurrency=2, mc_workers=1)
+
+
+class RouterHandle:
+    """A running RouterApp (with its spawned backend fleet) on its own
+    event-loop thread.  Mirrors :class:`AppHandle`; adds fleet helpers
+    the fault-injection tests drive (kill/terminate a backend, wait for
+    the ring to reach a size)."""
+
+    def __init__(self, config: RouterConfig) -> None:
+        self._ready = threading.Event()
+        self._failure: BaseException | None = None
+        self.app: RouterApp | None = None
+        self.loop: asyncio.AbstractEventLoop | None = None
+        self.port: int | None = None
+        self._thread = threading.Thread(
+            target=self._run, args=(config,), daemon=True
+        )
+        self._thread.start()
+        if not self._ready.wait(60):
+            raise RuntimeError("router did not start within 60s")
+        if self._failure is not None:
+            raise self._failure
+
+    def _run(self, config: RouterConfig) -> None:
+        async def amain() -> None:
+            try:
+                app = RouterApp(config)
+                await app.start()
+                self.app = app
+                self.loop = asyncio.get_running_loop()
+                self.port = app.port
+            except BaseException as exc:  # surface startup failures
+                self._failure = exc
+                self._ready.set()
+                raise
+            self._ready.set()
+            await app.wait_closed()
+
+        asyncio.run(amain())
+
+    @property
+    def url(self) -> str:
+        return f"http://127.0.0.1:{self.port}"
+
+    def client(self, **kwargs) -> ServeClient:
+        return ServeClient(self.url, **kwargs)
+
+    def backend(self, backend_id: str):
+        assert self.app is not None
+        backend = self.app.supervisor.by_id(backend_id)
+        assert backend is not None, f"no backend {backend_id!r}"
+        return backend
+
+    def wait_ring(self, n: int, timeout: float = 60.0) -> None:
+        """Block until exactly ``n`` backends sit on the ring."""
+        assert self.app is not None
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            if len(self.app.ring) == n:
+                return
+            time.sleep(0.05)
+        raise AssertionError(
+            f"ring never reached {n} nodes (at {len(self.app.ring)})"
+        )
+
+    def kill_backend(self, backend_id: str) -> int:
+        """SIGKILL a spawned backend's process; returns its pid.
+
+        Raw ``os.kill`` (not the asyncio transport's ``kill()``): the
+        router's loop runs on another thread, and a signal is the one
+        cross-thread-safe way to take a process down mid-request.
+        """
+        process = self.backend(backend_id).process
+        assert process is not None
+        os.kill(process.pid, signal.SIGKILL)
+        return process.pid
+
+    def terminate_backend(self, backend_id: str) -> int:
+        """SIGTERM (drain) a spawned backend's process; returns its pid."""
+        process = self.backend(backend_id).process
+        assert process is not None
+        os.kill(process.pid, signal.SIGTERM)
+        return process.pid
+
+    def shutdown(self, timeout: float = 60.0) -> None:
+        if self.app is not None and self.loop is not None:
+            if not self._thread.is_alive():
+                return
+            self.loop.call_soon_threadsafe(self.app.begin_drain)
+        self._thread.join(timeout)
+        assert not self._thread.is_alive(), "router thread failed to drain"
+
+
+@pytest.fixture
+def make_router(tmp_path):
+    """Factory fixture: start routers with custom configs; drained on exit.
+
+    Unless overridden, backends get a shared L2 cache directory under
+    the test's tmp_path and fast health probing so ejection/re-admission
+    edges land within test timeouts.
+    """
+    handles: list[RouterHandle] = []
+
+    def factory(**overrides) -> RouterHandle:
+        overrides.setdefault("cache_dir", str(tmp_path / "l2"))
+        overrides.setdefault("health_interval_s", 0.1)
+        overrides.setdefault("restart_backoff_s", 0.1)
+        config = RouterConfig(port=0, **overrides)
+        handle = RouterHandle(config)
+        handles.append(handle)
+        return handle
+
+    yield factory
+    for handle in handles:
+        handle.shutdown()

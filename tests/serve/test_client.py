@@ -380,3 +380,174 @@ class TestParsing:
         finally:
             server.close()
         assert excinfo.value.code == "unknown"
+
+
+def ndjson_response(*lines: dict, done: bool = True) -> bytes:
+    """A scripted NDJSON stream response; ``done=False`` ends the
+    connection mid-stream, the way a killed server does."""
+    body = b"".join(
+        json.dumps(line).encode() + b"\n" for line in lines
+    )
+    return (
+        b"HTTP/1.1 200 OK\r\n"
+        b"Content-Type: application/x-ndjson\r\n"
+        b"Connection: close\r\n\r\n" + body
+    )
+
+
+def _job(job_id: str = "j1") -> dict:
+    return {"type": "job", "job_id": job_id, "state": "running"}
+
+
+def _result(case: str) -> dict:
+    return {
+        "type": "result",
+        "job_id": "j1",
+        "point": {"case": {"name": case}, "protocol": "fsa",
+                  "scheme": "crc"},
+        "stats": {"n_tags": 50},
+    }
+
+
+def _done() -> dict:
+    return {"type": "done", "job_id": "j1", "state": "done",
+            "elapsed_s": 0.1}
+
+
+class TestStreamChurn:
+    """``stream_job`` against a flapping server -- the client-side half
+    of surviving fleet churn: reconnect, re-fetch, deduplicate the
+    replayed prefix, and deliver every line exactly once."""
+
+    def test_mid_stream_cut_then_replay_is_exactly_once(
+        self, recorded_sleeps
+    ):
+        """The stream dies after the first result; the re-fetch replays
+        the whole job from the top.  The caller sees one job header, each
+        result once, one done."""
+        server = StubServer(
+            [
+                ndjson_response(_job(), _result("I"), done=False),
+                ndjson_response(
+                    _job(), _result("I"), _result("II"), _done()
+                ),
+            ]
+        )
+        try:
+            client = make_client(
+                server.port, recorded_sleeps, retries=3, backoff_s=0.2
+            )
+            lines = list(client.stream_job("j1"))
+        finally:
+            server.close()
+        kinds = [line["type"] for line in lines]
+        assert kinds == ["job", "result", "result", "done"]
+        cases = [line["point"]["case"]["name"] for line in lines
+                 if line["type"] == "result"]
+        assert cases == ["I", "II"]  # replayed "I" deduplicated
+        assert client.attempts == 2
+        assert recorded_sleeps == [0.2]
+        # Both fetches belong to one logical stream: one request id.
+        rids = _request_id_headers(server.requests)
+        assert len(rids) == 2 and len(set(rids)) == 1
+
+    def test_connection_cut_before_any_line_retries(self, recorded_sleeps):
+        """An empty response (listener died as we connected) is churn,
+        not an error: the client backs off and reconnects."""
+        server = StubServer(
+            [b"", ndjson_response(_job(), _result("I"), _done())]
+        )
+        try:
+            client = make_client(
+                server.port, recorded_sleeps, retries=2, backoff_s=0.1
+            )
+            lines = list(client.stream_job("j1"))
+        finally:
+            server.close()
+        assert [line["type"] for line in lines] == ["job", "result", "done"]
+        assert client.attempts == 2
+        assert recorded_sleeps == [0.1]
+
+    def test_connection_refused_then_listener_back(self, recorded_sleeps):
+        """Connection refused mid-churn (the router restarting) is
+        retryable for streams exactly as for plain requests."""
+        probe = socket.create_server(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+        client = make_client(port, recorded_sleeps, retries=2, backoff_s=0.1)
+        with pytest.raises(OSError):
+            list(client.stream_job("j1"))
+        assert client.attempts == 3
+        assert recorded_sleeps == [0.1, 0.2]
+
+    def test_429_during_refetch_honors_retry_after(self, recorded_sleeps):
+        """A shed re-fetch (the job's new owner still warming) sleeps
+        the server's Retry-After, then succeeds."""
+        server = StubServer(
+            [
+                ndjson_response(_job(), done=False),
+                http_response(429, {"error": {"code": "overloaded"}},
+                              ("Retry-After: 5",)),
+                ndjson_response(_job(), _result("I"), _done()),
+            ]
+        )
+        try:
+            client = make_client(
+                server.port, recorded_sleeps, retries=3, backoff_s=0.2
+            )
+            lines = list(client.stream_job("j1"))
+        finally:
+            server.close()
+        assert [line["type"] for line in lines] == ["job", "result", "done"]
+        assert client.attempts == 3
+        assert recorded_sleeps == [0.2, 5.0]
+
+    def test_torn_json_line_is_churn_not_crash(self, recorded_sleeps):
+        """A stream cut mid-line leaves torn JSON; the client treats it
+        as a connection failure and re-fetches."""
+        torn = ndjson_response(_job(), done=False)[:-1] + b'{"type": "res'
+        server = StubServer(
+            [torn, ndjson_response(_job(), _result("I"), _done())]
+        )
+        try:
+            client = make_client(
+                server.port, recorded_sleeps, retries=2, backoff_s=0.1
+            )
+            lines = list(client.stream_job("j1"))
+        finally:
+            server.close()
+        assert [line["type"] for line in lines] == ["job", "result", "done"]
+        assert client.attempts == 2
+
+    def test_exhausted_stream_retries_raise(self, recorded_sleeps):
+        """Churn that never heals surfaces as ConnectionError after the
+        retry budget, not as a silent short stream."""
+        server = StubServer(
+            [ndjson_response(_job(), _result("I"), done=False),
+             ndjson_response(_job(), _result("I"), done=False)]
+        )
+        try:
+            client = make_client(
+                server.port, recorded_sleeps, retries=1, backoff_s=0.1
+            )
+            with pytest.raises(ConnectionError):
+                list(client.stream_job("j1"))
+        finally:
+            server.close()
+        assert client.attempts == 2
+
+    def test_clean_stream_still_single_attempt(self, recorded_sleeps):
+        """The churn machinery is invisible on the happy path."""
+        server = StubServer(
+            [ndjson_response(_job(), _result("I"), _result("II"), _done())]
+        )
+        try:
+            client = make_client(server.port, recorded_sleeps, retries=3)
+            lines = list(client.stream_job("j1"))
+        finally:
+            server.close()
+        assert [line["type"] for line in lines] == [
+            "job", "result", "result", "done"
+        ]
+        assert client.attempts == 1
+        assert recorded_sleeps == []

@@ -1,0 +1,175 @@
+"""Properties of the consistent-hash ring (:mod:`repro.serve.ring`).
+
+The two guarantees the fleet depends on, stated as properties:
+
+* **balance** -- with vnodes, each of N backends owns roughly 1/N of a
+  large key population (bounded relative deviation);
+* **minimal disruption** -- removing (or adding) one of N backends
+  remaps *only* the keys owned by the affected node, ≈K/N of them; every
+  other key keeps its owner.  This is the property that makes backend
+  churn cheap: the rest of the fleet's memo/L2 locality survives.
+
+Keys are a fixed deterministic sample (the ring hashes them anyway), so
+Hypothesis explores the *node-set* space -- names, sizes, orderings --
+without making the uniformity assertions flaky.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.serve.ring import DEFAULT_VNODES, EmptyRingError, HashRing
+
+#: Deterministic key population for spread/disruption measurements:
+#: large enough that a 128-vnode ring's spread concentrates, fixed so
+#: bounds never flake.
+KEYS = tuple(f"key-{i:05d}" for i in range(2000))
+
+node_names = st.text(
+    alphabet="abcdefghijklmnopqrstuvwxyz0123456789-", min_size=1, max_size=12
+)
+node_sets = st.lists(node_names, min_size=1, max_size=8, unique=True)
+
+
+class TestRingBasics:
+    def test_empty_ring_raises(self):
+        ring = HashRing()
+        with pytest.raises(EmptyRingError):
+            ring.owner("anything")
+        with pytest.raises(EmptyRingError):
+            ring.owners("anything", 1)
+
+    def test_single_node_owns_everything(self):
+        ring = HashRing(["only"])
+        assert all(ring.owner(k) == "only" for k in KEYS[:100])
+
+    def test_add_remove_idempotent(self):
+        ring = HashRing()
+        assert ring.add("a")
+        assert not ring.add("a")  # second add is a no-op
+        assert ring.remove("a")
+        assert not ring.remove("a")
+        assert len(ring) == 0
+
+    def test_contains_and_nodes(self):
+        ring = HashRing(["a", "b"])
+        assert "a" in ring and "b" in ring and "c" not in ring
+        assert ring.nodes == frozenset({"a", "b"})
+
+    def test_owner_deterministic_across_instances(self):
+        # Placement is a pure function of (node set, vnodes): two rings
+        # built in different orders agree on every key.
+        r1 = HashRing(["a", "b", "c"])
+        r2 = HashRing(["c", "a", "b"])
+        assert [r1.owner(k) for k in KEYS[:200]] == [
+            r2.owner(k) for k in KEYS[:200]
+        ]
+
+    def test_owners_fallback_order(self):
+        ring = HashRing(["a", "b", "c"])
+        for key in KEYS[:50]:
+            order = ring.owners(key, 3)
+            assert len(order) == 3
+            assert len(set(order)) == 3  # distinct
+            assert order[0] == ring.owner(key)
+        # Asking for more owners than nodes caps at the node count.
+        assert len(ring.owners("x", 10)) == 3
+
+
+class TestRingProperties:
+    @given(nodes=node_sets)
+    @settings(max_examples=30, deadline=None)
+    def test_every_key_lands_on_a_member(self, nodes):
+        ring = HashRing(nodes)
+        members = set(nodes)
+        for key in KEYS[:200]:
+            assert ring.owner(key) in members
+
+    @given(nodes=st.lists(node_names, min_size=2, max_size=8, unique=True))
+    @settings(max_examples=15, deadline=None)
+    def test_spread_is_roughly_uniform(self, nodes):
+        """Each node owns between 1/3x and 3x its fair share of keys.
+
+        128 vnodes/node over 2000 keys concentrates far tighter than
+        this in practice; the generous bound keeps the property
+        deterministic-stable over *any* node names Hypothesis invents.
+        """
+        ring = HashRing(nodes)
+        spread = ring.spread(KEYS)
+        fair = len(KEYS) / len(nodes)
+        for node in nodes:
+            share = spread.get(node, 0)
+            assert fair / 3 <= share <= fair * 3, (
+                f"node {node!r} owns {share} of {len(KEYS)} keys "
+                f"(fair share {fair:.0f}) in {sorted(spread.items())}"
+            )
+
+    @given(
+        nodes=st.lists(node_names, min_size=2, max_size=8, unique=True),
+        data=st.data(),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_removal_is_minimal_disruption(self, nodes, data):
+        """Removing one node remaps exactly the keys it owned."""
+        ring = HashRing(nodes)
+        before = {k: ring.owner(k) for k in KEYS}
+        victim = data.draw(st.sampled_from(nodes))
+        ring.remove(victim)
+        for key, old_owner in before.items():
+            new_owner = ring.owner(key)
+            if old_owner == victim:
+                assert new_owner != victim  # remapped to a survivor
+            else:
+                assert new_owner == old_owner, (
+                    f"key {key!r} moved {old_owner!r} -> {new_owner!r} "
+                    f"although {victim!r} never owned it"
+                )
+
+    @given(
+        nodes=st.lists(node_names, min_size=1, max_size=7, unique=True),
+        newcomer=node_names,
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_addition_is_minimal_disruption(self, nodes, newcomer):
+        """Adding a node steals ≈K/(N+1) keys; nothing else moves."""
+        if newcomer in nodes:
+            return
+        ring = HashRing(nodes)
+        before = {k: ring.owner(k) for k in KEYS}
+        ring.add(newcomer)
+        moved = 0
+        for key, old_owner in before.items():
+            new_owner = ring.owner(key)
+            if new_owner != old_owner:
+                # The only legal destination for a moved key is the
+                # newcomer: no key may hop between incumbent nodes.
+                assert new_owner == newcomer
+                moved += 1
+        fair = len(KEYS) / (len(nodes) + 1)
+        assert moved <= fair * 3, (
+            f"adding one node moved {moved} of {len(KEYS)} keys "
+            f"(fair share {fair:.0f})"
+        )
+
+    @given(nodes=node_sets)
+    @settings(max_examples=20, deadline=None)
+    def test_remove_then_readd_restores_placement(self, nodes):
+        """Ring placement has no memory: membership alone decides."""
+        ring = HashRing(nodes)
+        before = {k: ring.owner(k) for k in KEYS[:300]}
+        victim = nodes[0]
+        ring.remove(victim)
+        ring.add(victim)
+        assert before == {k: ring.owner(k) for k in KEYS[:300]}
+
+    def test_vnode_count_tightens_spread(self):
+        """More vnodes -> tighter balance (sanity on the default)."""
+        nodes = ["a", "b", "c", "d"]
+        fair = len(KEYS) / len(nodes)
+
+        def max_dev(vnodes: int) -> float:
+            spread = HashRing(nodes, vnodes=vnodes).spread(KEYS)
+            return max(abs(spread.get(n, 0) - fair) for n in nodes)
+
+        assert max_dev(DEFAULT_VNODES) <= max_dev(1)
