@@ -16,8 +16,10 @@ from repro.bits.bitvec import BitVector, pack_ints, unpack_ints
 from repro.bits.channel import Channel, ChannelStats
 from repro.bits.crc import (
     CRC5_EPC,
+    CRC16_BUYPASS,
     CRC16_CCITT_FALSE,
     CRC16_GEN2,
+    CRC16_IBM,
     CRC32_IEEE,
     CrcEngine,
     CrcSpec,
@@ -34,8 +36,10 @@ __all__ = [
     "CrcSpec",
     "CrcEngine",
     "CRC5_EPC",
+    "CRC16_BUYPASS",
     "CRC16_CCITT_FALSE",
     "CRC16_GEN2",
+    "CRC16_IBM",
     "CRC32_IEEE",
     "RngStream",
     "make_rng",

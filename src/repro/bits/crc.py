@@ -24,6 +24,8 @@ name                      width  polynomial  check
 ``CRC5_EPC``                  5        0x09        0x00
 ``CRC16_CCITT_FALSE``        16      0x1021      0x29B1
 ``CRC16_GEN2``               16      0x1021      0x906E
+``CRC16_BUYPASS``            16      0x8005      0xFEE8
+``CRC16_IBM``                16      0x8005      0xAEE7
 ``CRC32_IEEE``               32  0x04C11DB7  0xCBF43926
 ========================  =====  ==========  ==========
 
@@ -31,6 +33,13 @@ name                      width  polynomial  check
 CCITT polynomial with init ``0xFFFF`` and the output complemented; catalogue
 name CRC-16/GENIBUS).  The paper's analysis uses a 32-bit CRC
 (``l_crc = 32``), for which we provide ``CRC32_IEEE``.
+
+``CRC16_BUYPASS`` (catalogue CRC-16/BUYPASS, a.k.a. CRC-16/UMTS and
+CRC-16/VERIFONE) is the unreflected IBM polynomial 0x8005 with init 0 --
+the frame trailer of CL7206C2-style reader wire protocols, used by
+:mod:`repro.gateway.codec`.  ``CRC16_IBM`` is the same computation with
+init ``0xFFFF`` (catalogue CRC-16/CMS), the variant some reader firmware
+revisions ship instead.
 """
 
 from __future__ import annotations
@@ -47,6 +56,8 @@ __all__ = [
     "CRC5_EPC",
     "CRC16_CCITT_FALSE",
     "CRC16_GEN2",
+    "CRC16_BUYPASS",
+    "CRC16_IBM",
     "CRC32_IEEE",
     "reflect",
 ]
@@ -108,6 +119,12 @@ CRC16_CCITT_FALSE = CrcSpec(
 )
 CRC16_GEN2 = CrcSpec(
     "CRC-16/GEN2", 16, 0x1021, 0xFFFF, False, False, 0xFFFF, 0xD64E
+)
+CRC16_BUYPASS = CrcSpec(
+    "CRC-16/BUYPASS", 16, 0x8005, 0x0000, False, False, 0x0000, 0xFEE8
+)
+CRC16_IBM = CrcSpec(
+    "CRC-16/IBM-FFFF", 16, 0x8005, 0xFFFF, False, False, 0x0000, 0xAEE7
 )
 CRC32_IEEE = CrcSpec(
     "CRC-32/IEEE", 32, 0x04C11DB7, 0xFFFFFFFF, True, True, 0xFFFFFFFF, 0xCBF43926

@@ -1,0 +1,8 @@
+"""``python -m repro.gateway`` runs the gateway server."""
+
+import sys
+
+from repro.gateway.gateway import main
+
+if __name__ == "__main__":
+    sys.exit(main())

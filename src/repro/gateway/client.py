@@ -1,0 +1,437 @@
+"""Blocking gateway client: connect, start inventories, stream reports.
+
+The client side of :mod:`repro.gateway.codec`, built on a plain
+``socket`` (no asyncio -- scripts, tests and the CI smoke job drive it
+synchronously, the way sllurp's tools drive an LLRP reader):
+
+* :class:`GatewayClient` -- one TCP connection with frame send/receive,
+  request/reply helpers (:meth:`~GatewayClient.capabilities`,
+  :meth:`~GatewayClient.ping`, :meth:`~GatewayClient.start_inventory`,
+  :meth:`~GatewayClient.iter_reports`, :meth:`~GatewayClient.stop`) and
+  typed errors (:class:`GatewayBusy`, :class:`GatewayRefused`, ...);
+* :meth:`~GatewayClient.run_inventory` -- the resilient one-call flow:
+  start, stream, and on a torn connection *reconnect with backoff and
+  resume*.  Resume needs no server-side state: the same spec reruns the
+  same deterministic simulation, so the client just deduplicates tag
+  ids it has already seen (``same seed => same population => same
+  trace``, the contract of :mod:`repro.gateway.readers`);
+* a CLI (``python -m repro.gateway.client``) that runs one inventory
+  and records reports through :mod:`repro.gateway.sinks`.
+
+A subtlety worth naming: one ``recv`` can carry many frames, so the
+client keeps the reassembler's surplus in a pending queue and always
+drains it before touching the socket again -- otherwise frames already
+buffered in userspace would wait on network bytes that may never come.
+"""
+
+from __future__ import annotations
+
+import argparse
+import socket
+import sys
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, Sequence
+
+from repro.gateway import codec
+
+__all__ = [
+    "GatewayError",
+    "GatewayClosed",
+    "GatewayBusy",
+    "GatewayRefused",
+    "ReconnectPolicy",
+    "InventorySummary",
+    "GatewayClient",
+    "main",
+    "build_parser",
+]
+
+
+class GatewayError(Exception):
+    """Base class for everything the client raises on purpose."""
+
+
+class GatewayClosed(GatewayError):
+    """The connection died (EOF, reset, timeout) -- retryable."""
+
+
+class GatewayRefused(GatewayError):
+    """The gateway answered with a typed ERROR frame."""
+
+    def __init__(self, frame: codec.ErrorFrame) -> None:
+        super().__init__(f"{frame.code}: {frame.message}")
+        self.code = frame.code
+        self.frame = frame
+
+
+class GatewayBusy(GatewayRefused):
+    """ERROR ``busy``: the reader has a running session -- retryable."""
+
+
+def _refusal(frame: codec.ErrorFrame) -> GatewayRefused:
+    if frame.code in ("busy", "draining"):
+        return GatewayBusy(frame)
+    return GatewayRefused(frame)
+
+
+@dataclass(frozen=True)
+class ReconnectPolicy:
+    """Exponential backoff for :meth:`GatewayClient.run_inventory`.
+
+    ``attempts`` bounds *consecutive* failures; any streamed report
+    resets the budget, so a flaky link retries indefinitely only while
+    it keeps making progress.
+    """
+
+    attempts: int = 5
+    backoff_s: float = 0.05
+    multiplier: float = 2.0
+    max_backoff_s: float = 2.0
+
+    def delays(self) -> Iterator[float]:
+        delay = self.backoff_s
+        for _ in range(self.attempts):
+            yield delay
+            delay = min(delay * self.multiplier, self.max_backoff_s)
+
+
+@dataclass
+class InventorySummary:
+    """What :meth:`GatewayClient.run_inventory` hands back."""
+
+    reports: list[codec.TagReport] = field(default_factory=list)
+    complete: codec.InventoryComplete | None = None
+    reconnects: int = 0
+
+    @property
+    def tag_ids(self) -> set[int]:
+        return {r.tag_id for r in self.reports}
+
+
+class GatewayClient:
+    """A blocking client for one ``repro-gateway`` endpoint.
+
+    Usable as a context manager; :meth:`connect` is implicit on first
+    use and explicit after :class:`GatewayClosed`.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        timeout_s: float = 30.0,
+        reconnect: ReconnectPolicy | None = None,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.timeout_s = timeout_s
+        self.reconnect = reconnect if reconnect is not None else ReconnectPolicy()
+        self._sock: socket.socket | None = None
+        self._reassembler = codec.FrameReassembler()
+        self._pending: deque[codec.Frame] = deque()
+
+    # -- connection -----------------------------------------------------
+
+    @property
+    def connected(self) -> bool:
+        return self._sock is not None
+
+    def connect(self) -> None:
+        """(Re)open the TCP connection, resetting stream state."""
+        self.close()
+        try:
+            self._sock = socket.create_connection(
+                (self.host, self.port), timeout=self.timeout_s
+            )
+        except OSError as exc:
+            raise GatewayClosed(f"connect failed: {exc}") from exc
+        self._reassembler = codec.FrameReassembler()
+        self._pending.clear()
+
+    def close(self) -> None:
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:  # pragma: no cover
+                pass
+            self._sock = None
+
+    def __enter__(self) -> "GatewayClient":
+        if not self.connected:
+            self.connect()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # -- frame plumbing -------------------------------------------------
+
+    def _require_sock(self) -> socket.socket:
+        if self._sock is None:
+            self.connect()
+        assert self._sock is not None
+        return self._sock
+
+    def send_frame(self, frame: codec.Frame) -> None:
+        sock = self._require_sock()
+        try:
+            sock.sendall(codec.encode_frame(frame))
+        except OSError as exc:
+            self.close()
+            raise GatewayClosed(f"send failed: {exc}") from exc
+
+    def recv_frame(self) -> codec.Frame:
+        """Next frame: drains the pending queue before reading the
+        socket (one recv can carry many frames)."""
+        while True:
+            if self._pending:
+                return self._pending.popleft()
+            sock = self._require_sock()
+            try:
+                data = sock.recv(65536)
+            except socket.timeout as exc:
+                self.close()
+                raise GatewayClosed("receive timed out") from exc
+            except OSError as exc:
+                self.close()
+                raise GatewayClosed(f"receive failed: {exc}") from exc
+            if not data:
+                self.close()
+                raise GatewayClosed("gateway closed the connection")
+            for item in self._reassembler.feed(data):
+                if isinstance(item, codec.FrameError):
+                    # The gateway never emits malformed frames (the
+                    # fuzz suite holds it to that), so this is a broken
+                    # transport, not a protocol conversation.
+                    self.close()
+                    raise GatewayClosed(
+                        f"undecodable frame from gateway: {item.message}"
+                    )
+                self._pending.append(item)
+
+    def _recv_until(self, *types: type) -> codec.Frame:
+        """Next frame of one of ``types``; answers keepalives, raises
+        on ERROR, and rejects anything else as a protocol violation."""
+        while True:
+            frame = self.recv_frame()
+            if isinstance(frame, types):
+                return frame
+            if isinstance(frame, codec.ErrorFrame):
+                raise _refusal(frame)
+            if isinstance(frame, codec.Keepalive):
+                self.send_frame(codec.KeepaliveAck())
+                continue
+            if isinstance(frame, (codec.KeepaliveAck, codec.InventoryStopped)):
+                continue  # late ack from a prior exchange
+            raise GatewayError(
+                f"unexpected {type(frame).__name__} "
+                f"(wanted {'/'.join(t.__name__ for t in types)})"
+            )
+
+    # -- request/reply --------------------------------------------------
+
+    def capabilities(self) -> codec.Capabilities:
+        self.send_frame(codec.GetCapabilities())
+        frame = self._recv_until(codec.Capabilities)
+        assert isinstance(frame, codec.Capabilities)
+        return frame
+
+    def ping(self) -> None:
+        self.send_frame(codec.Keepalive())
+        self._recv_until(codec.KeepaliveAck)
+
+    def start_inventory(
+        self,
+        reader_id: int,
+        protocol: str,
+        scheme: str,
+        frame_size: int,
+        n_tags: int,
+        seed: int,
+    ) -> codec.InventoryStarted:
+        self.send_frame(
+            codec.StartInventory(
+                reader_id=reader_id,
+                protocol=protocol,
+                scheme=scheme,
+                frame_size=frame_size,
+                n_tags=n_tags,
+                seed=seed,
+            )
+        )
+        frame = self._recv_until(codec.InventoryStarted)
+        assert isinstance(frame, codec.InventoryStarted)
+        return frame
+
+    def stop(self, reader_id: int) -> None:
+        """Fire a STOP; the ack is collected by whatever reads next
+        (:meth:`_recv_until` skips stray InventoryStopped frames)."""
+        self.send_frame(codec.StopInventory(reader_id=reader_id))
+
+    def iter_reports(self) -> Iterator[codec.TagReport]:
+        """Yield TAG_REPORTs until the terminal INVENTORY_COMPLETE.
+
+        The terminal frame is returned via ``StopIteration.value`` and
+        also stashed on :attr:`last_complete`.
+        """
+        self.last_complete: codec.InventoryComplete | None = None
+        while True:
+            frame = self._recv_until(
+                codec.TagReport, codec.InventoryComplete
+            )
+            if isinstance(frame, codec.InventoryComplete):
+                self.last_complete = frame
+                return frame
+            assert isinstance(frame, codec.TagReport)
+            yield frame
+
+    # -- resilient one-call flow ----------------------------------------
+
+    def run_inventory(
+        self,
+        reader_id: int,
+        protocol: str,
+        scheme: str,
+        frame_size: int,
+        n_tags: int,
+        seed: int,
+        *,
+        on_report: Callable[[codec.TagReport], None] | None = None,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> InventorySummary:
+        """Start the inventory and stream it to completion, reconnecting
+        and resuming through torn connections and busy readers.
+
+        Resume = rerun: the spec is deterministic, so after a reconnect
+        the gateway replays the identical trace and the client drops
+        tag ids it already has.  ``on_report`` fires once per *new* tag.
+        """
+        summary = InventorySummary()
+        seen: set[int] = set()
+        retries = iter(self.reconnect.delays())
+        while True:
+            try:
+                if not self.connected:
+                    self.connect()
+                self.start_inventory(
+                    reader_id, protocol, scheme, frame_size, n_tags, seed
+                )
+                for report in self.iter_reports():
+                    if report.tag_id in seen:
+                        continue
+                    seen.add(report.tag_id)
+                    summary.reports.append(report)
+                    if on_report is not None:
+                        on_report(report)
+                    # Forward progress: refill the retry budget.
+                    retries = iter(self.reconnect.delays())
+                summary.complete = self.last_complete
+                return summary
+            except GatewayBusy as exc:
+                # Our previous session may still be winding down after
+                # the disconnect; the reader frees as soon as its send
+                # fails.  Same for a draining gateway mid-rollout.
+                delay = next(retries, None)
+                if delay is None:
+                    raise
+                sleep(delay)
+            except GatewayClosed:
+                delay = next(retries, None)
+                if delay is None:
+                    raise
+                summary.reconnects += 1
+                sleep(delay)
+                try:
+                    self.connect()
+                except GatewayClosed:
+                    pass  # next loop iteration retries the connect
+
+
+# ----------------------------------------------------------------------
+# CLI
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.gateway.client",
+        description=(
+            "Run one inventory against a repro-gateway and record the "
+            "tag reports (CSV/NDJSON; see docs/GATEWAY.md)."
+        ),
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, required=True)
+    parser.add_argument("--reader", type=int, default=0, dest="reader_id")
+    parser.add_argument(
+        "--protocol", choices=("fsa", "dfsa"), default="dfsa"
+    )
+    parser.add_argument(
+        "--scheme",
+        default="qcd-16",
+        help="collision detector: 'crc' or 'qcd-<1..64>' (default qcd-16)",
+    )
+    parser.add_argument("--frame-size", type=int, default=64)
+    parser.add_argument("--n-tags", type=int, default=200)
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument(
+        "--timeout", type=float, default=30.0, dest="timeout_s"
+    )
+    parser.add_argument(
+        "--csv", type=str, default=None, help="append reports to a CSV file"
+    )
+    parser.add_argument(
+        "--ndjson",
+        type=str,
+        default=None,
+        help="append reports as NDJSON lines",
+    )
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    from repro.gateway import sinks as sinks_mod
+
+    args = build_parser().parse_args(argv)
+    sinks: list = []
+    if args.csv:
+        sinks.append(sinks_mod.CsvSink(args.csv))
+    if args.ndjson:
+        sinks.append(sinks_mod.NdjsonSink(args.ndjson))
+    fanout = sinks_mod.fanout(sinks)
+    client = GatewayClient(args.host, args.port, timeout_s=args.timeout_s)
+    try:
+        with client:
+            caps = client.capabilities()
+            summary = client.run_inventory(
+                args.reader_id,
+                args.protocol,
+                args.scheme,
+                args.frame_size,
+                args.n_tags,
+                args.seed,
+                on_report=fanout,
+            )
+    except GatewayError as exc:
+        print(f"gateway error: {exc}", file=sys.stderr)
+        return 1
+    finally:
+        for sink in sinks:
+            sink.close()
+    complete = summary.complete
+    print(
+        f"gateway v{caps.version}: {len(summary.reports)} tags from "
+        f"reader {args.reader_id} "
+        f"({args.protocol}/{args.scheme}, seed {args.seed}); "
+        f"slots={complete.slots if complete else '?'} "
+        f"frames={complete.frames if complete else '?'} "
+        f"airtime={complete.airtime if complete else float('nan'):.1f} "
+        f"reconnects={summary.reconnects}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

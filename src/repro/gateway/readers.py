@@ -1,0 +1,140 @@
+"""Simulated readers behind the gateway: spec -> deterministic inventory.
+
+One module owns the mapping from a wire-level
+:class:`~repro.gateway.codec.StartInventory` to a concrete
+population + protocol + detector + :class:`~repro.sim.reader.Reader`
+run, so the gateway, the client-side tests and the differential
+"wire vs direct Reader" acceptance test all construct *exactly* the same
+simulation from the same spec.  The contract:
+
+    same (protocol, scheme, frame_size, n_tags, seed)
+        => same TagPopulation (IDs and per-tag RNG streams)
+        => same slot trace, identified-ID list and stats
+
+which is what makes a mid-inventory reconnect resumable: the client
+restarts the spec and the rerun is bit-identical, so already-seen tag
+IDs dedupe cleanly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bits.rng import make_rng
+from repro.core.crc_cd import CRCCDDetector
+from repro.core.detector import CollisionDetector
+from repro.core.qcd import QCDDetector
+from repro.core.timing import TimingModel
+from repro.gateway.codec import StartInventory
+from repro.protocols.dfsa import DynamicFSA
+from repro.protocols.fsa import FramedSlottedAloha
+from repro.sim.reader import InventoryResult, Reader
+from repro.tags.population import TagPopulation
+
+__all__ = [
+    "ID_BITS",
+    "MAX_TAGS",
+    "MAX_FRAME_SIZE",
+    "build_detector",
+    "build_protocol",
+    "build_population",
+    "run_spec",
+    "validate_spec",
+    "SimulatedReader",
+]
+
+#: The paper's ID length; also the TAG_REPORT ``tag_id`` field width.
+ID_BITS = 64
+
+#: Per-inventory resource ceilings (validation errors, never truncation;
+#: the binary-plane analogue of ``repro.serve.protocol``'s limits).
+MAX_TAGS = 50_000
+MAX_FRAME_SIZE = 1 << 15
+
+
+def build_detector(scheme: str) -> CollisionDetector:
+    """``"crc"`` / ``"qcd-<s>"`` -> a detector (same forms as the grid)."""
+    if scheme == "crc":
+        return CRCCDDetector(id_bits=ID_BITS)
+    if scheme.startswith("qcd-"):
+        return QCDDetector(strength=int(scheme.split("-", 1)[1]))
+    raise ValueError(f"unknown scheme {scheme!r}")
+
+
+def build_protocol(protocol: str, frame_size: int):
+    """``"fsa"`` (fixed frame) or ``"dfsa"`` (adaptive from ``frame_size``)."""
+    if protocol == "fsa":
+        return FramedSlottedAloha(frame_size)
+    if protocol == "dfsa":
+        return DynamicFSA(initial_frame_size=frame_size)
+    raise ValueError(f"unknown protocol {protocol!r}")
+
+
+def build_population(n_tags: int, seed: int) -> TagPopulation:
+    """The spec's population: uniform 64-bit IDs from one root seed."""
+    return TagPopulation(n_tags, id_bits=ID_BITS, rng=make_rng(seed))
+
+
+def validate_spec(spec: StartInventory, n_readers: int) -> str | None:
+    """Reject out-of-range parameters with a human-readable reason.
+
+    Frame-level malformation never reaches this point (the codec already
+    rejected it); this is the semantic layer -- unknown reader, zero-tag
+    inventory, oversized population or frame.
+    """
+    if not 0 <= spec.reader_id < n_readers:
+        return f"no reader {spec.reader_id} (gateway has {n_readers})"
+    if spec.n_tags < 1:
+        return "n_tags must be >= 1"
+    if spec.n_tags > MAX_TAGS:
+        return f"n_tags {spec.n_tags} exceeds the {MAX_TAGS} ceiling"
+    if spec.frame_size < 1:
+        return "frame_size must be >= 1"
+    if spec.frame_size > MAX_FRAME_SIZE:
+        return (
+            f"frame_size {spec.frame_size} exceeds the "
+            f"{MAX_FRAME_SIZE} ceiling"
+        )
+    return None
+
+
+def run_spec(spec: StartInventory) -> InventoryResult:
+    """Run the spec's inventory to completion (blocking, CPU-bound).
+
+    This is the single execution funnel: the gateway calls it from a
+    worker thread, and the acceptance test calls it directly to assert
+    the wire stream carries the same identified IDs.
+    """
+    population = build_population(spec.n_tags, spec.seed)
+    protocol = build_protocol(spec.protocol, spec.frame_size)
+    reader = Reader(build_detector(spec.scheme), timing=TimingModel())
+    return reader.run_inventory(list(population), protocol)
+
+
+@dataclass
+class SimulatedReader:
+    """One reader slot of the gateway fleet: id + busy-session state.
+
+    The gateway owns the lifecycle: ``acquire`` marks the reader busy
+    with a session id, ``release`` frees it.  All calls happen on the
+    event loop, so plain attributes are race-free.
+    """
+
+    reader_id: int
+    session: int = 0  # 0 = idle; otherwise the running session id
+    inventories: int = 0  # completed sessions, for introspection
+
+    @property
+    def busy(self) -> bool:
+        return self.session != 0
+
+    def acquire(self, session: int) -> None:
+        if self.busy:
+            raise RuntimeError(
+                f"reader {self.reader_id} is busy with session {self.session}"
+            )
+        self.session = session
+
+    def release(self) -> None:
+        self.session = 0
+        self.inventories += 1

@@ -1,0 +1,114 @@
+"""Tag-report recorders for the gateway client (CSV / NDJSON).
+
+The gateway streams :class:`~repro.gateway.codec.TagReport` frames;
+these sinks persist them the way sllurp's ``csv_recorder`` persists
+LLRP tag reads -- append-only, one row/line per report, flushed as
+written so a tail of the file tracks a live inventory.
+
+Both sinks share the same field set (:data:`FIELDS`), so a CSV row and
+an NDJSON object of the same report carry identical information;
+``tag_id_hex`` is the 64-bit id zero-padded to 16 hex digits (the
+"EPC-looking" rendering).
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Callable, Iterable, Sequence
+
+from repro.gateway.codec import TagReport
+
+__all__ = ["FIELDS", "ReportSink", "CsvSink", "NdjsonSink", "fanout"]
+
+#: Column / key order shared by every sink.
+FIELDS = (
+    "reader_id",
+    "session",
+    "slot",
+    "frame",
+    "tag_id",
+    "tag_id_hex",
+    "airtime",
+)
+
+
+def _row(report: TagReport) -> dict[str, object]:
+    return {
+        "reader_id": report.reader_id,
+        "session": report.session,
+        "slot": report.slot,
+        "frame": report.frame,
+        "tag_id": report.tag_id,
+        "tag_id_hex": f"{report.tag_id:016x}",
+        "airtime": report.airtime,
+    }
+
+
+class ReportSink:
+    """Base class: ``write`` one report, ``close`` when done."""
+
+    def write(self, report: TagReport) -> None:
+        raise NotImplementedError
+
+    def close(self) -> None:  # pragma: no cover - trivial default
+        pass
+
+    def __enter__(self) -> "ReportSink":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+class CsvSink(ReportSink):
+    """Append reports to a CSV file (header written once per file)."""
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        write_header = (
+            not self.path.exists() or self.path.stat().st_size == 0
+        )
+        self._fh = self.path.open("a", newline="")
+        self._writer = csv.DictWriter(self._fh, fieldnames=FIELDS)
+        if write_header:
+            self._writer.writeheader()
+            self._fh.flush()
+
+    def write(self, report: TagReport) -> None:
+        self._writer.writerow(_row(report))
+        self._fh.flush()
+
+    def close(self) -> None:
+        self._fh.close()
+
+
+class NdjsonSink(ReportSink):
+    """Append reports as one JSON object per line."""
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self._fh = self.path.open("a")
+
+    def write(self, report: TagReport) -> None:
+        self._fh.write(
+            json.dumps(_row(report), separators=(",", ":")) + "\n"
+        )
+        self._fh.flush()
+
+    def close(self) -> None:
+        self._fh.close()
+
+
+def fanout(
+    sinks: Sequence[ReportSink] | Iterable[ReportSink],
+) -> Callable[[TagReport], None]:
+    """An ``on_report`` callback writing each report to every sink."""
+    sinks = list(sinks)
+
+    def write(report: TagReport) -> None:
+        for sink in sinks:
+            sink.write(report)
+
+    return write

@@ -55,6 +55,13 @@ __all__ = [
     "ROUTER_EJECTIONS",
     "ROUTER_BACKENDS_HEALTHY",
     "ROUTER_STREAM_RESUMES",
+    "GATEWAY_FRAMES_IN",
+    "GATEWAY_FRAMES_OUT",
+    "GATEWAY_CRC_FAILURES",
+    "GATEWAY_MALFORMED",
+    "GATEWAY_CONNECTIONS",
+    "GATEWAY_INVENTORIES",
+    "GATEWAY_REPORT_SECONDS",
     "record_slot",
     "record_inventory",
     "record_kernel_stats",
@@ -109,6 +116,26 @@ ROUTER_EJECTIONS = "repro_router_ejections_total"
 ROUTER_BACKENDS_HEALTHY = "repro_router_backends_healthy"
 #: NDJSON job streams transparently resumed on a surviving backend.
 ROUTER_STREAM_RESUMES = "repro_router_stream_resumes_total"
+
+# -- repro.gateway (binary reader gateway; docs/GATEWAY.md) ------------
+#: Well-formed frames received, labelled ``cmd`` (the frame class name).
+GATEWAY_FRAMES_IN = "repro_gateway_frames_in_total"
+#: Frames sent, labelled ``cmd``.
+GATEWAY_FRAMES_OUT = "repro_gateway_frames_out_total"
+#: Frames rejected for a CRC trailer mismatch (the wire-integrity
+#: signal; the CI smoke job asserts this stays 0 on a clean link).
+GATEWAY_CRC_FAILURES = "repro_gateway_crc_failures_total"
+#: Frames rejected for any other malformation, labelled ``reason``
+#: (``malformed_frame`` / ``unsupported``).
+GATEWAY_MALFORMED = "repro_gateway_malformed_frames_total"
+#: Currently open client connections (gauge).
+GATEWAY_CONNECTIONS = "repro_gateway_connections_active"
+#: Inventory sessions finished, labelled ``protocol`` / ``detector`` /
+#: ``outcome`` (``done`` / ``stopped`` / ``disconnect`` / ``error``).
+GATEWAY_INVENTORIES = "repro_gateway_inventories_total"
+#: Wall seconds from START_INVENTORY to each TAG_REPORT hitting the
+#: outbound queue (report latency as the client experiences it).
+GATEWAY_REPORT_SECONDS = "repro_gateway_report_seconds"
 
 #: Airtime histogram buckets (units of tau): decade ladder wide enough
 #: for a 10-tag toy run and the paper's 50 000-tag case IV.

@@ -39,6 +39,9 @@ __all__ = [
     "timing_models",
     "simulate_requests",
     "malformed_simulate_requests",
+    "gateway_frames",
+    "binary_frames",
+    "malformed_binary_frames",
 ]
 
 #: Strength values the paper's evaluation sweeps (plus the miss-prone 2).
@@ -362,3 +365,215 @@ def malformed_simulate_requests(draw) -> tuple[str, object]:
     base = draw(simulate_requests())
     rule, mutate = draw(st.sampled_from(_MUTATIONS))
     return rule, mutate(base)
+
+
+# ----------------------------------------------------------------------
+# repro.gateway binary wire frames
+
+
+def _gateway_schemes() -> st.SearchStrategy:
+    return st.one_of(
+        st.just("crc"), st.integers(1, 64).map(lambda s: f"qcd-{s}")
+    )
+
+
+def _finite_or_inf_floats() -> st.SearchStrategy:
+    # NaN != NaN would break round-trip equality assertions; every other
+    # IEEE-754 double survives struct '>d' bit-exactly.
+    return st.floats(allow_nan=False)
+
+
+@st.composite
+def gateway_frames(draw):
+    """Arbitrary *valid* typed frames, every command type reachable.
+
+    Field values cover the full wire range of each struct field (not
+    just semantically sensible ones): a ``StartInventory`` with
+    ``n_tags=0`` encodes fine and must be *refused* by the gateway's
+    validation layer, not break the codec.
+    """
+    from repro.gateway import codec
+
+    kind = draw(st.sampled_from([
+        "get_capabilities", "capabilities", "start", "started", "stop",
+        "stopped", "keepalive", "keepalive_ack", "report", "complete",
+        "error",
+    ]))
+    u8 = st.integers(0, 0xFF)
+    u16 = st.integers(0, 0xFFFF)
+    u32 = st.integers(0, 0xFFFFFFFF)
+    u64 = st.integers(0, (1 << 64) - 1)
+    if kind == "get_capabilities":
+        return codec.GetCapabilities()
+    if kind == "capabilities":
+        # Canonical (declaration-order) subsets: decode rebuilds the
+        # tuples from bitmasks in PROTOCOL_CODES/DETECTOR_KINDS order.
+        protocols = tuple(
+            name
+            for name in codec.PROTOCOL_CODES
+            if draw(st.booleans())
+        )
+        detectors = tuple(
+            name
+            for name in codec.DETECTOR_KINDS
+            if draw(st.booleans())
+        )
+        return codec.Capabilities(
+            version=draw(u8),
+            n_readers=draw(u8),
+            max_tags=draw(u16),
+            max_frame_size=draw(u16),
+            protocols=protocols,
+            detectors=detectors,
+            max_qcd_strength=draw(u8),
+        )
+    if kind == "start":
+        return codec.StartInventory(
+            reader_id=draw(u8),
+            protocol=draw(st.sampled_from(("fsa", "dfsa"))),
+            scheme=draw(_gateway_schemes()),
+            frame_size=draw(u16),
+            n_tags=draw(u16),
+            seed=draw(u64),
+        )
+    if kind == "started":
+        return codec.InventoryStarted(reader_id=draw(u8), session=draw(u16))
+    if kind == "stop":
+        return codec.StopInventory(reader_id=draw(u8))
+    if kind == "stopped":
+        return codec.InventoryStopped(reader_id=draw(u8), session=draw(u16))
+    if kind == "keepalive":
+        return codec.Keepalive()
+    if kind == "keepalive_ack":
+        return codec.KeepaliveAck()
+    if kind == "report":
+        return codec.TagReport(
+            reader_id=draw(u8),
+            session=draw(u16),
+            slot=draw(u32),
+            frame=draw(u32),
+            tag_id=draw(u64),
+            airtime=draw(_finite_or_inf_floats()),
+        )
+    if kind == "complete":
+        return codec.InventoryComplete(
+            reader_id=draw(u8),
+            session=draw(u16),
+            identified=draw(u32),
+            lost=draw(u32),
+            slots=draw(u32),
+            frames=draw(u32),
+            airtime=draw(_finite_or_inf_floats()),
+            stopped=draw(st.booleans()),
+        )
+    # Short messages only: a message the encoder would truncate at the
+    # payload cap could tear a multi-byte codepoint and round-trip
+    # inexactly (by design -- decode uses errors="replace").
+    return codec.ErrorFrame(
+        code=draw(st.sampled_from(sorted(codec.ERROR_CODES))),
+        message=draw(st.text(max_size=64)),
+    )
+
+
+@st.composite
+def binary_frames(draw) -> bytes:
+    """Wire encodings of valid frames (header..CRC trailer)."""
+    from repro.gateway import codec
+
+    return codec.encode_frame(draw(gateway_frames()))
+
+
+def _flip_bit(data: bytes, index: int, bit: int) -> bytes:
+    out = bytearray(data)
+    out[index] ^= 1 << bit
+    return bytes(out)
+
+
+def _with_crc(body: bytes) -> bytes:
+    """Frame up an arbitrary body with a *correct* trailer, to reach
+    decode stages past the CRC check (unknown command, bad payload)."""
+    import struct
+
+    from repro.gateway import codec
+
+    return (
+        bytes([codec.HEADER_BYTE])
+        + body
+        + struct.pack(">H", codec.crc16(body))
+    )
+
+
+@st.composite
+def malformed_binary_frames(draw) -> tuple[str, bytes]:
+    """``(rule, blob)`` pairs where ``blob`` is *not* one valid frame.
+
+    The contract under test (``tests/gateway/test_codec_properties.py``):
+    ``decode_frame`` raises :class:`~repro.gateway.codec.FrameError` --
+    never anything else -- and a gateway fed the blob answers with a
+    typed ERROR frame or a clean close, never a crash.
+    """
+    import struct
+
+    from repro.gateway import codec
+
+    good = draw(binary_frames())
+    rule = draw(
+        st.sampled_from((
+            "truncated",
+            "bad_crc",
+            "corrupt_body",
+            "bad_header",
+            "oversized_len",
+            "unknown_cmd",
+            "wrong_payload_len",
+            "bad_error_code",
+            "garbage",
+        ))
+    )
+    if rule == "truncated":
+        cut = draw(st.integers(1, len(good) - 1))
+        return rule, good[:cut]
+    if rule == "bad_crc":
+        index = len(good) - draw(st.integers(1, 2))
+        return rule, _flip_bit(good, index, draw(st.integers(0, 7)))
+    if rule == "corrupt_body":
+        # Any body flip invalidates the trailer (CRC minimum distance),
+        # except a flip inside LEN, which may instead tear the framing;
+        # both are malformations.
+        index = draw(st.integers(1, len(good) - 3))
+        return rule, _flip_bit(good, index, draw(st.integers(0, 7)))
+    if rule == "bad_header":
+        first = draw(st.integers(0, 0xFF).filter(
+            lambda b: b != codec.HEADER_BYTE
+        ))
+        return rule, bytes([first]) + good[1:]
+    if rule == "oversized_len":
+        length = draw(st.integers(codec.MAX_PAYLOAD + 1, 0xFFFF))
+        return rule, good[:3] + struct.pack(">H", length) + good[5:]
+    if rule == "unknown_cmd":
+        cmd = draw(st.integers(0, 0xFF).filter(
+            lambda c: c not in {0x01, 0x02, 0x03, 0x10, 0x12, 0x7F}
+        ))
+        body = bytes([cmd, draw(st.sampled_from((0x00, 0x80)))]) + good[3:-2]
+        return rule, _with_crc(body)
+    if rule == "wrong_payload_len":
+        # KEEPALIVE with a nonempty payload: framing and CRC are fine,
+        # the typed decoder must still refuse it.
+        extra = draw(st.binary(min_size=1, max_size=8))
+        body = struct.pack(">BBH", 0x10, 0x00, len(extra)) + extra
+        return rule, _with_crc(body)
+    if rule == "bad_error_code":
+        code = draw(st.integers(0, 0xFF).filter(
+            lambda c: c not in codec.ERROR_CODES.values()
+        ))
+        payload = bytes([code]) + draw(st.binary(max_size=8))
+        body = struct.pack(">BBH", 0x7F, 0x80, len(payload)) + payload
+        return rule, _with_crc(body)
+    # Pure noise.  A non-0xAA first byte keeps single-shot decode_frame
+    # deterministic; embedded 0xAA bytes still exercise the
+    # reassembler's resync hunt.
+    blob = draw(st.binary(min_size=1, max_size=64))
+    first = draw(st.integers(0, 0xFF).filter(
+        lambda b: b != codec.HEADER_BYTE
+    ))
+    return "garbage", bytes([first]) + blob

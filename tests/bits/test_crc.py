@@ -9,15 +9,24 @@ from hypothesis import given, strategies as st
 from repro.bits.bitvec import BitVector
 from repro.bits.crc import (
     CRC5_EPC,
+    CRC16_BUYPASS,
     CRC16_CCITT_FALSE,
     CRC16_GEN2,
+    CRC16_IBM,
     CRC32_IEEE,
     CrcEngine,
     CrcSpec,
     reflect,
 )
 
-ALL_SPECS = [CRC5_EPC, CRC16_CCITT_FALSE, CRC16_GEN2, CRC32_IEEE]
+ALL_SPECS = [
+    CRC5_EPC,
+    CRC16_CCITT_FALSE,
+    CRC16_GEN2,
+    CRC16_BUYPASS,
+    CRC16_IBM,
+    CRC32_IEEE,
+]
 TABLE_SPECS = [s for s in ALL_SPECS if s.width >= 8]
 
 
@@ -43,6 +52,27 @@ class TestCatalogue:
     def test_crc32_known_value(self):
         # Independently known: CRC-32 of "123456789" is 0xCBF43926.
         assert CrcEngine(CRC32_IEEE).compute_bytes(b"123456789") == 0xCBF43926
+
+    def test_buypass_published_check_value(self):
+        # Independently known: CRC-16/BUYPASS of "123456789" is 0xFEE8.
+        assert CrcEngine(CRC16_BUYPASS).compute_bytes(b"123456789") == 0xFEE8
+
+    def test_ibm_ffff_published_check_value(self):
+        # Poly 0x8005, init 0xFFFF, unreflected (catalogue CRC-16/CMS):
+        # check value 0xAEE7.
+        assert CrcEngine(CRC16_IBM).compute_bytes(b"123456789") == 0xAEE7
+
+    def test_buypass_and_ibm_differ_only_by_init(self):
+        assert CRC16_BUYPASS.poly == CRC16_IBM.poly == 0x8005
+        assert CRC16_BUYPASS.init == 0x0000
+        assert CRC16_IBM.init == 0xFFFF
+        # Same computation from a different starting register: the two
+        # must agree on the empty message iff the inits agree -- they
+        # don't, so the check values must differ.
+        assert (
+            CrcEngine(CRC16_BUYPASS).compute_bytes(b"")
+            != CrcEngine(CRC16_IBM).compute_bytes(b"")
+        )
 
     def test_gen2_is_complement_of_ccitt_false(self):
         # CRC-16/GEN2 (GENIBUS) differs from CCITT-FALSE only by the final

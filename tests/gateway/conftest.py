@@ -1,0 +1,109 @@
+"""Shared fixtures for the gateway suite.
+
+Mirrors ``tests/serve/conftest.py``: the gateway enables process-global
+observability on start, so every test begins and ends clean, and the
+in-process app fixture runs the asyncio stack on a background thread
+with an ephemeral port while the blocking :class:`GatewayClient` drives
+it from the test thread -- exactly how real clients hit the wire.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+
+import pytest
+
+from repro import obs
+from repro.gateway.client import GatewayClient
+from repro.gateway.gateway import GatewayApp, GatewayConfig
+
+
+@pytest.fixture(autouse=True)
+def clean_obs():
+    obs.disable()
+    obs.reset()
+    yield
+    obs.disable()
+    obs.reset()
+
+
+class GatewayHandle:
+    """A running GatewayApp on its own event-loop thread."""
+
+    def __init__(self, config: GatewayConfig) -> None:
+        self._ready = threading.Event()
+        self._failure: BaseException | None = None
+        self.app: GatewayApp | None = None
+        self.loop: asyncio.AbstractEventLoop | None = None
+        self.port: int | None = None
+        self._thread = threading.Thread(
+            target=self._run, args=(config,), daemon=True
+        )
+        self._thread.start()
+        if not self._ready.wait(20):
+            raise RuntimeError("gateway did not start within 20s")
+        if self._failure is not None:
+            raise self._failure
+
+    def _run(self, config: GatewayConfig) -> None:
+        async def amain() -> None:
+            try:
+                app = GatewayApp(config)
+                await app.start()
+                self.app = app
+                self.loop = asyncio.get_running_loop()
+                self.port = app.port
+            except BaseException as exc:  # surface startup failures
+                self._failure = exc
+                self._ready.set()
+                raise
+            self._ready.set()
+            await app.wait_closed()
+
+        asyncio.run(amain())
+
+    def client(self, **kwargs) -> GatewayClient:
+        kwargs.setdefault("timeout_s", 20.0)
+        return GatewayClient("127.0.0.1", self.port, **kwargs)
+
+    def call_soon(self, fn, *args) -> None:
+        assert self.loop is not None
+        self.loop.call_soon_threadsafe(fn, *args)
+
+    def drop_connections(self) -> None:
+        assert self.app is not None
+        self.call_soon(self.app.drop_connections)
+
+    def shutdown(self, timeout: float = 30.0) -> None:
+        if self.app is not None and self.loop is not None:
+            if not self._thread.is_alive():
+                return
+            self.loop.call_soon_threadsafe(self.app.begin_drain)
+        self._thread.join(timeout)
+        assert not self._thread.is_alive(), "gateway thread failed to drain"
+
+
+@pytest.fixture
+def make_gateway():
+    """Factory fixture: start gateways with custom configs; all drained
+    on exit."""
+    handles: list[GatewayHandle] = []
+
+    def factory(**overrides) -> GatewayHandle:
+        overrides.setdefault("readers", 2)
+        overrides.setdefault("drain_grace_s", 10.0)
+        config = GatewayConfig(port=0, **overrides)
+        handle = GatewayHandle(config)
+        handles.append(handle)
+        return handle
+
+    yield factory
+    for handle in handles:
+        handle.shutdown()
+
+
+@pytest.fixture
+def gateway(make_gateway) -> GatewayHandle:
+    """A default two-reader gateway."""
+    return make_gateway()

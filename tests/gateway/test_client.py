@@ -1,0 +1,269 @@
+"""Client-side behavior: frame plumbing, typed errors, backoff policy,
+and the ``python -m repro.gateway.client`` CLI."""
+
+from __future__ import annotations
+
+import csv
+import json
+import socket
+import threading
+
+import pytest
+
+from repro.gateway import codec
+from repro.gateway.client import (
+    GatewayBusy,
+    GatewayClosed,
+    GatewayRefused,
+    InventorySummary,
+    ReconnectPolicy,
+    _refusal,
+    main,
+)
+
+
+class ScriptedServer:
+    """A one-connection fake gateway: accept, run ``script(conn)``."""
+
+    def __init__(self, script) -> None:
+        self._listener = socket.socket()
+        self._listener.bind(("127.0.0.1", 0))
+        self._listener.listen(1)
+        self.port = self._listener.getsockname()[1]
+        self.received = bytearray()
+        self._thread = threading.Thread(
+            target=self._run, args=(script,), daemon=True
+        )
+        self._thread.start()
+
+    def _run(self, script) -> None:
+        conn, _ = self._listener.accept()
+        try:
+            script(conn, self)
+        finally:
+            conn.close()
+            self._listener.close()
+
+    def join(self) -> None:
+        self._thread.join(10)
+        assert not self._thread.is_alive()
+
+
+@pytest.fixture
+def scripted():
+    servers = []
+
+    def factory(script) -> ScriptedServer:
+        server = ScriptedServer(script)
+        servers.append(server)
+        return server
+
+    yield factory
+    for server in servers:
+        server.join()
+
+
+class TestReconnectPolicy:
+    def test_delays_grow_and_cap(self):
+        policy = ReconnectPolicy(
+            attempts=6, backoff_s=0.5, multiplier=2.0, max_backoff_s=2.0
+        )
+        assert list(policy.delays()) == [0.5, 1.0, 2.0, 2.0, 2.0, 2.0]
+
+    def test_attempts_bound_the_sequence(self):
+        assert len(list(ReconnectPolicy(attempts=3).delays())) == 3
+
+
+class TestErrorTypes:
+    def test_busy_and_draining_are_retryable(self):
+        for code in ("busy", "draining"):
+            exc = _refusal(codec.ErrorFrame(code=code, message="x"))
+            assert isinstance(exc, GatewayBusy)
+
+    def test_other_codes_are_plain_refusals(self):
+        exc = _refusal(codec.ErrorFrame(code="bad_param", message="x"))
+        assert isinstance(exc, GatewayRefused)
+        assert not isinstance(exc, GatewayBusy)
+        assert exc.code == "bad_param"
+
+    def test_summary_tag_ids_deduplicate(self):
+        summary = InventorySummary()
+        for tag_id in (1, 2, 1):
+            summary.reports.append(
+                codec.TagReport(
+                    reader_id=0,
+                    session=1,
+                    slot=0,
+                    frame=0,
+                    tag_id=tag_id,
+                    airtime=0.0,
+                )
+            )
+        assert summary.tag_ids == {1, 2}
+
+
+class TestTransportErrors:
+    def test_connect_refused_raises_gateway_closed(self):
+        # Grab an ephemeral port and close it again: nothing listens.
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+        with pytest.raises(GatewayClosed):
+            from repro.gateway.client import GatewayClient
+
+            GatewayClient("127.0.0.1", port, timeout_s=1.0).connect()
+
+    def test_silent_server_times_out(self, scripted):
+        def script(conn, srv):
+            conn.recv(4096)  # the client's KEEPALIVE
+            conn.recv(4096)  # hold the connection open, never reply
+
+        server = scripted(script)
+        from repro.gateway.client import GatewayClient
+
+        client = GatewayClient("127.0.0.1", server.port, timeout_s=0.3)
+        with pytest.raises(GatewayClosed, match="timed out"):
+            with client:
+                client.ping()
+
+    def test_garbage_stream_is_gateway_closed(self, scripted):
+        def script(conn, srv):
+            conn.recv(4096)
+            # An undecodable but *complete* frame: the client treats a
+            # malformed gateway as a broken transport.
+            conn.sendall(b"\xaa\x10\x80\x00\x00\xff\xff")
+
+        server = scripted(script)
+        from repro.gateway.client import GatewayClient
+
+        client = GatewayClient("127.0.0.1", server.port, timeout_s=5.0)
+        with pytest.raises(GatewayClosed, match="undecodable"):
+            with client:
+                client.ping()
+
+
+class TestFramePlumbing:
+    def test_one_recv_many_frames_drains_pending_first(self, scripted):
+        """Two frames in one TCP segment: the second must surface even
+        if the socket never delivers another byte."""
+
+        def script(conn, srv):
+            conn.recv(4096)  # the client's KEEPALIVE
+            conn.sendall(
+                codec.encode_frame(codec.KeepaliveAck())
+                + codec.encode_frame(codec.InventoryStarted(reader_id=0, session=9))
+            )
+            conn.recv(4096)  # park until the client closes
+
+        server = scripted(script)
+        from repro.gateway.client import GatewayClient
+
+        with GatewayClient("127.0.0.1", server.port, timeout_s=5.0) as client:
+            client.ping()
+            # Already buffered client-side; no further socket traffic.
+            assert client.recv_frame() == codec.InventoryStarted(
+                reader_id=0, session=9
+            )
+
+    def test_client_answers_gateway_keepalives(self, scripted):
+        """A gateway-initiated KEEPALIVE mid-stream is acked and skipped."""
+
+        def script(conn, srv):
+            conn.recv(4096)  # the client's GET_CAPABILITIES
+            conn.sendall(codec.encode_frame(codec.Keepalive()))
+            srv.received.extend(conn.recv(4096))  # expect the ack
+            conn.sendall(
+                codec.encode_frame(
+                    codec.Capabilities(
+                        version=1,
+                        n_readers=1,
+                        max_tags=10,
+                        max_frame_size=16,
+                    )
+                )
+            )
+
+        server = scripted(script)
+        from repro.gateway.client import GatewayClient
+
+        with GatewayClient("127.0.0.1", server.port, timeout_s=5.0) as client:
+            caps = client.capabilities()
+        assert caps.n_readers == 1
+        server.join()
+        assert bytes(server.received) == codec.encode_frame(
+            codec.KeepaliveAck()
+        )
+
+
+class TestRunInventoryRetries:
+    def test_budget_exhaustion_propagates(self):
+        """A gateway that refuses every connection exhausts the retry
+        budget (one sleep per attempt) and raises."""
+        from repro.gateway.client import GatewayClient
+
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+        client = GatewayClient(
+            "127.0.0.1",
+            port,
+            timeout_s=1.0,
+            reconnect=ReconnectPolicy(attempts=2, backoff_s=0.01),
+        )
+        sleeps: list[float] = []
+        with pytest.raises(GatewayClosed):
+            client.run_inventory(
+                0, "fsa", "crc", 16, 10, 1, sleep=sleeps.append
+            )
+        assert len(sleeps) == 2  # the whole budget was spent
+
+
+class TestCli:
+    def test_cli_records_reports(self, gateway, tmp_path, capsys):
+        csv_path = tmp_path / "reports.csv"
+        nd_path = tmp_path / "reports.ndjson"
+        rc = main(
+            [
+                "--port",
+                str(gateway.port),
+                "--reader",
+                "1",
+                "--protocol",
+                "fsa",
+                "--scheme",
+                "qcd-8",
+                "--frame-size",
+                "32",
+                "--n-tags",
+                "40",
+                "--seed",
+                "7",
+                "--csv",
+                str(csv_path),
+                "--ndjson",
+                str(nd_path),
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "gateway v1:" in out
+        assert "fsa/qcd-8" in out
+        rows = list(csv.DictReader(csv_path.open()))
+        docs = [
+            json.loads(line) for line in nd_path.read_text().splitlines()
+        ]
+        assert len(rows) == len(docs) > 0
+        assert {int(r["tag_id"]) for r in rows} == {
+            d["tag_id"] for d in docs
+        }
+
+    def test_cli_reports_gateway_errors(self, tmp_path, capsys):
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+        rc = main(["--port", str(port), "--timeout", "1"])
+        assert rc == 1
+        assert "gateway error" in capsys.readouterr().err

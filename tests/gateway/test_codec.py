@@ -1,0 +1,327 @@
+"""Codec tests: round-trips, typed decode errors, reassembly, and the
+golden-bytes compatibility contract."""
+
+from __future__ import annotations
+
+import json
+import struct
+from pathlib import Path
+
+import pytest
+
+from repro.gateway import codec
+from repro.gateway.codec import (
+    MAX_PAYLOAD,
+    Capabilities,
+    ErrorFrame,
+    FrameError,
+    FrameReassembler,
+    GetCapabilities,
+    InventoryComplete,
+    InventoryStarted,
+    InventoryStopped,
+    Keepalive,
+    KeepaliveAck,
+    StartInventory,
+    StopInventory,
+    TagReport,
+    crc16,
+    decode_frame,
+    decode_scheme,
+    encode_frame,
+    encode_scheme,
+)
+
+GOLDEN_PATH = Path(__file__).parent.parent / "data" / "golden_gateway_frames.json"
+
+#: The canonical frame objects behind ``golden_gateway_frames.json``.
+#: Changing the codec so any of these encodes differently is a protocol
+#: break: regenerate the JSON only on a deliberate rev of
+#: ``GATEWAY_VERSION``.
+GOLDEN_FRAMES = {
+    "get_capabilities": GetCapabilities(),
+    "capabilities": Capabilities(
+        version=1,
+        n_readers=4,
+        max_tags=50000,
+        max_frame_size=32768,
+        protocols=("fsa", "dfsa"),
+        detectors=("crc", "qcd"),
+        max_qcd_strength=64,
+    ),
+    "start_inventory_fsa_qcd": StartInventory(
+        reader_id=0,
+        protocol="fsa",
+        scheme="qcd-16",
+        frame_size=64,
+        n_tags=200,
+        seed=42,
+    ),
+    "start_inventory_dfsa_crc": StartInventory(
+        reader_id=3,
+        protocol="dfsa",
+        scheme="crc",
+        frame_size=16,
+        n_tags=50000,
+        seed=123456789,
+    ),
+    "inventory_started": InventoryStarted(reader_id=0, session=1),
+    "stop_inventory": StopInventory(reader_id=2),
+    "inventory_stopped": InventoryStopped(reader_id=2, session=7),
+    "keepalive": Keepalive(),
+    "keepalive_ack": KeepaliveAck(),
+    "tag_report": TagReport(
+        reader_id=1,
+        session=3,
+        slot=20,
+        frame=1,
+        tag_id=0x2882854FB05FE3DF,
+        airtime=736.0,
+    ),
+    "inventory_complete": InventoryComplete(
+        reader_id=1,
+        session=3,
+        identified=200,
+        lost=0,
+        slots=960,
+        frames=15,
+        airtime=43520.0,
+        stopped=False,
+    ),
+    "inventory_complete_stopped": InventoryComplete(
+        reader_id=0,
+        session=9,
+        identified=12,
+        lost=1,
+        slots=64,
+        frames=2,
+        airtime=1984.0,
+        stopped=True,
+    ),
+    "error_busy": ErrorFrame(
+        code="busy", message="reader 0 is busy with session 1"
+    ),
+    "error_bad_crc": ErrorFrame(
+        code="bad_crc",
+        message="CRC mismatch: frame carries 0xDEAD, computed 0xBEEF",
+    ),
+}
+
+
+def _golden_entries():
+    doc = json.loads(GOLDEN_PATH.read_text())
+    return doc["frames"]
+
+
+class TestGoldenFrames:
+    def test_every_golden_name_has_a_frame(self):
+        names = {entry["name"] for entry in _golden_entries()}
+        assert names == set(GOLDEN_FRAMES)
+
+    @pytest.mark.parametrize(
+        "entry", _golden_entries(), ids=lambda e: e["name"]
+    )
+    def test_encode_is_pinned(self, entry):
+        frame = GOLDEN_FRAMES[entry["name"]]
+        assert encode_frame(frame).hex() == entry["hex"]
+        assert type(frame).__name__ == entry["type"]
+
+    @pytest.mark.parametrize(
+        "entry", _golden_entries(), ids=lambda e: e["name"]
+    )
+    def test_decode_is_pinned(self, entry):
+        assert decode_frame(bytes.fromhex(entry["hex"])) == GOLDEN_FRAMES[
+            entry["name"]
+        ]
+
+    def test_frame_layout_by_hand(self):
+        # STOP(reader 2): AA | 03 00 | 0001 | 02 | crc(03 00 00 01 02).
+        data = encode_frame(StopInventory(reader_id=2))
+        assert data[0] == 0xAA
+        assert data[1:3] == bytes([0x03, 0x00])
+        assert data[3:5] == (1).to_bytes(2, "big")
+        assert data[5] == 2
+        assert data[-2:] == crc16(data[1:-2]).to_bytes(2, "big")
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "frame", list(GOLDEN_FRAMES.values()), ids=lambda f: type(f).__name__
+    )
+    def test_encode_decode_identity(self, frame):
+        assert decode_frame(encode_frame(frame)) == frame
+
+    def test_scheme_codec_inverse(self):
+        for scheme in ("crc", "qcd-1", "qcd-16", "qcd-64"):
+            assert decode_scheme(*encode_scheme(scheme)) == scheme
+
+    def test_encode_scheme_rejects_junk(self):
+        for bad in ("qcd-0", "qcd-65", "qcd-", "ideal", "QCD-4", "qcd-1.5"):
+            with pytest.raises(ValueError):
+                encode_scheme(bad)
+
+    def test_decode_scheme_rejects_junk(self):
+        with pytest.raises(FrameError) as exc_info:
+            decode_scheme(0x01, 65)
+        assert exc_info.value.code == "bad_param"
+        with pytest.raises(FrameError):
+            decode_scheme(0x07, 0)
+
+    def test_error_message_truncated_to_payload_cap(self):
+        frame = ErrorFrame(code="internal", message="x" * (2 * MAX_PAYLOAD))
+        data = encode_frame(frame)
+        decoded = decode_frame(data)
+        assert isinstance(decoded, ErrorFrame)
+        assert decoded.code == "internal"
+        assert len(decoded.message.encode()) == MAX_PAYLOAD - 1
+
+
+class TestDecodeErrors:
+    """``decode_frame`` raises FrameError -- and only FrameError."""
+
+    def test_too_short(self):
+        with pytest.raises(FrameError) as exc_info:
+            decode_frame(b"\xaa\x01\x00")
+        assert exc_info.value.code == "malformed_frame"
+
+    def test_bad_header_byte(self):
+        data = bytearray(encode_frame(Keepalive()))
+        data[0] = 0x55
+        with pytest.raises(FrameError) as exc_info:
+            decode_frame(bytes(data))
+        assert exc_info.value.code == "malformed_frame"
+
+    def test_len_field_mismatch(self):
+        data = bytearray(encode_frame(Keepalive()))
+        data[4] = 5  # LEN says 5, frame carries 0
+        with pytest.raises(FrameError) as exc_info:
+            decode_frame(bytes(data))
+        assert exc_info.value.code == "malformed_frame"
+
+    def test_oversized_len(self):
+        body = struct.pack(">BBH", 0x10, 0x00, MAX_PAYLOAD + 1)
+        data = b"\xaa" + body + b"\x00" * (MAX_PAYLOAD + 1) + b"\x00\x00"
+        with pytest.raises(FrameError) as exc_info:
+            decode_frame(data)
+        assert exc_info.value.code == "malformed_frame"
+
+    def test_bad_crc(self):
+        data = bytearray(encode_frame(Keepalive()))
+        data[-1] ^= 0xFF
+        with pytest.raises(FrameError) as exc_info:
+            decode_frame(bytes(data))
+        assert exc_info.value.code == "bad_crc"
+
+    def test_unknown_command(self):
+        body = struct.pack(">BBH", 0x55, 0x00, 0)
+        data = b"\xaa" + body + crc16(body).to_bytes(2, "big")
+        with pytest.raises(FrameError) as exc_info:
+            decode_frame(data)
+        assert exc_info.value.code == "unsupported"
+
+    def test_wrong_payload_length_for_command(self):
+        body = struct.pack(">BBH", 0x10, 0x00, 3) + b"abc"
+        data = b"\xaa" + body + crc16(body).to_bytes(2, "big")
+        with pytest.raises(FrameError) as exc_info:
+            decode_frame(data)
+        assert exc_info.value.code == "malformed_frame"
+
+    def test_unknown_error_code_byte(self):
+        payload = bytes([0xEE]) + b"boom"
+        body = struct.pack(">BBH", 0x7F, 0x80, len(payload)) + payload
+        data = b"\xaa" + body + crc16(body).to_bytes(2, "big")
+        with pytest.raises(FrameError) as exc_info:
+            decode_frame(data)
+        assert exc_info.value.code == "malformed_frame"
+
+    def test_start_inventory_bad_strength(self):
+        # Framing and CRC valid; the semantic decode must refuse
+        # strength 0 for a QCD detector.
+        good = StartInventory(
+            reader_id=0,
+            protocol="fsa",
+            scheme="qcd-1",
+            frame_size=4,
+            n_tags=1,
+            seed=0,
+        )
+        payload = bytearray(good.payload())
+        payload[3] = 0  # strength byte
+        body = struct.pack(">BBH", 0x02, 0x00, len(payload)) + bytes(payload)
+        data = b"\xaa" + body + crc16(body).to_bytes(2, "big")
+        with pytest.raises(FrameError) as exc_info:
+            decode_frame(data)
+        assert exc_info.value.code == "bad_param"
+
+    def test_frame_error_requires_known_code(self):
+        with pytest.raises(ValueError):
+            FrameError("nonsense", "no such code")
+
+
+class TestReassembler:
+    def test_many_frames_one_feed(self):
+        frames = [Keepalive(), StopInventory(reader_id=1), KeepaliveAck()]
+        blob = b"".join(encode_frame(f) for f in frames)
+        out = list(FrameReassembler().feed(blob))
+        assert out == frames
+
+    def test_garbage_between_frames(self):
+        re = FrameReassembler()
+        blob = (
+            b"\x00\x01\x02"
+            + encode_frame(Keepalive())
+            + b"\xde\xad\xbe\xef"
+            + encode_frame(KeepaliveAck())
+        )
+        out = [f for f in re.feed(blob) if not isinstance(f, FrameError)]
+        assert out == [Keepalive(), KeepaliveAck()]
+        assert re.garbage_bytes >= 3
+
+    def test_bad_crc_then_recovery(self):
+        corrupted = bytearray(encode_frame(Keepalive()))
+        corrupted[-1] ^= 0x01
+        re = FrameReassembler()
+        out = list(re.feed(bytes(corrupted) + encode_frame(KeepaliveAck())))
+        errors = [f for f in out if isinstance(f, FrameError)]
+        frames = [f for f in out if not isinstance(f, FrameError)]
+        assert errors and errors[0].code == "bad_crc"
+        assert frames == [KeepaliveAck()]
+        assert re.frames_bad >= 1 and re.frames_ok == 1
+
+    def test_torn_frame_completes_across_feeds(self):
+        data = encode_frame(StopInventory(reader_id=3))
+        re = FrameReassembler()
+        assert list(re.feed(data[:4])) == []
+        assert re.pending == 4
+        assert list(re.feed(data[4:])) == [StopInventory(reader_id=3)]
+        assert re.pending == 0
+
+    def test_finish_flags_truncated_tail(self):
+        re = FrameReassembler()
+        assert list(re.feed(encode_frame(Keepalive())[:5])) == []
+        err = re.finish()
+        assert isinstance(err, FrameError)
+        assert err.code == "malformed_frame"
+        assert re.pending == 0
+
+    def test_finish_clean_stream_is_none(self):
+        re = FrameReassembler()
+        list(re.feed(encode_frame(Keepalive())))
+        assert re.finish() is None
+
+    def test_oversized_len_resyncs(self):
+        body = struct.pack(">BBH", 0x10, 0x00, MAX_PAYLOAD + 100)
+        blob = b"\xaa" + body + encode_frame(Keepalive())
+        out = list(FrameReassembler().feed(blob))
+        errors = [f for f in out if isinstance(f, FrameError)]
+        frames = [f for f in out if not isinstance(f, FrameError)]
+        assert errors
+        assert Keepalive() in frames
+
+    def test_counters_accumulate(self):
+        re = FrameReassembler()
+        list(re.feed(encode_frame(Keepalive())))
+        list(re.feed(b"\x01\x02"))
+        list(re.feed(encode_frame(KeepaliveAck())))
+        assert re.frames_ok == 2
+        assert re.garbage_bytes == 2

@@ -1,0 +1,170 @@
+"""Hypothesis properties for the gateway codec.
+
+The invariants the wire plane rests on:
+
+* every valid frame round-trips bit-exactly through encode/decode;
+* a valid stream split at *every* byte boundary reassembles to the same
+  frames as feeding it whole;
+* malformed input NEVER raises anything but :class:`FrameError` from
+  ``decode_frame``, and never raises at all from the reassembler (typed
+  error values instead);
+* the reassembler's buffer stays bounded regardless of input.
+"""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.gateway.codec import (
+    MAX_PAYLOAD,
+    Frame,
+    FrameError,
+    FrameReassembler,
+    HEADER_BYTE,
+    decode_frame,
+    encode_frame,
+)
+from repro.verify.strategies import (
+    binary_frames,
+    gateway_frames,
+    malformed_binary_frames,
+)
+
+#: One complete frame never outgrows header + payload cap + trailer.
+MAX_FRAME_BYTES = 5 + MAX_PAYLOAD + 2
+
+#: The first draw in a fresh process pays one-time warmup (Hypothesis
+#: database + example cache); the strategies themselves are fast, so
+#: don't let that warmup trip the ``too_slow`` health check.
+relaxed = settings(suppress_health_check=[HealthCheck.too_slow])
+
+
+class TestRoundTrip:
+    @relaxed
+    @given(frame=gateway_frames())
+    def test_encode_decode_identity(self, frame):
+        assert decode_frame(encode_frame(frame)) == frame
+
+    @relaxed
+    @given(frame=gateway_frames())
+    def test_wire_shape(self, frame):
+        data = encode_frame(frame)
+        assert data[0] == HEADER_BYTE
+        length = int.from_bytes(data[3:5], "big")
+        assert len(data) == 5 + length + 2
+        assert length <= MAX_PAYLOAD
+
+
+class TestReassembly:
+    @relaxed
+    @given(frames=st.lists(gateway_frames(), min_size=1, max_size=4))
+    def test_split_at_every_byte(self, frames):
+        """Byte-by-byte delivery reassembles identically to one feed."""
+        blob = b"".join(encode_frame(f) for f in frames)
+        re = FrameReassembler()
+        out: list[Frame | FrameError] = []
+        for i in range(len(blob)):
+            out.extend(re.feed(blob[i : i + 1]))
+        assert out == frames
+        assert re.finish() is None
+        assert re.frames_ok == len(frames)
+        assert re.frames_bad == 0
+
+    @relaxed
+    @given(
+        frames=st.lists(gateway_frames(), min_size=1, max_size=4),
+        data=st.data(),
+    )
+    def test_arbitrary_chunking_is_invisible(self, frames, data):
+        blob = b"".join(encode_frame(f) for f in frames)
+        re = FrameReassembler()
+        out: list[Frame | FrameError] = []
+        rest = blob
+        while rest:
+            cut = data.draw(st.integers(1, len(rest)))
+            out.extend(re.feed(rest[:cut]))
+            rest = rest[cut:]
+        assert out == frames
+
+    @relaxed
+    @given(
+        prefix=st.binary(max_size=32).filter(
+            lambda b: HEADER_BYTE not in b
+        ),
+        frame=gateway_frames(),
+        suffix=st.binary(max_size=32),
+    )
+    def test_frame_recovered_from_noise(self, prefix, frame, suffix):
+        """A frame preceded by sync-free noise is always recovered (a
+        false sync *inside* leading noise may legitimately hold bytes
+        hostage until more data or EOF, hence the prefix filter)."""
+        re = FrameReassembler()
+        out = list(re.feed(prefix + encode_frame(frame) + suffix))
+        frames = [f for f in out if not isinstance(f, FrameError)]
+        assert frames[0] == frame
+        assert re.garbage_bytes >= len(prefix)
+
+
+class TestMalformed:
+    @relaxed
+    @given(case=malformed_binary_frames())
+    def test_decode_raises_only_frame_error(self, case):
+        rule, blob = case
+        try:
+            decode_frame(blob)
+        except FrameError as exc:
+            assert exc.code in ("malformed_frame", "bad_crc", "unsupported", "bad_param"), rule
+        else:
+            raise AssertionError(f"{rule}: decoded a malformed blob")
+
+    @relaxed
+    @given(
+        cases=st.lists(malformed_binary_frames(), min_size=1, max_size=4),
+        frame=gateway_frames(),
+    )
+    def test_reassembler_never_raises(self, cases, frame):
+        """Malformed blobs interleaved with a valid frame: only typed
+        values come out, nothing is raised, and the buffer stays
+        bounded."""
+        re = FrameReassembler()
+        out: list[Frame | FrameError] = []
+        for _rule, blob in cases:
+            out.extend(re.feed(blob))
+        out.extend(re.feed(encode_frame(frame)))
+        tail = re.finish()
+        for item in out:
+            assert isinstance(item, (FrameError, *Frame.__args__))
+        assert tail is None or isinstance(tail, FrameError)
+        assert re.pending == 0  # finish() always clears
+
+    @relaxed
+    @given(case=malformed_binary_frames(), data=st.data())
+    def test_buffer_stays_bounded(self, case, data):
+        _rule, blob = case
+        re = FrameReassembler()
+        rest = blob
+        while rest:
+            cut = data.draw(st.integers(1, len(rest)))
+            for _ in re.feed(rest[:cut]):
+                pass
+            rest = rest[cut:]
+            assert re.pending <= MAX_FRAME_BYTES
+
+    @settings(
+        max_examples=30, suppress_health_check=[HealthCheck.too_slow]
+    )
+    @given(blob=st.binary(min_size=0, max_size=512))
+    def test_pure_fuzz_never_crashes(self, blob):
+        re = FrameReassembler()
+        for item in re.feed(blob):
+            assert isinstance(item, (FrameError, *Frame.__args__))
+        tail = re.finish()
+        assert tail is None or isinstance(tail, FrameError)
+
+
+class TestEncodedFrames:
+    @relaxed
+    @given(blob=binary_frames())
+    def test_strategy_emits_decodable_bytes(self, blob):
+        frame = decode_frame(blob)
+        assert encode_frame(frame) == blob

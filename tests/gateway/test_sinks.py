@@ -1,0 +1,97 @@
+"""Report sinks: CSV and NDJSON rows must carry identical information
+and survive append/reopen cycles."""
+
+from __future__ import annotations
+
+import csv
+import json
+
+from repro.gateway.codec import TagReport
+from repro.gateway.sinks import CsvSink, FIELDS, NdjsonSink, fanout
+
+REPORT = TagReport(
+    reader_id=1,
+    session=3,
+    slot=20,
+    frame=2,
+    tag_id=0x2882854FB05FE3DF,
+    airtime=736.0,
+)
+OTHER = TagReport(
+    reader_id=0,
+    session=1,
+    slot=0,
+    frame=1,
+    tag_id=7,
+    airtime=64.0,
+)
+
+
+class TestCsvSink:
+    def test_header_then_rows(self, tmp_path):
+        path = tmp_path / "reports.csv"
+        with CsvSink(path) as sink:
+            sink.write(REPORT)
+            sink.write(OTHER)
+        rows = list(csv.DictReader(path.open()))
+        assert len(rows) == 2
+        assert tuple(rows[0]) == FIELDS
+        assert rows[0]["tag_id"] == str(REPORT.tag_id)
+        assert rows[0]["tag_id_hex"] == "2882854fb05fe3df"
+        assert float(rows[0]["airtime"]) == REPORT.airtime
+
+    def test_append_does_not_repeat_header(self, tmp_path):
+        path = tmp_path / "reports.csv"
+        with CsvSink(path) as sink:
+            sink.write(REPORT)
+        with CsvSink(path) as sink:
+            sink.write(OTHER)
+        lines = path.read_text().splitlines()
+        assert len(lines) == 3  # one header + two rows
+        assert lines[0] == ",".join(FIELDS)
+
+    def test_hex_is_zero_padded(self, tmp_path):
+        path = tmp_path / "reports.csv"
+        with CsvSink(path) as sink:
+            sink.write(OTHER)
+        row = next(csv.DictReader(path.open()))
+        assert row["tag_id_hex"] == "0000000000000007"
+
+
+class TestNdjsonSink:
+    def test_lines_parse_back(self, tmp_path):
+        path = tmp_path / "reports.ndjson"
+        with NdjsonSink(path) as sink:
+            sink.write(REPORT)
+            sink.write(OTHER)
+        docs = [json.loads(line) for line in path.read_text().splitlines()]
+        assert len(docs) == 2
+        assert tuple(docs[0]) == FIELDS
+        assert docs[0]["tag_id"] == REPORT.tag_id
+        assert docs[0]["airtime"] == REPORT.airtime
+        assert docs[1]["tag_id_hex"] == "0000000000000007"
+
+    def test_csv_and_ndjson_carry_identical_information(self, tmp_path):
+        csv_path = tmp_path / "reports.csv"
+        nd_path = tmp_path / "reports.ndjson"
+        with CsvSink(csv_path) as c, NdjsonSink(nd_path) as n:
+            c.write(REPORT)
+            n.write(REPORT)
+        csv_row = next(csv.DictReader(csv_path.open()))
+        nd_row = json.loads(nd_path.read_text())
+        assert {k: str(v) for k, v in nd_row.items()} == csv_row
+
+
+class TestFanout:
+    def test_writes_every_sink(self, tmp_path):
+        a = CsvSink(tmp_path / "a.csv")
+        b = NdjsonSink(tmp_path / "b.ndjson")
+        on_report = fanout([a, b])
+        on_report(REPORT)
+        a.close()
+        b.close()
+        assert len((tmp_path / "a.csv").read_text().splitlines()) == 2
+        assert len((tmp_path / "b.ndjson").read_text().splitlines()) == 1
+
+    def test_empty_fanout_is_a_noop(self):
+        fanout([])(REPORT)
